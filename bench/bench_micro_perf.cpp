@@ -1,0 +1,96 @@
+// Microbenchmarks (google-benchmark): simulator cycle throughput, policy
+// decision cost, and NBTI model evaluation cost. These guard against
+// performance regressions in the per-cycle hot path.
+
+#include <benchmark/benchmark.h>
+
+#include "nbtinoc/nbtinoc.hpp"
+
+using namespace nbtinoc;
+
+namespace {
+
+noc::NocConfig mesh_config(int width, int vcs) {
+  noc::NocConfig c;
+  c.width = width;
+  c.height = width;
+  c.num_vcs = vcs;
+  c.buffer_depth = 8;
+  c.packet_length = 18;
+  return c;
+}
+
+void BM_NetworkStep_Idle(benchmark::State& state) {
+  noc::Network net(mesh_config(static_cast<int>(state.range(0)), 4));
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkStep_Idle)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_NetworkStep_Loaded(benchmark::State& state) {
+  noc::Network net(mesh_config(static_cast<int>(state.range(0)), 4));
+  traffic::install_uniform_traffic(net, 0.4, 42);
+  net.run(5000);  // reach steady state
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkStep_Loaded)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_NetworkStep_SensorWise(benchmark::State& state) {
+  noc::Network net(mesh_config(4, 4));
+  const auto model = nbti::NbtiModel::calibrated({}, {});
+  core::PolicyConfig pc;
+  pc.kind = core::PolicyKind::kSensorWise;
+  core::PolicyGateController ctrl(net, pc, model, {}, nbti::PvConfig{}, 7);
+  ctrl.attach();
+  traffic::install_uniform_traffic(net, 0.4, 42);
+  net.run(5000);
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkStep_SensorWise);
+
+void BM_SensorWiseDecide(benchmark::State& state) {
+  noc::NocConfig cfg = mesh_config(2, static_cast<int>(state.range(0)));
+  noc::InputUnit iu(noc::Dir::East, cfg);
+  const noc::OutVcStateView view(&iu);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::sensor_wise_decide(view, 1, true));
+}
+BENCHMARK(BM_SensorWiseDecide)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RrNoSensorDecide(benchmark::State& state) {
+  noc::NocConfig cfg = mesh_config(2, 4);
+  noc::InputUnit iu(noc::Dir::East, cfg);
+  const noc::OutVcStateView view(&iu);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::rr_no_sensor_decide(view, 2, true));
+}
+BENCHMARK(BM_RrNoSensorDecide);
+
+void BM_NbtiDeltaVth(benchmark::State& state) {
+  const auto model = nbti::NbtiModel::calibrated({}, {});
+  const nbti::OperatingPoint op;
+  double alpha = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.delta_vth(alpha, 3e8, op));
+    alpha = alpha < 1.0 ? alpha + 1e-4 : 0.01;
+  }
+}
+BENCHMARK(BM_NbtiDeltaVth);
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_XoshiroGaussian(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_gaussian());
+}
+BENCHMARK(BM_XoshiroGaussian);
+
+}  // namespace
+
+BENCHMARK_MAIN();

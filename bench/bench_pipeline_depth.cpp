@@ -1,0 +1,48 @@
+// Extension X13: router pipeline depth and NBTI duty. The paper's router is
+// 3-stage; contemporary Garnet-classic routers were 4-5 stages, and deeper
+// pipelines increase per-hop buffer residency — one candidate explanation
+// for the absolute duty-cycle offset between this substrate and the paper's
+// testbed (see EXPERIMENTS.md). This bench sweeps the depth and reports the
+// rr-no-sensor duty level and the sensor-wise Gap.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace nbtinoc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const bench::BenchOptions options = bench::BenchOptions::from_cli(args);
+
+  sim::Scenario banner = sim::Scenario::synthetic(4, 2, 0.1);
+  bench::apply_scale(banner, options);
+  bench::print_banner("Extension X13 — router pipeline depth vs NBTI duty (16 cores, 2 VCs)",
+                      "deeper pipelines raise buffer residency and with it every duty cycle",
+                      banner, options);
+
+  util::Table table({"stages", "injection", "rr avg duty", "sw MD duty", "Gap", "avg latency"});
+
+  for (int stages : {3, 4, 5}) {
+    for (double rate : {0.1, 0.2}) {
+      sim::Scenario s = sim::Scenario::synthetic(4, 2, rate);
+      s.router_stages = stages;
+      bench::apply_scale(s, options);
+      const auto rr = bench::run_synthetic(s, core::PolicyKind::kRrNoSensor);
+      const auto sw = bench::run_synthetic(s, core::PolicyKind::kSensorWise);
+      const auto& port = sw.port(0, noc::Dir::East);
+      const auto md = static_cast<std::size_t>(port.most_degraded);
+      table.add_row({std::to_string(stages), util::format_double(rate, 1),
+                     bench::duty_cell(util::mean_of(rr.port(0, noc::Dir::East).duty_percent)),
+                     bench::duty_cell(port.duty_percent[md]),
+                     util::format_percent(bench::gap_on_md(rr, sw, 0, noc::Dir::East)),
+                     util::format_double(sw.avg_packet_latency, 1)});
+      std::cerr << "  [done] stages=" << stages << " rate=" << rate << '\n';
+    }
+  }
+
+  bench::emit(table, options);
+  std::cout << "Expected: duty levels rise with pipeline depth at equal offered load;\n"
+               "the sensor-wise Gap persists at every depth.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Extension X7: the secondary benefit of the paper's mechanism. Power-gating
+// idle VC buffers for NBTI recovery also eliminates their leakage; this
+// bench quantifies buffer-leakage savings and total NoC energy per policy
+// using the ORION-style energy model fed by the measured activity.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace nbtinoc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const bench::BenchOptions options = bench::BenchOptions::from_cli(args);
+
+  sim::Scenario banner = sim::Scenario::synthetic(4, 4, 0.1);
+  bench::apply_scale(banner, options);
+  bench::print_banner("Extension X7 — leakage savings from NBTI power gating (16 cores, 4 VCs)",
+                      "gated buffer-cycles leak only the header-PMOS residual (5%)",
+                      banner, options);
+
+  const power::NocPowerModel model;
+
+  util::Table table({"injection", "policy", "dynamic (nJ)", "buffer leakage (nJ)",
+                     "leakage saving", "avg power (mW)"});
+
+  for (double rate : {0.1, 0.2, 0.3}) {
+    for (auto policy : {core::PolicyKind::kBaseline, core::PolicyKind::kRrNoSensor,
+                        core::PolicyKind::kSensorWiseNoTraffic, core::PolicyKind::kSensorWise}) {
+      sim::Scenario s = sim::Scenario::synthetic(4, 4, rate);
+      bench::apply_scale(s, options);
+      const auto r = bench::run_synthetic(s, policy);
+      const power::NocActivity activity = core::activity_of(r);
+      const power::EnergyReport energy = model.evaluate(activity);
+      table.add_row({util::format_double(rate, 1), to_string(policy),
+                     util::format_double(energy.dynamic_pj() / 1e3, 1),
+                     util::format_double(energy.buffer_leakage_pj / 1e3, 1),
+                     util::format_percent(energy.leakage_saving() * 100.0),
+                     util::format_double(energy.average_power_mw(activity.window_seconds), 2)});
+    }
+    std::cerr << "  [done] inj=" << rate << '\n';
+  }
+
+  bench::emit(table, options);
+  std::cout << "Expected: baseline saves nothing; sensor-wise approaches the 95% residual bound\n"
+               "at low load and dynamic energy stays identical across policies.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension X9: virtual-network configuration of Table I. Runs a coherence-
+// style request/reply workload over 2 vnets (short control packets on vnet 0,
+// long data packets on vnet 1) and reports the per-vnet NBTI duty cycles
+// under each policy. The pre-VA gating runs once per vnet, so each protocol
+// class keeps exactly the paper's guarantees inside its own VC partition.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nbtinoc/traffic/request_reply.hpp"
+
+using namespace nbtinoc;
+
+namespace {
+
+struct VnetDuty {
+  double vnet0_md = 0.0;
+  double vnet1_md = 0.0;
+  double latency = 0.0;
+};
+
+VnetDuty run_policy(core::PolicyKind policy, const bench::BenchOptions& options) {
+  noc::NocConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  cfg.num_vcs = 2;
+  cfg.num_vnets = 2;
+  cfg.buffer_depth = 8;
+  cfg.packet_length = 18;  // phit units; replies use their own length anyway
+
+  noc::Network net(cfg);
+  sim::Scenario s = sim::Scenario::synthetic(4, 2, 0.0);
+  const auto model = core::calibrated_model_of(s);
+  core::PolicyConfig pc;
+  pc.kind = policy;
+  core::PolicyGateController ctrl(net, pc, model, core::operating_point_of(s),
+                                  core::pv_config_of(s), s.pv_seed());
+  ctrl.attach();
+
+  traffic::RequestReplyConfig rr;
+  rr.request_rate = 0.01;
+  rr.request_length = 2;   // 1 flit = 2 phits
+  rr.reply_length = 18;    // 9 flits = 18 phits
+  traffic::install_request_reply_traffic(net, rr, 20260704);
+
+  sim::Cycle measure = options.full ? 24'000'000 : options.measure;
+  net.run_with_warmup(measure / 5, measure);
+
+  const auto duties = net.duty_cycles_percent(0, noc::Dir::East);
+  const auto& sensors = ctrl.sensors({0, noc::Dir::East});
+  const auto md0 = sensors.most_degraded_in(0, 2);
+  const auto md1 = sensors.most_degraded_in(2, 2);
+  VnetDuty out;
+  out.vnet0_md = duties[md0];
+  out.vnet1_md = duties[md1];
+  if (const auto* lat = net.stats().distribution("noc.packet_latency")) out.latency = lat->mean();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const bench::BenchOptions options = bench::BenchOptions::from_cli(args);
+
+  std::cout << "==========================================================================\n"
+            << "Extension X9 — two virtual networks (request/reply protocol traffic)\n"
+            << "16 cores, 2 VCs per vnet; vnet0 = control requests, vnet1 = data replies\n"
+            << "==========================================================================\n\n";
+
+  util::Table table({"policy", "vnet0 MD duty (requests)", "vnet1 MD duty (replies)",
+                     "avg packet latency"});
+  for (auto policy : {core::PolicyKind::kBaseline, core::PolicyKind::kRrNoSensor,
+                      core::PolicyKind::kSensorWise}) {
+    const VnetDuty d = run_policy(policy, options);
+    table.add_row({to_string(policy), bench::duty_cell(d.vnet0_md), bench::duty_cell(d.vnet1_md),
+                   util::format_double(d.latency, 1)});
+    std::cerr << "  [done] " << to_string(policy) << '\n';
+  }
+  bench::emit(table, options);
+  std::cout << "Expected: sensor-wise protects the MD VC of *both* protocol classes; the\n"
+               "lightly-loaded request vnet recovers almost completely.\n";
+  return 0;
+}

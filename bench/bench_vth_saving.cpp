@@ -1,0 +1,75 @@
+// Regenerates the paper's headline Vth result (§V): "a net NBTI mitigation
+// (less Vth degradation) of the sensor-wise methodology of up to 54.2% with
+// respect to the baseline NoC that does not account for NBTI."
+//
+// Method (as in the paper): measure each VC's NBTI-duty-cycle under each
+// policy, then feed the duty cycle into the long-term closed form (Eq. 1,
+// calibrated to the published 50mV@10y anchor) at a multi-year horizon. The
+// baseline NoC keeps every buffer powered (alpha = 1).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nbtinoc/nbti/aging.hpp"
+
+using namespace nbtinoc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const bench::BenchOptions options = bench::BenchOptions::from_cli(args);
+  const double years = args.get_double_or("years", 3.0);
+
+  sim::Scenario banner = sim::Scenario::synthetic(4, 4, 0.1);
+  bench::apply_scale(banner, options);
+  bench::print_banner("Headline H2 — net NBTI Vth saving vs non-NBTI-aware baseline",
+                      "paper: up to 54.2% less dVth than the always-powered baseline",
+                      banner, options);
+
+  util::Table table({"Scenario", "Policy", "MD VC", "MD duty", "dVth(MD) @" +
+                     util::format_double(years, 0) + "y", "dVth(baseline)", "Vth saving"});
+
+  double best_saving = 0.0;
+  std::string best_at;
+  for (int width : {2, 4}) {
+    for (int vcs : {2, 4}) {
+      for (double rate : {0.1, 0.2, 0.3}) {
+        sim::Scenario s = sim::Scenario::synthetic(width, vcs, rate);
+        bench::apply_scale(s, options);
+        const nbti::NbtiModel model = core::calibrated_model_of(s);
+        const nbti::OperatingPoint op = core::operating_point_of(s);
+        const nbti::AgingForecaster forecaster(model, op);
+
+        for (auto policy : {core::PolicyKind::kRrNoSensor, core::PolicyKind::kSensorWise}) {
+          const auto result = bench::run_synthetic(s, policy);
+          const auto& port = result.port(0, noc::Dir::East);
+          const auto md = static_cast<std::size_t>(port.most_degraded);
+          const nbti::BufferForecast fc = forecaster.forecast(
+              {port.initial_vth_v[md], port.duty_percent[md] / 100.0}, years);
+          const nbti::BufferForecast base =
+              forecaster.forecast({port.initial_vth_v[md], 1.0}, years);
+          table.add_row({s.name + "-vc" + std::to_string(vcs), to_string(policy),
+                         std::to_string(md), bench::duty_cell(port.duty_percent[md]),
+                         util::format_double(fc.delta_vth_v * 1e3, 2) + " mV",
+                         util::format_double(base.delta_vth_v * 1e3, 2) + " mV",
+                         util::format_percent(fc.saving_vs_always_on * 100.0)});
+          // At reduced scale an MD VC can record *zero* stress cycles, which
+          // projects to a degenerate 100% saving; the headline considers
+          // only rows where the MD VC actually saw stress (the paper's
+          // 54.2% row had ~0.9% duty).
+          if (policy == core::PolicyKind::kSensorWise && port.duty_percent[md] > 0.3 &&
+              fc.saving_vs_always_on > best_saving) {
+            best_saving = fc.saving_vs_always_on;
+            best_at = s.name + "-vc" + std::to_string(vcs);
+          }
+        }
+        std::cerr << "  [done] " << s.name << " vc" << vcs << '\n';
+      }
+    }
+  }
+
+  bench::emit(table, options);
+  std::cout << "Headline: best sensor-wise Vth saving on an MD VC = "
+            << util::format_percent(best_saving * 100.0) << " at " << best_at
+            << " (paper: up to 54.2%)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+// Shared scaffolding for the experiment benches: every bench regenerates one
+// of the paper's tables/figures and follows the same conventions —
+// markdown output, `--full` for paper-scale (30e6-cycle) runs, `--cycles N`
+// to override the default reduced scale, `--csv FILE` to also dump rows.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nbtinoc/nbtinoc.hpp"
+#include "nbtinoc/util/cli.hpp"
+#include "nbtinoc/util/table.hpp"
+
+namespace nbtinoc::bench {
+
+struct BenchOptions {
+  bool full = false;            ///< paper-scale cycle counts
+  sim::Cycle measure = 150'000; ///< measured cycles at reduced scale
+  sim::Cycle warmup = 30'000;
+  std::optional<std::string> csv_path;
+  int iterations = 10;          ///< Table IV style repetition count
+
+  static BenchOptions from_cli(const util::CliArgs& args);
+};
+
+/// Applies the bench options to a scenario (reduced or paper scale).
+void apply_scale(sim::Scenario& scenario, const BenchOptions& options);
+
+/// Prints the standard bench banner: what artifact this regenerates and the
+/// Table-I setup of the first scenario.
+void print_banner(const std::string& artifact, const std::string& paper_summary,
+                  const sim::Scenario& scenario, const BenchOptions& options);
+
+/// Runs one scenario under one policy with uniform synthetic traffic.
+core::RunResult run_synthetic(const sim::Scenario& scenario, core::PolicyKind policy,
+                              traffic::PatternKind pattern = traffic::PatternKind::kUniform);
+
+/// duty_percent formatted like the paper's cells ("26.6%").
+std::string duty_cell(double duty_percent);
+
+/// The paper's Gap: rr-no-sensor minus sensor-wise duty on the MD VC.
+double gap_on_md(const core::RunResult& rr, const core::RunResult& sw, noc::NodeId node,
+                 noc::Dir port);
+
+/// Emits the table to stdout (markdown) and optionally to options.csv_path.
+void emit(const util::Table& table, const BenchOptions& options);
+
+}  // namespace nbtinoc::bench

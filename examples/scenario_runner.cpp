@@ -1,0 +1,87 @@
+// Scenario-file driven simulator front end:
+//
+//   ./scenario_runner my_scenario.cfg [--policy sensor-wise] [--json out.json]
+//                                 [--workload uniform|transpose|...|mix]
+//
+// The scenario file uses "key = value" lines; see
+// sim::scenario_from_properties for the accepted keys. Example:
+//
+//   # 16-core study
+//   mesh_width     = 4
+//   num_vcs        = 4
+//   injection_rate = 0.2
+//   measure_cycles = 150000
+//   warmup_cycles  = 30000
+
+#include <fstream>
+#include <iostream>
+
+#include "nbtinoc/nbtinoc.hpp"
+#include "nbtinoc/util/cli.hpp"
+#include "nbtinoc/util/properties.hpp"
+#include "nbtinoc/util/table.hpp"
+
+using namespace nbtinoc;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: " << args.program()
+              << " <scenario.cfg> [--policy NAME] [--workload uniform|...|mix] [--json FILE]\n";
+    return 2;
+  }
+
+  sim::Scenario scenario;
+  try {
+    scenario = sim::scenario_from_properties(util::load_properties(args.positional()[0]));
+  } catch (const std::exception& e) {
+    std::cerr << "error reading scenario: " << e.what() << '\n';
+    return 1;
+  }
+
+  const auto policy = core::parse_policy(args.get_or("policy", "sensor-wise"));
+  const std::string workload_name = args.get_or("workload", "uniform");
+
+  core::Workload workload;
+  if (workload_name == "mix") {
+    workload = core::Workload::benchmark_mix(
+        traffic::random_mix(scenario.cores(), scenario.traffic_seed()));
+  } else {
+    workload = core::Workload::synthetic(traffic::parse_pattern(workload_name));
+  }
+
+  std::cout << scenario.describe() << "  policy          : " << to_string(policy)
+            << "\n  workload        : " << workload_name << "\n\n";
+
+  const core::RunResult result = core::run_experiment(scenario, policy, workload);
+
+  util::Table table({"router/port", "MD VC", "MD duty", "avg duty", "gate transitions"});
+  for (const auto& [key, port] : result.ports) {
+    const auto md = static_cast<std::size_t>(port.most_degraded);
+    std::uint64_t transitions = 0;
+    for (auto t : port.gate_transitions) transitions += t;
+    table.add_row({"r" + std::to_string(key.router) + "-" +
+                       std::string(1, noc::dir_letter(key.port)),
+                   std::to_string(port.most_degraded),
+                   util::format_percent(port.duty_percent[md]),
+                   util::format_percent(util::mean_of(port.duty_percent)),
+                   std::to_string(transitions)});
+  }
+  std::cout << table.to_markdown() << '\n'
+            << "packets: " << result.packets_ejected
+            << ", avg latency: " << util::format_double(result.avg_packet_latency, 1)
+            << " cycles, throughput: "
+            << util::format_double(result.throughput_flits_per_cycle_per_node, 3)
+            << " phits/cycle/node\n";
+
+  if (const auto json_path = args.get("json")) {
+    std::ofstream out(*json_path);
+    if (!out) {
+      std::cerr << "cannot write " << *json_path << '\n';
+      return 1;
+    }
+    out << core::to_json(result) << '\n';
+    std::cout << "JSON written to " << *json_path << '\n';
+  }
+  return 0;
+}

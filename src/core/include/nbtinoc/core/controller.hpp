@@ -1,0 +1,95 @@
+#pragma once
+// PolicyGateController: the host that wires the paper's machinery into a
+// network — per-input-port NBTI sensor banks (downstream side), the pre-VA
+// policy algorithms (upstream side), and the process-variation Vth sampling
+// that both share.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "nbtinoc/core/policy.hpp"
+#include "nbtinoc/nbti/model.hpp"
+#include "nbtinoc/nbti/process_variation.hpp"
+#include "nbtinoc/nbti/sensor.hpp"
+#include "nbtinoc/noc/network.hpp"
+
+namespace nbtinoc::core {
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kSensorWise;
+  /// Cycles between advances of the rr-no-sensor active candidate
+  /// ("changed cyclically on a time basis").
+  sim::Cycle rr_rotation_period = 1;
+  /// Pre-VA decisions are recomputed only every this-many cycles and held
+  /// in between (hysteresis). 1 reproduces the paper's per-cycle decision;
+  /// larger values cut header-PMOS gating transitions at the cost of
+  /// occasionally parking the awake VC on a now-busy buffer (latency).
+  sim::Cycle decision_period = 1;
+  nbti::SensorConfig sensor;
+};
+
+/// Samples one initial Vth per VC buffer for every existing input port of a
+/// network with the given config. The sampling order is fixed (router id
+/// ascending, then port N,S,E,W,L), so the same seed always yields the same
+/// silicon — the paper's requirement that every policy sees identical Vth
+/// vectors on the same {architecture, traffic} scenario.
+std::map<noc::PortKey, std::vector<double>> sample_network_vths(const noc::NocConfig& config,
+                                                                const nbti::PvConfig& pv,
+                                                                std::uint64_t seed);
+
+class PolicyGateController final : public noc::IGateController {
+ public:
+  PolicyGateController(noc::Network& network, PolicyConfig config, const nbti::NbtiModel& model,
+                       nbti::OperatingPoint op, const nbti::PvConfig& pv, std::uint64_t pv_seed);
+
+  /// Builds the controller on explicitly provided per-port Vth vectors
+  /// (e.g. partially aged silicon in a lifetime study) instead of sampling
+  /// fresh process variation. The map must cover every existing input port.
+  PolicyGateController(noc::Network& network, PolicyConfig config, const nbti::NbtiModel& model,
+                       nbti::OperatingPoint op,
+                       std::map<noc::PortKey, std::vector<double>> initial_vths,
+                       std::uint64_t noise_seed = 0x5e7502ULL);
+
+  // IGateController
+  noc::GateCommand decide(const noc::PortKey& key, const noc::OutVcStateView& view,
+                          bool new_traffic, sim::Cycle now) override;
+  void post_cycle(sim::Cycle now) override;
+  const char* name() const override;
+
+  /// Installs this controller on the network it was built for.
+  void attach() { network_->set_gate_controller(this); }
+
+  PolicyKind kind() const { return config_.kind; }
+  const nbti::NbtiSensorBank& sensors(const noc::PortKey& key) const;
+  const std::vector<double>& initial_vths(const noc::PortKey& key) const;
+  /// Most degraded VC over the whole port (reporting).
+  int most_degraded(const noc::PortKey& key) const;
+  /// Most degraded VC within the view's subrange, in view-local coordinates
+  /// (what the per-vnet Down_Up comparator reports).
+  int local_most_degraded(const noc::PortKey& key, const noc::OutVcStateView& view) const;
+
+ private:
+  struct PortContext {
+    std::vector<double> initial_vths;
+    nbti::NbtiSensorBank sensors;
+  };
+
+  noc::GateCommand compute(const noc::PortKey& key, const noc::OutVcStateView& view,
+                           bool new_traffic, sim::Cycle now);
+
+  noc::Network* network_;
+  PolicyConfig config_;
+  std::string name_;
+  std::map<noc::PortKey, PortContext> ports_;
+
+  /// Hysteresis cache, keyed by (port, vnet subrange start).
+  struct HeldDecision {
+    noc::GateCommand command;
+    sim::Cycle held_until = 0;
+    bool valid = false;
+  };
+  std::map<std::pair<noc::PortKey, int>, HeldDecision> held_;
+};
+
+}  // namespace nbtinoc::core

@@ -1,0 +1,96 @@
+#pragma once
+// Experiment runner: scenario + policy + workload -> duty cycles and Vth
+// projections. This is the top of the public API; the benches and examples
+// are thin wrappers over it.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nbtinoc/core/controller.hpp"
+#include "nbtinoc/core/policy.hpp"
+#include "nbtinoc/nbti/aging.hpp"
+#include "nbtinoc/power/power_model.hpp"
+#include "nbtinoc/sim/scenario.hpp"
+#include "nbtinoc/traffic/benchmarks.hpp"
+#include "nbtinoc/traffic/patterns.hpp"
+
+namespace nbtinoc::core {
+
+/// Workload description: either a synthetic pattern at the scenario's
+/// injection rate (Tables II/III) or a benchmark mix (Table IV).
+struct Workload {
+  enum class Kind { kSynthetic, kBenchmarkMix } kind = Kind::kSynthetic;
+  traffic::PatternKind pattern = traffic::PatternKind::kUniform;
+  traffic::BenchmarkMix mix;       ///< used when kind == kBenchmarkMix
+  std::uint64_t seed_salt = 0;     ///< extra salt for per-iteration traffic streams
+
+  static Workload synthetic(traffic::PatternKind pattern = traffic::PatternKind::kUniform);
+  static Workload benchmark_mix(traffic::BenchmarkMix mix, std::uint64_t seed_salt = 0);
+};
+
+/// Per-input-port measurement.
+struct PortResult {
+  std::vector<double> duty_percent;   ///< NBTI-duty-cycle per VC
+  std::vector<double> initial_vth_v;  ///< PV-sampled silicon
+  std::vector<std::uint64_t> gate_transitions;  ///< header-PMOS switch count per VC
+  int most_degraded = 0;              ///< sensor-reported MD VC
+};
+
+struct RunResult {
+  sim::Scenario scenario;
+  PolicyKind policy = PolicyKind::kBaseline;
+  std::map<noc::PortKey, PortResult> ports;
+
+  // Counters below cover the measurement window only (warmup excluded).
+  std::uint64_t packets_offered = 0;  ///< policy-independent (same traffic seed)
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t packets_ejected = 0;
+  std::uint64_t flits_forwarded = 0;      ///< router-to-router link traversals
+  std::uint64_t flits_ejected_router = 0; ///< router-to-NI ejections
+  std::uint64_t va_grants = 0;            ///< router VA grants (+ NI grants separately)
+  std::uint64_t ni_va_grants = 0;
+  std::vector<std::uint64_t> router_flits_out;  ///< per-router movement counts
+  std::uint64_t total_gate_transitions = 0;     ///< whole-NoC header-PMOS switches
+  double avg_packet_latency = 0.0;
+  double throughput_flits_per_cycle_per_node = 0.0;
+
+  const PortResult& port(noc::NodeId node, noc::Dir dir) const;
+  /// Duty (percent) of the most degraded VC of the given port.
+  double md_duty(noc::NodeId node, noc::Dir dir) const;
+};
+
+struct RunnerOptions {
+  nbti::NbtiParams nbti;          ///< model parameters (calibrated internally)
+  PolicyConfig policy;            ///< kind is overridden per run() call
+  bool paper_scale = false;       ///< 30e6-cycle runs instead of scaled ones
+  /// Non-empty: use these per-port Vth vectors (e.g. aged silicon from a
+  /// lifetime study) instead of sampling fresh process variation.
+  std::map<noc::PortKey, std::vector<double>> initial_vths;
+};
+
+/// Runs one scenario under one policy. PV seed and traffic seed derive from
+/// the scenario alone, so different policies see identical silicon and an
+/// identical offered load.
+RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Workload& workload,
+                         const RunnerOptions& options = {});
+
+/// Serializes a run to JSON (scenario, per-port duty cycles / initial Vth /
+/// MD VC, network counters) for downstream plotting and analysis tools.
+std::string to_json(const RunResult& result);
+
+/// Assembles the energy-model inputs from a run: flit-movement counters plus
+/// the powered/gated buffer-cycle totals summed from every port's duty
+/// cycles. Allocator grants count VA (router + NI) and SA (= buffer reads).
+power::NocActivity activity_of(const RunResult& result);
+
+/// Builds the operating point / PV config / calibrated model a scenario
+/// implies — exposed for benches that post-process duty cycles via Eq. 1.
+nbti::OperatingPoint operating_point_of(const sim::Scenario& scenario);
+nbti::PvConfig pv_config_of(const sim::Scenario& scenario);
+nbti::NbtiModel calibrated_model_of(const sim::Scenario& scenario,
+                                    const nbti::NbtiParams& params = {});
+
+}  // namespace nbtinoc::core

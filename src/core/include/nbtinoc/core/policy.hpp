@@ -1,0 +1,63 @@
+#pragma once
+// The NBTI recovery policies (the paper's contribution).
+//
+// All three NBTI-aware policies run in the *upstream* pre-VA stage of each
+// router pair and emit the Up_Down (enable, VC-ID) command; they differ in
+// what information they consume:
+//
+//   rr_no_sensor (Algorithm 1)       traffic info, no sensors: rotates the
+//                                    kept-awake candidate on a time basis —
+//                                    the best sensor-less strategy.
+//   sensor_wise_no_traffic           sensors only: always keeps one idle VC
+//                                    awake (it cannot know that no packet is
+//                                    coming), most-degraded gated first.
+//   sensor_wise (Algorithm 2)        sensors + traffic info: gates *all*
+//                                    idle VCs when no new packet waits
+//                                    upstream, else keeps exactly one awake
+//                                    — never the most degraded if avoidable.
+//
+// `baseline` is the non-NBTI-aware reference: no gating at all.
+
+#include <string>
+#include <vector>
+
+#include "nbtinoc/noc/gate.hpp"
+#include "nbtinoc/sim/clock.hpp"
+
+namespace nbtinoc::core {
+
+enum class PolicyKind {
+  kBaseline,
+  kRrNoSensor,
+  kSensorWiseNoTraffic,
+  kSensorWise,
+  /// Extension beyond the paper: full-ranking wear leveling. Where
+  /// Algorithm 2 only prioritizes the *most* degraded VC and keeps an
+  /// index-ordered survivor awake, sensor-rank keeps the *least* degraded
+  /// idle VC awake, steering new packets onto the healthiest buffer and
+  /// equalizing wear across the whole bank.
+  kSensorRank,
+};
+
+std::string to_string(PolicyKind kind);
+PolicyKind parse_policy(const std::string& name);
+
+/// Algorithm 1 — the round-robin sensor-less pre-VA stage. `candidate` is
+/// the time-rotated active-candidate VC identifier.
+noc::GateCommand rr_no_sensor_decide(const noc::OutVcStateView& view, int candidate,
+                                     bool new_traffic);
+
+/// Algorithm 2 — the sensor-wise pre-VA stage. `most_degraded` comes from
+/// the downstream sensor bank over the Down_Up link. Pass
+/// `bool_traffic = true` unconditionally to obtain the
+/// sensor-wise-no-traffic variant.
+noc::GateCommand sensor_wise_decide(const noc::OutVcStateView& view, int most_degraded,
+                                    bool bool_traffic);
+
+/// Wear-leveling variant (extension): `degradation[i]` is the sensor
+/// reading of the view-local VC i; the least degraded idle VC is kept awake
+/// when new traffic needs one, everything else recovers.
+noc::GateCommand sensor_rank_decide(const noc::OutVcStateView& view,
+                                    const std::vector<double>& degradation, bool bool_traffic);
+
+}  // namespace nbtinoc::core

@@ -1,0 +1,144 @@
+#include "nbtinoc/core/controller.hpp"
+
+#include <stdexcept>
+
+#include "nbtinoc/noc/routing.hpp"
+
+namespace nbtinoc::core {
+
+std::map<noc::PortKey, std::vector<double>> sample_network_vths(const noc::NocConfig& config,
+                                                                const nbti::PvConfig& pv,
+                                                                std::uint64_t seed) {
+  nbti::ProcessVariation sampler(pv, seed);
+  std::map<noc::PortKey, std::vector<double>> out;
+  for (noc::NodeId id = 0; id < config.nodes(); ++id) {
+    const noc::Coord c = noc::coord_of(id, config.width);
+    const double xn = config.width > 1 ? static_cast<double>(c.x) / (config.width - 1) : 0.0;
+    const double yn = config.height > 1 ? static_cast<double>(c.y) / (config.height - 1) : 0.0;
+    for (int p = 0; p < noc::kNumDirs; ++p) {
+      const noc::Dir port = static_cast<noc::Dir>(p);
+      // An input port exists iff a neighbor feeds it; Local always exists.
+      if (port != noc::Dir::Local &&
+          noc::neighbor_of(id, port, config.width, config.height) < 0)
+        continue;
+      out.emplace(noc::PortKey{id, port},
+                  sampler.sample_bank(static_cast<std::size_t>(config.total_vcs()), xn, yn));
+    }
+  }
+  return out;
+}
+
+PolicyGateController::PolicyGateController(noc::Network& network, PolicyConfig config,
+                                           const nbti::NbtiModel& model, nbti::OperatingPoint op,
+                                           const nbti::PvConfig& pv, std::uint64_t pv_seed)
+    : PolicyGateController(network, config, model, op,
+                           sample_network_vths(network.config(), pv, pv_seed),
+                           pv_seed ^ 0x6e6f697365ULL /* "noise" */) {}
+
+PolicyGateController::PolicyGateController(noc::Network& network, PolicyConfig config,
+                                           const nbti::NbtiModel& model, nbti::OperatingPoint op,
+                                           std::map<noc::PortKey, std::vector<double>> initial_vths,
+                                           std::uint64_t noise_seed)
+    : network_(&network), config_(config), name_(to_string(config.kind)) {
+  // Sanity: every existing input port must be covered with the right width.
+  const auto& cfg = network.config();
+  for (noc::NodeId id = 0; id < cfg.nodes(); ++id) {
+    for (int p = 0; p < noc::kNumDirs; ++p) {
+      const noc::Dir port = static_cast<noc::Dir>(p);
+      if (!network.router(id).has_input(port)) continue;
+      const auto it = initial_vths.find(noc::PortKey{id, port});
+      if (it == initial_vths.end() ||
+          it->second.size() != static_cast<std::size_t>(cfg.total_vcs()))
+        throw std::invalid_argument("PolicyGateController: initial_vths must cover every port");
+    }
+  }
+  util::SplitMix64 noise_seeder(noise_seed);
+  for (auto& [key, bank_vths] : initial_vths) {
+    ports_.emplace(key, PortContext{bank_vths,
+                                    nbti::NbtiSensorBank(bank_vths, model, op, config_.sensor,
+                                                         noise_seeder.next())});
+  }
+}
+
+const char* PolicyGateController::name() const { return name_.c_str(); }
+
+const nbti::NbtiSensorBank& PolicyGateController::sensors(const noc::PortKey& key) const {
+  return ports_.at(key).sensors;
+}
+
+const std::vector<double>& PolicyGateController::initial_vths(const noc::PortKey& key) const {
+  return ports_.at(key).initial_vths;
+}
+
+int PolicyGateController::most_degraded(const noc::PortKey& key) const {
+  return static_cast<int>(ports_.at(key).sensors.most_degraded());
+}
+
+int PolicyGateController::local_most_degraded(const noc::PortKey& key,
+                                              const noc::OutVcStateView& view) const {
+  const auto global = ports_.at(key).sensors.most_degraded_in(
+      static_cast<std::size_t>(view.first_vc()), static_cast<std::size_t>(view.num_vcs()));
+  return static_cast<int>(global) - view.first_vc();
+}
+
+noc::GateCommand PolicyGateController::decide(const noc::PortKey& key,
+                                              const noc::OutVcStateView& view, bool new_traffic,
+                                              sim::Cycle now) {
+  if (config_.decision_period <= 1) return compute(key, view, new_traffic, now);
+  // Hysteresis: hold the previous decision for decision_period cycles.
+  // Exceptions (asynchronous overrides, both computable from signals the
+  // upstream router already has): new traffic while the held command keeps
+  // nothing awake, or while the kept VC has meanwhile been allocated —
+  // either would stall VA for up to a full period.
+  HeldDecision& held = held_[{key, view.first_vc()}];
+  const bool kept_unusable =
+      held.valid && held.command.enable &&
+      (held.command.keep_vc < 0 || view.is_active(held.command.keep_vc));
+  const bool must_refresh = !held.valid || now >= held.held_until ||
+                            (new_traffic && (!held.command.enable || kept_unusable));
+  if (must_refresh) {
+    held.command = compute(key, view, new_traffic, now);
+    held.held_until = now + config_.decision_period;
+    held.valid = true;
+  }
+  return held.command;
+}
+
+noc::GateCommand PolicyGateController::compute(const noc::PortKey& key,
+                                               const noc::OutVcStateView& view, bool new_traffic,
+                                               sim::Cycle now) {
+  switch (config_.kind) {
+    case PolicyKind::kBaseline:
+      return noc::GateCommand{};
+    case PolicyKind::kRrNoSensor: {
+      const int candidate =
+          static_cast<int>((now / config_.rr_rotation_period) % static_cast<sim::Cycle>(view.num_vcs()));
+      return rr_no_sensor_decide(view, candidate, new_traffic);
+    }
+    case PolicyKind::kSensorWiseNoTraffic:
+      return sensor_wise_decide(view, local_most_degraded(key, view), /*bool_traffic=*/true);
+    case PolicyKind::kSensorWise:
+      return sensor_wise_decide(view, local_most_degraded(key, view), new_traffic);
+    case PolicyKind::kSensorRank: {
+      const auto& sensors = ports_.at(key).sensors;
+      std::vector<double> degradation(static_cast<std::size_t>(view.num_vcs()));
+      for (int i = 0; i < view.num_vcs(); ++i)
+        degradation[static_cast<std::size_t>(i)] =
+            sensors.measured_vth(static_cast<std::size_t>(view.global_vc(i)));
+      return sensor_rank_decide(view, degradation, new_traffic);
+    }
+  }
+  throw std::logic_error("PolicyGateController::decide: bad kind");
+}
+
+void PolicyGateController::post_cycle(sim::Cycle now) {
+  // Sensor refresh (epoch-gated inside the bank) from the authoritative
+  // stress trackers; this is the Down_Up link update point.
+  const double elapsed = network_->clock().seconds_now();
+  for (auto& [key, ctx] : ports_) {
+    const auto& trackers = network_->router(key.router).input(key.port).trackers();
+    ctx.sensors.update(now, elapsed, trackers);
+  }
+}
+
+}  // namespace nbtinoc::core

@@ -1,0 +1,218 @@
+#include "nbtinoc/core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "nbtinoc/traffic/synthetic.hpp"
+#include "nbtinoc/util/json.hpp"
+
+namespace nbtinoc::core {
+
+Workload Workload::synthetic(traffic::PatternKind pattern) {
+  Workload w;
+  w.kind = Kind::kSynthetic;
+  w.pattern = pattern;
+  return w;
+}
+
+Workload Workload::benchmark_mix(traffic::BenchmarkMix mix, std::uint64_t seed_salt) {
+  Workload w;
+  w.kind = Kind::kBenchmarkMix;
+  w.mix = std::move(mix);
+  w.seed_salt = seed_salt;
+  return w;
+}
+
+const PortResult& RunResult::port(noc::NodeId node, noc::Dir dir) const {
+  const auto it = ports.find(noc::PortKey{node, dir});
+  if (it == ports.end()) throw std::invalid_argument("RunResult::port: no such port");
+  return it->second;
+}
+
+double RunResult::md_duty(noc::NodeId node, noc::Dir dir) const {
+  const PortResult& p = port(node, dir);
+  return p.duty_percent.at(static_cast<std::size_t>(p.most_degraded));
+}
+
+nbti::OperatingPoint operating_point_of(const sim::Scenario& scenario) {
+  nbti::OperatingPoint op;
+  op.vdd_v = scenario.tech.vdd_v;
+  op.vth_v = scenario.tech.vth_nominal_v;
+  op.temperature_k = scenario.tech.temperature_k;
+  op.clock_period_s = scenario.clock_period_s;
+  return op;
+}
+
+nbti::PvConfig pv_config_of(const sim::Scenario& scenario) {
+  nbti::PvConfig pv;
+  pv.vth_mean_v = scenario.tech.vth_nominal_v;
+  pv.vth_sigma_v = scenario.tech.vth_sigma_v;
+  return pv;
+}
+
+nbti::NbtiModel calibrated_model_of(const sim::Scenario& scenario, const nbti::NbtiParams& params) {
+  return nbti::NbtiModel::calibrated(params, operating_point_of(scenario));
+}
+
+RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Workload& workload,
+                         const RunnerOptions& options) {
+  if (options.paper_scale) scenario.use_paper_scale();
+
+  // The network simulates in *phit* units — the quantum a 32b link moves per
+  // cycle (Table I: 64b flits, 32b links => 2 phits/flit). Packet length and
+  // buffer depth convert from flits; the injection rate converts from
+  // flits/cycle to phits/cycle below.
+  const int ppf = scenario.phits_per_flit();
+  noc::NocConfig config;
+  config.width = scenario.mesh_width;
+  config.height = scenario.mesh_height;
+  config.num_vcs = scenario.num_vcs;
+  config.num_vnets = scenario.num_vnets;
+  config.buffer_depth = scenario.buffer_depth * ppf;
+  config.packet_length = scenario.packet_length * ppf;
+  config.wakeup_latency = scenario.wakeup_latency;
+  if (scenario.router_stages < 3)
+    throw std::invalid_argument("run_experiment: router_stages must be >= 3");
+  config.extra_pipeline_stages = scenario.router_stages - 3;
+
+  noc::Network network(config);
+
+  const nbti::NbtiModel model = calibrated_model_of(scenario, options.nbti);
+  PolicyConfig policy_config = options.policy;
+  policy_config.kind = policy;
+  auto controller =
+      options.initial_vths.empty()
+          ? PolicyGateController(network, policy_config, model, operating_point_of(scenario),
+                                 pv_config_of(scenario), scenario.pv_seed())
+          : PolicyGateController(network, policy_config, model, operating_point_of(scenario),
+                                 options.initial_vths, scenario.pv_seed() ^ 0xa9edULL);
+  controller.attach();
+
+  const std::uint64_t traffic_seed = scenario.traffic_seed() ^ workload.seed_salt;
+  switch (workload.kind) {
+    case Workload::Kind::kSynthetic:
+      traffic::install_synthetic_traffic(network, workload.pattern,
+                                         scenario.injection_rate * ppf, traffic_seed);
+      break;
+    case Workload::Kind::kBenchmarkMix:
+      traffic::install_benchmark_mix(network, workload.mix, traffic_seed, /*hotspot=*/-1,
+                                     /*rate_scale=*/static_cast<double>(ppf));
+      break;
+  }
+
+  network.run_with_warmup(scenario.warmup_cycles, scenario.measure_cycles);
+
+  RunResult result;
+  result.scenario = scenario;
+  result.policy = policy;
+  for (noc::NodeId id = 0; id < network.nodes(); ++id) {
+    for (int p = 0; p < noc::kNumDirs; ++p) {
+      const noc::Dir dir = static_cast<noc::Dir>(p);
+      if (!network.router(id).has_input(dir)) continue;
+      const noc::PortKey key{id, dir};
+      PortResult port;
+      port.duty_percent = network.duty_cycles_percent(id, dir);
+      port.initial_vth_v = controller.initial_vths(key);
+      port.most_degraded = controller.most_degraded(key);
+      const auto& iu = network.router(id).input(dir);
+      port.gate_transitions.reserve(static_cast<std::size_t>(iu.num_vcs()));
+      for (int v = 0; v < iu.num_vcs(); ++v) {
+        port.gate_transitions.push_back(iu.vc(v).gate_transitions());
+        result.total_gate_transitions += iu.vc(v).gate_transitions();
+      }
+      result.ports.emplace(key, std::move(port));
+    }
+  }
+
+  result.packets_offered = network.stats().counter("noc.packets_offered");
+  result.flits_injected = network.stats().counter("noc.flits_injected");
+  result.flits_ejected = network.stats().counter("noc.flits_ejected");
+  result.packets_ejected = network.stats().counter("noc.packets_ejected");
+  result.flits_forwarded = network.stats().counter("noc.flits_forwarded");
+  result.flits_ejected_router = network.stats().counter("noc.flits_ejected_router");
+  result.va_grants = network.stats().counter("noc.va_grants");
+  result.ni_va_grants = network.stats().counter("noc.ni_va_grants");
+  result.router_flits_out.reserve(static_cast<std::size_t>(network.nodes()));
+  for (noc::NodeId id = 0; id < network.nodes(); ++id)
+    result.router_flits_out.push_back(
+        network.stats().counter(network.router(id).flits_out_stat_key()));
+  if (const auto* lat = network.stats().distribution("noc.packet_latency"))
+    result.avg_packet_latency = lat->mean();
+  const double cycles = static_cast<double>(scenario.measure_cycles);
+  result.throughput_flits_per_cycle_per_node =
+      static_cast<double>(result.flits_ejected) / cycles / network.nodes();
+  return result;
+}
+
+std::string to_json(const RunResult& result) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("scenario").begin_object();
+  w.field("name", result.scenario.name)
+      .field("mesh_width", result.scenario.mesh_width)
+      .field("mesh_height", result.scenario.mesh_height)
+      .field("num_vcs", result.scenario.num_vcs)
+      .field("num_vnets", result.scenario.num_vnets)
+      .field("injection_rate", result.scenario.injection_rate)
+      .field("warmup_cycles", static_cast<std::uint64_t>(result.scenario.warmup_cycles))
+      .field("measure_cycles", static_cast<std::uint64_t>(result.scenario.measure_cycles));
+  w.end_object();
+  w.field("policy", to_string(result.policy));
+  w.key("counters").begin_object();
+  w.field("packets_offered", result.packets_offered)
+      .field("flits_injected", result.flits_injected)
+      .field("flits_ejected", result.flits_ejected)
+      .field("packets_ejected", result.packets_ejected)
+      .field("avg_packet_latency", result.avg_packet_latency)
+      .field("throughput_flits_per_cycle_per_node", result.throughput_flits_per_cycle_per_node);
+  w.end_object();
+  w.key("ports").begin_array();
+  for (const auto& [key, port] : result.ports) {
+    w.begin_object();
+    w.field("router", key.router);
+    w.field("port", noc::to_string(key.port));
+    w.field("most_degraded", port.most_degraded);
+    w.key("duty_percent").begin_array();
+    for (double d : port.duty_percent) w.value(d);
+    w.end_array();
+    w.key("initial_vth_v").begin_array();
+    for (double v : port.initial_vth_v) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+power::NocActivity activity_of(const RunResult& result) {
+  const sim::Scenario& s = result.scenario;
+  power::NocActivity a;
+  a.window_seconds = static_cast<double>(s.measure_cycles) * s.clock_period_s;
+  a.clock_period_s = s.clock_period_s;
+  a.bits_per_flit = s.link_width_bits;  // physical transfer unit (phit)
+  a.buffer_bits = s.buffer_depth * s.phits_per_flit() * s.link_width_bits;
+
+  // Each buffer read feeds the crossbar; inter-router and ejection
+  // traversals both cross it. Injection/ejection channels count as links.
+  a.buffer_reads = result.flits_forwarded + result.flits_ejected_router;
+  a.buffer_writes = a.buffer_reads;  // every buffered flit is written once per hop
+  a.crossbar_traversals = a.buffer_reads;
+  a.link_traversals = result.flits_forwarded + result.flits_injected + result.flits_ejected;
+  a.allocator_grants = result.va_grants + result.ni_va_grants + a.buffer_reads;
+  a.gating_transitions = result.total_gate_transitions;
+
+  // Powered/gated cycle totals from the per-port NBTI trackers: each VC was
+  // measured for exactly measure_cycles cycles.
+  const double window = static_cast<double>(s.measure_cycles);
+  double powered = 0.0;
+  for (const auto& [key, port] : result.ports)
+    for (double duty : port.duty_percent) powered += duty / 100.0 * window;
+  double total_buffer_cycles = 0.0;
+  for (const auto& [key, port] : result.ports)
+    total_buffer_cycles += window * static_cast<double>(port.duty_percent.size());
+  a.powered_buffer_cycles = static_cast<std::uint64_t>(powered);
+  a.gated_buffer_cycles = static_cast<std::uint64_t>(total_buffer_cycles - powered);
+  return a;
+}
+
+}  // namespace nbtinoc::core

@@ -1,0 +1,91 @@
+#include "nbtinoc/core/lifetime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbtinoc::core {
+
+LifetimeResult run_lifetime_study(sim::Scenario scenario, PolicyKind policy,
+                                  const Workload& workload, noc::PortKey sampled_port,
+                                  const LifetimeOptions& options) {
+  if (options.epochs < 1) throw std::invalid_argument("run_lifetime_study: epochs < 1");
+  if (options.years_per_epoch <= 0.0)
+    throw std::invalid_argument("run_lifetime_study: years_per_epoch <= 0");
+
+  scenario.warmup_cycles = options.measure_cycles_per_epoch / 5;
+  scenario.measure_cycles = options.measure_cycles_per_epoch;
+
+  const nbti::NbtiModel model = calibrated_model_of(scenario, options.runner.nbti);
+  const nbti::OperatingPoint op = operating_point_of(scenario);
+  const nbti::AgingForecaster forecaster(model, op);
+  const double epoch_seconds = nbti::AgingForecaster::years_to_seconds(options.years_per_epoch);
+
+  // Year-0 silicon (fresh PV sample) plus accumulated shifts tracked apart,
+  // so the Eq.1 operating point keeps using the fabrication-time Vth.
+  noc::NocConfig net_config;
+  net_config.width = scenario.mesh_width;
+  net_config.height = scenario.mesh_height;
+  net_config.num_vcs = scenario.num_vcs;
+  net_config.num_vnets = scenario.num_vnets;
+  const auto fresh = sample_network_vths(net_config, pv_config_of(scenario), scenario.pv_seed());
+  if (!fresh.count(sampled_port))
+    throw std::invalid_argument("run_lifetime_study: sampled port does not exist");
+
+  std::map<noc::PortKey, std::vector<double>> dvth;
+  for (const auto& [key, bank] : fresh) dvth[key].assign(bank.size(), 0.0);
+
+  LifetimeResult result;
+  result.sampled_port = sampled_port;
+
+  int previous_md = -1;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Current silicon = fresh + accumulated shift.
+    RunnerOptions ropt = options.runner;
+    ropt.policy.kind = policy;
+    for (const auto& [key, bank] : fresh) {
+      auto& aged = ropt.initial_vths[key];
+      aged.resize(bank.size());
+      for (std::size_t i = 0; i < bank.size(); ++i) aged[i] = bank[i] + dvth.at(key)[i];
+    }
+
+    // One epoch of traffic (fresh stream each epoch, same statistics).
+    Workload epoch_workload = workload;
+    epoch_workload.seed_salt ^= 0x11d0ULL * static_cast<std::uint64_t>(epoch + 1);
+    const RunResult run = run_experiment(scenario, policy, epoch_workload, ropt);
+
+    // Advance every buffer by the epoch length at its measured duty.
+    for (auto& [key, shifts] : dvth) {
+      const auto& port = run.ports.at(key);
+      for (std::size_t i = 0; i < shifts.size(); ++i) {
+        shifts[i] = forecaster.advance_dvth(shifts[i], port.duty_percent[i] / 100.0,
+                                            epoch_seconds, fresh.at(key)[i]);
+      }
+    }
+
+    // Record the sampled port.
+    LifetimeEpoch record;
+    record.years_elapsed = (epoch + 1) * options.years_per_epoch;
+    record.duty_percent = run.ports.at(sampled_port).duty_percent;
+    record.vth_v.resize(dvth.at(sampled_port).size());
+    for (std::size_t i = 0; i < record.vth_v.size(); ++i)
+      record.vth_v[i] = fresh.at(sampled_port)[i] + dvth.at(sampled_port)[i];
+    record.most_degraded = static_cast<int>(std::distance(
+        record.vth_v.begin(), std::max_element(record.vth_v.begin(), record.vth_v.end())));
+    if (previous_md >= 0 && record.most_degraded != previous_md) ++result.md_changes;
+    previous_md = record.most_degraded;
+    result.epochs.push_back(std::move(record));
+  }
+
+  const auto& final_vths = result.epochs.back().vth_v;
+  result.final_worst_vth_v = *std::max_element(final_vths.begin(), final_vths.end());
+  result.final_spread_v =
+      result.final_worst_vth_v - *std::min_element(final_vths.begin(), final_vths.end());
+  for (const auto& [key, bank] : fresh) {
+    auto& out = result.final_vths[key];
+    out.resize(bank.size());
+    for (std::size_t i = 0; i < bank.size(); ++i) out[i] = bank[i] + dvth.at(key)[i];
+  }
+  return result;
+}
+
+}  // namespace nbtinoc::core

@@ -1,0 +1,131 @@
+#include "nbtinoc/core/policy.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "nbtinoc/util/strings.hpp"
+
+namespace nbtinoc::core {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kBaseline:
+      return "baseline";
+    case PolicyKind::kRrNoSensor:
+      return "rr-no-sensor";
+    case PolicyKind::kSensorWiseNoTraffic:
+      return "sensor-wise-no-traffic";
+    case PolicyKind::kSensorWise:
+      return "sensor-wise";
+    case PolicyKind::kSensorRank:
+      return "sensor-rank";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy(const std::string& name) {
+  const std::string n = util::to_lower(name);
+  if (n == "baseline" || n == "always-on" || n == "none") return PolicyKind::kBaseline;
+  if (n == "rr-no-sensor" || n == "rr_no_sensor" || n == "rr") return PolicyKind::kRrNoSensor;
+  if (n == "sensor-wise-no-traffic" || n == "sensor_wise_no_traffic" || n == "swnt")
+    return PolicyKind::kSensorWiseNoTraffic;
+  if (n == "sensor-wise" || n == "sensor_wise" || n == "sw") return PolicyKind::kSensorWise;
+  if (n == "sensor-rank" || n == "sensor_rank" || n == "rank") return PolicyKind::kSensorRank;
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+noc::GateCommand rr_no_sensor_decide(const noc::OutVcStateView& view, int candidate,
+                                     bool new_traffic) {
+  const int num_vcs = view.num_vcs();
+  noc::GateCommand cmd;
+  cmd.gating_active = true;
+  // Algorithm 1 lines 4-7: no new packet -> de-assert enable; the
+  // downstream router recovers all of its idle VCs.
+  if (!new_traffic) {
+    cmd.enable = false;
+    cmd.keep_vc = candidate;  // a valid VC-ID is always driven on the lines
+    return cmd;
+  }
+  // Lines 8-17: starting at the rotating candidate, the first idle or
+  // recovering VC is set idle (kept awake) for the incoming packet.
+  int offset_vc = candidate % num_vcs;
+  for (int iter = 0; iter < num_vcs; ++iter) {
+    if (view.is_idle(offset_vc) || view.is_recovery(offset_vc)) {
+      cmd.enable = true;
+      cmd.keep_vc = offset_vc;
+      return cmd;
+    }
+    offset_vc = (offset_vc + 1) % num_vcs;
+  }
+  // All VCs are busy with packets: nothing to keep awake.
+  cmd.enable = false;
+  cmd.keep_vc = candidate;
+  return cmd;
+}
+
+noc::GateCommand sensor_wise_decide(const noc::OutVcStateView& view, int most_degraded,
+                                    bool bool_traffic) {
+  const int num_vcs = view.num_vcs();
+  const int reserve = bool_traffic ? 1 : 0;
+
+  // Lines 5-8: conceptually restore every recovered VC to idle; the idle
+  // pool is every non-active VC.
+  int count_idle = 0;
+  for (int vc = 0; vc < num_vcs; ++vc)
+    if (!view.is_active(vc)) ++count_idle;
+
+  std::vector<bool> to_recovery(static_cast<std::size_t>(num_vcs), false);
+
+  // Lines 9-11: the most degraded VC is put into recovery *first*, provided
+  // an idle VC remains available for a potential new packet.
+  if (most_degraded >= 0 && most_degraded < num_vcs && !view.is_active(most_degraded) &&
+      count_idle > reserve) {
+    to_recovery[static_cast<std::size_t>(most_degraded)] = true;
+    --count_idle;
+  }
+
+  // Lines 12-16: gate the remaining idle VCs in index order while more than
+  // `reserve` remain; the surviving idle VC is the one left awake.
+  int idle_vc = noc::kInvalidVc;
+  for (int vc = 0; vc < num_vcs; ++vc) {
+    if (view.is_active(vc) || to_recovery[static_cast<std::size_t>(vc)]) continue;
+    if (count_idle > reserve) {
+      to_recovery[static_cast<std::size_t>(vc)] = true;
+      --count_idle;
+    } else {
+      idle_vc = vc;
+    }
+  }
+
+  // Lines 17-18: the VC is actually left idle iff new traffic needs it.
+  noc::GateCommand cmd;
+  cmd.gating_active = true;
+  cmd.enable = bool_traffic && idle_vc != noc::kInvalidVc;
+  cmd.keep_vc = idle_vc;
+  return cmd;
+}
+
+noc::GateCommand sensor_rank_decide(const noc::OutVcStateView& view,
+                                    const std::vector<double>& degradation, bool bool_traffic) {
+  const int num_vcs = view.num_vcs();
+  if (static_cast<int>(degradation.size()) != num_vcs)
+    throw std::invalid_argument("sensor_rank_decide: degradation size mismatch");
+  // Keep the *least* degraded non-active VC awake; everything else in the
+  // pool recovers. Without traffic, recover the whole pool.
+  int healthiest = noc::kInvalidVc;
+  for (int vc = 0; vc < num_vcs; ++vc) {
+    if (view.is_active(vc)) continue;
+    if (healthiest == noc::kInvalidVc ||
+        degradation[static_cast<std::size_t>(vc)] <
+            degradation[static_cast<std::size_t>(healthiest)]) {
+      healthiest = vc;
+    }
+  }
+  noc::GateCommand cmd;
+  cmd.gating_active = true;
+  cmd.enable = bool_traffic && healthiest != noc::kInvalidVc;
+  cmd.keep_vc = healthiest;
+  return cmd;
+}
+
+}  // namespace nbtinoc::core

@@ -1,0 +1,90 @@
+#pragma once
+// NBTI stress/recovery accounting (the paper's NBTI-duty-cycle).
+//
+// A VC buffer is *stressed* in every cycle it is powered — whether it holds
+// flits or merely sits idle with a meaningless input vector — and *recovers*
+// only while power-gated (paper §III-A). The tracker counts both, supports a
+// warmup fence (counters frozen until measurement starts), and exposes the
+// paper's statistic:
+//
+//     NBTI-duty-cycle = stress / (stress + recovery) * 100
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nbtinoc/sim/clock.hpp"
+
+namespace nbtinoc::nbti {
+
+/// Per-buffer stress/recovery cycle counters.
+class StressTracker {
+ public:
+  /// Accounts one cycle. `stressed` = buffer powered (idle or active);
+  /// !stressed = power-gated (recovery).
+  void record_cycle(bool stressed) {
+    if (!measuring_) return;
+    if (stressed) ++stress_cycles_;
+    else ++recovery_cycles_;
+  }
+
+  /// Bulk accounting, for components that batch cycles.
+  void record_cycles(bool stressed, sim::Cycle count) {
+    if (!measuring_) return;
+    if (stressed) stress_cycles_ += count;
+    else recovery_cycles_ += count;
+  }
+
+  /// While disabled (warmup), record_cycle is a no-op. Enabled by default.
+  void set_measuring(bool measuring) { measuring_ = measuring; }
+  bool measuring() const { return measuring_; }
+
+  void reset() {
+    stress_cycles_ = 0;
+    recovery_cycles_ = 0;
+  }
+
+  sim::Cycle stress_cycles() const { return stress_cycles_; }
+  sim::Cycle recovery_cycles() const { return recovery_cycles_; }
+  sim::Cycle total_cycles() const { return stress_cycles_ + recovery_cycles_; }
+
+  /// Stress probability alpha in [0,1]; 0 when nothing was recorded.
+  double stress_probability() const {
+    const sim::Cycle total = total_cycles();
+    return total == 0 ? 0.0 : static_cast<double>(stress_cycles_) / static_cast<double>(total);
+  }
+
+  /// Paper statistic, in percent.
+  double duty_cycle_percent() const { return stress_probability() * 100.0; }
+
+ private:
+  sim::Cycle stress_cycles_ = 0;
+  sim::Cycle recovery_cycles_ = 0;
+  bool measuring_ = true;
+};
+
+/// A bank of trackers, one per VC buffer of an input port, with convenience
+/// accessors used by the router's input units and by the result tables.
+class StressTrackerBank {
+ public:
+  explicit StressTrackerBank(std::size_t buffers) : trackers_(buffers) {}
+
+  std::size_t size() const { return trackers_.size(); }
+  StressTracker& at(std::size_t i) { return trackers_.at(i); }
+  const StressTracker& at(std::size_t i) const { return trackers_.at(i); }
+
+  void set_measuring(bool measuring) {
+    for (auto& t : trackers_) t.set_measuring(measuring);
+  }
+  void reset() {
+    for (auto& t : trackers_) t.reset();
+  }
+
+  std::vector<double> duty_cycles_percent() const;
+  std::vector<double> stress_probabilities() const;
+
+ private:
+  std::vector<StressTracker> trackers_;
+};
+
+}  // namespace nbtinoc::nbti

@@ -1,0 +1,55 @@
+#pragma once
+// Process-variation model (paper §IV-A).
+//
+// Within-die variation: each VC buffer is represented by the worst (highest
+// |Vth|) PMOS among its transistors; the paper samples that representative
+// Vth directly from a Gaussian (mean 0.180 V @45nm, sigma 5 mV [25]).
+// Die-to-die variation is assumed constant within a chip [13] and modeled as
+// a single additive offset. For studies beyond the paper, the sampler can
+// also draw `transistors_per_buffer` devices and take the max (order
+// statistics of the worst device), and can add a systematic within-die
+// gradient across the mesh.
+
+#include <cstdint>
+#include <vector>
+
+#include "nbtinoc/util/rng.hpp"
+
+namespace nbtinoc::nbti {
+
+struct PvConfig {
+  double vth_mean_v = 0.180;
+  double vth_sigma_v = 0.005;
+  double die_to_die_sigma_v = 0.0;  ///< 0 reproduces the paper (constant offset folded into mean)
+  int transistors_per_buffer = 1;   ///< 1 = paper mode (sample the worst device directly)
+  /// Optional systematic gradient: Vth increases linearly by this much from
+  /// mesh corner (0,0) to the opposite corner. 0 = paper mode.
+  double systematic_span_v = 0.0;
+};
+
+/// Deterministic PV sampler. The same seed always reproduces the same
+/// silicon — required so every policy is evaluated on identical Vth vectors.
+class ProcessVariation {
+ public:
+  ProcessVariation(PvConfig config, std::uint64_t seed);
+
+  /// Samples one representative Vth (worst PMOS) for a buffer located at
+  /// normalized die coordinates (x, y) in [0,1].
+  double sample_buffer_vth(double x_norm = 0.0, double y_norm = 0.0);
+
+  /// Samples `count` buffer Vths at the same location; convenience for one
+  /// input port's VC bank.
+  std::vector<double> sample_bank(std::size_t count, double x_norm = 0.0, double y_norm = 0.0);
+
+  /// The die-to-die offset drawn at construction (0 when sigma is 0).
+  double die_offset_v() const { return die_offset_v_; }
+
+  const PvConfig& config() const { return config_; }
+
+ private:
+  PvConfig config_;
+  util::Xoshiro256 rng_;
+  double die_offset_v_ = 0.0;
+};
+
+}  // namespace nbtinoc::nbti

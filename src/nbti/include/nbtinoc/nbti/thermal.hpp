@@ -1,0 +1,49 @@
+#pragma once
+// Coarse steady-state thermal model of the 2D mesh (HotSpot-lite).
+//
+// NBTI degradation is exponentially temperature dependent (Eq.1: C(T) is
+// Arrhenius, Kv grows with T through it), so a spatial temperature gradient
+// across the die changes *which* buffers age fastest. This model turns
+// per-tile power into per-tile steady-state temperature:
+//
+//   1. local heating: T_i = T_ambient + R_theta * P_i
+//   2. lateral spreading: fixed-point Jacobi iterations
+//          T_i <- (1-c) * T_i^local+ambient-coupled + c * mean(neighbors)
+//      which approximates the lateral thermal resistances of adjacent tiles.
+//
+// It is deliberately simple — enough to study thermal-gradient effects on
+// the sensor-wise policy (bench X8) without a full RC solver.
+
+#include <vector>
+
+namespace nbtinoc::nbti {
+
+struct ThermalParams {
+  double ambient_k = 318.0;        ///< package/heatsink reference (45 C)
+  double r_theta_k_per_w = 30.0;   ///< junction-to-ambient per tile
+  double coupling = 0.3;           ///< lateral spreading weight in [0,1)
+  int iterations = 32;             ///< Jacobi fixed-point iterations
+};
+
+class MeshThermalModel {
+ public:
+  MeshThermalModel(int width, int height, ThermalParams params = {});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  const ThermalParams& params() const { return params_; }
+
+  /// Steady-state tile temperatures [K] for the given tile powers [W]
+  /// (row-major, one entry per tile). Throws on size mismatch.
+  std::vector<double> solve(const std::vector<double>& tile_power_w) const;
+
+  /// Convenience: hottest tile index of a temperature map.
+  static std::size_t hottest(const std::vector<double>& temperatures_k);
+
+ private:
+  int width_;
+  int height_;
+  ThermalParams params_;
+};
+
+}  // namespace nbtinoc::nbti

@@ -1,0 +1,19 @@
+#include "nbtinoc/nbti/duty_cycle.hpp"
+
+namespace nbtinoc::nbti {
+
+std::vector<double> StressTrackerBank::duty_cycles_percent() const {
+  std::vector<double> out;
+  out.reserve(trackers_.size());
+  for (const auto& t : trackers_) out.push_back(t.duty_cycle_percent());
+  return out;
+}
+
+std::vector<double> StressTrackerBank::stress_probabilities() const {
+  std::vector<double> out;
+  out.reserve(trackers_.size());
+  for (const auto& t : trackers_) out.push_back(t.stress_probability());
+  return out;
+}
+
+}  // namespace nbtinoc::nbti

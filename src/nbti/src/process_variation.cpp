@@ -1,0 +1,36 @@
+#include "nbtinoc/nbti/process_variation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbtinoc::nbti {
+
+ProcessVariation::ProcessVariation(PvConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.transistors_per_buffer < 1)
+    throw std::invalid_argument("ProcessVariation: transistors_per_buffer must be >= 1");
+  if (config_.vth_sigma_v < 0.0 || config_.die_to_die_sigma_v < 0.0)
+    throw std::invalid_argument("ProcessVariation: sigmas must be non-negative");
+  if (config_.die_to_die_sigma_v > 0.0)
+    die_offset_v_ = rng_.next_gaussian(0.0, config_.die_to_die_sigma_v);
+}
+
+double ProcessVariation::sample_buffer_vth(double x_norm, double y_norm) {
+  double worst = -1e9;
+  for (int i = 0; i < config_.transistors_per_buffer; ++i) {
+    const double v = rng_.next_gaussian(config_.vth_mean_v, config_.vth_sigma_v);
+    worst = std::max(worst, v);
+  }
+  const double systematic =
+      config_.systematic_span_v * 0.5 * (std::clamp(x_norm, 0.0, 1.0) + std::clamp(y_norm, 0.0, 1.0));
+  return worst + die_offset_v_ + systematic;
+}
+
+std::vector<double> ProcessVariation::sample_bank(std::size_t count, double x_norm, double y_norm) {
+  std::vector<double> vths;
+  vths.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) vths.push_back(sample_buffer_vth(x_norm, y_norm));
+  return vths;
+}
+
+}  // namespace nbtinoc::nbti

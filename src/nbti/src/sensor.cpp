@@ -1,0 +1,69 @@
+#include "nbtinoc/nbti/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nbtinoc::nbti {
+
+NbtiSensorBank::NbtiSensorBank(std::vector<double> initial_vths, const NbtiModel& model,
+                               OperatingPoint op, SensorConfig config, std::uint64_t noise_seed)
+    : initial_vths_(std::move(initial_vths)),
+      model_(&model),
+      op_(op),
+      config_(config),
+      noise_rng_(noise_seed),
+      measured_vths_(initial_vths_.size(), 0.0) {
+  if (initial_vths_.empty()) throw std::invalid_argument("NbtiSensorBank: need at least one buffer");
+  if (config_.epoch_cycles == 0) config_.epoch_cycles = 1;
+  // Initial reading with zero accumulated stress: ranking equals the PV
+  // initial-Vth ranking.
+  StressTrackerBank empty(initial_vths_.size());
+  refresh(0.0, empty);
+}
+
+double NbtiSensorBank::true_vth(std::size_t i, double elapsed_seconds,
+                                const StressTrackerBank& trackers) const {
+  OperatingPoint op = op_;
+  op.vth_v = initial_vths_.at(i);
+  const double alpha = i < trackers.size() ? trackers.at(i).stress_probability() : 0.0;
+  return initial_vths_.at(i) +
+         model_->delta_vth(alpha, elapsed_seconds * config_.time_acceleration, op);
+}
+
+void NbtiSensorBank::refresh(double elapsed_seconds, const StressTrackerBank& trackers) {
+  double worst = -1e9;
+  std::size_t worst_idx = 0;
+  for (std::size_t i = 0; i < initial_vths_.size(); ++i) {
+    double v = true_vth(i, elapsed_seconds, trackers);
+    if (config_.noise_sigma_v > 0.0) v += noise_rng_.next_gaussian(0.0, config_.noise_sigma_v);
+    if (config_.quantization_v > 0.0)
+      v = std::round(v / config_.quantization_v) * config_.quantization_v;
+    measured_vths_[i] = v;
+    if (v > worst) {
+      worst = v;
+      worst_idx = i;
+    }
+  }
+  most_degraded_ = worst_idx;
+  refreshed_once_ = true;
+}
+
+std::size_t NbtiSensorBank::most_degraded_in(std::size_t first, std::size_t count) const {
+  if (first >= measured_vths_.size())
+    throw std::out_of_range("NbtiSensorBank::most_degraded_in: bad range");
+  const std::size_t last = std::min(first + count, measured_vths_.size());
+  std::size_t worst = first;
+  for (std::size_t i = first + 1; i < last; ++i)
+    if (measured_vths_[i] > measured_vths_[worst]) worst = i;
+  return worst;
+}
+
+void NbtiSensorBank::update(sim::Cycle now, double elapsed_seconds,
+                            const StressTrackerBank& trackers) {
+  if (refreshed_once_ && now < last_refresh_ + config_.epoch_cycles) return;
+  last_refresh_ = now;
+  refresh(elapsed_seconds, trackers);
+}
+
+}  // namespace nbtinoc::nbti

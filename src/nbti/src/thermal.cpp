@@ -1,0 +1,66 @@
+#include "nbtinoc/nbti/thermal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbtinoc::nbti {
+
+MeshThermalModel::MeshThermalModel(int width, int height, ThermalParams params)
+    : width_(width), height_(height), params_(params) {
+  if (width < 1 || height < 1) throw std::invalid_argument("MeshThermalModel: bad mesh");
+  if (params.coupling < 0.0 || params.coupling >= 1.0)
+    throw std::invalid_argument("MeshThermalModel: coupling must be in [0,1)");
+  if (params.iterations < 1) throw std::invalid_argument("MeshThermalModel: iterations < 1");
+}
+
+std::vector<double> MeshThermalModel::solve(const std::vector<double>& tile_power_w) const {
+  const auto n = static_cast<std::size_t>(width_ * height_);
+  if (tile_power_w.size() != n)
+    throw std::invalid_argument("MeshThermalModel::solve: power vector size mismatch");
+
+  // Local heating above ambient.
+  std::vector<double> local(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tile_power_w[i] < 0.0)
+      throw std::invalid_argument("MeshThermalModel::solve: negative power");
+    local[i] = params_.r_theta_k_per_w * tile_power_w[i];
+  }
+
+  // Lateral spreading on the temperature *rise*; ambient is the boundary.
+  std::vector<double> rise = local;
+  std::vector<double> next(n);
+  for (int iter = 0; iter < params_.iterations; ++iter) {
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        const std::size_t i = static_cast<std::size_t>(y * width_ + x);
+        double neighbor_sum = 0.0;
+        int neighbors = 0;
+        const auto add = [&](int nx, int ny) {
+          if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_) return;
+          neighbor_sum += rise[static_cast<std::size_t>(ny * width_ + nx)];
+          ++neighbors;
+        };
+        add(x - 1, y);
+        add(x + 1, y);
+        add(x, y - 1);
+        add(x, y + 1);
+        const double neighbor_mean = neighbors > 0 ? neighbor_sum / neighbors : 0.0;
+        next[i] = (1.0 - params_.coupling) * local[i] + params_.coupling * neighbor_mean;
+      }
+    }
+    rise.swap(next);
+  }
+
+  std::vector<double> temperature(n);
+  for (std::size_t i = 0; i < n; ++i) temperature[i] = params_.ambient_k + rise[i];
+  return temperature;
+}
+
+std::size_t MeshThermalModel::hottest(const std::vector<double>& temperatures_k) {
+  if (temperatures_k.empty()) throw std::invalid_argument("hottest: empty map");
+  return static_cast<std::size_t>(
+      std::distance(temperatures_k.begin(),
+                    std::max_element(temperatures_k.begin(), temperatures_k.end())));
+}
+
+}  // namespace nbtinoc::nbti

@@ -1,0 +1,41 @@
+#pragma once
+// Round-robin arbitration primitive used by the VA and SA stages.
+
+#include <cstddef>
+#include <vector>
+
+namespace nbtinoc::noc {
+
+/// Classic rotating-priority arbiter over `size` requesters. The grant
+/// pointer advances past the winner so that repeated contention is fair.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t size = 0) : size_(size) {}
+
+  void resize(std::size_t size) {
+    size_ = size;
+    if (pointer_ >= size_) pointer_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t pointer() const { return pointer_; }
+
+  /// Grants the first asserted request at or after the pointer; returns -1
+  /// if nothing requests. On a grant, the pointer moves one past the winner.
+  int arbitrate(const std::vector<bool>& requests);
+
+  /// Same, but does not advance the pointer (pure query).
+  int peek(const std::vector<bool>& requests) const;
+
+  /// Moves the pointer one past `idx` (used when the winner is decided by a
+  /// later arbitration stage, e.g. separable SA).
+  void advance_past(std::size_t idx) {
+    if (size_ > 0) pointer_ = (idx + 1) % size_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t pointer_ = 0;
+};
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,118 @@
+#pragma once
+// One virtual-channel buffer: a flit FIFO plus the power/allocation state
+// machine the NBTI policies act on.
+//
+// State machine (paper §III):
+//
+//        allocate()                 tail dequeued
+//   Idle ----------> Active -------------------------> Idle
+//    |  ^                                               |
+//    |  | wake() [after wakeup_latency]                 |
+//    v  |                                               |
+//   Recovery <------------------------------------------ gate()
+//
+// Only an *empty, unallocated* buffer may be gated; only Idle buffers are
+// allocatable; a gated buffer becomes allocatable wakeup_latency cycles
+// after wake(). Every powered cycle is NBTI stress; gated cycles recover.
+
+#include <deque>
+#include <stdexcept>
+
+#include "nbtinoc/noc/flit.hpp"
+#include "nbtinoc/noc/types.hpp"
+#include "nbtinoc/sim/clock.hpp"
+
+namespace nbtinoc::noc {
+
+class VcBuffer {
+ public:
+  VcBuffer(int depth, sim::Cycle wakeup_latency)
+      : depth_(depth), wakeup_latency_(wakeup_latency) {
+    if (depth < 1) throw std::invalid_argument("VcBuffer: depth must be >= 1");
+  }
+
+  // --- state queries -------------------------------------------------------
+  VcState state() const { return state_; }
+  bool is_idle() const { return state_ == VcState::Idle; }
+  bool is_active() const { return state_ == VcState::Active; }
+  bool is_gated() const { return state_ == VcState::Recovery; }
+  /// Powered (stressing its PMOS network) in every non-Recovery state.
+  bool is_stressed() const { return state_ != VcState::Recovery; }
+  /// Idle and past any pending wake-up: VA may claim it this cycle.
+  bool allocatable(sim::Cycle now) const { return is_idle() && now >= wake_ready_; }
+
+  /// Idle but inside (or just completing) a wake transition: the header
+  /// PMOS turn-on cannot be aborted, so the gating mechanism must not
+  /// re-gate the buffer until the cycle *after* it became allocatable —
+  /// otherwise a policy that rotates its kept VC faster than the wake
+  /// latency livelocks the port (no VC ever completes waking).
+  bool in_wake_window(sim::Cycle now) const { return is_idle() && now <= wake_ready_; }
+
+  int depth() const { return depth_; }
+  int occupancy() const { return static_cast<int>(fifo_.size()); }
+  bool empty() const { return fifo_.empty(); }
+  bool full() const { return occupancy() >= depth_; }
+
+  Dir route() const { return route_; }
+  PacketId packet() const { return packet_; }
+
+  // --- power transitions (driven by the gate controller) -------------------
+  /// Idle -> Recovery. Precondition: empty Idle buffer.
+  void gate() {
+    if (state_ != VcState::Idle) throw std::logic_error("VcBuffer::gate: not Idle");
+    if (!fifo_.empty()) throw std::logic_error("VcBuffer::gate: buffer not empty");
+    state_ = VcState::Recovery;
+    ++gate_transitions_;
+  }
+
+  /// Number of Idle->Recovery transitions so far: each one switches the
+  /// header PMOS and costs virtual-Vdd charge/discharge energy (the
+  /// break-even concern of NBTI-aware power gating, [19]).
+  std::uint64_t gate_transitions() const { return gate_transitions_; }
+
+  /// Recovery -> Idle; allocatable after wakeup_latency cycles. No-op when
+  /// already powered.
+  void wake(sim::Cycle now) {
+    if (state_ != VcState::Recovery) return;
+    state_ = VcState::Idle;
+    wake_ready_ = now + wakeup_latency_;
+  }
+
+  // --- allocation lifecycle (driven by the upstream VA stage) --------------
+  /// Idle -> Active, reserving the buffer for `packet`. The route is set
+  /// later, when the head flit arrives and RC runs.
+  void allocate(PacketId packet, sim::Cycle now) {
+    if (!allocatable(now)) throw std::logic_error("VcBuffer::allocate: not allocatable");
+    state_ = VcState::Active;
+    packet_ = packet;
+  }
+
+  /// Records the RC result for the resident packet (head-flit arrival).
+  void set_route(Dir route) { route_ = route; }
+
+  // --- datapath -------------------------------------------------------------
+  /// Buffer write (BW stage). Precondition: Active, not full, flit belongs
+  /// to the allocated packet.
+  void push(const Flit& flit);
+
+  const Flit& front() const {
+    if (fifo_.empty()) throw std::logic_error("VcBuffer::front: empty");
+    return fifo_.front();
+  }
+
+  /// Dequeues the head flit; on tail, releases the buffer (Active -> Idle).
+  Flit pop();
+
+ private:
+  int depth_;
+  sim::Cycle wakeup_latency_;
+  std::deque<Flit> fifo_;
+  VcState state_ = VcState::Idle;
+  sim::Cycle wake_ready_ = 0;
+  PacketId packet_ = 0;
+  Dir route_ = Dir::Local;
+  bool tail_seen_ = false;
+  std::uint64_t gate_transitions_ = 0;
+};
+
+}  // namespace nbtinoc::noc

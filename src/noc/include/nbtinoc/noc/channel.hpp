@@ -1,0 +1,46 @@
+#pragma once
+// Fixed-latency pipelined channel. Models flit links, credit return wires
+// and the paper's Up_Down / Down_Up control links: payloads pushed at cycle
+// t with delay d become visible exactly at cycle t+d, in push order.
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "nbtinoc/sim/clock.hpp"
+
+namespace nbtinoc::noc {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(sim::Cycle delay = 1) : delay_(delay) {}
+
+  sim::Cycle delay() const { return delay_; }
+
+  void push(T payload, sim::Cycle now) { in_flight_.emplace_back(now + delay_, std::move(payload)); }
+
+  /// Pops the oldest payload whose delivery time has been reached.
+  std::optional<T> pop_ready(sim::Cycle now) {
+    if (in_flight_.empty() || in_flight_.front().first > now) return std::nullopt;
+    T payload = std::move(in_flight_.front().second);
+    in_flight_.pop_front();
+    return payload;
+  }
+
+  /// Peeks without consuming; nullptr when nothing is deliverable.
+  const T* peek_ready(sim::Cycle now) const {
+    if (in_flight_.empty() || in_flight_.front().first > now) return nullptr;
+    return &in_flight_.front().second;
+  }
+
+  bool empty() const { return in_flight_.empty(); }
+  std::size_t in_flight() const { return in_flight_.size(); }
+  void clear() { in_flight_.clear(); }
+
+ private:
+  sim::Cycle delay_;
+  std::deque<std::pair<sim::Cycle, T>> in_flight_;
+};
+
+}  // namespace nbtinoc::noc

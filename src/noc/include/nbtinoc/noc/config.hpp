@@ -1,0 +1,55 @@
+#pragma once
+// Static configuration of the simulated on-chip network (Table I).
+
+#include <string>
+
+#include "nbtinoc/sim/clock.hpp"
+
+namespace nbtinoc::noc {
+
+enum class RoutingAlgo { kXY, kYX };
+
+struct NocConfig {
+  int width = 2;          ///< mesh columns
+  int height = 2;         ///< mesh rows
+  int num_vcs = 4;        ///< VCs per input port *per virtual network*
+  int num_vnets = 1;      ///< virtual networks (Table I: 2/6; protocol classes)
+  int buffer_depth = 4;   ///< flits per VC buffer
+  int packet_length = 4;  ///< flits per packet (head .. tail)
+  RoutingAlgo routing = RoutingAlgo::kXY;
+
+  /// Physical VC buffers per input port. VC buffer i belongs to virtual
+  /// network i / num_vcs; a packet of vnet k may only be allocated VCs in
+  /// [k*num_vcs, (k+1)*num_vcs) — the protocol-deadlock isolation vnets
+  /// exist for.
+  int total_vcs() const { return num_vcs * num_vnets; }
+  int vnet_of_vc(int vc) const { return vc / num_vcs; }
+  int first_vc_of_vnet(int vnet) const { return vnet * num_vcs; }
+
+  /// Cycles a gated (Recovery) buffer needs after a wake command before it
+  /// can accept flits. 0 matches the paper (instant `set_idle`).
+  sim::Cycle wakeup_latency = 0;
+
+  /// Extra pipeline stages beyond the paper's 3-stage router (BW/RC | VA+SA
+  /// | ST/LT): each extra stage delays a buffered flit's VA/SA eligibility
+  /// by one cycle, reproducing deeper (Garnet-classic 4/5-stage) routers.
+  /// Buffer residency — and with it the NBTI duty cycle — grows accordingly.
+  int extra_pipeline_stages = 0;
+
+  /// Per-hop flit pipeline latency in cycles: BW/RC + VA/SA + ST/LT.
+  /// Fixed by the 3-stage router model.
+  static constexpr sim::Cycle kHopLatency = 3;
+
+  /// Link/credit in-flight delay in cycles (part of kHopLatency).
+  static constexpr sim::Cycle kLinkDelay = 2;
+  static constexpr sim::Cycle kCreditDelay = 1;
+
+  int nodes() const { return width * height; }
+
+  /// Throws std::invalid_argument if any field is out of range.
+  void validate() const;
+
+  std::string describe() const;
+};
+
+}  // namespace nbtinoc::noc

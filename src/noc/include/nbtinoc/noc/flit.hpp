@@ -1,0 +1,36 @@
+#pragma once
+// Flits and credits — the two payloads that travel between routers.
+
+#include <cstdint>
+
+#include "nbtinoc/noc/types.hpp"
+#include "nbtinoc/sim/clock.hpp"
+
+namespace nbtinoc::noc {
+
+enum class FlitType : int { Head = 0, Body = 1, Tail = 2, HeadTail = 3 };
+
+inline bool is_head(FlitType t) { return t == FlitType::Head || t == FlitType::HeadTail; }
+inline bool is_tail(FlitType t) { return t == FlitType::Tail || t == FlitType::HeadTail; }
+
+struct Flit {
+  FlitType type = FlitType::Head;
+  PacketId packet = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  int vnet = 0;           ///< virtual network (protocol class) of the packet
+  int seq = 0;            ///< position within the packet (0 = head)
+  int vc = kInvalidVc;    ///< VC of the *receiving* input port, set at ST
+  sim::Cycle injected_at = 0;  ///< cycle the packet entered the source queue
+  sim::Cycle arrived_at = 0;   ///< cycle written into the current buffer (BW)
+};
+
+/// Credit returned upstream when a flit is dequeued from an input VC.
+/// `vc_freed` additionally signals that the tail left and the VC returned to
+/// Idle (the out-VC-state transition in the upstream router).
+struct Credit {
+  int vc = kInvalidVc;
+  bool vc_freed = false;
+};
+
+}  // namespace nbtinoc::noc

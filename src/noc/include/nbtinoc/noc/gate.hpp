@@ -1,0 +1,94 @@
+#pragma once
+// The mechanism/policy boundary for NBTI-aware VC power gating.
+//
+// The *mechanism* lives in the NoC: every cycle, the pre-VA logic of the
+// upstream entity (router output port or network interface) emits a
+// GateCommand on the Up_Down link, and the downstream input port obeys it.
+// The *policies* (baseline / rr-no-sensor / sensor-wise...) live in the core
+// library and implement IGateController.
+
+#include "nbtinoc/noc/types.hpp"
+#include "nbtinoc/sim/clock.hpp"
+
+namespace nbtinoc::noc {
+
+class InputUnit;
+
+/// What travels on the Up_Down link each cycle (paper §III-C): a VC id that
+/// must be left idle (awake) plus an enable bit asserting its validity.
+/// `gating_active` distinguishes an NBTI-aware upstream from the baseline
+/// (no gating at all: downstream keeps every buffer powered).
+///
+/// With virtual networks, one command governs one vnet's VC subrange
+/// ([first_vc, first_vc + range_vcs)); the pre-VA policy runs once per vnet
+/// exactly like the paper's single-vnet case. range_vcs = -1 covers the
+/// whole port. keep_vc is a *global* VC index.
+struct GateCommand {
+  bool gating_active = false;
+  bool enable = false;  ///< keep_vc is valid: leave exactly that VC idle
+  int keep_vc = kInvalidVc;
+  int first_vc = 0;
+  int range_vcs = -1;
+};
+
+/// Identifies one upstream->downstream port pair by its downstream endpoint.
+struct PortKey {
+  NodeId router = 0;  ///< downstream router
+  Dir port = Dir::Local;  ///< downstream input port
+  auto operator<=>(const PortKey&) const = default;
+};
+
+/// Read-only view of the downstream input port's VC states, i.e. the
+/// out-VC-state table the upstream router maintains. The view may be
+/// restricted to one vnet's VC subrange; indices passed to the accessors are
+/// then *local* to the subrange (the policy algorithms are range-agnostic).
+class OutVcStateView {
+ public:
+  /// Whole-port view.
+  explicit OutVcStateView(const InputUnit* iu) : iu_(iu) {}
+  /// Subrange view covering [first_vc, first_vc + count).
+  OutVcStateView(const InputUnit* iu, int first_vc, int count)
+      : iu_(iu), first_vc_(first_vc), count_(count) {}
+
+  int num_vcs() const;
+  int first_vc() const { return first_vc_; }
+  /// Maps a local index to the port-global VC id.
+  int global_vc(int local) const { return first_vc_ + local; }
+
+  VcState state(int local) const;
+  bool is_idle(int local) const { return state(local) == VcState::Idle; }
+  bool is_recovery(int local) const { return state(local) == VcState::Recovery; }
+  bool is_active(int local) const { return state(local) == VcState::Active; }
+
+ private:
+  const InputUnit* iu_;
+  int first_vc_ = 0;
+  int count_ = -1;  ///< -1 = whole port
+};
+
+/// Per-network policy host. `decide` runs once per cycle per existing input
+/// port *per virtual network* (the view is restricted to that vnet's VC
+/// subrange), in the upstream pre-VA stage. The returned keep_vc is LOCAL to
+/// the view; the network rebases it onto the port before applying.
+/// `post_cycle` runs after stress accounting (sensor refresh / Down_Up
+/// update point).
+class IGateController {
+ public:
+  virtual ~IGateController() = default;
+  virtual GateCommand decide(const PortKey& key, const OutVcStateView& view, bool new_traffic,
+                             sim::Cycle now) = 0;
+  virtual void post_cycle(sim::Cycle now) { (void)now; }
+  virtual const char* name() const = 0;
+};
+
+/// The non-NBTI-aware baseline: no buffer is ever gated, so every VC sits at
+/// a 100% NBTI duty cycle. Used as the reference for the Vth-saving table.
+class AlwaysOnController final : public IGateController {
+ public:
+  GateCommand decide(const PortKey&, const OutVcStateView&, bool, sim::Cycle) override {
+    return GateCommand{};  // gating_active = false
+  }
+  const char* name() const override { return "baseline"; }
+};
+
+}  // namespace nbtinoc::noc

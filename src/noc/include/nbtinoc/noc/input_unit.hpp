@@ -1,0 +1,79 @@
+#pragma once
+// Input unit: the VC buffer bank of one router input port, together with
+// the downstream-allocation bookkeeping and the NBTI stress accounting.
+//
+// This is the authoritative home of each VC's state: the upstream router's
+// out-VC-state table is a (zero-skew) view over it, exactly the information
+// the upstream VA stage maintains in hardware.
+
+#include <vector>
+
+#include "nbtinoc/noc/arbiter.hpp"
+#include "nbtinoc/noc/buffer.hpp"
+#include "nbtinoc/noc/config.hpp"
+#include "nbtinoc/noc/gate.hpp"
+#include "nbtinoc/noc/types.hpp"
+#include "nbtinoc/nbti/duty_cycle.hpp"
+
+namespace nbtinoc::noc {
+
+class InputUnit {
+ public:
+  InputUnit(Dir dir, const NocConfig& config);
+
+  Dir dir() const { return dir_; }
+  int num_vcs() const { return static_cast<int>(vcs_.size()); }
+
+  VcBuffer& vc(int i) { return vcs_.at(static_cast<std::size_t>(i)); }
+  const VcBuffer& vc(int i) const { return vcs_.at(static_cast<std::size_t>(i)); }
+
+  // --- downstream allocation made by *this router's* VA for the packet
+  //     currently resident in vc i ------------------------------------------
+  int out_vc(int i) const { return out_vc_.at(static_cast<std::size_t>(i)); }
+  Dir out_port(int i) const { return out_port_.at(static_cast<std::size_t>(i)); }
+  void assign_output(int i, Dir port, int downstream_vc);
+  void clear_output(int i);
+  bool has_output(int i) const { return out_vc(i) != kInvalidVc; }
+
+  /// True if vc i holds a routed head flit still waiting for an output VC —
+  /// the "new packet" notion of is_new_traffic_outport_x().
+  bool waiting_for_va(int i, sim::Cycle now) const;
+  /// Any VC waiting for VA toward output port `port`?
+  bool has_new_traffic_toward(Dir port, sim::Cycle now) const;
+  /// Same, restricted to packets of one virtual network.
+  bool has_new_traffic_toward(Dir port, int vnet, sim::Cycle now) const;
+
+  // --- datapath --------------------------------------------------------------
+  /// Buffer write (+ RC on head flits). `route` is the precomputed RC result
+  /// for head flits, ignored otherwise.
+  void receive_flit(const Flit& flit, Dir route, sim::Cycle now);
+
+  // --- power gating (Up_Down command execution) ------------------------------
+  void apply_gate_command(const GateCommand& cmd, sim::Cycle now);
+
+  // --- NBTI accounting --------------------------------------------------------
+  /// Accounts one cycle of stress/recovery per VC. Call once per cycle.
+  void account_cycle();
+  nbti::StressTrackerBank& trackers() { return trackers_; }
+  const nbti::StressTrackerBank& trackers() const { return trackers_; }
+
+  /// Round-robin pointer for SA VC selection within this port.
+  RoundRobinArbiter& sa_arbiter() { return sa_arbiter_; }
+
+  /// A buffered flit is eligible for VA/SA once it has aged past the buffer
+  /// write plus any extra pipeline stages.
+  bool flit_eligible(const Flit& flit, sim::Cycle now) const {
+    return flit.arrived_at + static_cast<sim::Cycle>(extra_stages_) < now;
+  }
+
+ private:
+  Dir dir_;
+  int extra_stages_;
+  std::vector<VcBuffer> vcs_;
+  std::vector<int> out_vc_;
+  std::vector<Dir> out_port_;
+  nbti::StressTrackerBank trackers_;
+  RoundRobinArbiter sa_arbiter_;
+};
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,93 @@
+#pragma once
+// The full 2D-mesh network: routers, NIs, links, and the per-cycle schedule.
+//
+// Cycle schedule (one step() call):
+//   1. pre-VA gating: every (upstream, downstream-input-port) pair runs the
+//      installed IGateController and the command is applied (Up_Down link)
+//   2. VA stage of every router
+//   3. SA + ST stage of every router (flits depart onto links)
+//   4. link delivery: arriving flits are buffer-written, credits drained
+//   5. NI injection side: VA + serialization + traffic generation
+//   6. NBTI stress accounting for every VC buffer
+//   7. controller post-cycle hook (sensor refresh, Down_Up update)
+// A flit therefore needs three cycles per hop (BW/RC, VA/SA, ST/LT),
+// matching the paper's 3-stage pipeline.
+
+#include <memory>
+#include <vector>
+
+#include "nbtinoc/noc/config.hpp"
+#include "nbtinoc/noc/gate.hpp"
+#include "nbtinoc/noc/network_interface.hpp"
+#include "nbtinoc/noc/router.hpp"
+#include "nbtinoc/noc/traffic_source.hpp"
+#include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/stat_registry.hpp"
+
+namespace nbtinoc::noc {
+
+class Network {
+ public:
+  explicit Network(NocConfig config);
+
+  // Non-copyable, non-movable: components hold stable cross-pointers.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const NocConfig& config() const { return config_; }
+  int nodes() const { return config_.nodes(); }
+
+  Router& router(NodeId id) { return *routers_.at(static_cast<std::size_t>(id)); }
+  const Router& router(NodeId id) const { return *routers_.at(static_cast<std::size_t>(id)); }
+  NetworkInterface& ni(NodeId id) { return *nis_.at(static_cast<std::size_t>(id)); }
+
+  /// Installs the NBTI gating policy host (non-owning). Pass nullptr to
+  /// restore the built-in always-on baseline.
+  void set_gate_controller(IGateController* controller);
+  IGateController& gate_controller() { return *controller_; }
+
+  /// Installs the traffic source for one node (owning).
+  void set_traffic_source(NodeId node, std::unique_ptr<ITrafficSource> source);
+
+  /// Advances one cycle.
+  void step();
+  /// Advances `cycles` cycles.
+  void run(sim::Cycle cycles);
+  /// Runs `warmup` cycles with stress accounting frozen, then `measure`
+  /// cycles with accounting enabled.
+  void run_with_warmup(sim::Cycle warmup, sim::Cycle measure);
+
+  /// Freezes/unfreezes NBTI accounting on every buffer (warmup fence).
+  void set_measuring(bool measuring);
+
+  const sim::Clock& clock() const { return clock_; }
+  sim::StatRegistry& stats() { return stats_; }
+  const sim::StatRegistry& stats() const { return stats_; }
+
+  /// NBTI duty cycles (percent) of one input port's VC bank.
+  std::vector<double> duty_cycles_percent(NodeId node, Dir input_port) const;
+
+  /// Conservation check: all flits accepted by NIs were eventually ejected
+  /// or are still somewhere in flight. True when nothing is in flight.
+  bool drained() const;
+
+ private:
+  void gating_stage();
+
+  NocConfig config_;
+  sim::Clock clock_;
+  sim::StatRegistry stats_;
+
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
+  std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+  std::vector<std::unique_ptr<ITrafficSource>> sources_;
+
+  AlwaysOnController baseline_controller_;
+  IGateController* controller_ = nullptr;
+
+  std::uint64_t packet_id_counter_ = 0;
+};
+
+}  // namespace nbtinoc::noc

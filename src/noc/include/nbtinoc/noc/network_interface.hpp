@@ -1,0 +1,83 @@
+#pragma once
+// Network interface (NI) of one tile.
+//
+// The NI is the *upstream entity* of its router's Local input port: it
+// performs VC allocation for that port, tracks its credits, and — like any
+// upstream router — runs the pre-VA gating policy for it. Packets produced
+// by the traffic source wait in an unbounded source queue (standard open-
+// loop methodology: offered load is never back-pressured into the source).
+
+#include <cstdint>
+#include <deque>
+
+#include "nbtinoc/noc/channel.hpp"
+#include "nbtinoc/noc/config.hpp"
+#include "nbtinoc/noc/flit.hpp"
+#include "nbtinoc/noc/input_unit.hpp"
+#include "nbtinoc/noc/traffic_source.hpp"
+#include "nbtinoc/sim/stat_registry.hpp"
+
+namespace nbtinoc::noc {
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId node, const NocConfig& config);
+
+  NodeId node() const { return node_; }
+
+  // --- wiring ---------------------------------------------------------------
+  void wire(InputUnit* router_local_iu, Channel<Flit>* inject_out, Channel<Credit>* credit_in,
+            Channel<Flit>* eject_in);
+  void set_traffic_source(ITrafficSource* source) { source_ = source; }
+
+  // --- per-cycle operation (order matters; called by Network) ---------------
+  /// Drains returning credits and ejected flits; samples packet latency.
+  void receive(sim::Cycle now, sim::StatRegistry& stats);
+  /// VA for the queue head + send one flit of the in-flight packet.
+  void inject(sim::Cycle now, sim::StatRegistry& stats, std::uint64_t& packet_id_counter);
+  /// Asks the traffic source for a new packet.
+  void generate(sim::Cycle now, sim::StatRegistry& stats);
+
+  /// True if a queued packet is still waiting for a VC — the NI-side
+  /// is_new_traffic() input to the gating policy of the Local input port.
+  bool has_new_traffic(sim::Cycle now) const;
+  /// Same, restricted to one virtual network (the pre-VA policy runs once
+  /// per vnet).
+  bool has_new_traffic(int vnet, sim::Cycle now) const;
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t packets_ejected() const { return packets_ejected_; }
+  std::uint64_t flits_injected() const { return flits_injected_; }
+
+ private:
+  struct QueuedPacket {
+    NodeId dst = 0;
+    int length = 1;
+    int vnet = 0;
+    sim::Cycle injected_at = 0;
+  };
+
+  NodeId node_;
+  NocConfig config_;
+  ITrafficSource* source_ = nullptr;
+  std::deque<QueuedPacket> queue_;
+
+  InputUnit* router_iu_ = nullptr;
+  Channel<Flit>* inject_out_ = nullptr;
+  Channel<Credit>* credit_in_ = nullptr;
+  Channel<Flit>* eject_in_ = nullptr;
+
+  std::vector<int> credits_;
+
+  // In-flight packet being serialized into the router.
+  bool sending_ = false;
+  int send_vc_ = kInvalidVc;
+  int send_seq_ = 0;
+  QueuedPacket send_pkt_{};
+  PacketId send_id_ = 0;
+
+  std::uint64_t packets_ejected_ = 0;
+  std::uint64_t flits_injected_ = 0;
+};
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,45 @@
+#pragma once
+// Output unit: the upstream-side bookkeeping for one router output port —
+// credit counters for the downstream VC buffers plus the VA/SA arbitration
+// state. The VC *states* themselves are read through OutVcStateView over the
+// downstream input unit (the out-VC-state table of paper Fig. 1).
+
+#include <vector>
+
+#include "nbtinoc/noc/arbiter.hpp"
+#include "nbtinoc/noc/config.hpp"
+#include "nbtinoc/noc/types.hpp"
+
+namespace nbtinoc::noc {
+
+class OutputUnit {
+ public:
+  /// `ejection` ports (Local) sink into the NI: no VCs, no credits.
+  OutputUnit(Dir dir, const NocConfig& config, bool ejection);
+
+  Dir dir() const { return dir_; }
+  bool is_ejection() const { return ejection_; }
+
+  int credits(int vc) const { return credits_.at(static_cast<std::size_t>(vc)); }
+  void add_credit(int vc);
+  void consume_credit(int vc);
+
+  /// VA arbitration over flattened (input port, VC) requesters.
+  RoundRobinArbiter& va_arbiter() { return va_arbiter_; }
+  /// Downstream-VC selection pointer (fair choice when several are awake,
+  /// i.e. under the non-gating baseline).
+  RoundRobinArbiter& vc_select() { return vc_select_; }
+  /// SA arbitration over input ports.
+  RoundRobinArbiter& sa_arbiter() { return sa_arbiter_; }
+
+ private:
+  Dir dir_;
+  bool ejection_;
+  std::vector<int> credits_;
+  int buffer_depth_;
+  RoundRobinArbiter va_arbiter_;
+  RoundRobinArbiter vc_select_;
+  RoundRobinArbiter sa_arbiter_;
+};
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,86 @@
+#pragma once
+// Three-stage virtual-channel wormhole router (Garnet-style, paper §III):
+//   stage 1: buffer write + route compute (BW/RC)
+//   stage 2: virtual-channel allocation + switch allocation (VA/SA)
+//   stage 3: switch traversal + link traversal (ST/LT)
+//
+// VC allocation for a downstream input port runs *here*, in the upstream
+// router — the architectural fact both NBTI policies exploit. No packet
+// mixing: a VC holds flits of a single packet between allocate and tail.
+
+#include <array>
+#include <memory>
+
+#include "nbtinoc/noc/channel.hpp"
+#include "nbtinoc/noc/config.hpp"
+#include "nbtinoc/noc/flit.hpp"
+#include "nbtinoc/noc/input_unit.hpp"
+#include "nbtinoc/noc/output_unit.hpp"
+#include "nbtinoc/noc/routing.hpp"
+#include "nbtinoc/sim/stat_registry.hpp"
+
+namespace nbtinoc::noc {
+
+class Router {
+ public:
+  Router(NodeId id, const NocConfig& config);
+
+  NodeId id() const { return id_; }
+
+  // --- wiring (performed once by Network) -----------------------------------
+  /// Output side toward `dir`: the downstream router's input unit, the flit
+  /// link to it, and the credit link coming back.
+  void wire_output(Dir dir, InputUnit* downstream_iu, Channel<Flit>* flit_out,
+                   Channel<Credit>* credit_in);
+  /// Input side from `dir`: the flit link in and the credit link back to the
+  /// upstream entity.
+  void wire_input(Dir dir, Channel<Flit>* flit_in, Channel<Credit>* credit_out);
+  /// Local output = ejection channel into the NI.
+  void wire_ejection(Channel<Flit>* eject_out);
+
+  bool has_input(Dir dir) const { return inputs_[static_cast<std::size_t>(dir)] != nullptr; }
+  bool has_output(Dir dir) const { return outputs_[static_cast<std::size_t>(dir)] != nullptr; }
+  InputUnit& input(Dir dir) { return *inputs_.at(static_cast<std::size_t>(dir)); }
+  const InputUnit& input(Dir dir) const { return *inputs_.at(static_cast<std::size_t>(dir)); }
+  OutputUnit& output(Dir dir) { return *outputs_.at(static_cast<std::size_t>(dir)); }
+
+  /// True if any input VC holds a routed head flit toward `out` that has no
+  /// output VC yet — is_new_traffic_outport_x() of Algorithms 1 and 2.
+  bool has_new_traffic_toward(Dir out, sim::Cycle now) const;
+  /// Same, restricted to packets of one virtual network.
+  bool has_new_traffic_toward(Dir out, int vnet, sim::Cycle now) const;
+
+  // --- pipeline stages (invoked by Network in order) -------------------------
+  /// Stage 2a: one output-VC allocation per output port per cycle.
+  void va_stage(sim::Cycle now, sim::StatRegistry& stats);
+  /// Stage 2b/3: separable switch allocation, then switch+link traversal.
+  void sa_st_stage(sim::Cycle now, sim::StatRegistry& stats);
+  /// Stage 1 for arriving flits; also drains returning credits.
+  void accept_arrivals(sim::Cycle now);
+  /// NBTI stress accounting for every input VC.
+  void account_cycle();
+
+  const NocConfig& config() const { return config_; }
+
+  /// Stat key of this router's per-cycle flit movements
+  /// ("noc.router<id>.flits_out"), used for per-tile power attribution.
+  const std::string& flits_out_stat_key() const { return flits_out_key_; }
+
+ private:
+  NodeId id_;
+  NocConfig config_;
+  std::string flits_out_key_;
+
+  std::array<std::unique_ptr<InputUnit>, kNumDirs> inputs_{};
+  std::array<std::unique_ptr<OutputUnit>, kNumDirs> outputs_{};
+
+  // Wiring (non-owning; channels owned by Network).
+  std::array<InputUnit*, kNumDirs> downstream_iu_{};
+  std::array<Channel<Flit>*, kNumDirs> flit_out_{};
+  std::array<Channel<Credit>*, kNumDirs> credit_in_{};
+  std::array<Channel<Flit>*, kNumDirs> flit_in_{};
+  std::array<Channel<Credit>*, kNumDirs> credit_out_{};
+  Channel<Flit>* eject_out_ = nullptr;
+};
+
+}  // namespace nbtinoc::noc

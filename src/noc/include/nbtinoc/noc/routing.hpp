@@ -1,0 +1,23 @@
+#pragma once
+// Deterministic dimension-order routing on the 2D mesh (deadlock-free with
+// wormhole + credit flow control).
+
+#include "nbtinoc/noc/config.hpp"
+#include "nbtinoc/noc/types.hpp"
+
+namespace nbtinoc::noc {
+
+/// Mesh geometry helpers.
+Coord coord_of(NodeId id, int width);
+NodeId id_of(Coord c, int width);
+bool in_mesh(Coord c, int width, int height);
+/// Neighbor node in direction d, or -1 if off-mesh / Local.
+NodeId neighbor_of(NodeId id, Dir d, int width, int height);
+/// Minimal hop count between two nodes.
+int hop_distance(NodeId a, NodeId b, int width);
+
+/// Output port at `current` for a packet headed to `dst`.
+/// kXY resolves X first, kYX resolves Y first; both return Local on arrival.
+Dir route_compute(NodeId current, NodeId dst, const NocConfig& config);
+
+}  // namespace nbtinoc::noc

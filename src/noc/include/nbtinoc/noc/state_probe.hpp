@@ -1,0 +1,55 @@
+#pragma once
+// Port state probe: records the per-cycle power/allocation state of one
+// input port's VC bank while the caller drives Network::step() manually.
+// Useful for debugging and for *seeing* what a policy does — the ASCII
+// timeline makes the difference between rr-no-sensor's rotating awake VC
+// and sensor-wise's parked recovery immediately visible.
+
+#include <string>
+#include <vector>
+
+#include "nbtinoc/noc/gate.hpp"
+#include "nbtinoc/noc/network.hpp"
+
+namespace nbtinoc::noc {
+
+class PortStateProbe {
+ public:
+  struct Record {
+    sim::Cycle cycle = 0;
+    std::string states;  ///< one char per VC: I(dle) / A(ctive) / R(ecovery)
+  };
+
+  /// Probes `key` on `network`; throws if the port does not exist.
+  PortStateProbe(const Network& network, PortKey key);
+
+  /// Appends one sample at the network's current cycle.
+  void sample();
+
+  const std::vector<Record>& records() const { return records_; }
+  PortKey key() const { return key_; }
+
+  /// Per-VC fraction of sampled cycles spent in each state.
+  struct StateShares {
+    double idle = 0.0;
+    double active = 0.0;
+    double recovery = 0.0;
+  };
+  StateShares shares(int vc) const;
+
+  /// Renders the last `max_cycles` samples as one row per VC:
+  ///   VC0 IIIAA RRRRR ...
+  /// Columns are cycles (oldest left), grouped in blocks of 10.
+  std::string ascii_timeline(std::size_t max_cycles = 80) const;
+
+  /// CSV rows "cycle,vc0,vc1,..." with one state letter per cell.
+  void save_csv(const std::string& path) const;
+
+ private:
+  const Network* network_;
+  PortKey key_;
+  int num_vcs_;
+  std::vector<Record> records_;
+};
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,33 @@
+#pragma once
+// Interface between the network interfaces and the traffic generators.
+// Concrete sources (uniform Bernoulli, Markov-modulated application models,
+// trace replay) live in the traffic library.
+
+#include <optional>
+
+#include "nbtinoc/noc/types.hpp"
+#include "nbtinoc/sim/clock.hpp"
+
+namespace nbtinoc::noc {
+
+struct PacketRequest {
+  NodeId dst = 0;
+  int length = 1;  ///< flits, head..tail
+  int vnet = 0;    ///< virtual network (protocol class)
+};
+
+class ITrafficSource {
+ public:
+  virtual ~ITrafficSource() = default;
+  /// Called once per cycle; returns a packet to enqueue at this node's NI,
+  /// or nullopt. At most one packet per cycle per node.
+  virtual std::optional<PacketRequest> maybe_generate(sim::Cycle now) = 0;
+};
+
+/// A source that never generates traffic (default for unconfigured nodes).
+class SilentSource final : public ITrafficSource {
+ public:
+  std::optional<PacketRequest> maybe_generate(sim::Cycle) override { return std::nullopt; }
+};
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,41 @@
+#pragma once
+// Fundamental NoC vocabulary: node identifiers, router ports, VC states.
+
+#include <cstdint>
+#include <string>
+
+namespace nbtinoc::noc {
+
+using NodeId = int;    ///< tile index, row-major: id = y * width + x
+using PacketId = std::uint64_t;
+
+/// Router port direction. Local is the NI-facing port of a tile.
+enum class Dir : int { North = 0, South = 1, East = 2, West = 3, Local = 4 };
+
+inline constexpr int kNumDirs = 5;
+inline constexpr int kInvalidVc = -1;
+
+/// The port on the neighboring router that faces back at `d`.
+Dir opposite(Dir d);
+std::string to_string(Dir d);
+/// Short one-letter name ("N","S","E","W","L") used in stat keys.
+char dir_letter(Dir d);
+
+/// 2D mesh coordinates.
+struct Coord {
+  int x = 0;
+  int y = 0;
+  bool operator==(const Coord&) const = default;
+};
+
+/// Virtual-channel buffer state (paper §III).
+///  - Idle:     powered, empty, allocatable — NBTI *stress* ("meaningless
+///              input vector" still stresses the PMOS network).
+///  - Active:   powered, owns a packet — NBTI stress.
+///  - Recovery: power-gated via the header PMOS sleep transistor — the only
+///              state in which the buffer recovers.
+enum class VcState : int { Idle = 0, Active = 1, Recovery = 2 };
+
+std::string to_string(VcState s);
+
+}  // namespace nbtinoc::noc

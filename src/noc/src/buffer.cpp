@@ -1,0 +1,29 @@
+#include "nbtinoc/noc/buffer.hpp"
+
+namespace nbtinoc::noc {
+
+void VcBuffer::push(const Flit& flit) {
+  if (state_ != VcState::Active) throw std::logic_error("VcBuffer::push: buffer not Active");
+  if (full()) throw std::logic_error("VcBuffer::push: overflow (credit protocol violated)");
+  if (flit.packet != packet_)
+    throw std::logic_error("VcBuffer::push: packet mixing in a single VC is not allowed");
+  if (tail_seen_) throw std::logic_error("VcBuffer::push: flit after tail");
+  fifo_.push_back(flit);
+  if (is_tail(flit.type)) tail_seen_ = true;
+}
+
+Flit VcBuffer::pop() {
+  if (fifo_.empty()) throw std::logic_error("VcBuffer::pop: empty");
+  Flit flit = fifo_.front();
+  fifo_.pop_front();
+  if (is_tail(flit.type)) {
+    // Tail left this router: the VC returns to Idle and may be re-allocated
+    // (or gated) from the next policy decision onward.
+    state_ = VcState::Idle;
+    packet_ = 0;
+    tail_seen_ = false;
+  }
+  return flit;
+}
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,29 @@
+#include "nbtinoc/noc/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nbtinoc::noc {
+
+void NocConfig::validate() const {
+  if (width < 1 || height < 1) throw std::invalid_argument("NocConfig: mesh must be >= 1x1");
+  if (width * height < 2) throw std::invalid_argument("NocConfig: need at least 2 nodes");
+  if (num_vcs < 1) throw std::invalid_argument("NocConfig: num_vcs must be >= 1");
+  if (num_vnets < 1) throw std::invalid_argument("NocConfig: num_vnets must be >= 1");
+  if (buffer_depth < 1) throw std::invalid_argument("NocConfig: buffer_depth must be >= 1");
+  if (packet_length < 1) throw std::invalid_argument("NocConfig: packet_length must be >= 1");
+  if (extra_pipeline_stages < 0)
+    throw std::invalid_argument("NocConfig: extra_pipeline_stages must be >= 0");
+}
+
+std::string NocConfig::describe() const {
+  std::ostringstream os;
+  os << width << "x" << height << " mesh, " << num_vnets << " vnet(s) x " << num_vcs
+     << " VCs x " << buffer_depth
+     << " flits, packets of " << packet_length << " flits, "
+     << (routing == RoutingAlgo::kXY ? "XY" : "YX") << " routing, wakeup latency "
+     << wakeup_latency;
+  return os.str();
+}
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,96 @@
+#include "nbtinoc/noc/input_unit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbtinoc::noc {
+
+int OutVcStateView::num_vcs() const { return count_ >= 0 ? count_ : iu_->num_vcs(); }
+
+VcState OutVcStateView::state(int local) const { return iu_->vc(first_vc_ + local).state(); }
+
+InputUnit::InputUnit(Dir dir, const NocConfig& config)
+    : dir_(dir),
+      extra_stages_(config.extra_pipeline_stages),
+      vcs_(static_cast<std::size_t>(config.total_vcs()),
+           VcBuffer(config.buffer_depth, config.wakeup_latency)),
+      out_vc_(static_cast<std::size_t>(config.total_vcs()), kInvalidVc),
+      out_port_(static_cast<std::size_t>(config.total_vcs()), Dir::Local),
+      trackers_(static_cast<std::size_t>(config.total_vcs())),
+      sa_arbiter_(static_cast<std::size_t>(config.total_vcs())) {}
+
+void InputUnit::assign_output(int i, Dir port, int downstream_vc) {
+  out_vc_.at(static_cast<std::size_t>(i)) = downstream_vc;
+  out_port_.at(static_cast<std::size_t>(i)) = port;
+}
+
+void InputUnit::clear_output(int i) {
+  out_vc_.at(static_cast<std::size_t>(i)) = kInvalidVc;
+  out_port_.at(static_cast<std::size_t>(i)) = Dir::Local;
+}
+
+bool InputUnit::waiting_for_va(int i, sim::Cycle now) const {
+  const VcBuffer& buf = vc(i);
+  if (!buf.is_active() || buf.empty() || has_output(i)) return false;
+  const Flit& front = buf.front();
+  // Head at the front, already buffer-written (BW stage completed strictly
+  // before this cycle, plus any extra pipeline depth), RC result stored.
+  return is_head(front.type) && flit_eligible(front, now);
+}
+
+bool InputUnit::has_new_traffic_toward(Dir port, sim::Cycle now) const {
+  for (int i = 0; i < num_vcs(); ++i) {
+    if (waiting_for_va(i, now) && vc(i).route() == port) return true;
+  }
+  return false;
+}
+
+bool InputUnit::has_new_traffic_toward(Dir port, int vnet, sim::Cycle now) const {
+  for (int i = 0; i < num_vcs(); ++i) {
+    if (waiting_for_va(i, now) && vc(i).route() == port && vc(i).front().vnet == vnet)
+      return true;
+  }
+  return false;
+}
+
+void InputUnit::receive_flit(const Flit& flit, Dir route, sim::Cycle now) {
+  if (flit.vc < 0 || flit.vc >= num_vcs())
+    throw std::logic_error("InputUnit::receive_flit: bad VC id");
+  VcBuffer& buf = vc(flit.vc);
+  Flit stored = flit;
+  stored.arrived_at = now;
+  if (is_head(flit.type)) buf.set_route(route);
+  buf.push(stored);
+}
+
+void InputUnit::apply_gate_command(const GateCommand& cmd, sim::Cycle now) {
+  const int first = cmd.first_vc;
+  const int last = cmd.range_vcs < 0 ? num_vcs() : std::min(num_vcs(), first + cmd.range_vcs);
+  if (!cmd.gating_active) {
+    // Baseline upstream: every buffer stays (or returns to) powered.
+    for (int i = first; i < last; ++i) {
+      VcBuffer& buf = vcs_[static_cast<std::size_t>(i)];
+      if (buf.is_gated()) buf.wake(now);
+    }
+    return;
+  }
+  for (int i = first; i < last; ++i) {
+    VcBuffer& buf = vcs_[static_cast<std::size_t>(i)];
+    if (buf.is_active()) continue;  // holds (or is reserved for) a packet
+    const bool keep_awake = cmd.enable && i == cmd.keep_vc;
+    if (keep_awake) {
+      if (buf.is_gated()) buf.wake(now);
+    } else {
+      // A wake in flight cannot be aborted: gate only once the buffer has
+      // been allocatable for a full cycle (see VcBuffer::in_wake_window).
+      if (buf.is_idle() && !buf.in_wake_window(now)) buf.gate();
+    }
+  }
+}
+
+void InputUnit::account_cycle() {
+  for (int i = 0; i < num_vcs(); ++i)
+    trackers_.at(static_cast<std::size_t>(i)).record_cycle(vcs_[static_cast<std::size_t>(i)].is_stressed());
+}
+
+}  // namespace nbtinoc::noc

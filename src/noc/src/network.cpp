@@ -1,0 +1,153 @@
+#include "nbtinoc/noc/network.hpp"
+
+#include <stdexcept>
+
+#include "nbtinoc/noc/routing.hpp"
+
+namespace nbtinoc::noc {
+
+Network::Network(NocConfig config) : config_(config), controller_(&baseline_controller_) {
+  config_.validate();
+  const int n = config_.nodes();
+  routers_.reserve(static_cast<std::size_t>(n));
+  nis_.reserve(static_cast<std::size_t>(n));
+  sources_.resize(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    routers_.push_back(std::make_unique<Router>(id, config_));
+    nis_.push_back(std::make_unique<NetworkInterface>(id, config_));
+  }
+
+  // Router-to-router links: for every directed neighbor pair, one flit
+  // channel downstream and one credit channel upstream.
+  for (NodeId u = 0; u < n; ++u) {
+    for (int d = 0; d < 4; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      const NodeId r = neighbor_of(u, dir, config_.width, config_.height);
+      if (r < 0) continue;
+      auto flit_link = std::make_unique<Channel<Flit>>(NocConfig::kLinkDelay);
+      auto credit_link = std::make_unique<Channel<Credit>>(NocConfig::kCreditDelay);
+      // From the receiver's point of view the sender sits in direction
+      // opposite(dir): u's East output feeds r's West input.
+      router(r).wire_input(opposite(dir), flit_link.get(), credit_link.get());
+      router(u).wire_output(dir, &router(r).input(opposite(dir)), flit_link.get(),
+                            credit_link.get());
+      flit_channels_.push_back(std::move(flit_link));
+      credit_channels_.push_back(std::move(credit_link));
+    }
+  }
+
+  // NI links: injection (NI->router Local input), its credit return, and
+  // the ejection channel (router Local output -> NI).
+  for (NodeId id = 0; id < n; ++id) {
+    auto inject = std::make_unique<Channel<Flit>>(NocConfig::kLinkDelay);
+    auto credit = std::make_unique<Channel<Credit>>(NocConfig::kCreditDelay);
+    auto eject = std::make_unique<Channel<Flit>>(NocConfig::kLinkDelay);
+    router(id).wire_input(Dir::Local, inject.get(), credit.get());
+    router(id).wire_ejection(eject.get());
+    ni(id).wire(&router(id).input(Dir::Local), inject.get(), credit.get(), eject.get());
+    flit_channels_.push_back(std::move(inject));
+    flit_channels_.push_back(std::move(eject));
+    credit_channels_.push_back(std::move(credit));
+  }
+}
+
+void Network::set_gate_controller(IGateController* controller) {
+  controller_ = controller != nullptr ? controller : &baseline_controller_;
+}
+
+void Network::set_traffic_source(NodeId node, std::unique_ptr<ITrafficSource> source) {
+  ni(node).set_traffic_source(source.get());
+  sources_.at(static_cast<std::size_t>(node)) = std::move(source);
+}
+
+void Network::gating_stage() {
+  const sim::Cycle now = clock_.now();
+  for (NodeId id = 0; id < nodes(); ++id) {
+    Router& r = router(id);
+    for (int p = 0; p < kNumDirs; ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!r.has_input(port)) continue;
+      // One pre-VA decision per virtual network: each vnet's VC subrange is
+      // managed exactly like the paper's single-vnet case.
+      for (int vn = 0; vn < config_.num_vnets; ++vn) {
+        bool new_traffic = false;
+        if (port == Dir::Local) {
+          new_traffic = ni(id).has_new_traffic(vn, now);
+        } else {
+          const NodeId upstream = neighbor_of(id, port, config_.width, config_.height);
+          new_traffic = router(upstream).has_new_traffic_toward(opposite(port), vn, now);
+        }
+        const int first = config_.first_vc_of_vnet(vn);
+        const OutVcStateView view(&r.input(port), first, config_.num_vcs);
+        GateCommand cmd = controller_->decide(PortKey{id, port}, view, new_traffic, now);
+        if (cmd.keep_vc != kInvalidVc) cmd.keep_vc += first;  // local -> global
+        cmd.first_vc = first;
+        cmd.range_vcs = config_.num_vcs;
+        r.input(port).apply_gate_command(cmd, now);
+      }
+    }
+  }
+}
+
+void Network::step() {
+  const sim::Cycle now = clock_.now();
+  gating_stage();
+  for (auto& r : routers_) r->va_stage(now, stats_);
+  for (auto& r : routers_) r->sa_st_stage(now, stats_);
+  for (auto& r : routers_) r->accept_arrivals(now);
+  for (auto& ni : nis_) ni->receive(now, stats_);
+  for (auto& ni : nis_) {
+    ni->inject(now, stats_, packet_id_counter_);
+    ni->generate(now, stats_);
+  }
+  for (auto& r : routers_) r->account_cycle();
+  controller_->post_cycle(now);
+  clock_.tick();
+}
+
+void Network::run(sim::Cycle cycles) {
+  for (sim::Cycle i = 0; i < cycles; ++i) step();
+}
+
+void Network::run_with_warmup(sim::Cycle warmup, sim::Cycle measure) {
+  set_measuring(false);
+  run(warmup);
+  // Counters and distributions restart with the measurement window so that
+  // dynamic-energy/latency statistics cover the same cycles as the NBTI
+  // stress trackers.
+  stats_.reset();
+  set_measuring(true);
+  run(measure);
+}
+
+void Network::set_measuring(bool measuring) {
+  for (auto& r : routers_) {
+    for (int p = 0; p < kNumDirs; ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (r->has_input(port)) r->input(port).trackers().set_measuring(measuring);
+    }
+  }
+}
+
+std::vector<double> Network::duty_cycles_percent(NodeId node, Dir input_port) const {
+  const Router& r = router(node);
+  if (!r.has_input(input_port))
+    throw std::invalid_argument("Network::duty_cycles_percent: port does not exist");
+  return r.input(input_port).trackers().duty_cycles_percent();
+}
+
+bool Network::drained() const {
+  for (const auto& link : flit_channels_)
+    if (!link->empty()) return false;
+  for (const auto& r : routers_) {
+    for (int p = 0; p < kNumDirs; ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!r->has_input(port)) continue;
+      for (int v = 0; v < config_.total_vcs(); ++v)
+        if (!r->input(port).vc(v).empty()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nbtinoc::noc

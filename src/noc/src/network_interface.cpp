@@ -1,0 +1,109 @@
+#include "nbtinoc/noc/network_interface.hpp"
+
+#include <stdexcept>
+
+namespace nbtinoc::noc {
+
+NetworkInterface::NetworkInterface(NodeId node, const NocConfig& config)
+    : node_(node), config_(config),
+      credits_(static_cast<std::size_t>(config.total_vcs()), config.buffer_depth) {}
+
+void NetworkInterface::wire(InputUnit* router_local_iu, Channel<Flit>* inject_out,
+                            Channel<Credit>* credit_in, Channel<Flit>* eject_in) {
+  router_iu_ = router_local_iu;
+  inject_out_ = inject_out;
+  credit_in_ = credit_in;
+  eject_in_ = eject_in;
+}
+
+void NetworkInterface::receive(sim::Cycle now, sim::StatRegistry& stats) {
+  while (auto credit = credit_in_->pop_ready(now)) {
+    int& c = credits_.at(static_cast<std::size_t>(credit->vc));
+    if (c >= config_.buffer_depth) throw std::logic_error("NI: credit overflow");
+    ++c;
+  }
+  while (auto flit = eject_in_->pop_ready(now)) {
+    stats.add("noc.flits_ejected");
+    if (is_tail(flit->type)) {
+      ++packets_ejected_;
+      stats.add("noc.packets_ejected");
+      stats.sample("noc.packet_latency", static_cast<double>(now - flit->injected_at));
+    }
+  }
+}
+
+bool NetworkInterface::has_new_traffic(sim::Cycle now) const {
+  if (sending_) return false;  // current packet already owns a VC
+  return !queue_.empty() && queue_.front().injected_at < now;
+}
+
+bool NetworkInterface::has_new_traffic(int vnet, sim::Cycle now) const {
+  return has_new_traffic(now) && queue_.front().vnet == vnet;
+}
+
+void NetworkInterface::inject(sim::Cycle now, sim::StatRegistry& stats,
+                              std::uint64_t& packet_id_counter) {
+  // VA for the queue head: the NI is the only requester of the Local input
+  // port, so allocation needs no arbitration — just a free, awake VC in the
+  // packet's virtual network.
+  if (!sending_ && !queue_.empty() && queue_.front().injected_at < now) {
+    const int first = config_.first_vc_of_vnet(queue_.front().vnet);
+    for (int v = first; v < first + config_.num_vcs; ++v) {
+      if (router_iu_->vc(v).allocatable(now)) {
+        send_pkt_ = queue_.front();
+        queue_.pop_front();
+        send_vc_ = v;
+        send_seq_ = 0;
+        send_id_ = ++packet_id_counter;
+        sending_ = true;
+        router_iu_->vc(v).allocate(send_id_, now);
+        stats.add("noc.ni_va_grants");
+        break;
+      }
+    }
+  }
+
+  // Serialize one flit per cycle, credits permitting.
+  if (sending_ && credits_.at(static_cast<std::size_t>(send_vc_)) > 0) {
+    Flit flit;
+    flit.packet = send_id_;
+    flit.src = node_;
+    flit.dst = send_pkt_.dst;
+    flit.vnet = send_pkt_.vnet;
+    flit.seq = send_seq_;
+    flit.vc = send_vc_;
+    flit.injected_at = send_pkt_.injected_at;
+    if (send_pkt_.length == 1) {
+      flit.type = FlitType::HeadTail;
+    } else if (send_seq_ == 0) {
+      flit.type = FlitType::Head;
+    } else if (send_seq_ == send_pkt_.length - 1) {
+      flit.type = FlitType::Tail;
+    } else {
+      flit.type = FlitType::Body;
+    }
+    --credits_.at(static_cast<std::size_t>(send_vc_));
+    inject_out_->push(flit, now);
+    ++flits_injected_;
+    stats.add("noc.flits_injected");
+    ++send_seq_;
+    if (send_seq_ >= send_pkt_.length) {
+      sending_ = false;
+      send_vc_ = kInvalidVc;
+    }
+  }
+}
+
+void NetworkInterface::generate(sim::Cycle now, sim::StatRegistry& stats) {
+  if (source_ == nullptr) return;
+  if (auto req = source_->maybe_generate(now)) {
+    if (req->dst == node_) return;  // self-traffic never enters the NoC
+    if (req->length < 1) throw std::logic_error("NI: packet length must be >= 1");
+    if (req->vnet < 0 || req->vnet >= config_.num_vnets)
+      throw std::logic_error("NI: packet vnet out of range");
+    queue_.push_back(QueuedPacket{req->dst, req->length, req->vnet, now});
+    stats.add("noc.packets_offered");
+  }
+}
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,28 @@
+#include "nbtinoc/noc/output_unit.hpp"
+
+#include <stdexcept>
+
+namespace nbtinoc::noc {
+
+OutputUnit::OutputUnit(Dir dir, const NocConfig& config, bool ejection)
+    : dir_(dir),
+      ejection_(ejection),
+      credits_(ejection ? 0 : static_cast<std::size_t>(config.total_vcs()), config.buffer_depth),
+      buffer_depth_(config.buffer_depth),
+      va_arbiter_(static_cast<std::size_t>(kNumDirs * config.total_vcs())),
+      vc_select_(static_cast<std::size_t>(config.total_vcs())),
+      sa_arbiter_(static_cast<std::size_t>(kNumDirs)) {}
+
+void OutputUnit::add_credit(int vc) {
+  int& c = credits_.at(static_cast<std::size_t>(vc));
+  if (c >= buffer_depth_) throw std::logic_error("OutputUnit::add_credit: credit overflow");
+  ++c;
+}
+
+void OutputUnit::consume_credit(int vc) {
+  int& c = credits_.at(static_cast<std::size_t>(vc));
+  if (c <= 0) throw std::logic_error("OutputUnit::consume_credit: no credits");
+  --c;
+}
+
+}  // namespace nbtinoc::noc

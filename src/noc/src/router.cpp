@@ -1,0 +1,226 @@
+#include "nbtinoc/noc/router.hpp"
+
+#include <stdexcept>
+
+namespace nbtinoc::noc {
+
+Router::Router(NodeId id, const NocConfig& config)
+    : id_(id), config_(config),
+      flits_out_key_("noc.router" + std::to_string(id) + ".flits_out") {
+  // The Local input port (fed by the NI) always exists; mesh-facing ports
+  // are created lazily by wiring, so edge routers carry no dead buffers.
+  inputs_[static_cast<std::size_t>(Dir::Local)] = std::make_unique<InputUnit>(Dir::Local, config_);
+  outputs_[static_cast<std::size_t>(Dir::Local)] =
+      std::make_unique<OutputUnit>(Dir::Local, config_, /*ejection=*/true);
+}
+
+void Router::wire_output(Dir dir, InputUnit* downstream_iu, Channel<Flit>* flit_out,
+                         Channel<Credit>* credit_in) {
+  const auto d = static_cast<std::size_t>(dir);
+  outputs_[d] = std::make_unique<OutputUnit>(dir, config_, /*ejection=*/false);
+  downstream_iu_[d] = downstream_iu;
+  flit_out_[d] = flit_out;
+  credit_in_[d] = credit_in;
+}
+
+void Router::wire_input(Dir dir, Channel<Flit>* flit_in, Channel<Credit>* credit_out) {
+  const auto d = static_cast<std::size_t>(dir);
+  if (dir != Dir::Local) inputs_[d] = std::make_unique<InputUnit>(dir, config_);
+  flit_in_[d] = flit_in;
+  credit_out_[d] = credit_out;
+}
+
+void Router::wire_ejection(Channel<Flit>* eject_out) { eject_out_ = eject_out; }
+
+bool Router::has_new_traffic_toward(Dir out, sim::Cycle now) const {
+  for (int p = 0; p < kNumDirs; ++p) {
+    const auto& iu = inputs_[static_cast<std::size_t>(p)];
+    if (iu && iu->has_new_traffic_toward(out, now)) return true;
+  }
+  return false;
+}
+
+bool Router::has_new_traffic_toward(Dir out, int vnet, sim::Cycle now) const {
+  for (int p = 0; p < kNumDirs; ++p) {
+    const auto& iu = inputs_[static_cast<std::size_t>(p)];
+    if (iu && iu->has_new_traffic_toward(out, vnet, now)) return true;
+  }
+  return false;
+}
+
+void Router::va_stage(sim::Cycle now, sim::StatRegistry& stats) {
+  const int num_vcs = config_.total_vcs();
+  // Ejection (Local output) has no VC buffers downstream: every packet
+  // routed here is "allocated" immediately; SA serializes the bandwidth.
+  for (int p = 0; p < kNumDirs; ++p) {
+    const auto& iu = inputs_[static_cast<std::size_t>(p)];
+    if (!iu) continue;
+    for (int v = 0; v < num_vcs; ++v)
+      if (iu->waiting_for_va(v, now) && iu->vc(v).route() == Dir::Local)
+        iu->assign_output(v, Dir::Local, 0);
+  }
+
+  for (int o = 0; o < kNumDirs; ++o) {
+    const Dir out = static_cast<Dir>(o);
+    if (out == Dir::Local) continue;  // handled above
+    auto& ou = outputs_[static_cast<std::size_t>(o)];
+    if (!ou) continue;
+    InputUnit* diu = downstream_iu_[static_cast<std::size_t>(o)];
+
+    // Per-vnet availability of a free (awake, idle) downstream VC: a packet
+    // may only be allocated a VC of its own virtual network.
+    std::vector<bool> vnet_has_free(static_cast<std::size_t>(config_.num_vnets), false);
+    for (int vn = 0; vn < config_.num_vnets; ++vn) {
+      const int first = config_.first_vc_of_vnet(vn);
+      for (int v = first; v < first + config_.num_vcs; ++v) {
+        if (diu->vc(v).allocatable(now)) {
+          vnet_has_free[static_cast<std::size_t>(vn)] = true;
+          break;
+        }
+      }
+    }
+
+    // Gather requests: input VCs holding a routed head with no output VC,
+    // whose virtual network has a free downstream VC.
+    std::vector<bool> requests(static_cast<std::size_t>(kNumDirs * num_vcs), false);
+    bool any = false;
+    for (int p = 0; p < kNumDirs; ++p) {
+      const auto& iu = inputs_[static_cast<std::size_t>(p)];
+      if (!iu) continue;
+      for (int v = 0; v < num_vcs; ++v) {
+        if (iu->waiting_for_va(v, now) && iu->vc(v).route() == out &&
+            vnet_has_free[static_cast<std::size_t>(iu->vc(v).front().vnet)]) {
+          requests[static_cast<std::size_t>(p * num_vcs + v)] = true;
+          any = true;
+        }
+      }
+    }
+    if (!any) continue;
+
+    const int winner = ou->va_arbiter().arbitrate(requests);
+    if (winner < 0) continue;
+    const int port = winner / num_vcs;
+    const int vc = winner % num_vcs;
+    InputUnit& iu = *inputs_[static_cast<std::size_t>(port)];
+    const int vnet = iu.vc(vc).front().vnet;
+
+    // Pick the free downstream VC within the winner's vnet subrange; fair
+    // rotation when several are awake (the non-gating baseline).
+    const int first = config_.first_vc_of_vnet(vnet);
+    int free_vc = kInvalidVc;
+    const std::size_t start = ou->vc_select().pointer();
+    for (int i = 0; i < num_vcs; ++i) {
+      const int v = static_cast<int>((start + static_cast<std::size_t>(i)) %
+                                     static_cast<std::size_t>(num_vcs));
+      if (v >= first && v < first + config_.num_vcs && diu->vc(v).allocatable(now)) {
+        free_vc = v;
+        break;
+      }
+    }
+    if (free_vc == kInvalidVc) continue;  // availability checked above
+
+    diu->vc(free_vc).allocate(iu.vc(vc).front().packet, now);
+    iu.assign_output(vc, out, free_vc);
+    ou->vc_select().advance_past(static_cast<std::size_t>(free_vc));
+    stats.add("noc.va_grants");
+  }
+}
+
+void Router::sa_st_stage(sim::Cycle now, sim::StatRegistry& stats) {
+  const int num_vcs = config_.total_vcs();
+
+  // Phase 1: each input port nominates one ready VC (round-robin).
+  std::array<int, kNumDirs> candidate{};
+  candidate.fill(kInvalidVc);
+  for (int p = 0; p < kNumDirs; ++p) {
+    auto& iu = inputs_[static_cast<std::size_t>(p)];
+    if (!iu) continue;
+    std::vector<bool> ready(static_cast<std::size_t>(num_vcs), false);
+    bool any = false;
+    for (int v = 0; v < num_vcs; ++v) {
+      const VcBuffer& buf = iu->vc(v);
+      if (!iu->has_output(v) || buf.empty() || !iu->flit_eligible(buf.front(), now)) continue;
+      const Dir out = iu->out_port(v);
+      if (out != Dir::Local) {
+        const auto& ou = outputs_[static_cast<std::size_t>(out)];
+        if (!ou || ou->credits(iu->out_vc(v)) <= 0) continue;
+      }
+      ready[static_cast<std::size_t>(v)] = true;
+      any = true;
+    }
+    if (any) candidate[static_cast<std::size_t>(p)] = iu->sa_arbiter().peek(ready);
+  }
+
+  // Phase 2: each output port grants one nominating input port.
+  for (int o = 0; o < kNumDirs; ++o) {
+    auto& ou = outputs_[static_cast<std::size_t>(o)];
+    if (!ou) continue;
+    std::vector<bool> port_requests(static_cast<std::size_t>(kNumDirs), false);
+    bool any = false;
+    for (int p = 0; p < kNumDirs; ++p) {
+      const int v = candidate[static_cast<std::size_t>(p)];
+      if (v == kInvalidVc) continue;
+      if (inputs_[static_cast<std::size_t>(p)]->out_port(v) == static_cast<Dir>(o)) {
+        port_requests[static_cast<std::size_t>(p)] = true;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const int port = ou->sa_arbiter().arbitrate(port_requests);
+    if (port < 0) continue;
+
+    // Switch + link traversal for the winner.
+    InputUnit& iu = *inputs_[static_cast<std::size_t>(port)];
+    const int vc = candidate[static_cast<std::size_t>(port)];
+    candidate[static_cast<std::size_t>(port)] = kInvalidVc;  // one grant per input port per cycle
+    const int out_vc = iu.out_vc(vc);
+    const Dir out = iu.out_port(vc);
+    iu.sa_arbiter().advance_past(static_cast<std::size_t>(vc));
+
+    Flit flit = iu.vc(vc).pop();
+    const bool tail = is_tail(flit.type);
+    if (tail) iu.clear_output(vc);
+
+    if (out == Dir::Local) {
+      if (eject_out_ == nullptr) throw std::logic_error("Router: ejection not wired");
+      eject_out_->push(flit, now);
+      stats.add("noc.flits_ejected_router");
+    } else {
+      flit.vc = out_vc;
+      outputs_[static_cast<std::size_t>(out)]->consume_credit(out_vc);
+      flit_out_[static_cast<std::size_t>(out)]->push(flit, now);
+      stats.add("noc.flits_forwarded");
+    }
+
+    stats.add(flits_out_key_);
+
+    // Credit (and VC-free notification) back to the upstream entity.
+    Channel<Credit>* credit_out = credit_out_[static_cast<std::size_t>(port)];
+    if (credit_out != nullptr) credit_out->push(Credit{vc, tail}, now);
+  }
+}
+
+void Router::accept_arrivals(sim::Cycle now) {
+  for (int p = 0; p < kNumDirs; ++p) {
+    Channel<Flit>* link = flit_in_[static_cast<std::size_t>(p)];
+    if (link == nullptr) continue;
+    while (auto flit = link->pop_ready(now)) {
+      const Dir route = route_compute(id_, flit->dst, config_);
+      inputs_[static_cast<std::size_t>(p)]->receive_flit(*flit, route, now);
+    }
+  }
+  for (int o = 0; o < kNumDirs; ++o) {
+    Channel<Credit>* link = credit_in_[static_cast<std::size_t>(o)];
+    if (link == nullptr) continue;
+    while (auto credit = link->pop_ready(now)) {
+      outputs_[static_cast<std::size_t>(o)]->add_credit(credit->vc);
+    }
+  }
+}
+
+void Router::account_cycle() {
+  for (auto& iu : inputs_)
+    if (iu) iu->account_cycle();
+}
+
+}  // namespace nbtinoc::noc

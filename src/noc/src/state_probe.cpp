@@ -1,0 +1,88 @@
+#include "nbtinoc/noc/state_probe.hpp"
+
+#include <stdexcept>
+
+#include "nbtinoc/util/csv.hpp"
+
+namespace nbtinoc::noc {
+
+namespace {
+char state_letter(VcState s) {
+  switch (s) {
+    case VcState::Idle:
+      return 'I';
+    case VcState::Active:
+      return 'A';
+    case VcState::Recovery:
+      return 'R';
+  }
+  return '?';
+}
+}  // namespace
+
+PortStateProbe::PortStateProbe(const Network& network, PortKey key)
+    : network_(&network), key_(key), num_vcs_(network.config().total_vcs()) {
+  if (!network.router(key.router).has_input(key.port))
+    throw std::invalid_argument("PortStateProbe: port does not exist");
+}
+
+void PortStateProbe::sample() {
+  Record rec;
+  rec.cycle = network_->clock().now();
+  rec.states.reserve(static_cast<std::size_t>(num_vcs_));
+  const auto& iu = network_->router(key_.router).input(key_.port);
+  for (int v = 0; v < num_vcs_; ++v) rec.states.push_back(state_letter(iu.vc(v).state()));
+  records_.push_back(std::move(rec));
+}
+
+PortStateProbe::StateShares PortStateProbe::shares(int vc) const {
+  StateShares out;
+  if (records_.empty() || vc < 0 || vc >= num_vcs_) return out;
+  for (const auto& rec : records_) {
+    switch (rec.states[static_cast<std::size_t>(vc)]) {
+      case 'I':
+        out.idle += 1.0;
+        break;
+      case 'A':
+        out.active += 1.0;
+        break;
+      case 'R':
+        out.recovery += 1.0;
+        break;
+    }
+  }
+  const auto n = static_cast<double>(records_.size());
+  out.idle /= n;
+  out.active /= n;
+  out.recovery /= n;
+  return out;
+}
+
+std::string PortStateProbe::ascii_timeline(std::size_t max_cycles) const {
+  const std::size_t count = records_.size() < max_cycles ? records_.size() : max_cycles;
+  const std::size_t start = records_.size() - count;
+  std::string out;
+  for (int v = 0; v < num_vcs_; ++v) {
+    out += "VC" + std::to_string(v) + " ";
+    for (std::size_t i = 0; i < count; ++i) {
+      out += records_[start + i].states[static_cast<std::size_t>(v)];
+      if ((i + 1) % 10 == 0 && i + 1 < count) out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void PortStateProbe::save_csv(const std::string& path) const {
+  util::CsvWriter out(path);
+  std::vector<std::string> header{"cycle"};
+  for (int v = 0; v < num_vcs_; ++v) header.push_back("vc" + std::to_string(v));
+  out.write_row(header);
+  for (const auto& rec : records_) {
+    std::vector<std::string> row{std::to_string(rec.cycle)};
+    for (char c : rec.states) row.emplace_back(1, c);
+    out.write_row(row);
+  }
+}
+
+}  // namespace nbtinoc::noc

@@ -1,0 +1,67 @@
+#include "nbtinoc/noc/types.hpp"
+
+#include <stdexcept>
+
+namespace nbtinoc::noc {
+
+Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::North:
+      return Dir::South;
+    case Dir::South:
+      return Dir::North;
+    case Dir::East:
+      return Dir::West;
+    case Dir::West:
+      return Dir::East;
+    case Dir::Local:
+      return Dir::Local;
+  }
+  throw std::invalid_argument("opposite: bad Dir");
+}
+
+std::string to_string(Dir d) {
+  switch (d) {
+    case Dir::North:
+      return "North";
+    case Dir::South:
+      return "South";
+    case Dir::East:
+      return "East";
+    case Dir::West:
+      return "West";
+    case Dir::Local:
+      return "Local";
+  }
+  return "?";
+}
+
+char dir_letter(Dir d) {
+  switch (d) {
+    case Dir::North:
+      return 'N';
+    case Dir::South:
+      return 'S';
+    case Dir::East:
+      return 'E';
+    case Dir::West:
+      return 'W';
+    case Dir::Local:
+      return 'L';
+  }
+  return '?';
+}
+
+std::string to_string(VcState s) {
+  switch (s) {
+    case VcState::Idle:
+      return "Idle";
+    case VcState::Active:
+      return "Active";
+    case VcState::Recovery:
+      return "Recovery";
+  }
+  return "?";
+}
+
+}  // namespace nbtinoc::noc

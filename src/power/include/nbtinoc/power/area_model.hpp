@@ -1,0 +1,97 @@
+#pragma once
+// ORION-2.0-style analytic router/link area model (paper §III-D).
+//
+// The paper uses ORION 2.0 at 45 nm to size the baseline router and link,
+// then adds (a) one NBTI sensor per VC buffer (Singh et al. [20], a small
+// synthesizable all-digital macro) and (b) the two control links
+// (Up_Down: log2(num_vc)+1 wires, Down_Up: log2(num_vc) wires), reporting
+// ~3.25% router overhead for sensors, ~3.8% of a 64-bit data link for the
+// extra wires, and a total below 4-5%.
+//
+// The model composes per-component areas from technology constants:
+//  * buffers: flip-flop based VC FIFOs (router buffers are register files,
+//    not commodity SRAM macros)
+//  * crossbar: matrix crossbar, area = (ports * flit_width * wire pitch)^2
+//  * allocators: quadratic-in-requesters arbiter gate counts
+//  * links: wire pitch * length * width, control wires at reduced pitch
+// Constants default to 45 nm values and scale quadratically with feature
+// size for other nodes.
+
+#include <string>
+
+namespace nbtinoc::power {
+
+/// Technology/layout constants. Defaults: 45 nm.
+struct AreaParams {
+  int node_nm = 45;
+  double flip_flop_um2 = 5.0;        ///< one storage bit incl. local wiring
+  double crossbar_pitch_um = 0.55;   ///< crossing pitch per wire (incl. driver)
+  double arbiter_gate_um2 = 2.5;     ///< per requester^2 arbitration cell
+  double wire_pitch_um = 0.55;       ///< repeated global wire pitch
+  double control_wire_ratio = 0.5;   ///< control wires are narrower/slower
+  double link_length_um = 1500.0;    ///< tile edge length (Tilera-class tile)
+  double control_overhead = 0.15;    ///< clocking/control fraction of router
+  double sensor_um2 = 95.0;          ///< one NBTI sensor macro [20] @45nm, dense variant
+  double comparator_logic_um2 = 15.0;///< per-port most-degraded comparator tree
+  double preva_logic_um2 = 25.0;     ///< per-output-port Algorithm-2 logic (negligible per paper)
+
+  /// Scales all geometric constants from 45 nm to `target_nm` (quadratic).
+  static AreaParams at_node(int target_nm);
+};
+
+/// Router micro-architecture knobs relevant to area.
+struct RouterGeometry {
+  int ports = 4;        ///< paper §III-D counts the 4 mesh ports
+  int num_vcs = 4;
+  int buffer_depth = 4; ///< flits per VC
+  int flit_bits = 64;
+  int link_bits = 64;   ///< data link used as the overhead reference
+};
+
+struct RouterAreaBreakdown {
+  double buffers_um2 = 0.0;
+  double crossbar_um2 = 0.0;
+  double vc_allocator_um2 = 0.0;
+  double sw_allocator_um2 = 0.0;
+  double control_um2 = 0.0;
+  double total_um2 = 0.0;
+};
+
+struct OverheadReport {
+  RouterAreaBreakdown baseline_router;
+  double data_link_um2 = 0.0;
+
+  int num_sensors = 0;
+  double sensors_um2 = 0.0;
+  double extra_logic_um2 = 0.0;       ///< comparator + pre-VA logic
+  double control_links_um2 = 0.0;     ///< Up_Down + Down_Up wires
+  int up_down_wires = 0;              ///< log2(num_vc) + 1
+  int down_up_wires = 0;              ///< log2(num_vc)
+
+  double sensor_overhead_vs_router() const;       ///< paper: ~3.25%
+  double link_overhead_vs_data_link() const;      ///< paper: ~3.8%
+  double total_overhead_vs_noc() const;           ///< paper: < 4-5%
+
+  std::string describe() const;
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(AreaParams params = {}) : params_(params) {}
+
+  RouterAreaBreakdown router_area(const RouterGeometry& g) const;
+  /// One data link of `bits` wires over one tile edge.
+  double link_area_um2(int bits) const;
+  /// The §III-D analysis for a given router geometry.
+  OverheadReport overhead_report(const RouterGeometry& g) const;
+
+  const AreaParams& params() const { return params_; }
+
+ private:
+  AreaParams params_;
+};
+
+/// ceil(log2(n)) for n >= 1 (0 for n == 1): control-link width helper.
+int ceil_log2(int n);
+
+}  // namespace nbtinoc::power

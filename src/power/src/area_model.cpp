@@ -1,0 +1,113 @@
+#include "nbtinoc/power/area_model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace nbtinoc::power {
+
+int ceil_log2(int n) {
+  if (n < 1) throw std::invalid_argument("ceil_log2: n must be >= 1");
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+AreaParams AreaParams::at_node(int target_nm) {
+  AreaParams p;
+  const double s = static_cast<double>(target_nm) / 45.0;
+  const double s2 = s * s;
+  p.node_nm = target_nm;
+  p.flip_flop_um2 *= s2;
+  p.crossbar_pitch_um *= s;
+  p.arbiter_gate_um2 *= s2;
+  p.wire_pitch_um *= s;
+  p.sensor_um2 *= s2;
+  p.comparator_logic_um2 *= s2;
+  p.preva_logic_um2 *= s2;
+  // link_length_um is a floorplan choice, not a device size: unchanged.
+  return p;
+}
+
+RouterAreaBreakdown AreaModel::router_area(const RouterGeometry& g) const {
+  if (g.ports < 1 || g.num_vcs < 1 || g.buffer_depth < 1 || g.flit_bits < 1)
+    throw std::invalid_argument("AreaModel::router_area: bad geometry");
+  RouterAreaBreakdown out;
+
+  const double bits =
+      static_cast<double>(g.ports) * g.num_vcs * g.buffer_depth * g.flit_bits;
+  out.buffers_um2 = bits * params_.flip_flop_um2;
+
+  const double edge = static_cast<double>(g.ports) * g.flit_bits * params_.crossbar_pitch_um;
+  out.crossbar_um2 = edge * edge;
+
+  // Separable allocators: per output port, one arbiter over
+  // (ports * num_vcs) VA requesters and one over ports SA requesters;
+  // arbiter area grows quadratically with requesters (grant matrix).
+  const double va_req = static_cast<double>(g.ports) * g.num_vcs;
+  out.vc_allocator_um2 = g.ports * va_req * va_req * params_.arbiter_gate_um2 / 10.0;
+  const double sa_req = static_cast<double>(g.ports);
+  out.sw_allocator_um2 =
+      g.ports * (g.num_vcs * g.num_vcs + sa_req * sa_req) * params_.arbiter_gate_um2 / 10.0;
+
+  const double datapath =
+      out.buffers_um2 + out.crossbar_um2 + out.vc_allocator_um2 + out.sw_allocator_um2;
+  out.control_um2 = datapath * params_.control_overhead;
+  out.total_um2 = datapath + out.control_um2;
+  return out;
+}
+
+double AreaModel::link_area_um2(int bits) const {
+  return static_cast<double>(bits) * params_.wire_pitch_um * params_.link_length_um;
+}
+
+OverheadReport AreaModel::overhead_report(const RouterGeometry& g) const {
+  OverheadReport rep;
+  rep.baseline_router = router_area(g);
+  rep.data_link_um2 = link_area_um2(g.link_bits);
+
+  rep.num_sensors = g.ports * g.num_vcs;  // one sensor per VC buffer
+  rep.sensors_um2 = rep.num_sensors * params_.sensor_um2;
+  rep.extra_logic_um2 =
+      g.ports * (params_.comparator_logic_um2 + params_.preva_logic_um2);
+
+  rep.up_down_wires = ceil_log2(g.num_vcs) + 1;  // VC-ID + enable
+  rep.down_up_wires = ceil_log2(g.num_vcs);      // most-degraded VC-ID
+  const double control_wires =
+      (rep.up_down_wires + rep.down_up_wires) * params_.control_wire_ratio;
+  rep.control_links_um2 = control_wires * params_.wire_pitch_um * params_.link_length_um;
+  return rep;
+}
+
+double OverheadReport::sensor_overhead_vs_router() const {
+  return sensors_um2 / baseline_router.total_um2;
+}
+
+double OverheadReport::link_overhead_vs_data_link() const {
+  return control_links_um2 / data_link_um2;
+}
+
+double OverheadReport::total_overhead_vs_noc() const {
+  const double baseline = baseline_router.total_um2 + data_link_um2;
+  const double extra = sensors_um2 + extra_logic_um2 + control_links_um2;
+  return extra / baseline;
+}
+
+std::string OverheadReport::describe() const {
+  std::ostringstream os;
+  os << "Baseline router: " << baseline_router.total_um2 << " um^2 (buffers "
+     << baseline_router.buffers_um2 << ", crossbar " << baseline_router.crossbar_um2
+     << ", VA " << baseline_router.vc_allocator_um2 << ", SA " << baseline_router.sw_allocator_um2
+     << ", control " << baseline_router.control_um2 << ")\n"
+     << "Data link: " << data_link_um2 << " um^2\n"
+     << num_sensors << " NBTI sensors: " << sensors_um2 << " um^2 ("
+     << sensor_overhead_vs_router() * 100.0 << "% of router)\n"
+     << "Control links (" << up_down_wires << "+" << down_up_wires
+     << " wires): " << control_links_um2 << " um^2 (" << link_overhead_vs_data_link() * 100.0
+     << "% of a data link)\n"
+     << "Extra logic: " << extra_logic_um2 << " um^2\n"
+     << "Total overhead vs router+link: " << total_overhead_vs_noc() * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace nbtinoc::power

@@ -1,0 +1,34 @@
+#pragma once
+// Simulation time base. The whole NoC is a single synchronous clock domain
+// (paper: Tilera-style mesh @1 GHz), so time is just a cycle counter plus a
+// clock period used when converting to wall-clock seconds for the NBTI model.
+
+#include <cstdint>
+
+namespace nbtinoc::sim {
+
+using Cycle = std::uint64_t;
+
+/// Synchronous clock: a monotonically advancing cycle counter with a fixed
+/// period. `seconds_at(cycle)` feeds the NBTI long-term model, which needs
+/// absolute elapsed time.
+class Clock {
+ public:
+  explicit Clock(double period_seconds = 1e-9) : period_s_(period_seconds) {}
+
+  Cycle now() const { return now_; }
+  void tick() { ++now_; }
+  void advance(Cycle cycles) { now_ += cycles; }
+  void reset() { now_ = 0; }
+
+  double period_seconds() const { return period_s_; }
+  double frequency_hz() const { return 1.0 / period_s_; }
+  double seconds_at(Cycle cycle) const { return static_cast<double>(cycle) * period_s_; }
+  double seconds_now() const { return seconds_at(now_); }
+
+ private:
+  Cycle now_ = 0;
+  double period_s_;
+};
+
+}  // namespace nbtinoc::sim

@@ -1,0 +1,40 @@
+#pragma once
+// Named counters and samples accumulated during simulation. The registry
+// gives every component a flat, queryable view of what happened during a run
+// (flits injected/ejected, VA grants, power-gating transitions, ...), which
+// the tests use to assert invariants such as flit conservation.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nbtinoc/util/stats.hpp"
+
+namespace nbtinoc::sim {
+
+class StatRegistry {
+ public:
+  /// Adds `delta` to the named counter (creating it at zero).
+  void add(const std::string& name, std::uint64_t delta = 1);
+  /// Records a sample into the named distribution.
+  void sample(const std::string& name, double value);
+
+  std::uint64_t counter(const std::string& name) const;
+  bool has_counter(const std::string& name) const;
+  const util::RunningStats* distribution(const std::string& name) const;
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> distribution_names() const;
+
+  void reset();
+
+  /// Multi-line "name = value" dump, sorted by name; used by examples.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, util::RunningStats> distributions_;
+};
+
+}  // namespace nbtinoc::sim

@@ -1,0 +1,139 @@
+#include "nbtinoc/sim/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "nbtinoc/util/rng.hpp"
+
+namespace nbtinoc::sim {
+
+Technology Technology::node_45nm() {
+  Technology t;
+  t.vth_nominal_v = 0.180;
+  t.node_nm = 45;
+  return t;
+}
+
+Technology Technology::node_32nm() {
+  Technology t;
+  t.vth_nominal_v = 0.160;
+  t.node_nm = 32;
+  return t;
+}
+
+std::uint64_t Scenario::pv_seed() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "pv:%dx%d-vc%d-inj%.3f-%dnm", mesh_width, mesh_height, num_vcs,
+                injection_rate, tech.node_nm);
+  return util::seed_from_string(buf);
+}
+
+std::uint64_t Scenario::traffic_seed() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "traffic:%dx%d-vc%d-inj%.3f", mesh_width, mesh_height, num_vcs,
+                injection_rate);
+  return util::seed_from_string(buf);
+}
+
+void Scenario::use_paper_scale() {
+  // Paper IV-B: 30e6 total cycles; steady state after 6e6 (4-core) or
+  // 9e6 (16-core) cycles.
+  warmup_cycles = cores() <= 4 ? 6'000'000 : 9'000'000;
+  measure_cycles = 30'000'000 - warmup_cycles;
+}
+
+std::string Scenario::describe() const {
+  std::ostringstream os;
+  os << "Scenario: " << name << '\n'
+     << "  topology        : " << mesh_width << "x" << mesh_height << " 2D-mesh (" << cores()
+     << " tiles, Tilera-iMesh-style)\n"
+     << "  router          : 3-stage wormhole, " << num_vcs << " VCs/input port, " << buffer_depth
+     << " flits/VC, no packet mixing\n"
+     << "  flit / link     : " << flit_width_bits << "b flit over " << link_width_bits
+     << "b link (" << phits_per_flit() << " phits/flit) @ " << (1.0 / clock_period_s) / 1e9
+     << " GHz\n"
+     << "  packet length   : " << packet_length << " flits ("
+     << packet_length * phits_per_flit() << " phits)\n"
+     << "  injection       : " << injection_rate << " flits/cycle/port (synthetic)\n"
+     << "  cycles          : " << warmup_cycles << " warmup + " << measure_cycles << " measured\n"
+     << "  technology      : " << tech.node_nm << "nm, Vth=" << tech.vth_nominal_v
+     << "V (sigma " << tech.vth_sigma_v << "), Vdd=" << tech.vdd_v << "V, T=" << tech.temperature_k
+     << "K\n";
+  return os.str();
+}
+
+Scenario scenario_from_properties(const std::map<std::string, std::string>& props) {
+  static const std::set<std::string> known = {
+      "name",          "mesh_width",    "mesh_height",     "num_vcs",
+      "num_vnets",     "buffer_depth",  "flit_width_bits", "link_width_bits",
+      "packet_length", "injection_rate", "wakeup_latency",  "warmup_cycles",
+      "measure_cycles", "clock_ghz",     "technology_nm",   "vth_sigma_v",
+      "temperature_k", "vdd_v",          "router_stages"};
+  for (const auto& [key, value] : props) {
+    if (!known.count(key))
+      throw std::invalid_argument("scenario_from_properties: unknown key '" + key + "'");
+  }
+  const auto get_int = [&](const char* key, long long fallback) {
+    const auto it = props.find(key);
+    return it == props.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  };
+  const auto get_double = [&](const char* key, double fallback) {
+    const auto it = props.find(key);
+    return it == props.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  };
+
+  Scenario s;
+  const long long node = get_int("technology_nm", 45);
+  if (node == 32) s.tech = Technology::node_32nm();
+  else if (node == 45) s.tech = Technology::node_45nm();
+  else throw std::invalid_argument("scenario_from_properties: technology_nm must be 45 or 32");
+
+  s.mesh_width = static_cast<int>(get_int("mesh_width", s.mesh_width));
+  s.mesh_height = static_cast<int>(get_int("mesh_height", s.mesh_width));
+  s.num_vcs = static_cast<int>(get_int("num_vcs", s.num_vcs));
+  s.num_vnets = static_cast<int>(get_int("num_vnets", s.num_vnets));
+  s.buffer_depth = static_cast<int>(get_int("buffer_depth", s.buffer_depth));
+  s.flit_width_bits = static_cast<int>(get_int("flit_width_bits", s.flit_width_bits));
+  s.link_width_bits = static_cast<int>(get_int("link_width_bits", s.link_width_bits));
+  s.packet_length = static_cast<int>(get_int("packet_length", s.packet_length));
+  s.injection_rate = get_double("injection_rate", s.injection_rate);
+  s.wakeup_latency = static_cast<Cycle>(get_int("wakeup_latency", 0));
+  s.router_stages = static_cast<int>(get_int("router_stages", s.router_stages));
+  if (s.router_stages < 3)
+    throw std::invalid_argument("scenario_from_properties: router_stages must be >= 3");
+  s.warmup_cycles = static_cast<Cycle>(get_int("warmup_cycles", static_cast<long long>(s.warmup_cycles)));
+  s.measure_cycles =
+      static_cast<Cycle>(get_int("measure_cycles", static_cast<long long>(s.measure_cycles)));
+  const double ghz = get_double("clock_ghz", 1.0);
+  if (ghz <= 0.0) throw std::invalid_argument("scenario_from_properties: clock_ghz must be > 0");
+  s.clock_period_s = 1e-9 / ghz;
+  s.tech.vth_sigma_v = get_double("vth_sigma_v", s.tech.vth_sigma_v);
+  s.tech.temperature_k = get_double("temperature_k", s.tech.temperature_k);
+  s.tech.vdd_v = get_double("vdd_v", s.tech.vdd_v);
+
+  const auto name_it = props.find("name");
+  if (name_it != props.end()) {
+    s.name = name_it->second;
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%dcore-inj%.2f", s.cores(), s.injection_rate);
+    s.name = buf;
+  }
+  return s;
+}
+
+Scenario Scenario::synthetic(int mesh_width, int num_vcs, double injection_rate) {
+  Scenario s;
+  s.mesh_width = mesh_width;
+  s.mesh_height = mesh_width;
+  s.num_vcs = num_vcs;
+  s.injection_rate = injection_rate;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%dcore-inj%.2f", s.cores(), injection_rate);
+  s.name = buf;
+  return s;
+}
+
+}  // namespace nbtinoc::sim

@@ -1,0 +1,52 @@
+#include "nbtinoc/sim/stat_registry.hpp"
+
+#include <sstream>
+
+namespace nbtinoc::sim {
+
+void StatRegistry::add(const std::string& name, std::uint64_t delta) { counters_[name] += delta; }
+
+void StatRegistry::sample(const std::string& name, double value) { distributions_[name].add(value); }
+
+std::uint64_t StatRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool StatRegistry::has_counter(const std::string& name) const { return counters_.count(name) != 0; }
+
+const util::RunningStats* StatRegistry::distribution(const std::string& name) const {
+  const auto it = distributions_.find(name);
+  return it == distributions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> StatRegistry::counter_names() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, _] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> StatRegistry::distribution_names() const {
+  std::vector<std::string> names;
+  names.reserve(distributions_.size());
+  for (const auto& [name, _] : distributions_) names.push_back(name);
+  return names;
+}
+
+void StatRegistry::reset() {
+  counters_.clear();
+  distributions_.clear();
+}
+
+std::string StatRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) os << name << " = " << value << '\n';
+  for (const auto& [name, stats] : distributions_) {
+    os << name << " = avg " << stats.mean() << " (n=" << stats.count() << ", min=" << stats.min()
+       << ", max=" << stats.max() << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace nbtinoc::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Benchmark presets and random mixes — the stand-in for the paper's
+// "randomly picked set of benchmarks, one per core, from SPLASH2 and WCET"
+// (§IV-C).
+//
+// Each preset's parameters were chosen from the published communication
+// characteristics of the suite: SPLASH2 kernels are moderately loaded and
+// bursty (cache-miss phases), WCET kernels are tiny single-tile codes with
+// almost no NoC traffic. Absolute rates matter only through the buffer
+// occupancy they induce, which is the quantity Table IV measures.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nbtinoc/noc/network.hpp"
+#include "nbtinoc/traffic/app_model.hpp"
+#include "nbtinoc/util/rng.hpp"
+
+namespace nbtinoc::traffic {
+
+/// All known presets (SPLASH2 + WCET substitutes).
+const std::vector<AppProfile>& benchmark_suite();
+
+/// Looks a preset up by name; throws std::invalid_argument if unknown.
+const AppProfile& benchmark_by_name(const std::string& name);
+
+/// A benchmark assignment: one profile per core.
+struct BenchmarkMix {
+  std::vector<std::string> names;  ///< names[i] runs on core i
+
+  std::string describe() const;
+};
+
+/// Draws a random mix (one benchmark per core, uniform over the suite).
+BenchmarkMix random_mix(int cores, std::uint64_t seed);
+
+/// Installs AppTrafficSources for the given mix on an existing network.
+/// The hotspot (directory/memory-controller tile) defaults to the last node,
+/// mirroring a corner memory controller. `rate_scale` converts the presets'
+/// flits/cycle rates into the network's transfer units (phits/cycle when the
+/// link is narrower than the flit).
+void install_benchmark_mix(noc::Network& network, const BenchmarkMix& mix, std::uint64_t seed,
+                           noc::NodeId hotspot = -1, double rate_scale = 1.0);
+
+}  // namespace nbtinoc::traffic

@@ -1,0 +1,51 @@
+#pragma once
+// Spatial destination patterns for synthetic traffic (Dally & Towles'
+// standard set). The paper evaluates uniform random; the others support the
+// extension benches.
+
+#include <memory>
+#include <string>
+
+#include "nbtinoc/noc/types.hpp"
+#include "nbtinoc/util/rng.hpp"
+
+namespace nbtinoc::traffic {
+
+enum class PatternKind {
+  kUniform,        ///< uniform random over all other nodes
+  kTranspose,      ///< (x,y) -> (y,x)
+  kBitComplement,  ///< node i -> ~i (mod N)
+  kBitReverse,     ///< bit-reversed node index
+  kTornado,        ///< half-mesh offset along X
+  kNeighbor,       ///< (x,y) -> (x+1,y) wrap
+  kHotspot,        ///< uniform, except a fraction targets one hot node
+  kShuffle,        ///< perfect shuffle on the node index bits
+};
+
+PatternKind parse_pattern(const std::string& name);
+std::string to_string(PatternKind kind);
+
+/// Picks a destination for a packet from `src`. Stateless apart from RNG.
+class DestinationPattern {
+ public:
+  DestinationPattern(PatternKind kind, int width, int height, noc::NodeId hotspot = 0,
+                     double hotspot_fraction = 0.2);
+
+  /// Never returns `src` (self-traffic is meaningless on the NoC); patterns
+  /// whose image equals src fall back to uniform.
+  noc::NodeId pick(noc::NodeId src, util::Xoshiro256& rng) const;
+
+  PatternKind kind() const { return kind_; }
+
+ private:
+  noc::NodeId uniform_other(noc::NodeId src, util::Xoshiro256& rng) const;
+  noc::NodeId deterministic_image(noc::NodeId src) const;
+
+  PatternKind kind_;
+  int width_;
+  int height_;
+  noc::NodeId hotspot_;
+  double hotspot_fraction_;
+};
+
+}  // namespace nbtinoc::traffic

@@ -1,0 +1,76 @@
+#pragma once
+// Coherence-style request/reply traffic over two virtual networks.
+//
+// Table I's GEM5 setup separates protocol classes into virtual networks
+// precisely because replies must never be blocked behind requests (protocol
+// deadlock). This source mimics that: it emits short *request* packets on
+// vnet 0 (a miss/fetch: control message) and, a fixed service delay later,
+// the addressed node's source emits the long *reply* on vnet 1 (the data
+// message). Wiring the reply through the destination's own source keeps
+// each NI single-threaded, as in the simulator's one-source-per-node model.
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "nbtinoc/noc/network.hpp"
+#include "nbtinoc/noc/traffic_source.hpp"
+#include "nbtinoc/util/rng.hpp"
+
+namespace nbtinoc::traffic {
+
+struct RequestReplyConfig {
+  double request_rate = 0.02;   ///< requests/cycle/node (Bernoulli)
+  int request_length = 1;       ///< flits: control message
+  int reply_length = 9;         ///< flits: data message (64B line + header)
+  sim::Cycle service_delay = 20;  ///< cycles between request arrival and reply
+  int request_vnet = 0;
+  int reply_vnet = 1;
+};
+
+/// Shared mailbox: pending replies each serving node must emit.
+class ReplyBoard {
+ public:
+  struct PendingReply {
+    sim::Cycle ready_at = 0;
+    noc::NodeId dst = 0;
+  };
+
+  void post(noc::NodeId server, PendingReply reply) {
+    boards_.at(static_cast<std::size_t>(server)).push_back(reply);
+  }
+  std::deque<PendingReply>& of(noc::NodeId server) {
+    return boards_.at(static_cast<std::size_t>(server));
+  }
+  explicit ReplyBoard(int nodes) : boards_(static_cast<std::size_t>(nodes)) {}
+
+ private:
+  std::vector<std::deque<PendingReply>> boards_;
+};
+
+class RequestReplySource final : public noc::ITrafficSource {
+ public:
+  RequestReplySource(noc::NodeId node, int mesh_nodes, RequestReplyConfig config,
+                     ReplyBoard* board, std::uint64_t seed);
+
+  std::optional<noc::PacketRequest> maybe_generate(sim::Cycle now) override;
+
+  std::uint64_t requests_sent() const { return requests_sent_; }
+  std::uint64_t replies_sent() const { return replies_sent_; }
+
+ private:
+  noc::NodeId node_;
+  int mesh_nodes_;
+  RequestReplyConfig config_;
+  ReplyBoard* board_;
+  util::Xoshiro256 rng_;
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t replies_sent_ = 0;
+};
+
+/// Installs request/reply sources on every node (shares one ReplyBoard,
+/// which the network keeps alive through the returned sources).
+void install_request_reply_traffic(noc::Network& network, RequestReplyConfig config,
+                                   std::uint64_t base_seed);
+
+}  // namespace nbtinoc::traffic

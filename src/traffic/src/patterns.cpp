@@ -1,0 +1,120 @@
+#include "nbtinoc/traffic/patterns.hpp"
+
+#include <stdexcept>
+
+#include "nbtinoc/noc/routing.hpp"
+#include "nbtinoc/util/strings.hpp"
+
+namespace nbtinoc::traffic {
+
+PatternKind parse_pattern(const std::string& name) {
+  const std::string n = util::to_lower(name);
+  if (n == "uniform" || n == "uniform_random" || n == "ur") return PatternKind::kUniform;
+  if (n == "transpose") return PatternKind::kTranspose;
+  if (n == "bit_complement" || n == "bitcomp") return PatternKind::kBitComplement;
+  if (n == "bit_reverse" || n == "bitrev") return PatternKind::kBitReverse;
+  if (n == "tornado") return PatternKind::kTornado;
+  if (n == "neighbor") return PatternKind::kNeighbor;
+  if (n == "hotspot") return PatternKind::kHotspot;
+  if (n == "shuffle") return PatternKind::kShuffle;
+  throw std::invalid_argument("unknown traffic pattern: " + name);
+}
+
+std::string to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kUniform:
+      return "uniform";
+    case PatternKind::kTranspose:
+      return "transpose";
+    case PatternKind::kBitComplement:
+      return "bit_complement";
+    case PatternKind::kBitReverse:
+      return "bit_reverse";
+    case PatternKind::kTornado:
+      return "tornado";
+    case PatternKind::kNeighbor:
+      return "neighbor";
+    case PatternKind::kHotspot:
+      return "hotspot";
+    case PatternKind::kShuffle:
+      return "shuffle";
+  }
+  return "?";
+}
+
+DestinationPattern::DestinationPattern(PatternKind kind, int width, int height,
+                                       noc::NodeId hotspot, double hotspot_fraction)
+    : kind_(kind), width_(width), height_(height), hotspot_(hotspot),
+      hotspot_fraction_(hotspot_fraction) {
+  if (width < 1 || height < 1) throw std::invalid_argument("DestinationPattern: bad mesh size");
+}
+
+noc::NodeId DestinationPattern::uniform_other(noc::NodeId src, util::Xoshiro256& rng) const {
+  const int n = width_ * height_;
+  // Draw over n-1 slots and skip src: uniform over all other nodes.
+  const auto draw = static_cast<noc::NodeId>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+  return draw >= src ? draw + 1 : draw;
+}
+
+namespace {
+int reverse_bits(int value, int bits) {
+  int out = 0;
+  for (int i = 0; i < bits; ++i)
+    if (value & (1 << i)) out |= 1 << (bits - 1 - i);
+  return out;
+}
+
+int bits_for(int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+}  // namespace
+
+noc::NodeId DestinationPattern::deterministic_image(noc::NodeId src) const {
+  const int n = width_ * height_;
+  const noc::Coord c = noc::coord_of(src, width_);
+  switch (kind_) {
+    case PatternKind::kTranspose: {
+      // Only exact on square meshes; clamp otherwise.
+      const noc::Coord t{c.y % width_, c.x % height_};
+      return noc::id_of(t, width_);
+    }
+    case PatternKind::kBitComplement:
+      return (n - 1) - src;
+    case PatternKind::kBitReverse:
+      return reverse_bits(src, bits_for(n)) % n;
+    case PatternKind::kTornado: {
+      const noc::Coord t{(c.x + width_ / 2) % width_, c.y};
+      return noc::id_of(t, width_);
+    }
+    case PatternKind::kNeighbor: {
+      const noc::Coord t{(c.x + 1) % width_, c.y};
+      return noc::id_of(t, width_);
+    }
+    case PatternKind::kShuffle: {
+      const int bits = bits_for(n);
+      const int rotated = ((src << 1) | (src >> (bits - 1))) & ((1 << bits) - 1);
+      return rotated % n;
+    }
+    default:
+      return src;
+  }
+}
+
+noc::NodeId DestinationPattern::pick(noc::NodeId src, util::Xoshiro256& rng) const {
+  switch (kind_) {
+    case PatternKind::kUniform:
+      return uniform_other(src, rng);
+    case PatternKind::kHotspot: {
+      if (src != hotspot_ && rng.next_bernoulli(hotspot_fraction_)) return hotspot_;
+      return uniform_other(src, rng);
+    }
+    default: {
+      const noc::NodeId dst = deterministic_image(src);
+      return dst == src ? uniform_other(src, rng) : dst;
+    }
+  }
+}
+
+}  // namespace nbtinoc::traffic

@@ -1,0 +1,71 @@
+#include "nbtinoc/traffic/request_reply.hpp"
+
+#include <stdexcept>
+
+namespace nbtinoc::traffic {
+
+RequestReplySource::RequestReplySource(noc::NodeId node, int mesh_nodes,
+                                       RequestReplyConfig config, ReplyBoard* board,
+                                       std::uint64_t seed)
+    : node_(node), mesh_nodes_(mesh_nodes), config_(config), board_(board), rng_(seed) {
+  if (board == nullptr) throw std::invalid_argument("RequestReplySource: null board");
+  if (config.request_rate < 0.0 || config.request_rate > 1.0)
+    throw std::invalid_argument("RequestReplySource: bad request rate");
+  if (config.request_vnet == config.reply_vnet)
+    throw std::invalid_argument("RequestReplySource: request and reply must use distinct vnets");
+}
+
+std::optional<noc::PacketRequest> RequestReplySource::maybe_generate(sim::Cycle now) {
+  // Replies take priority: the protocol requires them to drain.
+  auto& pending = board_->of(node_);
+  if (!pending.empty() && pending.front().ready_at <= now) {
+    const noc::NodeId dst = pending.front().dst;
+    pending.pop_front();
+    ++replies_sent_;
+    return noc::PacketRequest{dst, config_.reply_length, config_.reply_vnet};
+  }
+
+  if (rng_.next_bernoulli(config_.request_rate)) {
+    // Uniform server choice among the other nodes.
+    const auto draw = static_cast<noc::NodeId>(
+        rng_.next_below(static_cast<std::uint64_t>(mesh_nodes_ - 1)));
+    const noc::NodeId server = draw >= node_ ? draw + 1 : draw;
+    // The reply becomes ready after the request's flight + service time;
+    // flight time is approximated by the service delay knob.
+    board_->post(server, ReplyBoard::PendingReply{now + config_.service_delay, node_});
+    ++requests_sent_;
+    return noc::PacketRequest{server, config_.request_length, config_.request_vnet};
+  }
+  return std::nullopt;
+}
+
+namespace {
+/// Wrapper that owns the shared ReplyBoard in the first source.
+class OwningRequestReplySource final : public noc::ITrafficSource {
+ public:
+  OwningRequestReplySource(std::shared_ptr<ReplyBoard> board, noc::NodeId node, int mesh_nodes,
+                           RequestReplyConfig config, std::uint64_t seed)
+      : board_(std::move(board)), source_(node, mesh_nodes, config, board_.get(), seed) {}
+  std::optional<noc::PacketRequest> maybe_generate(sim::Cycle now) override {
+    return source_.maybe_generate(now);
+  }
+
+ private:
+  std::shared_ptr<ReplyBoard> board_;
+  RequestReplySource source_;
+};
+}  // namespace
+
+void install_request_reply_traffic(noc::Network& network, RequestReplyConfig config,
+                                   std::uint64_t base_seed) {
+  if (network.config().num_vnets < 2)
+    throw std::invalid_argument("install_request_reply_traffic: needs >= 2 virtual networks");
+  auto board = std::make_shared<ReplyBoard>(network.nodes());
+  util::SplitMix64 seeder(base_seed);
+  for (noc::NodeId id = 0; id < network.nodes(); ++id) {
+    network.set_traffic_source(id, std::make_unique<OwningRequestReplySource>(
+                                       board, id, network.nodes(), config, seeder.next()));
+  }
+}
+
+}  // namespace nbtinoc::traffic

@@ -1,0 +1,62 @@
+#include "nbtinoc/traffic/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nbtinoc/util/csv.hpp"
+
+namespace nbtinoc::traffic {
+
+void Trace::save(const std::string& path) const {
+  util::CsvWriter out(path);
+  out.write_comment("nbtinoc packet trace: cycle,src,dst,length");
+  for (const auto& rec : records_) {
+    out.write_row({std::to_string(rec.cycle), std::to_string(rec.src), std::to_string(rec.dst),
+                   std::to_string(rec.length)});
+  }
+}
+
+Trace Trace::load(const std::string& path) {
+  Trace trace;
+  for (const auto& row : util::read_csv(path)) {
+    if (row.size() != 4) throw std::runtime_error("Trace::load: malformed row");
+    TraceRecord rec;
+    rec.cycle = static_cast<sim::Cycle>(std::stoull(row[0]));
+    rec.src = std::stoi(row[1]);
+    rec.dst = std::stoi(row[2]);
+    rec.length = std::stoi(row[3]);
+    trace.add(rec);
+  }
+  return trace;
+}
+
+Trace Trace::capture(std::vector<noc::ITrafficSource*> sources, sim::Cycle cycles) {
+  Trace trace;
+  for (sim::Cycle t = 0; t < cycles; ++t) {
+    for (std::size_t node = 0; node < sources.size(); ++node) {
+      if (sources[node] == nullptr) continue;
+      if (auto req = sources[node]->maybe_generate(t)) {
+        trace.add(TraceRecord{t, static_cast<noc::NodeId>(node), req->dst, req->length});
+      }
+    }
+  }
+  return trace;
+}
+
+TraceReplaySource::TraceReplaySource(const Trace& trace, noc::NodeId node) {
+  for (const auto& rec : trace.records())
+    if (rec.src == node) mine_.push_back(rec);
+  std::stable_sort(mine_.begin(), mine_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) { return a.cycle < b.cycle; });
+}
+
+std::optional<noc::PacketRequest> TraceReplaySource::maybe_generate(sim::Cycle now) {
+  // The NI accepts at most one packet per cycle; later same-cycle records
+  // slip to subsequent cycles, preserving order.
+  if (next_ >= mine_.size() || mine_[next_].cycle > now) return std::nullopt;
+  const TraceRecord& rec = mine_[next_];
+  ++next_;
+  return noc::PacketRequest{rec.dst, rec.length};
+}
+
+}  // namespace nbtinoc::traffic

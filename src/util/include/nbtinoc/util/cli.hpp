@@ -1,0 +1,35 @@
+#pragma once
+// Tiny command-line flag parser shared by the benches and examples.
+// Supports "--name value", "--name=value" and boolean "--name" forms.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nbtinoc::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if "--name" appeared at all (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& fallback) const;
+  long long get_int_or(const std::string& name, long long fallback) const;
+  double get_double_or(const std::string& name, double fallback) const;
+  bool get_bool_or(const std::string& name, bool fallback) const;
+
+  /// Non-flag arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nbtinoc::util

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal streaming JSON writer (no DOM): enough to export experiment
+// results for downstream plotting/analysis tooling. Handles nesting,
+// comma placement and string escaping; numbers are emitted with enough
+// precision to round-trip doubles.
+
+#include <string>
+#include <vector>
+
+namespace nbtinoc::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits a key inside an object; must be followed by a value/container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Convenience: key + value.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The document so far. Valid once all containers are closed.
+  const std::string& str() const { return out_; }
+  bool complete() const { return stack_.empty() && started_; }
+
+  static std::string escape(const std::string& text);
+
+ private:
+  void before_value();
+
+  std::string out_;
+  /// 'o' = in object expecting key, 'v' = in object expecting value,
+  /// 'a' = in array.
+  std::vector<char> stack_;
+  bool needs_comma_ = false;
+  bool started_ = false;
+};
+
+}  // namespace nbtinoc::util

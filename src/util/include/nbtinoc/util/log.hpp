@@ -1,0 +1,66 @@
+#pragma once
+// Minimal leveled logging for the nbtinoc library.
+//
+// The simulator is deterministic and single-threaded, so logging is a thin
+// formatted wrapper around a stream with a global severity threshold. Debug
+// logging in the per-cycle hot path is compiled through a macro so a release
+// build pays only a branch on the threshold.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nbtinoc::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the printable name of a level ("TRACE", "DEBUG", ...).
+std::string_view to_string(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns kInfo for unrecognized names.
+LogLevel parse_log_level(std::string_view name);
+
+/// Global severity threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr: "[LEVEL] component: message".
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace nbtinoc::util
+
+// Stream-style logging that evaluates its arguments only when enabled:
+//   NBTINOC_LOG(kDebug, "router") << "cycle " << cycle << " stalled";
+#define NBTINOC_LOG(level, component)                                      \
+  if (::nbtinoc::util::LogLevel::level < ::nbtinoc::util::log_level()) {  \
+  } else                                                                   \
+    ::nbtinoc::util::detail::LogLine(::nbtinoc::util::LogLevel::level, (component))

@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic, seed-stable random number generation.
+//
+// The reproduction requires that a given {architecture, injection-rate}
+// scenario samples exactly the same process-variation Vth vector for every
+// policy (paper §IV-A). std::mt19937/std::normal_distribution are not
+// guaranteed bit-stable across standard library implementations, so we carry
+// our own generator (xoshiro256**) and our own Gaussian (Marsaglia polar),
+// both fully specified here.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace nbtinoc::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state and
+/// to derive stream seeds from strings (see seed_from_string).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministically maps a scenario label (e.g. "16core-inj0.30-pv") to a
+/// 64-bit seed via FNV-1a followed by a SplitMix64 finalizer. Used so the
+/// same scenario always sees the same silicon, regardless of policy.
+std::uint64_t seed_from_string(std::string_view text);
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+  /// with rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  double next_gaussian();
+
+  /// Normal with explicit mean/stddev.
+  double next_gaussian(double mean, double stddev) { return mean + stddev * next_gaussian(); }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bernoulli(double p);
+
+  /// Jump function: advances 2^128 steps, for deriving independent streams.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace nbtinoc::util

@@ -1,0 +1,16 @@
+#pragma once
+// Small string helpers (no locale surprises, ASCII-only semantics).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nbtinoc::util {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace nbtinoc::util

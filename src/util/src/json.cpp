@@ -1,0 +1,143 @@
+#include "nbtinoc/util/json.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace nbtinoc::util {
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == 'o')
+    throw std::logic_error("JsonWriter: value emitted where a key is expected");
+  if (needs_comma_) out_ += ',';
+  if (!stack_.empty() && stack_.back() == 'v') stack_.back() = 'o';  // value consumed the key
+  started_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back('o');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != 'o')
+    throw std::logic_error("JsonWriter: end_object out of place");
+  stack_.pop_back();
+  out_ += '}';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back('a');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != 'a')
+    throw std::logic_error("JsonWriter: end_array out of place");
+  stack_.pop_back();
+  out_ += ']';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != 'o')
+    throw std::logic_error("JsonWriter: key outside of object");
+  if (needs_comma_) out_ += ',';
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  needs_comma_ = false;
+  stack_.back() = 'v';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  before_value();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) { return value(std::string(text)); }
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  out_ += buf;
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  before_value();
+  out_ += std::to_string(number);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  needs_comma_ = true;
+  return *this;
+}
+
+}  // namespace nbtinoc::util

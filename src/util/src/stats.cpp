@@ -1,0 +1,98 @@
+#include "nbtinoc/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nbtinoc::util {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance_population() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::variance_sample() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev_population() const { return std::sqrt(variance_population()); }
+
+double RunningStats::stddev_sample() const { return std::sqrt(variance_sample()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<long long>(std::floor((x - lo_) / bin_width_));
+  idx = std::clamp<long long>(idx, 0, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::percentile(double fraction) const {
+  if (total_ == 0) return lo_;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const double target = fraction * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double within = counts_[i] ? (target - cumulative) / static_cast<double>(counts_[i]) : 0.0;
+      return lo_ + (static_cast<double>(i) + within) * bin_width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double sample_stddev_of(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double accum = 0.0;
+  for (double x : xs) accum += (x - m) * (x - m);
+  return std::sqrt(accum / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace nbtinoc::util

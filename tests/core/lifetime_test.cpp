@@ -1,0 +1,100 @@
+#include "nbtinoc/core/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::core {
+namespace {
+
+sim::Scenario scenario() {
+  return sim::Scenario::synthetic(2, 2, 0.2);
+}
+
+LifetimeOptions quick_options(int epochs = 4) {
+  LifetimeOptions opt;
+  opt.epochs = epochs;
+  opt.years_per_epoch = 0.5;
+  opt.measure_cycles_per_epoch = 15'000;
+  return opt;
+}
+
+TEST(LifetimeStudy, RejectsBadOptions) {
+  LifetimeOptions bad = quick_options();
+  bad.epochs = 0;
+  EXPECT_THROW(run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
+                                  {0, noc::Dir::East}, bad),
+               std::invalid_argument);
+  bad = quick_options();
+  bad.years_per_epoch = 0.0;
+  EXPECT_THROW(run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
+                                  {0, noc::Dir::East}, bad),
+               std::invalid_argument);
+  EXPECT_THROW(run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
+                                  {0, noc::Dir::West}, quick_options()),
+               std::invalid_argument);
+}
+
+TEST(LifetimeStudy, RecordsEveryEpochWithMonotoneTime) {
+  const auto r = run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
+                                    {0, noc::Dir::East}, quick_options(4));
+  ASSERT_EQ(r.epochs.size(), 4u);
+  double prev_years = 0.0;
+  for (const auto& e : r.epochs) {
+    EXPECT_GT(e.years_elapsed, prev_years);
+    prev_years = e.years_elapsed;
+    EXPECT_EQ(e.vth_v.size(), 2u);
+    EXPECT_EQ(e.duty_percent.size(), 2u);
+  }
+  EXPECT_DOUBLE_EQ(r.epochs.back().years_elapsed, 2.0);
+}
+
+TEST(LifetimeStudy, VthNeverDecreases) {
+  const auto r = run_lifetime_study(scenario(), PolicyKind::kRrNoSensor, Workload::synthetic(),
+                                    {0, noc::Dir::East}, quick_options(4));
+  for (std::size_t e = 1; e < r.epochs.size(); ++e) {
+    for (std::size_t v = 0; v < r.epochs[e].vth_v.size(); ++v)
+      EXPECT_GE(r.epochs[e].vth_v[v], r.epochs[e - 1].vth_v[v] - 1e-12);
+  }
+}
+
+TEST(LifetimeStudy, BaselineAgesFastest) {
+  const auto base = run_lifetime_study(scenario(), PolicyKind::kBaseline, Workload::synthetic(),
+                                       {0, noc::Dir::East}, quick_options(3));
+  const auto sw = run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
+                                     {0, noc::Dir::East}, quick_options(3));
+  EXPECT_GT(base.final_worst_vth_v, sw.final_worst_vth_v);
+}
+
+TEST(LifetimeStudy, BaselineDutyStaysHundred) {
+  const auto base = run_lifetime_study(scenario(), PolicyKind::kBaseline, Workload::synthetic(),
+                                       {0, noc::Dir::East}, quick_options(2));
+  for (const auto& e : base.epochs)
+    for (double d : e.duty_percent) EXPECT_DOUBLE_EQ(d, 100.0);
+}
+
+TEST(LifetimeStudy, FinalVthsCoverEveryPort) {
+  const auto r = run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
+                                    {0, noc::Dir::East}, quick_options(2));
+  EXPECT_EQ(r.final_vths.size(), 12u);  // 2x2 mesh: 3 ports x 4 routers
+  for (const auto& [key, bank] : r.final_vths) EXPECT_EQ(bank.size(), 2u);
+}
+
+TEST(LifetimeStudy, SensorWiseEquizalizesWearOverTime) {
+  // Under sensor-wise the accumulated shift concentrates away from the
+  // initially-worst VC; the spread of *final* Vth should not exceed the
+  // baseline's spread by much (baseline ages uniformly: spread = initial
+  // PV spread exactly).
+  const auto base = run_lifetime_study(scenario(), PolicyKind::kBaseline, Workload::synthetic(),
+                                       {0, noc::Dir::East}, quick_options(4));
+  const auto sw = run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
+                                     {0, noc::Dir::East}, quick_options(4));
+  // Baseline: every VC at alpha=1 -> near-equal shift (the Eox term makes a
+  // higher-Vth device age marginally slower) -> spread ~ PV spread.
+  const auto& first = base.epochs.front().vth_v;
+  const auto& last = base.epochs.back().vth_v;
+  EXPECT_NEAR(last[0] - last[1], first[0] - first[1], 1e-4);
+  // The policy's wear-aware allocation keeps the final spread bounded.
+  EXPECT_LT(sw.final_spread_v, 0.030);
+}
+
+}  // namespace
+}  // namespace nbtinoc::core

@@ -1,0 +1,124 @@
+// Randomized property tests: the simulator must uphold its invariants on
+// arbitrary (valid) configurations, policies and loads — not just the
+// paper's setups. Each seed deterministically derives a configuration, runs
+// traffic, then drains and checks conservation and state-machine sanity.
+
+#include <gtest/gtest.h>
+
+#include "nbtinoc/core/controller.hpp"
+#include "nbtinoc/noc/network.hpp"
+#include "nbtinoc/traffic/synthetic.hpp"
+#include "nbtinoc/util/rng.hpp"
+
+namespace nbtinoc::noc {
+namespace {
+
+struct FuzzCase {
+  NocConfig config;
+  double rate = 0.1;
+  core::PolicyKind policy = core::PolicyKind::kSensorWise;
+  traffic::PatternKind pattern = traffic::PatternKind::kUniform;
+  std::uint64_t seed = 0;
+};
+
+FuzzCase derive_case(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  FuzzCase fc;
+  fc.seed = seed;
+  // Mesh between 1x2 and 4x4 (at least 2 nodes).
+  do {
+    fc.config.width = 1 + static_cast<int>(rng.next_below(4));
+    fc.config.height = 1 + static_cast<int>(rng.next_below(4));
+  } while (fc.config.nodes() < 2);
+  fc.config.num_vcs = 1 + static_cast<int>(rng.next_below(4));
+  fc.config.num_vnets = 1 + static_cast<int>(rng.next_below(2));
+  fc.config.buffer_depth = 1 + static_cast<int>(rng.next_below(8));
+  fc.config.packet_length = 1 + static_cast<int>(rng.next_below(20));
+  fc.config.wakeup_latency = rng.next_below(5);
+  fc.config.routing = rng.next_bernoulli(0.5) ? RoutingAlgo::kXY : RoutingAlgo::kYX;
+  fc.rate = 0.02 + 0.4 * rng.next_double();
+  constexpr core::PolicyKind kPolicies[] = {
+      core::PolicyKind::kBaseline, core::PolicyKind::kRrNoSensor,
+      core::PolicyKind::kSensorWiseNoTraffic, core::PolicyKind::kSensorWise,
+      core::PolicyKind::kSensorRank};
+  fc.policy = kPolicies[rng.next_below(5)];
+  constexpr traffic::PatternKind kPatterns[] = {
+      traffic::PatternKind::kUniform, traffic::PatternKind::kTranspose,
+      traffic::PatternKind::kBitComplement, traffic::PatternKind::kHotspot,
+      traffic::PatternKind::kNeighbor, traffic::PatternKind::kTornado};
+  fc.pattern = kPatterns[rng.next_below(6)];
+  return fc;
+}
+
+class NetworkFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkFuzzTest, InvariantsHoldOnRandomConfigurations) {
+  const FuzzCase fc = derive_case(GetParam());
+  SCOPED_TRACE(fc.config.describe() + ", rate " + std::to_string(fc.rate) + ", policy " +
+               core::to_string(fc.policy) + ", pattern " + traffic::to_string(fc.pattern));
+
+  Network net(fc.config);
+  const auto model = nbti::NbtiModel::calibrated({}, {});
+  core::PolicyConfig pc;
+  pc.kind = fc.policy;
+  // Exercise hysteresis on odd seeds.
+  if (fc.seed % 2 == 1) pc.decision_period = 1 + fc.seed % 64;
+  core::PolicyGateController ctrl(net, pc, model, {}, nbti::PvConfig{}, fc.seed);
+  ctrl.attach();
+  traffic::install_synthetic_traffic(net, fc.pattern, fc.rate, fc.seed ^ 0xfeedULL);
+
+  // Plain run (no warmup counter reset): injected/ejected totals must match
+  // exactly after the drain.
+  net.run(7'000);
+
+  // Drain: no new traffic, everything in flight must reach its destination.
+  for (NodeId id = 0; id < net.nodes(); ++id)
+    net.set_traffic_source(id, std::make_unique<SilentSource>());
+  sim::Cycle guard = 0;
+  bool queues_empty = false;
+  while (guard++ < 500'000) {
+    net.step();
+    if (!net.drained()) continue;
+    queues_empty = true;
+    for (NodeId id = 0; id < net.nodes(); ++id) queues_empty &= net.ni(id).queue_depth() == 0;
+    if (queues_empty) break;
+  }
+  ASSERT_TRUE(net.drained()) << "network failed to drain (possible deadlock)";
+  ASSERT_TRUE(queues_empty) << "NI source queues failed to drain";
+
+  // Conservation over the measured window + drain.
+  EXPECT_EQ(net.stats().counter("noc.flits_injected"), net.stats().counter("noc.flits_ejected"));
+
+  // VC state sanity: after the drain every buffer is Idle or Recovery and
+  // empty, with no dangling output allocation.
+  for (NodeId id = 0; id < net.nodes(); ++id) {
+    for (int p = 0; p < kNumDirs; ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!net.router(id).has_input(port)) continue;
+      const auto& iu = net.router(id).input(port);
+      for (int v = 0; v < iu.num_vcs(); ++v) {
+        EXPECT_FALSE(iu.vc(v).is_active());
+        EXPECT_TRUE(iu.vc(v).empty());
+        EXPECT_FALSE(iu.has_output(v));
+      }
+      // Duty cycles are proper percentages.
+      for (double d : iu.trackers().duty_cycles_percent()) {
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 100.0);
+      }
+    }
+  }
+
+  // Baseline never gates: 100% duty everywhere.
+  if (fc.policy == core::PolicyKind::kBaseline) {
+    for (int v = 0; v < net.config().total_vcs(); ++v)
+      EXPECT_DOUBLE_EQ(net.duty_cycles_percent(0, Dir::Local)[static_cast<std::size_t>(v)],
+                       100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, NetworkFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace nbtinoc::noc

@@ -1,0 +1,171 @@
+// Integration tests of the policy mechanisms on live networks: the
+// qualitative properties the paper's §IV discussion relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nbtinoc/core/experiment.hpp"
+
+namespace nbtinoc::core {
+namespace {
+
+sim::Scenario scenario(int width, int vcs, double rate) {
+  sim::Scenario s = sim::Scenario::synthetic(width, vcs, rate);
+  s.warmup_cycles = 5'000;
+  s.measure_cycles = 40'000;
+  return s;
+}
+
+RunResult run(const sim::Scenario& s, PolicyKind policy) {
+  return run_experiment(s, policy, Workload::synthetic());
+}
+
+TEST(PolicyBehavior, AllPoliciesDeliverTheSameTraffic) {
+  const sim::Scenario s = scenario(2, 2, 0.2);
+  const RunResult base = run(s, PolicyKind::kBaseline);
+  for (auto policy : {PolicyKind::kRrNoSensor, PolicyKind::kSensorWiseNoTraffic,
+                      PolicyKind::kSensorWise}) {
+    const RunResult r = run(s, policy);
+    EXPECT_EQ(r.flits_injected, base.flits_injected) << to_string(policy);
+    // Gating may shift a few packets across the measurement boundary but
+    // must not lose traffic.
+    EXPECT_NEAR(static_cast<double>(r.flits_ejected), static_cast<double>(base.flits_ejected),
+                base.flits_ejected * 0.01 + 50)
+        << to_string(policy);
+  }
+}
+
+TEST(PolicyBehavior, GatingDoesNotHurtLatency) {
+  // The paper's policies keep an idle VC awake whenever traffic waits, so
+  // packet latency must stay essentially unchanged.
+  const sim::Scenario s = scenario(2, 2, 0.2);
+  const double base = run(s, PolicyKind::kBaseline).avg_packet_latency;
+  for (auto policy : {PolicyKind::kRrNoSensor, PolicyKind::kSensorWise}) {
+    const double lat = run(s, policy).avg_packet_latency;
+    EXPECT_NEAR(lat, base, base * 0.05) << to_string(policy);
+  }
+}
+
+TEST(PolicyBehavior, RrSpreadsDutyEvenly) {
+  // Algorithm 1 rotates the awake candidate on a time basis: per-VC duty
+  // cycles end up near-identical (Tables II/III rr columns).
+  const sim::Scenario s = scenario(4, 4, 0.2);
+  const RunResult r = run(s, PolicyKind::kRrNoSensor);
+  const auto& duties = r.port(0, noc::Dir::East).duty_percent;
+  const double max = *std::max_element(duties.begin(), duties.end());
+  const double min = *std::min_element(duties.begin(), duties.end());
+  // Tight at paper scale (30e6 cycles); a few points of spread remain at
+  // this reduced cycle count.
+  EXPECT_LT(max - min, 6.0);
+  EXPECT_GT(min, 0.0);
+  EXPECT_LT(max, 100.0);
+}
+
+TEST(PolicyBehavior, SensorWiseNoTrafficPinsOneVcAtFullStress) {
+  // Without traffic info one idle VC must always stay awake; with a fixed
+  // iteration order it is always the same VC => exactly one VC at 100%.
+  const sim::Scenario s = scenario(2, 4, 0.1);
+  const RunResult r = run(s, PolicyKind::kSensorWiseNoTraffic);
+  const auto& duties = r.port(0, noc::Dir::East).duty_percent;
+  const int pinned = static_cast<int>(std::count_if(duties.begin(), duties.end(),
+                                                    [](double d) { return d > 99.0; }));
+  EXPECT_EQ(pinned, 1);
+  // And the most degraded VC is not the pinned one.
+  const auto& port = r.port(0, noc::Dir::East);
+  EXPECT_LT(port.duty_percent[static_cast<std::size_t>(port.most_degraded)], 99.0);
+}
+
+TEST(PolicyBehavior, SensorWiseProtectsTheMostDegradedVc) {
+  // The MD VC's duty under sensor-wise is the minimum across its port.
+  for (double rate : {0.1, 0.2}) {
+    const sim::Scenario s = scenario(4, 4, rate);
+    const RunResult r = run(s, PolicyKind::kSensorWise);
+    const auto& port = r.port(0, noc::Dir::East);
+    const double md_duty = port.duty_percent[static_cast<std::size_t>(port.most_degraded)];
+    for (double d : port.duty_percent) EXPECT_LE(md_duty, d + 1e-9);
+  }
+}
+
+TEST(PolicyBehavior, SensorWiseBeatsRrOnTheMostDegradedVc) {
+  // The paper's central claim: positive Gap everywhere.
+  for (int width : {2, 4}) {
+    for (int vcs : {2, 4}) {
+      const sim::Scenario s = scenario(width, vcs, 0.2);
+      const RunResult rr = run(s, PolicyKind::kRrNoSensor);
+      const RunResult sw = run(s, PolicyKind::kSensorWise);
+      const int md = sw.port(0, noc::Dir::East).most_degraded;
+      const double gap = rr.port(0, noc::Dir::East).duty_percent[static_cast<std::size_t>(md)] -
+                         sw.port(0, noc::Dir::East).duty_percent[static_cast<std::size_t>(md)];
+      EXPECT_GT(gap, 0.0) << width << "x" << width << " vc" << vcs;
+    }
+  }
+}
+
+TEST(PolicyBehavior, CooperationBeatsNoTrafficVariantOnMdVc) {
+  // §IV headline: traffic-information exploitation (cooperative Up_Down
+  // decisions) reduces the MD VC duty vs the sensor-only variant.
+  const sim::Scenario s = scenario(4, 2, 0.2);
+  const RunResult swnt = run(s, PolicyKind::kSensorWiseNoTraffic);
+  const RunResult sw = run(s, PolicyKind::kSensorWise);
+  const int md = sw.port(0, noc::Dir::East).most_degraded;
+  EXPECT_LE(sw.port(0, noc::Dir::East).duty_percent[static_cast<std::size_t>(md)],
+            swnt.port(0, noc::Dir::East).duty_percent[static_cast<std::size_t>(md)] + 0.5);
+}
+
+TEST(PolicyBehavior, EveryPortBenefitsFromSensorWise) {
+  // Not just the sampled port: averaged over the whole network the policy
+  // reduces stress.
+  const sim::Scenario s = scenario(2, 2, 0.2);
+  const RunResult base = run(s, PolicyKind::kBaseline);
+  const RunResult sw = run(s, PolicyKind::kSensorWise);
+  for (const auto& [key, port] : sw.ports) {
+    const double avg_sw = util::mean_of(port.duty_percent);
+    const double avg_base = util::mean_of(base.ports.at(key).duty_percent);
+    EXPECT_LT(avg_sw, avg_base) << "router " << key.router;
+  }
+}
+
+TEST(PolicyBehavior, HysteresisCutsGatingTransitions) {
+  // Holding pre-VA decisions reduces header-PMOS switching without
+  // affecting delivery (bench X10 quantifies the energy side).
+  const sim::Scenario s = scenario(2, 4, 0.2);
+  RunnerOptions fast;
+  fast.policy.decision_period = 1;
+  RunnerOptions held;
+  held.policy.decision_period = 256;
+  const RunResult r_fast =
+      run_experiment(s, PolicyKind::kSensorWise, Workload::synthetic(), fast);
+  const RunResult r_held =
+      run_experiment(s, PolicyKind::kSensorWise, Workload::synthetic(), held);
+  EXPECT_LT(r_held.total_gate_transitions, r_fast.total_gate_transitions);
+  EXPECT_GT(r_held.packets_ejected, r_fast.packets_ejected * 9 / 10);
+  EXPECT_NEAR(r_held.avg_packet_latency, r_fast.avg_packet_latency,
+              r_fast.avg_packet_latency * 0.10);
+}
+
+TEST(PolicyBehavior, SensorRankDeliversAndProtects) {
+  const sim::Scenario s = scenario(4, 4, 0.2);
+  const RunResult rank = run(s, PolicyKind::kSensorRank);
+  const RunResult base = run(s, PolicyKind::kBaseline);
+  EXPECT_EQ(rank.packets_offered, base.packets_offered);
+  EXPECT_NEAR(rank.avg_packet_latency, base.avg_packet_latency,
+              base.avg_packet_latency * 0.05);
+  // Average duty far below the always-on baseline.
+  const auto& port = rank.port(0, noc::Dir::East);
+  EXPECT_LT(util::mean_of(port.duty_percent), 60.0);
+}
+
+TEST(PolicyBehavior, WakeupLatencyZeroMatchesPaperAssumption) {
+  // With the paper's instant set_idle, gating must not change ejection
+  // counts at all (checked above) — here we additionally verify duty
+  // reduction really comes from Recovery residency.
+  const sim::Scenario s = scenario(2, 2, 0.1);
+  const RunResult sw = run(s, PolicyKind::kSensorWise);
+  const auto& port = sw.port(0, noc::Dir::East);
+  const double avg = util::mean_of(port.duty_percent);
+  EXPECT_LT(avg, 50.0);  // most of the time both VCs recover at 0.1 load
+}
+
+}  // namespace
+}  // namespace nbtinoc::core

@@ -1,0 +1,119 @@
+#include "nbtinoc/nbti/aging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::nbti {
+namespace {
+
+NbtiModel model() { return NbtiModel::calibrated(NbtiParams{}, OperatingPoint{}); }
+
+TEST(AgingForecaster, ForecastFields) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  const BufferForecast out = f.forecast({0.185, 1.0}, 10.0);
+  EXPECT_DOUBLE_EQ(out.initial_vth_v, 0.185);
+  EXPECT_GT(out.delta_vth_v, 0.045);  // near the 50mV anchor
+  EXPECT_DOUBLE_EQ(out.final_vth_v, out.initial_vth_v + out.delta_vth_v);
+  EXPECT_NEAR(out.saving_vs_always_on, 0.0, 1e-9);  // alpha = 1 vs alpha = 1
+}
+
+TEST(AgingForecaster, LowDutySavesVth) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  const BufferForecast low = f.forecast({0.180, 0.01}, 3.0);
+  const BufferForecast high = f.forecast({0.180, 1.0}, 3.0);
+  EXPECT_LT(low.delta_vth_v, high.delta_vth_v);
+  EXPECT_GT(low.saving_vs_always_on, 0.5);
+}
+
+TEST(AgingForecaster, BankForecast) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  const auto out = f.forecast_bank({{0.180, 0.1}, {0.185, 0.9}}, 5.0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_LT(out[0].delta_vth_v, out[1].delta_vth_v);
+}
+
+TEST(AgingForecaster, LifetimeBisectionConsistent) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  const BufferAgingInput input{0.180, 1.0};
+  const double budget = 0.040;
+  const double life = f.lifetime_years(input, budget);
+  EXPECT_GT(life, 0.0);
+  EXPECT_LT(life, 10.0);  // 50mV is reached at 10 years, 40mV earlier
+  // The forecast at the lifetime crosses the budget.
+  EXPECT_NEAR(f.forecast(input, life).delta_vth_v, budget, 1e-4);
+}
+
+TEST(AgingForecaster, LifetimeCappedAtMax) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  // A nearly idle buffer never reaches a 50mV budget within 30 years.
+  EXPECT_DOUBLE_EQ(f.lifetime_years({0.180, 0.001}, 0.050, 30.0), 30.0);
+}
+
+TEST(AgingForecaster, LowerDutyLivesLonger) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  const double life_busy = f.lifetime_years({0.180, 1.0}, 0.045, 100.0);
+  const double life_calm = f.lifetime_years({0.180, 0.3}, 0.045, 100.0);
+  EXPECT_LT(life_busy, life_calm);
+}
+
+TEST(AgingForecaster, EquivalentAgeInvertsTheModel) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  const double seconds = AgingForecaster::years_to_seconds(2.0);
+  OperatingPoint op;
+  op.vth_v = 0.180;
+  const double dvth = m.delta_vth(0.6, seconds, op);
+  const double t_eq = f.equivalent_age_seconds(dvth, 0.6, 0.180);
+  EXPECT_NEAR(t_eq, seconds, seconds * 1e-6);
+}
+
+TEST(AgingForecaster, EquivalentAgeEdgeCases) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  EXPECT_DOUBLE_EQ(f.equivalent_age_seconds(0.0, 0.5, 0.180), 0.0);
+  EXPECT_DOUBLE_EQ(f.equivalent_age_seconds(0.01, 0.0, 0.180), 0.0);
+  // Unreachable shift at tiny alpha saturates at max_seconds.
+  EXPECT_DOUBLE_EQ(f.equivalent_age_seconds(1.0, 0.001, 0.180, 1000.0), 1000.0);
+}
+
+TEST(AgingForecaster, AdvanceMatchesDirectEvaluationAtConstantAlpha) {
+  // Chaining epochs at a constant duty must land on the single-shot value.
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  const double epoch = AgingForecaster::years_to_seconds(0.5);
+  double dvth = 0.0;
+  for (int i = 0; i < 6; ++i) dvth = f.advance_dvth(dvth, 0.4, epoch, 0.180);
+  OperatingPoint op;
+  op.vth_v = 0.180;
+  EXPECT_NEAR(dvth, m.delta_vth(0.4, 6 * epoch, op), 1e-6);
+}
+
+TEST(AgingForecaster, AdvanceNeverShrinksAndFreezesAtZeroAlpha) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  const double epoch = AgingForecaster::years_to_seconds(0.5);
+  const double aged = f.advance_dvth(0.010, 1.0, epoch, 0.180);
+  EXPECT_GT(aged, 0.010);
+  EXPECT_DOUBLE_EQ(f.advance_dvth(0.010, 0.0, epoch, 0.180), 0.010);
+  EXPECT_DOUBLE_EQ(f.advance_dvth(0.010, 0.5, 0.0, 0.180), 0.010);
+}
+
+TEST(AgingForecaster, HigherAlphaEpochAgesMore) {
+  const NbtiModel m = model();
+  AgingForecaster f(m, OperatingPoint{});
+  const double epoch = AgingForecaster::years_to_seconds(1.0);
+  const double start = 0.005;
+  EXPECT_LT(f.advance_dvth(start, 0.1, epoch, 0.180), f.advance_dvth(start, 0.9, epoch, 0.180));
+}
+
+TEST(AgingForecaster, YearsToSeconds) {
+  EXPECT_DOUBLE_EQ(AgingForecaster::years_to_seconds(1.0), 365.25 * 24 * 3600);
+}
+
+}  // namespace
+}  // namespace nbtinoc::nbti

@@ -1,0 +1,102 @@
+#include "nbtinoc/nbti/duty_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::nbti {
+namespace {
+
+TEST(StressTracker, StartsEmpty) {
+  StressTracker t;
+  EXPECT_EQ(t.total_cycles(), 0u);
+  EXPECT_DOUBLE_EQ(t.duty_cycle_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(t.stress_probability(), 0.0);
+}
+
+TEST(StressTracker, CountsStressAndRecovery) {
+  StressTracker t;
+  for (int i = 0; i < 3; ++i) t.record_cycle(true);
+  t.record_cycle(false);
+  EXPECT_EQ(t.stress_cycles(), 3u);
+  EXPECT_EQ(t.recovery_cycles(), 1u);
+  EXPECT_DOUBLE_EQ(t.duty_cycle_percent(), 75.0);
+  EXPECT_DOUBLE_EQ(t.stress_probability(), 0.75);
+}
+
+TEST(StressTracker, PaperDefinition) {
+  // NBTI-duty-cycle := stress / (stress + recovery) * 100
+  StressTracker t;
+  t.record_cycles(true, 266);
+  t.record_cycles(false, 734);
+  EXPECT_DOUBLE_EQ(t.duty_cycle_percent(), 26.6);
+}
+
+TEST(StressTracker, WarmupFenceFreezesCounters) {
+  StressTracker t;
+  t.set_measuring(false);
+  t.record_cycles(true, 1000);
+  EXPECT_EQ(t.total_cycles(), 0u);
+  t.set_measuring(true);
+  t.record_cycle(true);
+  EXPECT_EQ(t.total_cycles(), 1u);
+}
+
+TEST(StressTracker, AllStressedIsHundredPercent) {
+  StressTracker t;
+  t.record_cycles(true, 500);
+  EXPECT_DOUBLE_EQ(t.duty_cycle_percent(), 100.0);
+}
+
+TEST(StressTracker, AllRecoveredIsZeroPercent) {
+  StressTracker t;
+  t.record_cycles(false, 500);
+  EXPECT_DOUBLE_EQ(t.duty_cycle_percent(), 0.0);
+}
+
+TEST(StressTracker, ResetClears) {
+  StressTracker t;
+  t.record_cycles(true, 10);
+  t.reset();
+  EXPECT_EQ(t.total_cycles(), 0u);
+}
+
+TEST(StressTrackerBank, IndependentTrackers) {
+  StressTrackerBank bank(4);
+  bank.at(0).record_cycles(true, 10);
+  bank.at(1).record_cycles(false, 10);
+  bank.at(2).record_cycles(true, 5);
+  bank.at(2).record_cycles(false, 5);
+  const auto duties = bank.duty_cycles_percent();
+  ASSERT_EQ(duties.size(), 4u);
+  EXPECT_DOUBLE_EQ(duties[0], 100.0);
+  EXPECT_DOUBLE_EQ(duties[1], 0.0);
+  EXPECT_DOUBLE_EQ(duties[2], 50.0);
+  EXPECT_DOUBLE_EQ(duties[3], 0.0);
+}
+
+TEST(StressTrackerBank, BulkMeasuringToggle) {
+  StressTrackerBank bank(2);
+  bank.set_measuring(false);
+  bank.at(0).record_cycle(true);
+  bank.at(1).record_cycle(true);
+  EXPECT_EQ(bank.at(0).total_cycles(), 0u);
+  bank.set_measuring(true);
+  bank.at(0).record_cycle(true);
+  EXPECT_EQ(bank.at(0).total_cycles(), 1u);
+}
+
+TEST(StressTrackerBank, StressProbabilities) {
+  StressTrackerBank bank(2);
+  bank.at(0).record_cycles(true, 1);
+  bank.at(0).record_cycles(false, 3);
+  const auto probs = bank.stress_probabilities();
+  EXPECT_DOUBLE_EQ(probs[0], 0.25);
+  EXPECT_DOUBLE_EQ(probs[1], 0.0);
+}
+
+TEST(StressTrackerBank, OutOfRangeThrows) {
+  StressTrackerBank bank(2);
+  EXPECT_THROW(bank.at(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace nbtinoc::nbti

@@ -1,0 +1,107 @@
+#include "nbtinoc/nbti/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::nbti {
+namespace {
+
+NbtiModel model() { return NbtiModel::calibrated(NbtiParams{}, OperatingPoint{}); }
+
+TEST(NbtiSensorBank, RejectsEmptyBank) {
+  const NbtiModel m = model();
+  EXPECT_THROW(NbtiSensorBank({}, m, OperatingPoint{}), std::invalid_argument);
+}
+
+TEST(NbtiSensorBank, InitialMostDegradedIsHighestVth) {
+  const NbtiModel m = model();
+  NbtiSensorBank bank({0.180, 0.191, 0.178, 0.185}, m, OperatingPoint{});
+  EXPECT_EQ(bank.most_degraded(), 1u);
+}
+
+TEST(NbtiSensorBank, InitialReadingEqualsInitialVth) {
+  const NbtiModel m = model();
+  NbtiSensorBank bank({0.180, 0.190}, m, OperatingPoint{});
+  EXPECT_DOUBLE_EQ(bank.measured_vth(0), 0.180);
+  EXPECT_DOUBLE_EQ(bank.measured_vth(1), 0.190);
+}
+
+TEST(NbtiSensorBank, StressShiftsReading) {
+  const NbtiModel m = model();
+  SensorConfig cfg;
+  cfg.time_acceleration = 1e9;  // turn 1 simulated second into ~31 years
+  NbtiSensorBank bank({0.180, 0.180}, m, OperatingPoint{}, cfg);
+  StressTrackerBank trackers(2);
+  trackers.at(0).record_cycles(true, 100);   // buffer 0 fully stressed
+  trackers.at(1).record_cycles(false, 100);  // buffer 1 fully recovered
+  bank.refresh(1.0, trackers);
+  EXPECT_GT(bank.measured_vth(0), 0.200);  // ~ +50mV+ after decades
+  EXPECT_DOUBLE_EQ(bank.measured_vth(1), 0.180);
+  EXPECT_EQ(bank.most_degraded(), 0u);
+}
+
+TEST(NbtiSensorBank, PaperModeRankingDominatedByInitialVth) {
+  // With real 30ms simulations the accumulated shift is far below the 5mV
+  // PV spread: the most degraded VC stays the PV-worst one.
+  const NbtiModel m = model();
+  NbtiSensorBank bank({0.180, 0.188}, m, OperatingPoint{});
+  StressTrackerBank trackers(2);
+  trackers.at(0).record_cycles(true, 30'000'000);
+  trackers.at(1).record_cycles(false, 30'000'000);
+  bank.refresh(0.030, trackers);  // 30M cycles @ 1GHz
+  EXPECT_EQ(bank.most_degraded(), 1u);
+}
+
+TEST(NbtiSensorBank, EpochGatesRefresh) {
+  const NbtiModel m = model();
+  SensorConfig cfg;
+  cfg.epoch_cycles = 100;
+  cfg.time_acceleration = 1e9;
+  NbtiSensorBank bank({0.180, 0.181}, m, OperatingPoint{}, cfg);
+  StressTrackerBank trackers(2);
+  trackers.at(0).record_cycles(true, 1000);
+  trackers.at(1).record_cycles(false, 1000);
+
+  bank.update(50, 1.0, trackers);  // within first epoch: stale
+  EXPECT_EQ(bank.most_degraded(), 1u);
+  bank.update(100, 1.0, trackers);  // epoch boundary: refresh
+  EXPECT_EQ(bank.most_degraded(), 0u);
+}
+
+TEST(NbtiSensorBank, QuantizationTiesBreakTowardLowestIndex) {
+  const NbtiModel m = model();
+  SensorConfig cfg;
+  cfg.quantization_v = 0.010;  // 10mV LSB collapses close values
+  NbtiSensorBank bank({0.1801, 0.1803, 0.1802}, m, OperatingPoint{}, cfg);
+  StressTrackerBank trackers(3);
+  bank.refresh(0.0, trackers);
+  EXPECT_EQ(bank.most_degraded(), 0u);  // all quantize to 0.180
+  EXPECT_DOUBLE_EQ(bank.measured_vth(0), bank.measured_vth(1));
+}
+
+TEST(NbtiSensorBank, NoiseIsDeterministicPerSeed) {
+  const NbtiModel m = model();
+  SensorConfig cfg;
+  cfg.noise_sigma_v = 0.002;
+  NbtiSensorBank a({0.180, 0.181}, m, OperatingPoint{}, cfg, /*seed=*/77);
+  NbtiSensorBank b({0.180, 0.181}, m, OperatingPoint{}, cfg, /*seed=*/77);
+  EXPECT_DOUBLE_EQ(a.measured_vth(0), b.measured_vth(0));
+  EXPECT_DOUBLE_EQ(a.measured_vth(1), b.measured_vth(1));
+}
+
+TEST(NbtiSensorBank, TrueVthUsesPerBufferInitial) {
+  const NbtiModel m = model();
+  NbtiSensorBank bank({0.170, 0.190}, m, OperatingPoint{});
+  StressTrackerBank trackers(2);
+  EXPECT_DOUBLE_EQ(bank.true_vth(0, 0.0, trackers), 0.170);
+  EXPECT_DOUBLE_EQ(bank.true_vth(1, 0.0, trackers), 0.190);
+}
+
+TEST(NbtiSensorBank, SizeAndInitialAccessors) {
+  const NbtiModel m = model();
+  NbtiSensorBank bank({0.1, 0.2, 0.3}, m, OperatingPoint{});
+  EXPECT_EQ(bank.size(), 3u);
+  EXPECT_DOUBLE_EQ(bank.initial_vth(2), 0.3);
+}
+
+}  // namespace
+}  // namespace nbtinoc::nbti

@@ -1,0 +1,89 @@
+#include "nbtinoc/nbti/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::nbti {
+namespace {
+
+TEST(MeshThermalModel, RejectsBadConstruction) {
+  EXPECT_THROW(MeshThermalModel(0, 4), std::invalid_argument);
+  ThermalParams bad;
+  bad.coupling = 1.0;
+  EXPECT_THROW(MeshThermalModel(2, 2, bad), std::invalid_argument);
+  bad = ThermalParams{};
+  bad.iterations = 0;
+  EXPECT_THROW(MeshThermalModel(2, 2, bad), std::invalid_argument);
+}
+
+TEST(MeshThermalModel, RejectsBadPowerVectors) {
+  MeshThermalModel m(2, 2);
+  EXPECT_THROW(m.solve({1.0}), std::invalid_argument);
+  EXPECT_THROW(m.solve({1.0, 1.0, 1.0, -0.1}), std::invalid_argument);
+}
+
+TEST(MeshThermalModel, ZeroPowerIsAmbientEverywhere) {
+  MeshThermalModel m(4, 4);
+  const auto t = m.solve(std::vector<double>(16, 0.0));
+  for (double k : t) EXPECT_DOUBLE_EQ(k, m.params().ambient_k);
+}
+
+TEST(MeshThermalModel, UniformPowerUniformTemperature) {
+  MeshThermalModel m(4, 4);
+  const auto t = m.solve(std::vector<double>(16, 0.5));
+  // Interior tiles equal; edges slightly cooler is acceptable but the map
+  // must be symmetric and above ambient.
+  for (double k : t) EXPECT_GT(k, m.params().ambient_k);
+  EXPECT_NEAR(t[5], t[6], 1e-9);   // symmetric interior
+  EXPECT_NEAR(t[0], t[3], 1e-9);   // symmetric corners
+  EXPECT_NEAR(t[0], t[15], 1e-9);
+}
+
+TEST(MeshThermalModel, HotspotIsHottestAndSpreads) {
+  MeshThermalModel m(4, 4);
+  std::vector<double> power(16, 0.1);
+  power[5] = 2.0;  // tile (1,1)
+  const auto t = m.solve(power);
+  EXPECT_EQ(MeshThermalModel::hottest(t), 5u);
+  // Neighbors of the hotspot are warmer than the far corner.
+  EXPECT_GT(t[1], t[15]);
+  EXPECT_GT(t[6], t[15]);
+  // Spreading takes heat from the hotspot: below the uncoupled estimate.
+  EXPECT_LT(t[5], m.params().ambient_k + m.params().r_theta_k_per_w * 2.0);
+}
+
+TEST(MeshThermalModel, MonotoneInPower) {
+  MeshThermalModel m(2, 2);
+  const auto low = m.solve({0.1, 0.1, 0.1, 0.1});
+  const auto high = m.solve({0.2, 0.2, 0.2, 0.2});
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_GT(high[i], low[i]);
+}
+
+TEST(MeshThermalModel, NoCouplingIsPureLocalHeating) {
+  ThermalParams p;
+  p.coupling = 0.0;
+  MeshThermalModel m(2, 2, p);
+  const auto t = m.solve({1.0, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(t[0], p.ambient_k + p.r_theta_k_per_w);
+  EXPECT_DOUBLE_EQ(t[1], p.ambient_k);
+}
+
+TEST(MeshThermalModel, HottestThrowsOnEmpty) {
+  EXPECT_THROW(MeshThermalModel::hottest({}), std::invalid_argument);
+}
+
+TEST(MeshThermalModel, GradientChangesNbtiRanking) {
+  // End-to-end with the NBTI model: an identical duty cycle ages the hotter
+  // tile's buffer more.
+  MeshThermalModel m(2, 1);
+  const auto t = m.solve({1.5, 0.1});
+  const NbtiModel model = NbtiModel::calibrated({}, {});
+  OperatingPoint hot;
+  hot.temperature_k = t[0];
+  OperatingPoint cold;
+  cold.temperature_k = t[1];
+  const double three_years = 3 * 365.25 * 24 * 3600;
+  EXPECT_GT(model.delta_vth(0.5, three_years, hot), model.delta_vth(0.5, three_years, cold));
+}
+
+}  // namespace
+}  // namespace nbtinoc::nbti

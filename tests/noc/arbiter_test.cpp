@@ -1,0 +1,75 @@
+#include "nbtinoc/noc/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace nbtinoc::noc {
+namespace {
+
+TEST(RoundRobinArbiter, NoRequestsNoGrant) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.arbitrate({false, false, false, false}), -1);
+  EXPECT_EQ(arb.arbitrate({}), -1);
+}
+
+TEST(RoundRobinArbiter, SingleRequesterWins) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.arbitrate({false, false, true, false}), 2);
+}
+
+TEST(RoundRobinArbiter, PointerAdvancesPastWinner) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.arbitrate({true, true, true, true}), 0);
+  EXPECT_EQ(arb.arbitrate({true, true, true, true}), 1);
+  EXPECT_EQ(arb.arbitrate({true, true, true, true}), 2);
+  EXPECT_EQ(arb.arbitrate({true, true, true, true}), 3);
+  EXPECT_EQ(arb.arbitrate({true, true, true, true}), 0);
+}
+
+TEST(RoundRobinArbiter, FairUnderFullLoad) {
+  RoundRobinArbiter arb(3);
+  std::map<int, int> wins;
+  for (int i = 0; i < 300; ++i) ++wins[arb.arbitrate({true, true, true})];
+  EXPECT_EQ(wins[0], 100);
+  EXPECT_EQ(wins[1], 100);
+  EXPECT_EQ(wins[2], 100);
+}
+
+TEST(RoundRobinArbiter, SkipsNonRequesters) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.arbitrate({true, false, true, false}), 0);
+  EXPECT_EQ(arb.arbitrate({true, false, true, false}), 2);
+  EXPECT_EQ(arb.arbitrate({true, false, true, false}), 0);
+}
+
+TEST(RoundRobinArbiter, PeekDoesNotAdvance) {
+  RoundRobinArbiter arb(2);
+  EXPECT_EQ(arb.peek({true, true}), 0);
+  EXPECT_EQ(arb.peek({true, true}), 0);
+  EXPECT_EQ(arb.arbitrate({true, true}), 0);
+  EXPECT_EQ(arb.peek({true, true}), 1);
+}
+
+TEST(RoundRobinArbiter, AdvancePast) {
+  RoundRobinArbiter arb(4);
+  arb.advance_past(2);
+  EXPECT_EQ(arb.peek({true, true, true, true}), 3);
+  arb.advance_past(3);
+  EXPECT_EQ(arb.peek({true, true, true, true}), 0);
+}
+
+TEST(RoundRobinArbiter, ResizeResetsOutOfRangePointer) {
+  RoundRobinArbiter arb(4);
+  arb.advance_past(2);  // pointer = 3
+  arb.resize(2);
+  EXPECT_EQ(arb.peek({true, true}), 0);
+}
+
+TEST(RoundRobinArbiter, ShortRequestVectorTolerated) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.arbitrate({true}), 0);  // treats missing entries as absent
+}
+
+}  // namespace
+}  // namespace nbtinoc::noc

@@ -1,0 +1,172 @@
+#include "nbtinoc/noc/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::noc {
+namespace {
+
+Flit make_flit(FlitType type, PacketId pkt, int seq = 0) {
+  Flit f;
+  f.type = type;
+  f.packet = pkt;
+  f.seq = seq;
+  return f;
+}
+
+TEST(VcBuffer, RejectsBadDepth) { EXPECT_THROW(VcBuffer(0, 0), std::invalid_argument); }
+
+TEST(VcBuffer, StartsIdleEmptyAllocatable) {
+  VcBuffer buf(4, 0);
+  EXPECT_TRUE(buf.is_idle());
+  EXPECT_TRUE(buf.empty());
+  EXPECT_TRUE(buf.allocatable(0));
+  EXPECT_TRUE(buf.is_stressed());  // powered idle = NBTI stress
+}
+
+TEST(VcBuffer, GateAndWakeLifecycle) {
+  VcBuffer buf(4, 0);
+  buf.gate();
+  EXPECT_TRUE(buf.is_gated());
+  EXPECT_FALSE(buf.is_stressed());  // only recovery state heals
+  EXPECT_FALSE(buf.allocatable(0));
+  buf.wake(5);
+  EXPECT_TRUE(buf.is_idle());
+  EXPECT_TRUE(buf.allocatable(5));  // zero wake-up latency
+}
+
+TEST(VcBuffer, WakeupLatencyDelaysAllocatability) {
+  VcBuffer buf(4, 3);
+  buf.gate();
+  buf.wake(10);
+  EXPECT_TRUE(buf.is_idle());
+  EXPECT_FALSE(buf.allocatable(10));
+  EXPECT_FALSE(buf.allocatable(12));
+  EXPECT_TRUE(buf.allocatable(13));
+}
+
+TEST(VcBuffer, WakeWhenPoweredIsNoOp) {
+  VcBuffer buf(4, 5);
+  buf.wake(100);  // already idle: must NOT re-arm the wake timer
+  EXPECT_TRUE(buf.allocatable(0));
+}
+
+TEST(VcBuffer, CannotGateActiveBuffer) {
+  VcBuffer buf(4, 0);
+  buf.allocate(1, 0);
+  EXPECT_THROW(buf.gate(), std::logic_error);
+}
+
+TEST(VcBuffer, CannotGateTwice) {
+  VcBuffer buf(4, 0);
+  buf.gate();
+  EXPECT_THROW(buf.gate(), std::logic_error);
+}
+
+TEST(VcBuffer, AllocateRequiresIdle) {
+  VcBuffer buf(4, 0);
+  buf.allocate(1, 0);
+  EXPECT_THROW(buf.allocate(2, 0), std::logic_error);
+}
+
+TEST(VcBuffer, AllocateRequiresAwake) {
+  VcBuffer buf(4, 2);
+  buf.gate();
+  EXPECT_THROW(buf.allocate(1, 0), std::logic_error);
+  buf.wake(0);
+  EXPECT_THROW(buf.allocate(1, 1), std::logic_error);  // still waking
+  buf.allocate(1, 2);
+  EXPECT_TRUE(buf.is_active());
+}
+
+TEST(VcBuffer, PushRequiresActive) {
+  VcBuffer buf(4, 0);
+  EXPECT_THROW(buf.push(make_flit(FlitType::Head, 1)), std::logic_error);
+}
+
+TEST(VcBuffer, PushRejectsWrongPacket) {
+  VcBuffer buf(4, 0);
+  buf.allocate(1, 0);
+  EXPECT_THROW(buf.push(make_flit(FlitType::Head, 2)), std::logic_error);
+}
+
+TEST(VcBuffer, NoPacketMixingAfterTail) {
+  VcBuffer buf(4, 0);
+  buf.allocate(1, 0);
+  buf.push(make_flit(FlitType::Head, 1, 0));
+  buf.push(make_flit(FlitType::Tail, 1, 1));
+  EXPECT_THROW(buf.push(make_flit(FlitType::Body, 1, 2)), std::logic_error);
+}
+
+TEST(VcBuffer, OverflowThrows) {
+  VcBuffer buf(2, 0);
+  buf.allocate(1, 0);
+  buf.push(make_flit(FlitType::Head, 1, 0));
+  buf.push(make_flit(FlitType::Body, 1, 1));
+  EXPECT_TRUE(buf.full());
+  EXPECT_THROW(buf.push(make_flit(FlitType::Body, 1, 2)), std::logic_error);
+}
+
+TEST(VcBuffer, TailDequeueFreesBuffer) {
+  VcBuffer buf(4, 0);
+  buf.allocate(1, 0);
+  buf.push(make_flit(FlitType::Head, 1, 0));
+  buf.push(make_flit(FlitType::Tail, 1, 1));
+  EXPECT_EQ(buf.pop().type, FlitType::Head);
+  EXPECT_TRUE(buf.is_active());  // tail still inside
+  EXPECT_EQ(buf.pop().type, FlitType::Tail);
+  EXPECT_TRUE(buf.is_idle());    // released
+  EXPECT_TRUE(buf.empty());
+  // And is reusable for a new packet.
+  buf.allocate(2, 0);
+  buf.push(make_flit(FlitType::HeadTail, 2, 0));
+  buf.pop();
+  EXPECT_TRUE(buf.is_idle());
+}
+
+TEST(VcBuffer, HeadTailSingleFlitPacket) {
+  VcBuffer buf(4, 0);
+  buf.allocate(9, 0);
+  buf.push(make_flit(FlitType::HeadTail, 9));
+  EXPECT_EQ(buf.occupancy(), 1);
+  buf.pop();
+  EXPECT_TRUE(buf.is_idle());
+}
+
+TEST(VcBuffer, FifoOrderPreserved) {
+  VcBuffer buf(4, 0);
+  buf.allocate(1, 0);
+  for (int i = 0; i < 3; ++i)
+    buf.push(make_flit(i == 0 ? FlitType::Head : (i == 2 ? FlitType::Tail : FlitType::Body), 1, i));
+  EXPECT_EQ(buf.front().seq, 0);
+  EXPECT_EQ(buf.pop().seq, 0);
+  EXPECT_EQ(buf.pop().seq, 1);
+  EXPECT_EQ(buf.pop().seq, 2);
+}
+
+TEST(VcBuffer, PopEmptyThrows) {
+  VcBuffer buf(4, 0);
+  EXPECT_THROW(buf.pop(), std::logic_error);
+  EXPECT_THROW(buf.front(), std::logic_error);
+}
+
+TEST(VcBuffer, GateTransitionsCounted) {
+  VcBuffer buf(4, 0);
+  EXPECT_EQ(buf.gate_transitions(), 0u);
+  buf.gate();
+  buf.wake(1);
+  buf.gate();
+  buf.wake(2);
+  EXPECT_EQ(buf.gate_transitions(), 2u);
+  // wake() alone never counts.
+  buf.wake(3);
+  EXPECT_EQ(buf.gate_transitions(), 2u);
+}
+
+TEST(VcBuffer, RouteRoundTrip) {
+  VcBuffer buf(4, 0);
+  buf.set_route(Dir::West);
+  EXPECT_EQ(buf.route(), Dir::West);
+}
+
+}  // namespace
+}  // namespace nbtinoc::noc

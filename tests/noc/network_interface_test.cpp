@@ -1,0 +1,201 @@
+// Direct unit tests of the NI: VA for the local input port, credit-paced
+// serialization, ejection accounting, and its role as upstream policy input.
+
+#include "nbtinoc/noc/network_interface.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::noc {
+namespace {
+
+NocConfig config(int vcs = 2, int depth = 4) {
+  NocConfig c;
+  c.width = 2;
+  c.height = 1;
+  c.num_vcs = vcs;
+  c.buffer_depth = depth;
+  c.packet_length = 4;
+  return c;
+}
+
+class OneShotSource final : public ITrafficSource {
+ public:
+  OneShotSource(sim::Cycle when, NodeId dst, int length)
+      : when_(when), dst_(dst), length_(length) {}
+  std::optional<PacketRequest> maybe_generate(sim::Cycle now) override {
+    if (fired_ || now != when_) return std::nullopt;
+    fired_ = true;
+    return PacketRequest{dst_, length_};
+  }
+
+ private:
+  sim::Cycle when_;
+  NodeId dst_;
+  int length_;
+  bool fired_ = false;
+};
+
+struct NiRig {
+  NocConfig cfg = config();
+  InputUnit local_iu{Dir::Local, cfg};
+  Channel<Flit> inject{NocConfig::kLinkDelay};
+  Channel<Credit> credit{NocConfig::kCreditDelay};
+  Channel<Flit> eject{NocConfig::kLinkDelay};
+  NetworkInterface ni{0, cfg};
+  sim::StatRegistry stats;
+  std::uint64_t packet_ids = 0;
+
+  NiRig() { ni.wire(&local_iu, &inject, &credit, &eject); }
+
+  void cycle(sim::Cycle now) {
+    ni.receive(now, stats);
+    ni.inject(now, stats, packet_ids);
+    ni.generate(now, stats);
+  }
+};
+
+TEST(NetworkInterface, GeneratesIntoQueue) {
+  NiRig rig;
+  OneShotSource src(3, 1, 4);
+  rig.ni.set_traffic_source(&src);
+  for (sim::Cycle t = 0; t < 3; ++t) rig.cycle(t);
+  EXPECT_EQ(rig.ni.queue_depth(), 0u);
+  rig.cycle(3);
+  EXPECT_EQ(rig.ni.queue_depth(), 1u);
+  EXPECT_EQ(rig.stats.counter("noc.packets_offered"), 1u);
+}
+
+TEST(NetworkInterface, NewTrafficAssertsUntilVaGrant) {
+  NiRig rig;
+  OneShotSource src(3, 1, 4);
+  rig.ni.set_traffic_source(&src);
+  for (sim::Cycle t = 0; t <= 3; ++t) rig.cycle(t);
+  // Packet generated at 3: visible as new traffic from cycle 4 on.
+  EXPECT_FALSE(rig.ni.has_new_traffic(3));
+  EXPECT_TRUE(rig.ni.has_new_traffic(4));
+  rig.cycle(4);  // VA grants and serialization starts
+  EXPECT_FALSE(rig.ni.has_new_traffic(5));
+}
+
+TEST(NetworkInterface, AllocatesAnAwakeVcAndMarksItActive) {
+  NiRig rig;
+  OneShotSource src(0, 1, 4);
+  rig.ni.set_traffic_source(&src);
+  rig.local_iu.vc(0).gate();  // only VC1 is allocatable
+  rig.cycle(0);
+  rig.cycle(1);
+  EXPECT_TRUE(rig.local_iu.vc(0).is_gated());
+  EXPECT_TRUE(rig.local_iu.vc(1).is_active());
+  EXPECT_EQ(rig.stats.counter("noc.ni_va_grants"), 1u);
+}
+
+TEST(NetworkInterface, StallsWhenEveryVcIsGated) {
+  NiRig rig;
+  OneShotSource src(0, 1, 4);
+  rig.ni.set_traffic_source(&src);
+  rig.local_iu.vc(0).gate();
+  rig.local_iu.vc(1).gate();
+  for (sim::Cycle t = 0; t < 10; ++t) rig.cycle(t);
+  EXPECT_EQ(rig.ni.queue_depth(), 1u);
+  EXPECT_EQ(rig.ni.flits_injected(), 0u);
+  // Waking one unblocks injection.
+  rig.local_iu.vc(1).wake(10);
+  rig.cycle(11);
+  EXPECT_EQ(rig.ni.queue_depth(), 0u);
+  EXPECT_GT(rig.ni.flits_injected(), 0u);
+}
+
+TEST(NetworkInterface, SerializesOneFlitPerCycleWithCorrectTypes) {
+  NiRig rig;
+  OneShotSource src(0, 1, 4);
+  rig.ni.set_traffic_source(&src);
+  for (sim::Cycle t = 0; t <= 5; ++t) rig.cycle(t);
+  EXPECT_EQ(rig.ni.flits_injected(), 4u);
+  std::vector<Flit> sent;
+  for (sim::Cycle t = 0; t < 20; ++t)
+    while (auto f = rig.inject.pop_ready(t)) sent.push_back(*f);
+  ASSERT_EQ(sent.size(), 4u);
+  EXPECT_EQ(sent[0].type, FlitType::Head);
+  EXPECT_EQ(sent[1].type, FlitType::Body);
+  EXPECT_EQ(sent[2].type, FlitType::Body);
+  EXPECT_EQ(sent[3].type, FlitType::Tail);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sent[static_cast<std::size_t>(i)].seq, i);
+    EXPECT_EQ(sent[static_cast<std::size_t>(i)].vc, sent[0].vc);
+    EXPECT_EQ(sent[static_cast<std::size_t>(i)].packet, sent[0].packet);
+  }
+}
+
+TEST(NetworkInterface, SingleFlitPacketIsHeadTail) {
+  NiRig rig;
+  OneShotSource src(0, 1, 1);
+  rig.ni.set_traffic_source(&src);
+  for (sim::Cycle t = 0; t <= 2; ++t) rig.cycle(t);
+  auto f = rig.inject.pop_ready(10);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FlitType::HeadTail);
+}
+
+TEST(NetworkInterface, RespectsCredits) {
+  NiRig rig;  // depth 4, packet 4: all flits go out without credit return
+  OneShotSource src(0, 1, 4);
+  rig.ni.set_traffic_source(&src);
+  for (sim::Cycle t = 0; t <= 8; ++t) rig.cycle(t);
+  EXPECT_EQ(rig.ni.flits_injected(), 4u);
+
+  // Second rig with depth 2: only 2 flits leave until credits return.
+  NiRig tight;
+  tight.cfg = config(2, 2);
+  // Rebuild with the tighter config.
+  InputUnit iu(Dir::Local, tight.cfg);
+  NetworkInterface ni(0, tight.cfg);
+  ni.wire(&iu, &tight.inject, &tight.credit, &tight.eject);
+  OneShotSource src2(0, 1, 4);
+  ni.set_traffic_source(&src2);
+  std::uint64_t ids = 0;
+  for (sim::Cycle t = 0; t <= 6; ++t) {
+    ni.receive(t, tight.stats);
+    ni.inject(t, tight.stats, ids);
+    ni.generate(t, tight.stats);
+  }
+  EXPECT_EQ(ni.flits_injected(), 2u);
+  // Return one credit: one more flit goes.
+  tight.credit.push(Credit{0, false}, 6);
+  for (sim::Cycle t = 7; t <= 9; ++t) {
+    ni.receive(t, tight.stats);
+    ni.inject(t, tight.stats, ids);
+  }
+  EXPECT_EQ(ni.flits_injected(), 3u);
+}
+
+TEST(NetworkInterface, EjectionCountsAndLatency) {
+  NiRig rig;
+  Flit tail;
+  tail.type = FlitType::Tail;
+  tail.injected_at = 10;
+  rig.eject.push(tail, 20);  // arrives at 22
+  rig.cycle(22);
+  EXPECT_EQ(rig.ni.packets_ejected(), 1u);
+  const auto* lat = rig.stats.distribution("noc.packet_latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->mean(), 12.0);
+}
+
+TEST(NetworkInterface, DropsSelfTraffic) {
+  NiRig rig;
+  OneShotSource src(0, /*dst=self*/ 0, 4);
+  rig.ni.set_traffic_source(&src);
+  for (sim::Cycle t = 0; t < 5; ++t) rig.cycle(t);
+  EXPECT_EQ(rig.ni.queue_depth(), 0u);
+  EXPECT_EQ(rig.stats.counter("noc.packets_offered"), 0u);
+}
+
+TEST(NetworkInterface, CreditOverflowThrows) {
+  NiRig rig;
+  // More credits than buffer depth is a protocol violation.
+  for (int i = 0; i < 5; ++i) rig.credit.push(Credit{0, false}, 0);
+  EXPECT_THROW(rig.ni.receive(NocConfig::kCreditDelay, rig.stats), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nbtinoc::noc

@@ -1,0 +1,104 @@
+#include "nbtinoc/noc/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::noc {
+namespace {
+
+NocConfig mesh(int w, int h) {
+  NocConfig c;
+  c.width = w;
+  c.height = h;
+  return c;
+}
+
+TEST(Routing, CoordRoundTrip) {
+  for (NodeId id = 0; id < 16; ++id) EXPECT_EQ(id_of(coord_of(id, 4), 4), id);
+  EXPECT_EQ(coord_of(5, 4).x, 1);
+  EXPECT_EQ(coord_of(5, 4).y, 1);
+}
+
+TEST(Routing, InMesh) {
+  EXPECT_TRUE(in_mesh({0, 0}, 4, 4));
+  EXPECT_TRUE(in_mesh({3, 3}, 4, 4));
+  EXPECT_FALSE(in_mesh({4, 0}, 4, 4));
+  EXPECT_FALSE(in_mesh({0, -1}, 4, 4));
+}
+
+TEST(Routing, Neighbors) {
+  // 4x4 mesh, node 5 = (1,1).
+  EXPECT_EQ(neighbor_of(5, Dir::North, 4, 4), 1);
+  EXPECT_EQ(neighbor_of(5, Dir::South, 4, 4), 9);
+  EXPECT_EQ(neighbor_of(5, Dir::East, 4, 4), 6);
+  EXPECT_EQ(neighbor_of(5, Dir::West, 4, 4), 4);
+  EXPECT_EQ(neighbor_of(5, Dir::Local, 4, 4), -1);
+}
+
+TEST(Routing, EdgeNeighborsAbsent) {
+  EXPECT_EQ(neighbor_of(0, Dir::North, 4, 4), -1);
+  EXPECT_EQ(neighbor_of(0, Dir::West, 4, 4), -1);
+  EXPECT_EQ(neighbor_of(15, Dir::South, 4, 4), -1);
+  EXPECT_EQ(neighbor_of(15, Dir::East, 4, 4), -1);
+}
+
+TEST(Routing, HopDistance) {
+  EXPECT_EQ(hop_distance(0, 15, 4), 6);
+  EXPECT_EQ(hop_distance(0, 0, 4), 0);
+  EXPECT_EQ(hop_distance(0, 3, 4), 3);
+  EXPECT_EQ(hop_distance(3, 0, 4), 3);
+}
+
+TEST(Routing, XYGoesXFirst) {
+  const NocConfig c = mesh(4, 4);
+  // From (0,0) to (2,2): east until x matches, then south.
+  EXPECT_EQ(route_compute(0, 10, c), Dir::East);
+  EXPECT_EQ(route_compute(1, 10, c), Dir::East);
+  EXPECT_EQ(route_compute(2, 10, c), Dir::South);
+  EXPECT_EQ(route_compute(6, 10, c), Dir::South);
+  EXPECT_EQ(route_compute(10, 10, c), Dir::Local);
+}
+
+TEST(Routing, YXGoesYFirst) {
+  NocConfig c = mesh(4, 4);
+  c.routing = RoutingAlgo::kYX;
+  EXPECT_EQ(route_compute(0, 10, c), Dir::South);
+  EXPECT_EQ(route_compute(4, 10, c), Dir::South);
+  EXPECT_EQ(route_compute(8, 10, c), Dir::East);
+}
+
+TEST(Routing, WestAndNorth) {
+  const NocConfig c = mesh(4, 4);
+  EXPECT_EQ(route_compute(15, 0, c), Dir::West);
+  EXPECT_EQ(route_compute(12, 0, c), Dir::North);
+}
+
+// Property: following route_compute from any src always reaches dst in
+// exactly hop_distance steps (deadlock-free minimal routing).
+class RoutingWalkTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RoutingWalkTest, AlwaysReachesDestinationMinimally) {
+  const auto [w, h] = GetParam();
+  NocConfig c = mesh(w, h);
+  for (NodeId src = 0; src < w * h; ++src) {
+    for (NodeId dst = 0; dst < w * h; ++dst) {
+      NodeId cur = src;
+      int steps = 0;
+      while (cur != dst) {
+        const Dir d = route_compute(cur, dst, c);
+        ASSERT_NE(d, Dir::Local);
+        cur = neighbor_of(cur, d, w, h);
+        ASSERT_GE(cur, 0) << "routed off-mesh";
+        ASSERT_LE(++steps, w + h) << "non-minimal path";
+      }
+      EXPECT_EQ(steps, hop_distance(src, dst, w));
+      EXPECT_EQ(route_compute(dst, dst, c), Dir::Local);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSizes, RoutingWalkTest,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 4}, std::pair{3, 5},
+                                           std::pair{8, 8}, std::pair{1, 4}));
+
+}  // namespace
+}  // namespace nbtinoc::noc

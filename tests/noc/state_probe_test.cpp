@@ -1,0 +1,97 @@
+#include "nbtinoc/noc/state_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nbtinoc/util/csv.hpp"
+
+namespace nbtinoc::noc {
+namespace {
+
+NocConfig mesh() {
+  NocConfig c;
+  c.width = 2;
+  c.height = 2;
+  c.num_vcs = 2;
+  return c;
+}
+
+TEST(PortStateProbe, RejectsMissingPort) {
+  Network net(mesh());
+  EXPECT_THROW(PortStateProbe(net, {0, Dir::West}), std::invalid_argument);
+}
+
+TEST(PortStateProbe, SamplesCurrentStates) {
+  Network net(mesh());
+  PortStateProbe probe(net, {0, Dir::East});
+  probe.sample();
+  net.router(0).input(Dir::East).vc(0).gate();
+  net.router(0).input(Dir::East).vc(1).allocate(1, 0);
+  net.step();
+  probe.sample();
+  ASSERT_EQ(probe.records().size(), 2u);
+  EXPECT_EQ(probe.records()[0].states, "II");
+  // After the step the baseline controller woke VC0 again; VC1 stays active.
+  EXPECT_EQ(probe.records()[1].states, "IA");
+  EXPECT_EQ(probe.records()[1].cycle, 1u);
+}
+
+TEST(PortStateProbe, SharesSumToOne) {
+  Network net(mesh());
+  PortStateProbe probe(net, {0, Dir::East});
+  net.router(0).input(Dir::East).vc(0).gate();
+  for (int i = 0; i < 10; ++i) probe.sample();  // no stepping: states frozen
+  const auto sh = probe.shares(0);
+  EXPECT_DOUBLE_EQ(sh.recovery, 1.0);
+  EXPECT_DOUBLE_EQ(sh.idle + sh.active + sh.recovery, 1.0);
+  const auto sh1 = probe.shares(1);
+  EXPECT_DOUBLE_EQ(sh1.idle, 1.0);
+}
+
+TEST(PortStateProbe, SharesEmptyOrOutOfRangeAreZero) {
+  Network net(mesh());
+  PortStateProbe probe(net, {0, Dir::East});
+  EXPECT_DOUBLE_EQ(probe.shares(0).idle, 0.0);
+  probe.sample();
+  EXPECT_DOUBLE_EQ(probe.shares(7).idle, 0.0);
+}
+
+TEST(PortStateProbe, AsciiTimelineShape) {
+  Network net(mesh());
+  PortStateProbe probe(net, {0, Dir::East});
+  for (int i = 0; i < 25; ++i) probe.sample();
+  const std::string grid = probe.ascii_timeline(25);
+  // Two VC rows; 25 columns grouped in blocks of 10 => 2 spaces inserted.
+  EXPECT_NE(grid.find("VC0 "), std::string::npos);
+  EXPECT_NE(grid.find("VC1 "), std::string::npos);
+  EXPECT_NE(grid.find("IIIIIIIIII IIIIIIIIII IIIII"), std::string::npos);
+}
+
+TEST(PortStateProbe, AsciiTimelineTruncatesToWindow) {
+  Network net(mesh());
+  PortStateProbe probe(net, {0, Dir::East});
+  for (int i = 0; i < 100; ++i) probe.sample();
+  const std::string grid = probe.ascii_timeline(10);
+  // Each row: "VCn " + 10 chars + newline.
+  EXPECT_EQ(grid, "VC0 IIIIIIIIII\nVC1 IIIIIIIIII\n");
+}
+
+TEST(PortStateProbe, CsvRoundTrip) {
+  Network net(mesh());
+  PortStateProbe probe(net, {0, Dir::East});
+  net.router(0).input(Dir::East).vc(1).gate();
+  probe.sample();
+  const std::string path = std::filesystem::temp_directory_path() / "nbtinoc_probe.csv";
+  probe.save_csv(path);
+  const auto rows = util::read_csv(path);
+  ASSERT_EQ(rows.size(), 2u);  // header + 1 sample
+  EXPECT_EQ(rows[0][0], "cycle");
+  EXPECT_EQ(rows[1][1], "I");
+  EXPECT_EQ(rows[1][2], "R");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nbtinoc::noc

@@ -1,0 +1,35 @@
+#include "nbtinoc/noc/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::noc {
+namespace {
+
+TEST(Types, OppositeIsInvolutive) {
+  for (int d = 0; d < 4; ++d) {
+    const Dir dir = static_cast<Dir>(d);
+    EXPECT_EQ(opposite(opposite(dir)), dir);
+  }
+  EXPECT_EQ(opposite(Dir::Local), Dir::Local);
+}
+
+TEST(Types, OppositePairs) {
+  EXPECT_EQ(opposite(Dir::North), Dir::South);
+  EXPECT_EQ(opposite(Dir::East), Dir::West);
+}
+
+TEST(Types, DirNames) {
+  EXPECT_EQ(to_string(Dir::North), "North");
+  EXPECT_EQ(to_string(Dir::Local), "Local");
+  EXPECT_EQ(dir_letter(Dir::East), 'E');
+  EXPECT_EQ(dir_letter(Dir::West), 'W');
+}
+
+TEST(Types, VcStateNames) {
+  EXPECT_EQ(to_string(VcState::Idle), "Idle");
+  EXPECT_EQ(to_string(VcState::Active), "Active");
+  EXPECT_EQ(to_string(VcState::Recovery), "Recovery");
+}
+
+}  // namespace
+}  // namespace nbtinoc::noc

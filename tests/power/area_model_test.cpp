@@ -1,0 +1,122 @@
+#include "nbtinoc/power/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::power {
+namespace {
+
+RouterGeometry paper_geometry() {
+  // §III-D: 4 input ports, 4 VCs per port, 4 flits per buffer, 64b flits.
+  return RouterGeometry{};
+}
+
+TEST(AreaModel, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_THROW(ceil_log2(0), std::invalid_argument);
+}
+
+TEST(AreaModel, RouterAreaIsPositiveAndComposed) {
+  AreaModel model;
+  const auto area = model.router_area(paper_geometry());
+  EXPECT_GT(area.buffers_um2, 0.0);
+  EXPECT_GT(area.crossbar_um2, 0.0);
+  EXPECT_GT(area.vc_allocator_um2, 0.0);
+  EXPECT_GT(area.sw_allocator_um2, 0.0);
+  EXPECT_NEAR(area.total_um2,
+              (area.buffers_um2 + area.crossbar_um2 + area.vc_allocator_um2 +
+               area.sw_allocator_um2) *
+                  1.15,
+              1.0);
+}
+
+TEST(AreaModel, RejectsBadGeometry) {
+  AreaModel model;
+  RouterGeometry g;
+  g.ports = 0;
+  EXPECT_THROW(model.router_area(g), std::invalid_argument);
+}
+
+TEST(AreaModel, MoreVcsMoreBufferArea) {
+  AreaModel model;
+  RouterGeometry g2 = paper_geometry();
+  g2.num_vcs = 2;
+  RouterGeometry g4 = paper_geometry();
+  EXPECT_LT(model.router_area(g2).buffers_um2, model.router_area(g4).buffers_um2);
+  EXPECT_NEAR(model.router_area(g4).buffers_um2 / model.router_area(g2).buffers_um2, 2.0, 1e-9);
+}
+
+TEST(AreaModel, PaperSensorOverheadAbout3Percent) {
+  // §III-D: 16 sensors = 4 ports x 4 VCs -> ~3.25% of the router.
+  AreaModel model;
+  const auto rep = model.overhead_report(paper_geometry());
+  EXPECT_EQ(rep.num_sensors, 16);
+  EXPECT_NEAR(rep.sensor_overhead_vs_router(), 0.0325, 0.005);
+}
+
+TEST(AreaModel, PaperControlLinkOverheadAbout4Percent) {
+  // §III-D: Up_Down (log2(4)+1 = 3 wires) + Down_Up (2 wires) vs a 64b link
+  // -> ~3.8%.
+  AreaModel model;
+  const auto rep = model.overhead_report(paper_geometry());
+  EXPECT_EQ(rep.up_down_wires, 3);
+  EXPECT_EQ(rep.down_up_wires, 2);
+  EXPECT_NEAR(rep.link_overhead_vs_data_link(), 0.038, 0.005);
+}
+
+TEST(AreaModel, PaperTotalOverheadBelow4Percent) {
+  AreaModel model;
+  const auto rep = model.overhead_report(paper_geometry());
+  EXPECT_LT(rep.total_overhead_vs_noc(), 0.04);
+  EXPECT_GT(rep.total_overhead_vs_noc(), 0.02);  // and non-trivial
+}
+
+TEST(AreaModel, ControlLinkWiresScaleWithVcCount) {
+  AreaModel model;
+  RouterGeometry g8 = paper_geometry();
+  g8.num_vcs = 8;
+  const auto rep = model.overhead_report(g8);
+  EXPECT_EQ(rep.up_down_wires, 4);  // log2(8)+1
+  EXPECT_EQ(rep.down_up_wires, 3);
+}
+
+TEST(AreaModel, NodeScalingShrinksQuadratically) {
+  const auto p45 = AreaParams{};
+  const auto p32 = AreaParams::at_node(32);
+  const double s2 = (32.0 / 45.0) * (32.0 / 45.0);
+  EXPECT_NEAR(p32.flip_flop_um2, p45.flip_flop_um2 * s2, 1e-9);
+  EXPECT_NEAR(p32.sensor_um2, p45.sensor_um2 * s2, 1e-9);
+  // Tile length is a floorplan constant, not a device size.
+  EXPECT_DOUBLE_EQ(p32.link_length_um, p45.link_length_um);
+
+  AreaModel m45{p45};
+  AreaModel m32{p32};
+  EXPECT_LT(m32.router_area(paper_geometry()).total_um2,
+            m45.router_area(paper_geometry()).total_um2);
+}
+
+TEST(AreaModel, OverheadRatiosStableAcrossNodes) {
+  // Ratios survive the node shrink because sensors and routers scale alike.
+  AreaModel m32{AreaParams::at_node(32)};
+  const auto rep = m32.overhead_report(paper_geometry());
+  EXPECT_NEAR(rep.sensor_overhead_vs_router(), 0.0325, 0.006);
+}
+
+TEST(AreaModel, LinkAreaLinearInWidth) {
+  AreaModel model;
+  EXPECT_NEAR(model.link_area_um2(128) / model.link_area_um2(64), 2.0, 1e-9);
+}
+
+TEST(AreaModel, DescribeMentionsEverything) {
+  AreaModel model;
+  const std::string d = model.overhead_report(paper_geometry()).describe();
+  EXPECT_NE(d.find("NBTI sensors"), std::string::npos);
+  EXPECT_NE(d.find("Control links"), std::string::npos);
+  EXPECT_NE(d.find("% of router"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbtinoc::power

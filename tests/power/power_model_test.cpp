@@ -1,0 +1,141 @@
+#include "nbtinoc/power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::power {
+namespace {
+
+NocActivity sample_activity() {
+  NocActivity a;
+  a.window_seconds = 1e-4;
+  a.buffer_writes = 1000;
+  a.buffer_reads = 1000;
+  a.crossbar_traversals = 1000;
+  a.link_traversals = 1200;
+  a.allocator_grants = 1100;
+  a.powered_buffer_cycles = 50'000;
+  a.gated_buffer_cycles = 50'000;
+  a.bits_per_flit = 32;
+  a.buffer_bits = 32 * 8;
+  return a;
+}
+
+TEST(NocPowerModel, RejectsBadGeometry) {
+  NocPowerModel m;
+  NocActivity a = sample_activity();
+  a.bits_per_flit = 0;
+  EXPECT_THROW(m.evaluate(a), std::invalid_argument);
+}
+
+TEST(NocPowerModel, ZeroActivityZeroDynamic) {
+  NocPowerModel m;
+  NocActivity a;
+  a.bits_per_flit = 32;
+  a.buffer_bits = 256;
+  const EnergyReport r = m.evaluate(a);
+  EXPECT_DOUBLE_EQ(r.dynamic_pj(), 0.0);
+  EXPECT_DOUBLE_EQ(r.buffer_leakage_pj, 0.0);
+  EXPECT_DOUBLE_EQ(r.leakage_saving(), 0.0);
+}
+
+TEST(NocPowerModel, DynamicScalesLinearlyWithTraffic) {
+  NocPowerModel m;
+  NocActivity a = sample_activity();
+  const double base = m.evaluate(a).dynamic_pj();
+  a.buffer_writes *= 2;
+  a.buffer_reads *= 2;
+  a.crossbar_traversals *= 2;
+  a.link_traversals *= 2;
+  a.allocator_grants *= 2;
+  EXPECT_NEAR(m.evaluate(a).dynamic_pj(), 2.0 * base, 1e-9);
+}
+
+TEST(NocPowerModel, LeakageSavingMatchesGatedFraction) {
+  NocPowerModel m;
+  NocActivity a = sample_activity();
+  // Half the buffer-cycles gated at 5% residual: saving = 0.5 * 0.95.
+  const EnergyReport r = m.evaluate(a);
+  EXPECT_NEAR(r.leakage_saving(), 0.5 * 0.95, 1e-9);
+}
+
+TEST(NocPowerModel, NoGatingMeansNoSaving) {
+  NocPowerModel m;
+  NocActivity a = sample_activity();
+  a.gated_buffer_cycles = 0;
+  const EnergyReport r = m.evaluate(a);
+  EXPECT_NEAR(r.leakage_saving(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.buffer_leakage_pj, r.buffer_leakage_no_gating_pj);
+}
+
+TEST(NocPowerModel, FullGatingSavesAllButResidual) {
+  NocPowerModel m;
+  NocActivity a = sample_activity();
+  a.powered_buffer_cycles = 0;
+  const EnergyReport r = m.evaluate(a);
+  EXPECT_NEAR(r.leakage_saving(), 0.95, 1e-9);
+}
+
+TEST(NocPowerModel, LeakageUnitsSane) {
+  // One buffer of 256 bits powered for 1 ms at 0.035 uW/bit leaks
+  // 256*0.035 uW * 1e-3 s = 8.96e-9 J = 8960 pJ... check the math path.
+  NocPowerModel m;
+  NocActivity a;
+  a.bits_per_flit = 32;
+  a.buffer_bits = 256;
+  a.clock_period_s = 1e-9;
+  a.powered_buffer_cycles = 1'000'000;  // 1 ms at 1 GHz
+  const EnergyReport r = m.evaluate(a);
+  EXPECT_NEAR(r.buffer_leakage_pj, 256 * 0.035 * 1e-3 * 1e6, 1.0);
+}
+
+TEST(NocPowerModel, TransitionOverheadChargesNetSaving) {
+  NocPowerModel m;
+  NocActivity a = sample_activity();
+  a.gating_transitions = 0;
+  const EnergyReport no_overhead = m.evaluate(a);
+  EXPECT_DOUBLE_EQ(no_overhead.net_leakage_saving(), no_overhead.leakage_saving());
+
+  a.gating_transitions = 1000;
+  const EnergyReport with_overhead = m.evaluate(a);
+  EXPECT_NEAR(with_overhead.gating_overhead_pj, 1500.0, 1e-9);
+  EXPECT_LT(with_overhead.net_leakage_saving(), with_overhead.leakage_saving());
+  EXPECT_GT(with_overhead.total_pj(), no_overhead.total_pj());
+}
+
+TEST(NocPowerModel, ExcessiveTogglingGoesNetNegative) {
+  // Gating for a single cycle at a time costs more than it saves.
+  NocPowerModel m;
+  NocActivity a = sample_activity();
+  a.powered_buffer_cycles = 99'000;
+  a.gated_buffer_cycles = 1'000;
+  a.gating_transitions = 1'000;  // every gated cycle its own transition
+  const EnergyReport r = m.evaluate(a);
+  EXPECT_LT(r.net_leakage_saving(), 0.0);
+}
+
+TEST(NocPowerModel, AveragePower) {
+  EnergyReport r;
+  r.buffer_dynamic_pj = 500.0;
+  r.buffer_leakage_pj = 500.0;
+  // 1000 pJ over 1 us = 1 mW.
+  EXPECT_NEAR(r.average_power_mw(1e-6), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.average_power_mw(0.0), 0.0);
+}
+
+TEST(PowerParams, NodeScaling) {
+  const PowerParams p32 = PowerParams::at_node(32);
+  const PowerParams p45;
+  const double s = 32.0 / 45.0;
+  EXPECT_NEAR(p32.buffer_write_pj_per_bit, p45.buffer_write_pj_per_bit * s * s, 1e-12);
+  EXPECT_NEAR(p32.buffer_leakage_uw_per_bit, p45.buffer_leakage_uw_per_bit * s, 1e-12);
+}
+
+TEST(EnergyReport, DescribeMentionsSaving) {
+  NocPowerModel m;
+  const std::string d = m.evaluate(sample_activity()).describe();
+  EXPECT_NE(d.find("saving"), std::string::npos);
+  EXPECT_NE(d.find("dynamic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbtinoc::power

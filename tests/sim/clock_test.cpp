@@ -1,0 +1,48 @@
+#include "nbtinoc/sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::sim {
+namespace {
+
+TEST(Clock, StartsAtZero) {
+  Clock c;
+  EXPECT_EQ(c.now(), 0u);
+  EXPECT_DOUBLE_EQ(c.seconds_now(), 0.0);
+}
+
+TEST(Clock, TickAdvances) {
+  Clock c;
+  c.tick();
+  c.tick();
+  EXPECT_EQ(c.now(), 2u);
+}
+
+TEST(Clock, AdvanceBulk) {
+  Clock c;
+  c.advance(1'000'000);
+  EXPECT_EQ(c.now(), 1'000'000u);
+}
+
+TEST(Clock, SecondsAtOneGigahertz) {
+  Clock c(1e-9);
+  c.advance(30'000'000);
+  EXPECT_DOUBLE_EQ(c.seconds_now(), 0.030);  // 30M cycles @1GHz = 30 ms
+  EXPECT_DOUBLE_EQ(c.frequency_hz(), 1e9);
+}
+
+TEST(Clock, CustomPeriod) {
+  Clock c(2e-9);  // 500 MHz
+  c.advance(500);
+  EXPECT_DOUBLE_EQ(c.seconds_now(), 1e-6);
+}
+
+TEST(Clock, Reset) {
+  Clock c;
+  c.advance(42);
+  c.reset();
+  EXPECT_EQ(c.now(), 0u);
+}
+
+}  // namespace
+}  // namespace nbtinoc::sim

@@ -1,0 +1,131 @@
+#include "nbtinoc/sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::sim {
+namespace {
+
+TEST(Technology, NodePresets) {
+  EXPECT_DOUBLE_EQ(Technology::node_45nm().vth_nominal_v, 0.180);
+  EXPECT_DOUBLE_EQ(Technology::node_32nm().vth_nominal_v, 0.160);
+  EXPECT_EQ(Technology::node_45nm().node_nm, 45);
+  EXPECT_EQ(Technology::node_32nm().node_nm, 32);
+}
+
+TEST(Scenario, SyntheticFactory) {
+  const Scenario s = Scenario::synthetic(4, 2, 0.3);
+  EXPECT_EQ(s.cores(), 16);
+  EXPECT_EQ(s.num_vcs, 2);
+  EXPECT_DOUBLE_EQ(s.injection_rate, 0.3);
+  EXPECT_EQ(s.name, "16core-inj0.30");
+}
+
+TEST(Scenario, PvSeedIndependentOfPolicyButNotOfArch) {
+  const Scenario a = Scenario::synthetic(2, 4, 0.1);
+  const Scenario b = Scenario::synthetic(2, 4, 0.1);
+  EXPECT_EQ(a.pv_seed(), b.pv_seed());
+  EXPECT_NE(a.pv_seed(), Scenario::synthetic(4, 4, 0.1).pv_seed());
+  EXPECT_NE(a.pv_seed(), Scenario::synthetic(2, 2, 0.1).pv_seed());
+  EXPECT_NE(a.pv_seed(), Scenario::synthetic(2, 4, 0.2).pv_seed());
+}
+
+TEST(Scenario, TrafficSeedStable) {
+  EXPECT_EQ(Scenario::synthetic(2, 2, 0.2).traffic_seed(),
+            Scenario::synthetic(2, 2, 0.2).traffic_seed());
+  EXPECT_NE(Scenario::synthetic(2, 2, 0.2).traffic_seed(),
+            Scenario::synthetic(2, 2, 0.3).traffic_seed());
+}
+
+TEST(Scenario, PaperScaleMatchesSection4B) {
+  Scenario s4 = Scenario::synthetic(2, 2, 0.1);
+  s4.use_paper_scale();
+  EXPECT_EQ(s4.warmup_cycles, 6'000'000u);
+  EXPECT_EQ(s4.total_cycles(), 30'000'000u);
+
+  Scenario s16 = Scenario::synthetic(4, 2, 0.1);
+  s16.use_paper_scale();
+  EXPECT_EQ(s16.warmup_cycles, 9'000'000u);
+  EXPECT_EQ(s16.total_cycles(), 30'000'000u);
+}
+
+TEST(Scenario, PhitsPerFlit) {
+  Scenario s;
+  EXPECT_EQ(s.phits_per_flit(), 2);  // 64b flit over 32b link
+  s.link_width_bits = 64;
+  EXPECT_EQ(s.phits_per_flit(), 1);
+  s.link_width_bits = 16;
+  EXPECT_EQ(s.phits_per_flit(), 4);
+  s.flit_width_bits = 65;
+  s.link_width_bits = 32;
+  EXPECT_EQ(s.phits_per_flit(), 3);  // ceiling
+}
+
+TEST(ScenarioFromProperties, DefaultsWhenEmpty) {
+  const Scenario s = scenario_from_properties({});
+  EXPECT_EQ(s.mesh_width, 2);
+  EXPECT_EQ(s.num_vcs, 4);
+  EXPECT_EQ(s.tech.node_nm, 45);
+  EXPECT_DOUBLE_EQ(s.clock_period_s, 1e-9);
+  EXPECT_EQ(s.name, "4core-inj0.10");
+}
+
+TEST(ScenarioFromProperties, ParsesAllKnownKeys) {
+  const Scenario s = scenario_from_properties({{"name", "study"},
+                                               {"mesh_width", "4"},
+                                               {"mesh_height", "2"},
+                                               {"num_vcs", "2"},
+                                               {"num_vnets", "2"},
+                                               {"buffer_depth", "8"},
+                                               {"flit_width_bits", "128"},
+                                               {"link_width_bits", "32"},
+                                               {"packet_length", "5"},
+                                               {"injection_rate", "0.25"},
+                                               {"wakeup_latency", "3"},
+                                               {"warmup_cycles", "1000"},
+                                               {"measure_cycles", "5000"},
+                                               {"clock_ghz", "2"},
+                                               {"technology_nm", "32"},
+                                               {"vth_sigma_v", "0.004"},
+                                               {"temperature_k", "360"},
+                                               {"vdd_v", "1.1"}});
+  EXPECT_EQ(s.name, "study");
+  EXPECT_EQ(s.mesh_width, 4);
+  EXPECT_EQ(s.mesh_height, 2);
+  EXPECT_EQ(s.num_vnets, 2);
+  EXPECT_EQ(s.phits_per_flit(), 4);  // 128b flit over 32b link
+  EXPECT_EQ(s.wakeup_latency, 3u);
+  EXPECT_DOUBLE_EQ(s.clock_period_s, 0.5e-9);
+  EXPECT_DOUBLE_EQ(s.tech.vth_nominal_v, 0.160);  // 32nm preset
+  EXPECT_DOUBLE_EQ(s.tech.vth_sigma_v, 0.004);
+  EXPECT_DOUBLE_EQ(s.tech.temperature_k, 360.0);
+  EXPECT_DOUBLE_EQ(s.tech.vdd_v, 1.1);
+}
+
+TEST(ScenarioFromProperties, RouterStages) {
+  EXPECT_EQ(scenario_from_properties({}).router_stages, 3);
+  EXPECT_EQ(scenario_from_properties({{"router_stages", "5"}}).router_stages, 5);
+  EXPECT_THROW(scenario_from_properties({{"router_stages", "2"}}), std::invalid_argument);
+}
+
+TEST(ScenarioFromProperties, MeshHeightDefaultsToWidth) {
+  const Scenario s = scenario_from_properties({{"mesh_width", "4"}});
+  EXPECT_EQ(s.mesh_height, 4);
+}
+
+TEST(ScenarioFromProperties, RejectsUnknownKeyAndBadValues) {
+  EXPECT_THROW(scenario_from_properties({{"mesh_widht", "4"}}), std::invalid_argument);
+  EXPECT_THROW(scenario_from_properties({{"technology_nm", "28"}}), std::invalid_argument);
+  EXPECT_THROW(scenario_from_properties({{"clock_ghz", "0"}}), std::invalid_argument);
+}
+
+TEST(Scenario, DescribeMentionsKeyParameters) {
+  const Scenario s = Scenario::synthetic(2, 4, 0.2);
+  const std::string d = s.describe();
+  EXPECT_NE(d.find("2x2"), std::string::npos);
+  EXPECT_NE(d.find("4 VCs"), std::string::npos);
+  EXPECT_NE(d.find("45nm"), std::string::npos);
+  EXPECT_NE(d.find("0.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbtinoc::sim

@@ -1,0 +1,60 @@
+#include "nbtinoc/sim/stat_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::sim {
+namespace {
+
+TEST(StatRegistry, CountersAccumulate) {
+  StatRegistry r;
+  r.add("flits");
+  r.add("flits", 4);
+  EXPECT_EQ(r.counter("flits"), 5u);
+  EXPECT_TRUE(r.has_counter("flits"));
+}
+
+TEST(StatRegistry, UnknownCounterIsZero) {
+  StatRegistry r;
+  EXPECT_EQ(r.counter("nothing"), 0u);
+  EXPECT_FALSE(r.has_counter("nothing"));
+}
+
+TEST(StatRegistry, Distributions) {
+  StatRegistry r;
+  r.sample("latency", 10.0);
+  r.sample("latency", 20.0);
+  const auto* d = r.distribution("latency");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 2u);
+  EXPECT_DOUBLE_EQ(d->mean(), 15.0);
+  EXPECT_EQ(r.distribution("none"), nullptr);
+}
+
+TEST(StatRegistry, NamesSorted) {
+  StatRegistry r;
+  r.add("b");
+  r.add("a");
+  const auto names = r.counter_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(StatRegistry, ResetClearsEverything) {
+  StatRegistry r;
+  r.add("x");
+  r.sample("y", 1.0);
+  r.reset();
+  EXPECT_EQ(r.counter("x"), 0u);
+  EXPECT_EQ(r.distribution("y"), nullptr);
+}
+
+TEST(StatRegistry, ToStringContainsEntries) {
+  StatRegistry r;
+  r.add("noc.flits", 3);
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("noc.flits = 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbtinoc::sim

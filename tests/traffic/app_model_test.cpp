@@ -1,0 +1,173 @@
+#include "nbtinoc/traffic/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbtinoc/traffic/benchmarks.hpp"
+
+namespace nbtinoc::traffic {
+namespace {
+
+AppProfile profile(double rate = 0.05, double burst = 4.0, double burst_len = 200) {
+  AppProfile p;
+  p.mean_rate = rate;
+  p.burstiness = burst;
+  p.mean_burst_cycles = burst_len;
+  return p;
+}
+
+TEST(AppTrafficSource, RejectsBadProfiles) {
+  AppProfile p = profile();
+  p.mean_rate = -1;
+  EXPECT_THROW(AppTrafficSource(0, p, 4, 4, 15, 1), std::invalid_argument);
+  p = profile();
+  p.burstiness = 0.5;
+  EXPECT_THROW(AppTrafficSource(0, p, 4, 4, 15, 1), std::invalid_argument);
+  p = profile();
+  p.mean_burst_cycles = 0.0;
+  EXPECT_THROW(AppTrafficSource(0, p, 4, 4, 15, 1), std::invalid_argument);
+  p = profile();
+  p.packet_length = 0;
+  EXPECT_THROW(AppTrafficSource(0, p, 4, 4, 15, 1), std::invalid_argument);
+}
+
+TEST(AppTrafficSource, LongRunRateMatchesMean) {
+  const AppProfile p = profile(0.06, 4.0, 200);
+  AppTrafficSource src(0, p, 4, 4, 15, 42);
+  const int cycles = 2'000'000;
+  long flits = 0;
+  for (sim::Cycle t = 0; t < static_cast<sim::Cycle>(cycles); ++t)
+    if (auto req = src.maybe_generate(t)) flits += req->length;
+  EXPECT_NEAR(flits / static_cast<double>(cycles), 0.06, 0.008);
+}
+
+TEST(AppTrafficSource, IsActuallyBursty) {
+  // Windowed rate variance far exceeds a Bernoulli source's at equal mean.
+  const AppProfile p = profile(0.05, 6.0, 300);
+  AppTrafficSource src(0, p, 4, 4, 15, 7);
+  const int window = 500;
+  const int windows = 400;
+  std::vector<double> rates;
+  for (int w = 0; w < windows; ++w) {
+    long flits = 0;
+    for (int t = 0; t < window; ++t)
+      if (auto req = src.maybe_generate(static_cast<sim::Cycle>(w) * window + t))
+        flits += req->length;
+    rates.push_back(flits / static_cast<double>(window));
+  }
+  double mean = 0, var = 0;
+  for (double r : rates) mean += r;
+  mean /= rates.size();
+  for (double r : rates) var += (r - mean) * (r - mean);
+  var /= rates.size();
+  // Bernoulli packets at q=mean/4 with 4-flit packets gives var of windowed
+  // flit-rate ~ 16*q*(1-q)/window ~ 0.0004; the MMPP should be far above.
+  EXPECT_GT(var, 0.001);
+}
+
+TEST(AppTrafficSource, DestinationsStayOnMeshAndNotSelf) {
+  const AppProfile p = profile(0.5, 2.0, 100);
+  AppTrafficSource src(5, p, 4, 4, 15, 9);
+  for (sim::Cycle t = 0; t < 20000; ++t) {
+    if (auto req = src.maybe_generate(t)) {
+      EXPECT_GE(req->dst, 0);
+      EXPECT_LT(req->dst, 16);
+      EXPECT_NE(req->dst, 5);
+    }
+  }
+}
+
+TEST(AppTrafficSource, LocalityBiasesNeighbors) {
+  AppProfile p = profile(0.5, 1.0, 100);
+  p.locality = 0.8;
+  p.hotspot_fraction = 0.0;
+  AppTrafficSource src(5, p, 4, 4, 15, 11);
+  int neighbor_hits = 0, total = 0;
+  for (sim::Cycle t = 0; t < 100000; ++t) {
+    if (auto req = src.maybe_generate(t)) {
+      ++total;
+      const noc::NodeId d = req->dst;
+      if (d == 1 || d == 9 || d == 4 || d == 6) ++neighbor_hits;
+    }
+  }
+  ASSERT_GT(total, 1000);
+  EXPECT_GT(neighbor_hits / static_cast<double>(total), 0.75);
+}
+
+TEST(AppTrafficSource, HotspotBiasWorks) {
+  AppProfile p = profile(0.5, 1.0, 100);
+  p.locality = 0.0;
+  p.hotspot_fraction = 0.6;
+  AppTrafficSource src(0, p, 4, 4, /*hotspot=*/15, 13);
+  int hot = 0, total = 0;
+  for (sim::Cycle t = 0; t < 50000; ++t) {
+    if (auto req = src.maybe_generate(t)) {
+      ++total;
+      if (req->dst == 15) ++hot;
+    }
+  }
+  ASSERT_GT(total, 1000);
+  EXPECT_GT(hot / static_cast<double>(total), 0.55);
+}
+
+TEST(AppTrafficSource, MeanPacketProbability) {
+  const AppProfile p = profile(0.08);
+  AppTrafficSource src(0, p, 4, 4, 15, 1);
+  EXPECT_DOUBLE_EQ(src.mean_packet_probability(), 0.08 / 4);
+}
+
+TEST(Benchmarks, SuiteIsRichAndNamed) {
+  const auto& suite = benchmark_suite();
+  EXPECT_GE(suite.size(), 15u);
+  EXPECT_NO_THROW(benchmark_by_name("fft"));
+  EXPECT_NO_THROW(benchmark_by_name("wcet-crc"));
+  EXPECT_THROW(benchmark_by_name("doom"), std::invalid_argument);
+}
+
+TEST(Benchmarks, WcetKernelsAreLighterThanSplash) {
+  // The WCET suite is single-tile compute: its rates sit well below SPLASH2.
+  double wcet_max = 0, splash_min = 1;
+  for (const auto& p : benchmark_suite()) {
+    if (p.name.rfind("wcet-", 0) == 0) wcet_max = std::max(wcet_max, p.mean_rate);
+    else splash_min = std::min(splash_min, p.mean_rate);
+  }
+  EXPECT_LT(wcet_max, splash_min);
+}
+
+TEST(Benchmarks, RandomMixDeterministicPerSeed) {
+  const auto a = random_mix(16, 77);
+  const auto b = random_mix(16, 77);
+  EXPECT_EQ(a.names, b.names);
+  EXPECT_NE(a.names, random_mix(16, 78).names);
+  EXPECT_EQ(a.names.size(), 16u);
+}
+
+TEST(Benchmarks, InstallMixValidatesSize) {
+  noc::NocConfig cfg;
+  cfg.width = 2;
+  cfg.height = 2;
+  noc::Network net(cfg);
+  BenchmarkMix wrong;
+  wrong.names = {"fft"};
+  EXPECT_THROW(install_benchmark_mix(net, wrong, 1), std::invalid_argument);
+}
+
+TEST(Benchmarks, InstalledMixGeneratesTraffic) {
+  noc::NocConfig cfg;
+  cfg.width = 2;
+  cfg.height = 2;
+  noc::Network net(cfg);
+  install_benchmark_mix(net, random_mix(4, 3), 5);
+  net.run(100'000);
+  EXPECT_GT(net.stats().counter("noc.packets_ejected"), 10u);
+}
+
+TEST(Benchmarks, MixDescribeListsCores) {
+  BenchmarkMix mix;
+  mix.names = {"fft", "lu"};
+  const std::string d = mix.describe();
+  EXPECT_NE(d.find("core0=fft"), std::string::npos);
+  EXPECT_NE(d.find("core1=lu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbtinoc::traffic

@@ -1,0 +1,120 @@
+#include "nbtinoc/traffic/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace nbtinoc::traffic {
+namespace {
+
+TEST(Patterns, ParseNames) {
+  EXPECT_EQ(parse_pattern("uniform"), PatternKind::kUniform);
+  EXPECT_EQ(parse_pattern("Transpose"), PatternKind::kTranspose);
+  EXPECT_EQ(parse_pattern("hotspot"), PatternKind::kHotspot);
+  EXPECT_THROW(parse_pattern("nope"), std::invalid_argument);
+}
+
+TEST(Patterns, RoundTripNames) {
+  for (auto kind : {PatternKind::kUniform, PatternKind::kTranspose, PatternKind::kBitComplement,
+                    PatternKind::kBitReverse, PatternKind::kTornado, PatternKind::kNeighbor,
+                    PatternKind::kHotspot, PatternKind::kShuffle}) {
+    EXPECT_EQ(parse_pattern(to_string(kind)), kind);
+  }
+}
+
+TEST(Patterns, UniformNeverSelf) {
+  DestinationPattern p(PatternKind::kUniform, 4, 4);
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(p.pick(5, rng), 5);
+}
+
+TEST(Patterns, UniformCoversAllOthers) {
+  DestinationPattern p(PatternKind::kUniform, 2, 2);
+  util::Xoshiro256 rng(2);
+  std::map<int, int> counts;
+  for (int i = 0; i < 9000; ++i) ++counts[p.pick(0, rng)];
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [dst, n] : counts) EXPECT_NEAR(n, 3000, 300);
+}
+
+TEST(Patterns, TransposeMapsCoordinates) {
+  DestinationPattern p(PatternKind::kTranspose, 4, 4);
+  util::Xoshiro256 rng(3);
+  // (1,0) id=1 -> (0,1) id=4.
+  EXPECT_EQ(p.pick(1, rng), 4);
+  // (3,2) id=11 -> (2,3) id=14.
+  EXPECT_EQ(p.pick(11, rng), 14);
+}
+
+TEST(Patterns, TransposeDiagonalFallsBackToUniform) {
+  DestinationPattern p(PatternKind::kTranspose, 4, 4);
+  util::Xoshiro256 rng(4);
+  // Node 5 = (1,1) maps to itself; must divert elsewhere.
+  for (int i = 0; i < 100; ++i) EXPECT_NE(p.pick(5, rng), 5);
+}
+
+TEST(Patterns, BitComplement) {
+  DestinationPattern p(PatternKind::kBitComplement, 4, 4);
+  util::Xoshiro256 rng(5);
+  EXPECT_EQ(p.pick(0, rng), 15);
+  EXPECT_EQ(p.pick(3, rng), 12);
+}
+
+TEST(Patterns, TornadoHalfMeshOffset) {
+  DestinationPattern p(PatternKind::kTornado, 4, 4);
+  util::Xoshiro256 rng(6);
+  EXPECT_EQ(p.pick(0, rng), 2);   // (0,0) -> (2,0)
+  EXPECT_EQ(p.pick(5, rng), 7);   // (1,1) -> (3,1)
+}
+
+TEST(Patterns, NeighborWrapsX) {
+  DestinationPattern p(PatternKind::kNeighbor, 4, 4);
+  util::Xoshiro256 rng(7);
+  EXPECT_EQ(p.pick(0, rng), 1);
+  EXPECT_EQ(p.pick(3, rng), 0);  // wraps to column 0
+}
+
+TEST(Patterns, HotspotFractionRespected) {
+  DestinationPattern p(PatternKind::kHotspot, 4, 4, /*hotspot=*/15, /*fraction=*/0.5);
+  util::Xoshiro256 rng(8);
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (p.pick(0, rng) == 15) ++hot;
+  // 50% directed + uniform residue also landing on 15 occasionally.
+  EXPECT_NEAR(hot / static_cast<double>(n), 0.5 + 0.5 / 15.0, 0.02);
+}
+
+TEST(Patterns, HotspotNodeItselfSendsElsewhere) {
+  DestinationPattern p(PatternKind::kHotspot, 4, 4, 15, 0.9);
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_NE(p.pick(15, rng), 15);
+}
+
+TEST(Patterns, RejectsBadMesh) {
+  EXPECT_THROW(DestinationPattern(PatternKind::kUniform, 0, 4), std::invalid_argument);
+}
+
+// Property: no pattern ever returns the source itself.
+class NoSelfTrafficTest : public ::testing::TestWithParam<PatternKind> {};
+
+TEST_P(NoSelfTrafficTest, NeverSelf) {
+  DestinationPattern p(GetParam(), 4, 4, 0, 0.3);
+  util::Xoshiro256 rng(10);
+  for (noc::NodeId src = 0; src < 16; ++src)
+    for (int i = 0; i < 200; ++i) {
+      const noc::NodeId dst = p.pick(src, rng);
+      EXPECT_NE(dst, src);
+      EXPECT_GE(dst, 0);
+      EXPECT_LT(dst, 16);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, NoSelfTrafficTest,
+                         ::testing::Values(PatternKind::kUniform, PatternKind::kTranspose,
+                                           PatternKind::kBitComplement, PatternKind::kBitReverse,
+                                           PatternKind::kTornado, PatternKind::kNeighbor,
+                                           PatternKind::kHotspot, PatternKind::kShuffle));
+
+}  // namespace
+}  // namespace nbtinoc::traffic

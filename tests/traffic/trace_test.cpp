@@ -1,0 +1,98 @@
+#include <fstream>
+#include "nbtinoc/traffic/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nbtinoc/traffic/synthetic.hpp"
+
+namespace nbtinoc::traffic {
+namespace {
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace t;
+  t.add({10, 0, 3, 4});
+  t.add({11, 1, 2, 9});
+  const std::string path = std::filesystem::temp_directory_path() / "nbtinoc_trace.csv";
+  t.save(path);
+  const Trace loaded = Trace::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.records()[0].cycle, 10u);
+  EXPECT_EQ(loaded.records()[0].dst, 3);
+  EXPECT_EQ(loaded.records()[1].length, 9);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CaptureRecordsOfferedLoad) {
+  SyntheticSource src(0, 0.4, 4, DestinationPattern(PatternKind::kUniform, 2, 2), 17);
+  const Trace t = Trace::capture({&src}, 2000);
+  EXPECT_GT(t.size(), 100u);
+  for (const auto& rec : t.records()) {
+    EXPECT_EQ(rec.src, 0);
+    EXPECT_EQ(rec.length, 4);
+    EXPECT_LT(rec.cycle, 2000u);
+  }
+}
+
+TEST(Trace, CaptureSkipsNullSources) {
+  SyntheticSource src(1, 0.4, 4, DestinationPattern(PatternKind::kUniform, 2, 2), 19);
+  const Trace t = Trace::capture({nullptr, &src}, 500);
+  for (const auto& rec : t.records()) EXPECT_EQ(rec.src, 1);
+}
+
+TEST(TraceReplay, ReplaysOwnSliceInOrder) {
+  Trace t;
+  t.add({5, 0, 1, 4});
+  t.add({6, 1, 2, 4});  // other node's packet
+  t.add({9, 0, 3, 2});
+  TraceReplaySource replay(t, 0);
+  EXPECT_FALSE(replay.maybe_generate(4).has_value());
+  const auto first = replay.maybe_generate(5);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->dst, 1);
+  EXPECT_FALSE(replay.maybe_generate(7).has_value());
+  const auto second = replay.maybe_generate(9);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->dst, 3);
+  EXPECT_EQ(second->length, 2);
+  EXPECT_FALSE(replay.maybe_generate(10).has_value());
+}
+
+TEST(TraceReplay, SameCycleRecordsSlipForward) {
+  Trace t;
+  t.add({5, 0, 1, 4});
+  t.add({5, 0, 2, 4});
+  TraceReplaySource replay(t, 0);
+  EXPECT_EQ(replay.maybe_generate(5)->dst, 1);
+  EXPECT_EQ(replay.maybe_generate(6)->dst, 2);  // deferred one cycle
+}
+
+TEST(TraceReplay, CapturedTrafficReplaysIdentically) {
+  // Capture a synthetic stream, then replay it through a network: the same
+  // offered packets arrive.
+  SyntheticSource src(0, 0.2, 4, DestinationPattern(PatternKind::kUniform, 2, 2), 23);
+  const Trace trace = Trace::capture({&src, nullptr, nullptr, nullptr}, 3000);
+
+  noc::NocConfig cfg;
+  cfg.width = 2;
+  cfg.height = 2;
+  noc::Network net(cfg);
+  net.set_traffic_source(0, std::make_unique<TraceReplaySource>(trace, 0));
+  net.run(6000);
+  EXPECT_EQ(net.stats().counter("noc.packets_offered"), trace.size());
+}
+
+TEST(Trace, LoadMalformedThrows) {
+  const std::string path = std::filesystem::temp_directory_path() / "nbtinoc_bad_trace.csv";
+  {
+    std::ofstream out(path);
+    out << "1,2,3\n";  // missing the length column
+  }
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nbtinoc::traffic

@@ -1,0 +1,60 @@
+#include "nbtinoc/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::util {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliArgs, SpaceSeparatedValue) {
+  const auto args = make({"prog", "--rate", "0.3"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("rate", 0.0), 0.3);
+}
+
+TEST(CliArgs, EqualsValue) {
+  const auto args = make({"prog", "--cores=16"});
+  EXPECT_EQ(args.get_int_or("cores", 0), 16);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const auto args = make({"prog", "--full"});
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_TRUE(args.get_bool_or("full", false));
+}
+
+TEST(CliArgs, BareFlagFollowedByFlag) {
+  const auto args = make({"prog", "--full", "--vcs", "4"});
+  EXPECT_TRUE(args.get_bool_or("full", false));
+  EXPECT_EQ(args.get_int_or("vcs", 0), 4);
+}
+
+TEST(CliArgs, MissingUsesFallback) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.get_or("policy", "sw"), "sw");
+  EXPECT_EQ(args.get_int_or("n", 7), 7);
+  EXPECT_FALSE(args.get_bool_or("x", false));
+  EXPECT_FALSE(args.get("anything").has_value());
+}
+
+TEST(CliArgs, BoolSpellings) {
+  EXPECT_TRUE(make({"p", "--a=true"}).get_bool_or("a", false));
+  EXPECT_TRUE(make({"p", "--a=1"}).get_bool_or("a", false));
+  EXPECT_TRUE(make({"p", "--a=yes"}).get_bool_or("a", false));
+  EXPECT_FALSE(make({"p", "--a=0"}).get_bool_or("a", true));
+  EXPECT_FALSE(make({"p", "--a=false"}).get_bool_or("a", true));
+}
+
+TEST(CliArgs, Positional) {
+  const auto args = make({"prog", "input.csv", "--x", "1", "out.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "out.csv");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+}  // namespace
+}  // namespace nbtinoc::util

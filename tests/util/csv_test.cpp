@@ -1,0 +1,53 @@
+#include "nbtinoc/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace nbtinoc::util {
+namespace {
+
+TEST(CsvParse, SimpleLine) {
+  const auto cells = parse_csv_line("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(CsvParse, EmptyCells) {
+  const auto cells = parse_csv_line(",x,");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "");
+  EXPECT_EQ(cells[1], "x");
+  EXPECT_EQ(cells[2], "");
+}
+
+TEST(CsvParse, QuotedCommaAndEscapedQuote) {
+  const auto cells = parse_csv_line("\"a,b\",\"say \"\"hi\"\"\"");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "a,b");
+  EXPECT_EQ(cells[1], "say \"hi\"");
+}
+
+TEST(CsvRoundTrip, WriteThenRead) {
+  const std::string path = std::filesystem::temp_directory_path() / "nbtinoc_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_comment("header comment");
+    w.write_row({"cycle", "src,dst", "len"});
+    w.write_row({"1", "2", "3"});
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 2u);  // comment skipped
+  EXPECT_EQ(rows[0][1], "src,dst");
+  EXPECT_EQ(rows[1][2], "3");
+  std::remove(path.c_str());
+}
+
+TEST(CsvRead, MissingFileThrows) { EXPECT_THROW(read_csv("/nonexistent/x.csv"), std::runtime_error); }
+
+TEST(CsvWriter, BadPathThrows) { EXPECT_THROW(CsvWriter("/nonexistent/dir/x.csv"), std::runtime_error); }
+
+}  // namespace
+}  // namespace nbtinoc::util

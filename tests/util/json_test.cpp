@@ -1,0 +1,83 @@
+#include "nbtinoc/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::util {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object()
+      .field("name", "sensor-wise")
+      .field("duty", 26.6)
+      .field("md", 2)
+      .field("ok", true)
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"name\":\"sensor-wise\",\"duty\":26.600000000000001,\"md\":2,\"ok\":true}");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object().key("ports").begin_array();
+  w.begin_object().field("vc", 0).end_object();
+  w.begin_object().field("vc", 1).end_object();
+  w.end_array().end_object();
+  EXPECT_EQ(w.str(), "{\"ports\":[{\"vc\":0},{\"vc\":1}]}");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, ArraysOfScalars) {
+  JsonWriter w;
+  w.begin_array().value(1).value(2).value(3).end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, NullValue) {
+  JsonWriter w;
+  w.begin_object().key("x").null().end_object();
+  EXPECT_EQ(w.str(), "{\"x\":null}");
+}
+
+TEST(JsonWriter, Escaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.key("x"), std::logic_error);  // key outside object
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), std::logic_error);  // mismatched close
+  }
+}
+
+TEST(JsonWriter, IncompleteIsDetected) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+}
+
+TEST(JsonWriter, DoubleRoundTripPrecision) {
+  JsonWriter w;
+  w.begin_array().value(0.1).end_array();
+  EXPECT_NE(w.str().find("0.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbtinoc::util

@@ -1,0 +1,69 @@
+#include "nbtinoc/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LogTest, ParseIsCaseInsensitiveWithAliases) {
+  EXPECT_EQ(parse_log_level("TRACE"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("Debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kInfo);  // documented fallback
+}
+
+TEST_F(LogTest, ThresholdRoundTrip) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+}
+
+TEST_F(LogTest, SuppressedMessageProducesNoOutput) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  NBTINOC_LOG(kDebug, "test") << "should not appear";
+  log_message(LogLevel::kInfo, "test", "also filtered");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LogTest, EmittedMessageHasLevelAndComponent) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  NBTINOC_LOG(kWarn, "router") << "stall at cycle " << 42;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[WARN]"), std::string::npos);
+  EXPECT_NE(out.find("router:"), std::string::npos);
+  EXPECT_NE(out.find("stall at cycle 42"), std::string::npos);
+}
+
+TEST_F(LogTest, MacroShortCircuitsArguments) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  NBTINOC_LOG(kDebug, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);  // stream args untouched when filtered
+}
+
+}  // namespace
+}  // namespace nbtinoc::util

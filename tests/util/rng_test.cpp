@@ -1,0 +1,125 @@
+#include "nbtinoc/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nbtinoc::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SeedFromString, StableAndDistinct) {
+  EXPECT_EQ(seed_from_string("4core-inj0.10"), seed_from_string("4core-inj0.10"));
+  EXPECT_NE(seed_from_string("4core-inj0.10"), seed_from_string("4core-inj0.20"));
+  EXPECT_NE(seed_from_string("a"), seed_from_string("b"));
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), std::max<std::uint64_t>(bound, 1));
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversAllValues) {
+  Xoshiro256 rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(17);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(Xoshiro256, GaussianMomentsMatch) {
+  Xoshiro256 rng(23);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, GaussianWithParams) {
+  Xoshiro256 rng(29);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.next_gaussian(0.180, 0.005);
+  EXPECT_NEAR(sum / n, 0.180, 0.001);
+}
+
+TEST(Xoshiro256, BernoulliEdgeCases) {
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+    EXPECT_FALSE(rng.next_bernoulli(-0.5));
+    EXPECT_TRUE(rng.next_bernoulli(1.5));
+  }
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(37);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i)
+    if (rng.next_bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Xoshiro256, JumpDecorrelatesStreams) {
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace nbtinoc::util

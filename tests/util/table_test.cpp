@@ -1,0 +1,59 @@
+#include "nbtinoc/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbtinoc::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) { EXPECT_THROW(Table({}), std::invalid_argument); }
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string md = t.to_markdown();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 4);
+  EXPECT_NE(md.find("| name"), std::string::npos);
+  EXPECT_NE(md.find("long-name"), std::string::npos);
+  // Columns padded to widest cell.
+  EXPECT_NE(md.find("| x        "), std::string::npos);
+}
+
+TEST(Table, TextShape) {
+  Table t({"a"});
+  t.add_row({"val"});
+  const std::string txt = t.to_text();
+  EXPECT_NE(txt.find("a"), std::string::npos);
+  EXPECT_NE(txt.find("---"), std::string::npos);
+  EXPECT_NE(txt.find("val"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "quote\"inside"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Formatting, Doubles) {
+  EXPECT_EQ(format_double(12.345, 2), "12.35");
+  EXPECT_EQ(format_double(12.0, 0), "12");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(format_percent(26.62), "26.6%");
+  EXPECT_EQ(format_percent(100.0), "100.0%");
+  EXPECT_EQ(format_percent(0.049, 2), "0.05%");
+}
+
+}  // namespace
+}  // namespace nbtinoc::util
