@@ -32,17 +32,25 @@ int main(int argc, char** argv) {
   }
   util::Table table(header);
 
-  for (double rate : {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35}) {
-    std::vector<std::string> row{util::format_double(rate, 2)};
-    for (auto policy : policies) {
-      sim::Scenario s = sim::Scenario::synthetic(4, 2, rate);
-      bench::apply_scale(s, options);
-      const auto r = bench::run_synthetic(s, policy);
+  const std::vector<double> rates = {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35};
+  core::SweepRunner sweep(bench::sweep_options(options));
+  std::vector<sim::Scenario> scenarios;
+  for (double rate : rates) {
+    sim::Scenario s = sim::Scenario::synthetic(4, 2, rate);
+    bench::apply_scale(s, options);
+    scenarios.push_back(s);
+  }
+  sweep.add_grid(scenarios, policies);
+  const core::SweepResult results = sweep.run();
+
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    std::vector<std::string> row{util::format_double(rates[i], 2)};
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      const auto& r = results[i * policies.size() + pi].result;
       row.push_back(util::format_double(r.avg_packet_latency, 1));
       row.push_back(util::format_double(r.throughput_flits_per_cycle_per_node, 3));
     }
     table.add_row(std::move(row));
-    std::cerr << "  [done] rate=" << rate << '\n';
   }
 
   bench::emit(table, options);

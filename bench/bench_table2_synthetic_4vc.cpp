@@ -33,30 +33,42 @@ int main(int argc, char** argv) {
   header.push_back("Gap (rr - sw)");
   util::Table table(header);
 
-  double max_gap = 0.0;
-  std::string max_gap_scenario;
+  // All 18 runs go through the sweep engine: scenario-major grid with the
+  // three policies adjacent, sharded over --workers threads.
+  const std::vector<core::PolicyKind> policies = {core::PolicyKind::kRrNoSensor,
+                                                  core::PolicyKind::kSensorWiseNoTraffic,
+                                                  core::PolicyKind::kSensorWise};
+  core::SweepRunner sweep(bench::sweep_options(options));
+  std::vector<sim::Scenario> scenarios;
   for (int width : {2, 4}) {
     for (double rate : {0.1, 0.2, 0.3}) {
       sim::Scenario s = sim::Scenario::synthetic(width, vcs, rate);
       bench::apply_scale(s, options);
-      const auto rr = bench::run_synthetic(s, core::PolicyKind::kRrNoSensor);
-      const auto swnt = bench::run_synthetic(s, core::PolicyKind::kSensorWiseNoTraffic);
-      const auto sw = bench::run_synthetic(s, core::PolicyKind::kSensorWise);
+      scenarios.push_back(s);
+    }
+  }
+  sweep.add_grid(scenarios, policies);
+  const core::SweepResult results = sweep.run();
 
-      const auto& port_sw = sw.port(0, noc::Dir::East);
-      const int md = port_sw.most_degraded;
-      std::vector<std::string> row{s.name, std::to_string(md)};
-      for (const auto* result : {&rr, &swnt, &sw})
-        for (double duty : result->port(0, noc::Dir::East).duty_percent)
-          row.push_back(bench::duty_cell(duty));
-      const double gap = bench::gap_on_md(rr, sw, 0, noc::Dir::East);
-      row.push_back(util::format_percent(gap));
-      table.add_row(std::move(row));
-      if (gap > max_gap) {
-        max_gap = gap;
-        max_gap_scenario = s.name;
-      }
-      std::cerr << "  [done] " << s.name << '\n';
+  double max_gap = 0.0;
+  std::string max_gap_scenario;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& rr = results[i * policies.size() + 0].result;
+    const auto& swnt = results[i * policies.size() + 1].result;
+    const auto& sw = results[i * policies.size() + 2].result;
+
+    const auto& port_sw = sw.port(0, noc::Dir::East);
+    const int md = port_sw.most_degraded;
+    std::vector<std::string> row{scenarios[i].name, std::to_string(md)};
+    for (const auto* result : {&rr, &swnt, &sw})
+      for (double duty : result->port(0, noc::Dir::East).duty_percent)
+        row.push_back(bench::duty_cell(duty));
+    const double gap = bench::gap_on_md(rr, sw, 0, noc::Dir::East);
+    row.push_back(util::format_percent(gap));
+    table.add_row(std::move(row));
+    if (gap > max_gap) {
+      max_gap = gap;
+      max_gap_scenario = scenarios[i].name;
     }
   }
 

@@ -32,26 +32,40 @@ int main(int argc, char** argv) {
   header.push_back("Gap (rr - sw)");
   util::Table table(header);
 
+  const std::vector<core::PolicyKind> policies = {core::PolicyKind::kRrNoSensor,
+                                                  core::PolicyKind::kSensorWiseNoTraffic,
+                                                  core::PolicyKind::kSensorWise};
+  core::SweepRunner sweep(bench::sweep_options(options));
+  std::vector<sim::Scenario> scenarios;
   for (int width : {2, 4}) {
-    std::vector<double> gaps;
     for (double rate : {0.1, 0.2, 0.3}) {
       sim::Scenario s = sim::Scenario::synthetic(width, vcs, rate);
       bench::apply_scale(s, options);
-      const auto rr = bench::run_synthetic(s, core::PolicyKind::kRrNoSensor);
-      const auto swnt = bench::run_synthetic(s, core::PolicyKind::kSensorWiseNoTraffic);
-      const auto sw = bench::run_synthetic(s, core::PolicyKind::kSensorWise);
+      scenarios.push_back(s);
+    }
+  }
+  sweep.add_grid(scenarios, policies);
+  const core::SweepResult results = sweep.run();
+
+  for (std::size_t wi = 0; wi < 2; ++wi) {
+    std::vector<double> gaps;
+    for (std::size_t ri = 0; ri < 3; ++ri) {
+      const std::size_t base = (wi * 3 + ri) * policies.size();
+      const auto& rr = results[base + 0].result;
+      const auto& swnt = results[base + 1].result;
+      const auto& sw = results[base + 2].result;
 
       const int md = sw.port(0, noc::Dir::East).most_degraded;
-      std::vector<std::string> row{s.name, std::to_string(md)};
+      std::vector<std::string> row{scenarios[wi * 3 + ri].name, std::to_string(md)};
       for (const auto* result : {&rr, &swnt, &sw})
         for (double duty : result->port(0, noc::Dir::East).duty_percent)
           row.push_back(bench::duty_cell(duty));
       gaps.push_back(bench::gap_on_md(rr, sw, 0, noc::Dir::East));
       row.push_back(util::format_percent(gaps.back()));
       table.add_row(std::move(row));
-      std::cerr << "  [done] " << s.name << '\n';
     }
-    std::cout << (width * width) << "-core Gap trend with load: " << util::format_percent(gaps[0])
+    const int cores = scenarios[wi * 3].cores();
+    std::cout << cores << "-core Gap trend with load: " << util::format_percent(gaps[0])
               << " -> " << util::format_percent(gaps[1]) << " -> " << util::format_percent(gaps[2])
               << (gaps[2] < gaps[1] ? "  (shrinks under congestion, as in the paper)" : "")
               << "\n";

@@ -62,23 +62,36 @@ int main(int argc, char** argv) {
   header.push_back("Gap avg");
   util::Table table(header);
 
-  // Run each architecture once per iteration and sample all its ports.
+  // Build the full grid up front — {architecture} x {iteration} x {rr, sw},
+  // one random benchmark mix per iteration — and shard it over the sweep
+  // engine; the mix and both seeds derive from the scenario/iteration, so
+  // the parallel result grid matches the old serial loop run for run.
+  core::SweepRunner sweep(bench::sweep_options(options));
   for (const int width : {2, 4}) {
     sim::Scenario s = sim::Scenario::synthetic(width, vcs, 0.0);
     s.name = std::to_string(width * width) + "core-realtraffic";
     bench::apply_scale(s, options);
+    for (int it = 0; it < options.iterations; ++it) {
+      const traffic::BenchmarkMix mix =
+          traffic::random_mix(width * width, 9000 + static_cast<std::uint64_t>(it) * 17 + width);
+      const core::Workload w = core::Workload::benchmark_mix(mix, static_cast<std::uint64_t>(it));
+      const std::string label = "it" + std::to_string(it + 1);
+      sweep.add(s, core::PolicyKind::kRrNoSensor, w, label);
+      sweep.add(s, core::PolicyKind::kSensorWise, w, label);
+    }
+  }
+  const core::SweepResult results = sweep.run();
 
+  std::size_t next = 0;  // grid cursor, consumed in add() order
+  for (const int width : {2, 4}) {
     // duty[policy][port][vc] accumulated across iterations.
     std::map<std::string, std::map<noc::PortKey, std::vector<util::RunningStats>>> acc;
     std::map<noc::PortKey, int> md_of;
     std::map<noc::PortKey, util::RunningStats> gap_acc;
 
     for (int it = 0; it < options.iterations; ++it) {
-      const traffic::BenchmarkMix mix =
-          traffic::random_mix(width * width, 9000 + static_cast<std::uint64_t>(it) * 17 + width);
-      const core::Workload w = core::Workload::benchmark_mix(mix, static_cast<std::uint64_t>(it));
-      const auto rr = core::run_experiment(s, core::PolicyKind::kRrNoSensor, w);
-      const auto sw = core::run_experiment(s, core::PolicyKind::kSensorWise, w);
+      const auto& rr = results[next++].result;
+      const auto& sw = results[next++].result;
       for (const auto& sp : sampled) {
         if (sp.width != width) continue;
         const noc::PortKey key{sp.router, sp.port};
@@ -96,8 +109,6 @@ int main(int argc, char** argv) {
         const auto md = static_cast<std::size_t>(sw_port.most_degraded);
         gap_acc[key].add(rr_port.duty_percent[md] - sw_port.duty_percent[md]);
       }
-      std::cerr << "  [done] " << s.name << " iteration " << (it + 1) << "/"
-                << options.iterations << " (" << mix.describe() << ")\n";
     }
 
     for (const auto& sp : sampled) {

@@ -23,19 +23,27 @@ int main(int argc, char** argv) {
 
   util::Table table({"num VCs", "MD VC", "rr MD duty", "sw MD duty", "Gap", "avg latency (sw)"});
 
-  for (int vcs : {2, 3, 4, 6, 8}) {
+  const std::vector<int> vc_counts = {2, 3, 4, 6, 8};
+  core::SweepRunner sweep(bench::sweep_options(options));
+  std::vector<sim::Scenario> scenarios;
+  for (int vcs : vc_counts) {
     sim::Scenario s = sim::Scenario::synthetic(4, vcs, rate);
     bench::apply_scale(s, options);
-    const auto rr = bench::run_synthetic(s, core::PolicyKind::kRrNoSensor);
-    const auto sw = bench::run_synthetic(s, core::PolicyKind::kSensorWise);
+    scenarios.push_back(s);
+  }
+  sweep.add_grid(scenarios, {core::PolicyKind::kRrNoSensor, core::PolicyKind::kSensorWise});
+  const core::SweepResult results = sweep.run();
+
+  for (std::size_t i = 0; i < vc_counts.size(); ++i) {
+    const auto& rr = results[i * 2 + 0].result;
+    const auto& sw = results[i * 2 + 1].result;
     const auto& port = sw.port(0, noc::Dir::East);
     const auto md = static_cast<std::size_t>(port.most_degraded);
-    table.add_row({std::to_string(vcs), std::to_string(port.most_degraded),
+    table.add_row({std::to_string(vc_counts[i]), std::to_string(port.most_degraded),
                    bench::duty_cell(rr.port(0, noc::Dir::East).duty_percent[md]),
                    bench::duty_cell(port.duty_percent[md]),
                    util::format_percent(bench::gap_on_md(rr, sw, 0, noc::Dir::East)),
                    util::format_double(sw.avg_packet_latency, 1)});
-    std::cerr << "  [done] vcs=" << vcs << '\n';
   }
 
   bench::emit(table, options);

@@ -11,8 +11,20 @@ BenchOptions BenchOptions::from_cli(const util::CliArgs& args) {
   opt.measure = static_cast<sim::Cycle>(args.get_int_or("cycles", static_cast<long long>(opt.measure)));
   opt.warmup = opt.measure / 5;
   opt.iterations = static_cast<int>(args.get_int_or("iterations", opt.iterations));
+  opt.workers = static_cast<unsigned>(args.get_int_or("workers", 0));
   if (const auto csv = args.get("csv")) opt.csv_path = *csv;
   return opt;
+}
+
+core::SweepOptions sweep_options(const BenchOptions& options) {
+  core::SweepOptions sweep;
+  sweep.workers = options.workers;
+  sweep.on_progress = [](const core::SweepProgress& p) {
+    std::cerr << "  [" << p.completed << "/" << p.total << "] " << p.point->describe() << "  "
+              << util::format_double(p.point_seconds, 1) << "s, ETA "
+              << util::format_double(p.eta_seconds, 0) << "s\n";
+  };
+  return sweep;
 }
 
 void apply_scale(sim::Scenario& scenario, const BenchOptions& options) {

@@ -20,9 +20,14 @@ struct BenchOptions {
   sim::Cycle warmup = 30'000;
   std::optional<std::string> csv_path;
   int iterations = 10;          ///< Table IV style repetition count
+  unsigned workers = 0;         ///< sweep worker threads (0 = hardware concurrency)
 
   static BenchOptions from_cli(const util::CliArgs& args);
 };
+
+/// SweepOptions for a bench: worker count from `--workers` plus a stderr
+/// progress line per completed point ("[3/18] 16core-inj0.30/sw  1.2s, ETA 6s").
+core::SweepOptions sweep_options(const BenchOptions& options);
 
 /// Applies the bench options to a scenario (reduced or paper scale).
 void apply_scale(sim::Scenario& scenario, const BenchOptions& options);

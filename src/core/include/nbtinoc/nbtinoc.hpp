@@ -11,12 +11,14 @@
 //   nbti::NbtiSensorBank     — per-buffer degradation sensors
 //   core::PolicyKind         — baseline / rr-no-sensor / sensor-wise[-no-traffic]
 //   core::run_experiment     — scenario + policy + workload -> duty cycles
+//   core::SweepRunner        — parallel grid sweeps over run_experiment
 //   power::AreaModel         — ORION-style overhead analysis (paper §III-D)
 
 #include "nbtinoc/core/controller.hpp"
 #include "nbtinoc/core/experiment.hpp"
 #include "nbtinoc/core/lifetime.hpp"
 #include "nbtinoc/core/policy.hpp"
+#include "nbtinoc/core/sweep.hpp"
 #include "nbtinoc/nbti/aging.hpp"
 #include "nbtinoc/nbti/duty_cycle.hpp"
 #include "nbtinoc/nbti/model.hpp"

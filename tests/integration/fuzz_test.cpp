@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "nbtinoc/core/controller.hpp"
+#include "nbtinoc/core/sweep.hpp"
 #include "nbtinoc/noc/network.hpp"
 #include "nbtinoc/traffic/synthetic.hpp"
 #include "nbtinoc/util/rng.hpp"
@@ -119,6 +120,68 @@ TEST_P(NetworkFuzzTest, InvariantsHoldOnRandomConfigurations) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, NetworkFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// Sweep-engine fuzz: random scenario grids routed through SweepRunner with
+// a random worker count must come back complete, in grid order, with no
+// duplicated or dropped point, and with every duty cycle a valid
+// percentage — regardless of how the pool interleaved the runs.
+class SweepFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SweepFuzzTest, RandomGridsSurviveParallelExecutionIntact) {
+  util::Xoshiro256 rng(GetParam() ^ 0x5eedULL);
+  constexpr core::PolicyKind kPolicies[] = {
+      core::PolicyKind::kBaseline, core::PolicyKind::kRrNoSensor,
+      core::PolicyKind::kSensorWiseNoTraffic, core::PolicyKind::kSensorWise,
+      core::PolicyKind::kSensorRank};
+  constexpr traffic::PatternKind kPatterns[] = {
+      traffic::PatternKind::kUniform, traffic::PatternKind::kTranspose,
+      traffic::PatternKind::kBitComplement, traffic::PatternKind::kHotspot,
+      traffic::PatternKind::kNeighbor, traffic::PatternKind::kTornado};
+
+  core::SweepOptions options;
+  options.workers = 1 + static_cast<unsigned>(rng.next_below(8));
+  core::SweepRunner sweep(options);
+
+  const std::size_t num_points = 3 + rng.next_below(6);
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < num_points; ++i) {
+    sim::Scenario s = sim::Scenario::synthetic(2 + static_cast<int>(rng.next_below(2)),
+                                               1 + static_cast<int>(rng.next_below(4)),
+                                               0.02 + 0.3 * rng.next_double());
+    s.warmup_cycles = 500;
+    s.measure_cycles = 2'000 + rng.next_below(3'000);
+    labels.push_back("fuzz-point-" + std::to_string(i));
+    sweep.add(s, kPolicies[rng.next_below(5)],
+              core::Workload::synthetic(kPatterns[rng.next_below(6)]), labels.back());
+  }
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) + ", " + std::to_string(num_points) +
+               " points, " + std::to_string(options.workers) + " workers");
+
+  const core::SweepResult results = sweep.run();
+
+  // No point lost or duplicated, and none reordered: the unique label added
+  // at grid index i must come back at result index i.
+  ASSERT_EQ(results.size(), num_points);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].point.label, labels[i]) << "result grid reordered at index " << i;
+    EXPECT_EQ(results[i].point.policy, sweep.point(i).policy);
+    EXPECT_EQ(results[i].result.policy, sweep.point(i).policy);
+    EXPECT_EQ(results[i].result.scenario.name, sweep.point(i).scenario.name);
+    EXPECT_GE(results[i].wall_seconds, 0.0);
+
+    // Every duty cycle is a proper percentage; baseline pins 100% everywhere.
+    for (const auto& [key, port] : results[i].result.ports) {
+      ASSERT_FALSE(port.duty_percent.empty());
+      for (double d : port.duty_percent) {
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 100.0);
+        if (results[i].point.policy == core::PolicyKind::kBaseline) EXPECT_DOUBLE_EQ(d, 100.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrids, SweepFuzzTest, ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace nbtinoc::noc

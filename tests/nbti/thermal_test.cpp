@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "nbtinoc/nbti/model.hpp"
+
 namespace nbtinoc::nbti {
 namespace {
 
