@@ -1,0 +1,101 @@
+// Robustness study: fault-rate sweep over the gating control path. Each
+// point replays the same 16-core uniform-traffic scenario under one policy
+// with a uniform FaultPlan (sensor stuck/drift/death, Up_Down drops and
+// corruptions, Down_Up drops, wake failures) at the given rate, with the
+// whole-network invariant checker on: faults may cost duty cycle and
+// latency, never flits. The quarantine columns show graceful degradation —
+// sensor policies detect failing ports and fall back to rr-no-sensor on
+// them, then recover when the sensors come back.
+//
+// Runs on core::SweepRunner (--workers N); every point carries its fault
+// plan as a per-point RunnerOptions override and its injector seed derives
+// from {scenario, plan} alone, so the table is byte-identical at any
+// worker count.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace nbtinoc;
+
+namespace {
+
+std::uint64_t fault_count(const core::RunResult& r, const char* key) {
+  const auto it = r.fault_counters.find(key);
+  return it == r.fault_counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const bench::BenchOptions options = bench::BenchOptions::from_cli(args);
+  const double rate = args.get_double_or("rate", 0.2);
+
+  sim::Scenario banner = sim::Scenario::synthetic(4, 4, rate);
+  bench::apply_scale(banner, options);
+  bench::print_banner(
+      "Robustness — fault storms on the gating control path (16 cores, injection " +
+          util::format_double(rate, 1) + ")",
+      "invariants hold at every fault rate (zero flit loss); sensor policies quarantine "
+      "failing ports and degrade to rr-no-sensor",
+      banner, options);
+
+  util::Table table({"fault rate", "policy", "MD duty", "avg latency", "cmd drops", "cmd flips",
+                     "wake fails", "quarantines", "recoveries", "violations"});
+
+  const std::vector<double> fault_rates = {0.0, 0.001, 0.01, 0.05};
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kRrNoSensor, core::PolicyKind::kSensorWise, core::PolicyKind::kSensorRank};
+
+  core::SweepRunner sweep(bench::sweep_options(options));
+  for (double fault_rate : fault_rates) {
+    for (core::PolicyKind policy : policies) {
+      sim::Scenario s = sim::Scenario::synthetic(4, 4, rate);
+      bench::apply_scale(s, options);
+      core::SweepPoint point;
+      point.scenario = s;
+      point.policy = policy;
+      point.workload = core::Workload::synthetic();
+      point.label = "fault" + util::format_double(fault_rate, 3);
+      core::RunnerOptions ropt;
+      ropt.faults = sim::FaultPlan::uniform(fault_rate);
+      ropt.check_invariants = true;
+      point.runner = ropt;
+      sweep.add(std::move(point));
+    }
+  }
+  const core::SweepResult results = sweep.run();
+
+  std::size_t violations_total = 0;
+  for (std::size_t i = 0; i < fault_rates.size(); ++i) {
+    for (std::size_t j = 0; j < policies.size(); ++j) {
+      const auto& r = results[i * policies.size() + j].result;
+      const auto& port = r.port(0, noc::Dir::East);
+      violations_total += r.invariant_violations.size();
+      table.add_row(
+          {util::format_double(fault_rates[i], 3), to_string(r.policy),
+           bench::duty_cell(port.duty_percent[static_cast<std::size_t>(port.most_degraded)]),
+           util::format_double(r.avg_packet_latency, 1),
+           std::to_string(fault_count(r, "fault.gate_cmd_drops")),
+           std::to_string(fault_count(r, "fault.gate_cmd_flips")),
+           std::to_string(fault_count(r, "fault.wake_failures")),
+           std::to_string(fault_count(r, "fault.quarantines")),
+           std::to_string(fault_count(r, "fault.recoveries")),
+           std::to_string(r.invariant_violations.size())});
+    }
+  }
+
+  bench::emit(table, options);
+  if (violations_total != 0) {
+    std::cerr << "FAIL: " << violations_total << " invariant violation(s) under faults\n";
+    for (const auto& p : results)
+      for (const auto& v : p.result.invariant_violations)
+        std::cerr << "  " << p.point.describe() << ": " << v << '\n';
+    return 1;
+  }
+  std::cout << "All invariants held at every fault rate: faults cost latency and duty cycle,\n"
+               "never flits. Quarantines rise with the fault rate; recoveries follow as the\n"
+               "transient sensor faults repair.\n";
+  return 0;
+}

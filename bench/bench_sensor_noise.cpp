@@ -3,6 +3,10 @@
 // Gaussian measurement noise and quantization into the sensor model and
 // reports the duty cycle that lands on the *true* most-degraded VC (argmax
 // of the sampled initial Vth) under sensor-wise.
+//
+// The {noise x quantization} grid runs on core::SweepRunner (--workers N);
+// each point carries its sensor config as a per-point RunnerOptions
+// override, so the table is byte-identical at any worker count.
 
 #include <algorithm>
 #include <iostream>
@@ -34,23 +38,39 @@ int main(int argc, char** argv) {
   util::Table table({"noise sigma (mV)", "quantization (mV)", "reported MD", "true MD",
                      "duty on true MD", "min duty on port"});
 
-  for (double noise_mv : {0.0, 1.0, 2.0, 5.0, 10.0}) {
-    for (double quant_mv : {0.0, 5.0}) {
+  const std::vector<double> noise_grid = {0.0, 1.0, 2.0, 5.0, 10.0};
+  const std::vector<double> quant_grid = {0.0, 5.0};
+
+  core::SweepRunner sweep(bench::sweep_options(options));
+  for (double noise_mv : noise_grid) {
+    for (double quant_mv : quant_grid) {
       sim::Scenario s = sim::Scenario::synthetic(4, 4, 0.2);
       bench::apply_scale(s, options);
+      core::SweepPoint point;
+      point.scenario = s;
+      point.policy = core::PolicyKind::kSensorWise;
+      point.workload = core::Workload::synthetic();
+      point.label = "noise" + util::format_double(noise_mv, 1) + "mV-quant" +
+                    util::format_double(quant_mv, 1) + "mV";
       core::RunnerOptions ropt;
       ropt.policy.sensor.noise_sigma_v = noise_mv * 1e-3;
       ropt.policy.sensor.quantization_v = quant_mv * 1e-3;
-      const auto r = core::run_experiment(s, core::PolicyKind::kSensorWise,
-                                          core::Workload::synthetic(), ropt);
+      point.runner = ropt;
+      sweep.add(std::move(point));
+    }
+  }
+  const core::SweepResult results = sweep.run();
+
+  for (std::size_t i = 0; i < noise_grid.size(); ++i) {
+    for (std::size_t j = 0; j < quant_grid.size(); ++j) {
+      const auto& r = results[i * quant_grid.size() + j].result;
       const auto& port = r.port(0, noc::Dir::East);
       const int md = true_md(port);
-      table.add_row({util::format_double(noise_mv, 1), util::format_double(quant_mv, 1),
+      table.add_row({util::format_double(noise_grid[i], 1), util::format_double(quant_grid[j], 1),
                      std::to_string(port.most_degraded), std::to_string(md),
                      bench::duty_cell(port.duty_percent[static_cast<std::size_t>(md)]),
                      bench::duty_cell(*std::min_element(port.duty_percent.begin(),
                                                         port.duty_percent.end()))});
-      std::cerr << "  [done] noise=" << noise_mv << "mV quant=" << quant_mv << "mV\n";
     }
   }
 

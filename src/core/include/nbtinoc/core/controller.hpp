@@ -16,6 +16,27 @@
 
 namespace nbtinoc::core {
 
+/// Per-port sensor health tracking: when fault injection is active, the
+/// controller watches every port's Down_Up reports and demotes ports whose
+/// sensors stop making sense. A quarantined port runs the rr-no-sensor
+/// fallback (still gates, no longer trusts readings) until its sensors
+/// behave again — the graceful half of graceful degradation.
+struct HealthConfig {
+  /// Plausibility window for a measured Vth (volts). Readings outside it
+  /// are treated as sensor failure evidence, not as data. The defaults
+  /// bracket any reachable {PV sample + NBTI shift + noise} in this model.
+  double plausible_min_v = 0.05;
+  double plausible_max_v = 0.60;
+  /// Consecutive epochs with an implausible reading before quarantine.
+  int implausible_epochs_to_quarantine = 2;
+  /// Consecutive epochs without a delivered Down_Up report before the
+  /// staleness watchdog quarantines the port.
+  int staleness_epochs = 4;
+  /// Consecutive healthy epochs (delivered report, all readings plausible)
+  /// before a quarantined port is trusted again.
+  int healthy_epochs_to_recover = 4;
+};
+
 struct PolicyConfig {
   PolicyKind kind = PolicyKind::kSensorWise;
   /// Cycles between advances of the rr-no-sensor active candidate
@@ -27,6 +48,7 @@ struct PolicyConfig {
   /// occasionally parking the awake VC on a now-busy buffer (latency).
   sim::Cycle decision_period = 1;
   nbti::SensorConfig sensor;
+  HealthConfig health;
 };
 
 /// Samples one initial Vth per VC buffer for every existing input port of a
@@ -60,6 +82,20 @@ class PolicyGateController final : public noc::IGateController {
   /// Installs this controller on the network it was built for.
   void attach() { network_->set_gate_controller(this); }
 
+  /// Routes every Down_Up refresh through the injector's sensor fault
+  /// process and arms the per-port health watchdogs (non-owning; nullptr
+  /// to detach). With no injector installed the controller's behavior is
+  /// bit-identical to a build without this subsystem.
+  void set_fault_injector(sim::FaultInjector* injector) { injector_ = injector; }
+  sim::FaultInjector* fault_injector() { return injector_; }
+
+  /// True while the port's sensors are distrusted and the rr fallback runs.
+  bool quarantined(const noc::PortKey& key) const { return ports_.at(key).quarantined; }
+  std::size_t quarantined_ports() const;
+  /// The reading the policy actually acts on (corrupted + possibly stale
+  /// under faults; equals sensors().measured_vth otherwise).
+  double effective_vth(const noc::PortKey& key, int vc) const;
+
   PolicyKind kind() const { return config_.kind; }
   const nbti::NbtiSensorBank& sensors(const noc::PortKey& key) const;
   const std::vector<double>& initial_vths(const noc::PortKey& key) const;
@@ -73,15 +109,30 @@ class PolicyGateController final : public noc::IGateController {
   struct PortContext {
     std::vector<double> initial_vths;
     nbti::NbtiSensorBank sensors;
+    /// What the upstream router believes the readings are: the last
+    /// *delivered* (possibly corrupted) Down_Up report. Mirrors
+    /// sensors.measured_vth exactly while no injector is installed.
+    std::vector<double> effective_vths;
+    bool quarantined = false;
+    int epochs_since_report = 0;  ///< staleness watchdog input
+    int implausible_streak = 0;   ///< consecutive epochs with bad readings
+    int healthy_streak = 0;       ///< consecutive clean epochs (recovery)
   };
 
   noc::GateCommand compute(const noc::PortKey& key, const noc::OutVcStateView& view,
                            bool new_traffic, sim::Cycle now);
+  /// most_degraded_in over effective (fault-corrupted) readings, same
+  /// lowest-index tie-break as the sensor bank's comparator tree.
+  int effective_local_most_degraded(const PortContext& ctx, const noc::OutVcStateView& view) const;
+  /// One Down_Up refresh epoch of `key` under the installed injector:
+  /// fault-process step, report delivery/corruption, health bookkeeping.
+  void faulted_epoch(const noc::PortKey& key, PortContext& ctx);
 
   noc::Network* network_;
   PolicyConfig config_;
   std::string name_;
   std::map<noc::PortKey, PortContext> ports_;
+  sim::FaultInjector* injector_ = nullptr;
 
   /// Hysteresis cache, keyed by (port, vnet subrange start).
   struct HeldDecision {

@@ -43,6 +43,14 @@ struct RunResult {
   PolicyKind policy = PolicyKind::kBaseline;
   std::map<noc::PortKey, PortResult> ports;
 
+  /// "fault.*" counters (measurement window, like every other counter).
+  /// Empty when no fault injection was enabled; to_json omits it then, so
+  /// zero-rate output is byte-identical to a build without the subsystem.
+  std::map<std::string, std::uint64_t> fault_counters;
+  /// Invariant violations found when RunnerOptions::check_invariants was
+  /// on (empty otherwise — and hopefully then too).
+  std::vector<std::string> invariant_violations;
+
   // Counters below cover the measurement window only (warmup excluded).
   std::uint64_t packets_offered = 0;  ///< policy-independent (same traffic seed)
   std::uint64_t flits_injected = 0;
@@ -69,6 +77,16 @@ struct RunnerOptions {
   /// Non-empty: use these per-port Vth vectors (e.g. aged silicon from a
   /// lifetime study) instead of sampling fresh process variation.
   std::map<noc::PortKey, std::vector<double>> initial_vths;
+  /// Control-path fault storm. All-zero (the default) is a provable no-op:
+  /// no injector is even constructed, so results are byte-identical to a
+  /// faultless build. The injector seed derives from the scenario and
+  /// faults.seed_salt alone — deterministic at any sweep worker count.
+  sim::FaultPlan faults;
+  /// Run the whole-network InvariantChecker every cycle (no flit in a gated
+  /// buffer, credit conservation, no flit loss, no deadlock). Violations
+  /// are reported in RunResult::invariant_violations. Roughly doubles run
+  /// time; meant for tests and fault studies, not duty-cycle production.
+  bool check_invariants = false;
 };
 
 /// Runs one scenario under one policy. PV seed and traffic seed derive from

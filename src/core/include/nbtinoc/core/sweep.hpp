@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,11 @@ struct SweepPoint {
   PolicyKind policy = PolicyKind::kBaseline;
   Workload workload;
   std::string label;  ///< free-form tag carried through to the result/export
+  /// Per-point RunnerOptions, overriding SweepOptions::runner for this cell
+  /// only — how a grid sweeps runner-level knobs (sensor noise, fault
+  /// rates) alongside scenario knobs. Determinism is unaffected: the
+  /// override is part of the point, not of the schedule.
+  std::optional<RunnerOptions> runner;
 
   /// "scenario-name/policy[/label]" — the default row identifier.
   std::string describe() const;

@@ -54,9 +54,12 @@ PolicyGateController::PolicyGateController(noc::Network& network, PolicyConfig c
   }
   util::SplitMix64 noise_seeder(noise_seed);
   for (auto& [key, bank_vths] : initial_vths) {
-    ports_.emplace(key, PortContext{bank_vths,
-                                    nbti::NbtiSensorBank(bank_vths, model, op, config_.sensor,
-                                                         noise_seeder.next())});
+    PortContext ctx{bank_vths, nbti::NbtiSensorBank(bank_vths, model, op, config_.sensor,
+                                                    noise_seeder.next())};
+    ctx.effective_vths.resize(ctx.sensors.size());
+    for (std::size_t i = 0; i < ctx.sensors.size(); ++i)
+      ctx.effective_vths[i] = ctx.sensors.measured_vth(i);
+    ports_.emplace(key, std::move(ctx));
   }
 }
 
@@ -104,9 +107,50 @@ noc::GateCommand PolicyGateController::decide(const noc::PortKey& key,
   return held.command;
 }
 
+int PolicyGateController::effective_local_most_degraded(const PortContext& ctx,
+                                                        const noc::OutVcStateView& view) const {
+  int worst = 0;
+  for (int i = 1; i < view.num_vcs(); ++i)
+    if (ctx.effective_vths.at(static_cast<std::size_t>(view.global_vc(i))) >
+        ctx.effective_vths.at(static_cast<std::size_t>(view.global_vc(worst))))
+      worst = i;
+  return worst;
+}
+
 noc::GateCommand PolicyGateController::compute(const noc::PortKey& key,
                                                const noc::OutVcStateView& view, bool new_traffic,
                                                sim::Cycle now) {
+  // Under fault injection the sensor policies act on the *effective* (last
+  // delivered, possibly corrupted) readings, and a quarantined port runs
+  // the sensor-free rr fallback: keep gating, stop trusting. With no
+  // injector this block is dead and the paths below are bit-identical to
+  // the fault-free build.
+  const bool faulted = injector_ != nullptr && injector_->enabled();
+  const bool sensor_policy = config_.kind == PolicyKind::kSensorWiseNoTraffic ||
+                             config_.kind == PolicyKind::kSensorWise ||
+                             config_.kind == PolicyKind::kSensorRank;
+  if (faulted && sensor_policy) {
+    const PortContext& ctx = ports_.at(key);
+    if (ctx.quarantined) {
+      const int candidate = static_cast<int>((now / config_.rr_rotation_period) %
+                                             static_cast<sim::Cycle>(view.num_vcs()));
+      return rr_no_sensor_decide(view, candidate, new_traffic);
+    }
+    switch (config_.kind) {
+      case PolicyKind::kSensorWiseNoTraffic:
+        return sensor_wise_decide(view, effective_local_most_degraded(ctx, view),
+                                  /*bool_traffic=*/true);
+      case PolicyKind::kSensorWise:
+        return sensor_wise_decide(view, effective_local_most_degraded(ctx, view), new_traffic);
+      default: {
+        std::vector<double> degradation(static_cast<std::size_t>(view.num_vcs()));
+        for (int i = 0; i < view.num_vcs(); ++i)
+          degradation[static_cast<std::size_t>(i)] =
+              ctx.effective_vths.at(static_cast<std::size_t>(view.global_vc(i)));
+        return sensor_rank_decide(view, degradation, new_traffic);
+      }
+    }
+  }
   switch (config_.kind) {
     case PolicyKind::kBaseline:
       return noc::GateCommand{};
@@ -135,10 +179,73 @@ void PolicyGateController::post_cycle(sim::Cycle now) {
   // Sensor refresh (epoch-gated inside the bank) from the authoritative
   // stress trackers; this is the Down_Up link update point.
   const double elapsed = network_->clock().seconds_now();
+  const bool faulted = injector_ != nullptr && injector_->enabled();
   for (auto& [key, ctx] : ports_) {
+    const bool epoch = ctx.sensors.refresh_due(now);
     const auto& trackers = network_->router(key.router).input(key.port).trackers();
     ctx.sensors.update(now, elapsed, trackers);
+    if (!faulted) continue;
+    if (epoch) faulted_epoch(key, ctx);
+    if (ctx.quarantined) network_->stats().add("fault.quarantined_port_cycles");
   }
+}
+
+void PolicyGateController::faulted_epoch(const noc::PortKey& key, PortContext& ctx) {
+  sim::StatRegistry& stats = network_->stats();
+  const HealthConfig& h = config_.health;
+  const int node = static_cast<int>(key.router);
+  const int port = static_cast<int>(key.port);
+  const int num_vcs = static_cast<int>(ctx.sensors.size());
+
+  injector_->advance_sensor_epoch(node, port, num_vcs);
+  const bool delivered = !injector_->drop_down_up_report();
+  if (delivered) {
+    ctx.epochs_since_report = 0;
+    for (int v = 0; v < num_vcs; ++v)
+      ctx.effective_vths[static_cast<std::size_t>(v)] =
+          injector_->corrupt_reading(node, port, v, ctx.sensors.measured_vth(static_cast<std::size_t>(v)));
+  } else {
+    ++ctx.epochs_since_report;
+  }
+
+  bool plausible = true;
+  for (double v : ctx.effective_vths)
+    if (!(v >= h.plausible_min_v && v <= h.plausible_max_v)) {
+      plausible = false;
+      break;
+    }
+  // The implausibility streak only advances on delivered reports — a
+  // dropped report is the staleness watchdog's evidence, not this one's.
+  if (delivered) ctx.implausible_streak = plausible ? 0 : ctx.implausible_streak + 1;
+
+  if (!ctx.quarantined) {
+    ctx.healthy_streak = 0;
+    if (ctx.epochs_since_report >= h.staleness_epochs ||
+        ctx.implausible_streak >= h.implausible_epochs_to_quarantine) {
+      ctx.quarantined = true;
+      stats.add("fault.quarantines");
+    }
+  } else if (delivered && plausible) {
+    if (++ctx.healthy_streak >= h.healthy_epochs_to_recover) {
+      ctx.quarantined = false;
+      ctx.healthy_streak = 0;
+      ctx.implausible_streak = 0;
+      ctx.epochs_since_report = 0;
+      stats.add("fault.recoveries");
+    }
+  } else {
+    ctx.healthy_streak = 0;
+  }
+}
+
+std::size_t PolicyGateController::quarantined_ports() const {
+  std::size_t n = 0;
+  for (const auto& [key, ctx] : ports_) n += ctx.quarantined ? 1u : 0u;
+  return n;
+}
+
+double PolicyGateController::effective_vth(const noc::PortKey& key, int vc) const {
+  return ports_.at(key).effective_vths.at(static_cast<std::size_t>(vc));
 }
 
 }  // namespace nbtinoc::core

@@ -1,7 +1,9 @@
 #include "nbtinoc/core/experiment.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "nbtinoc/noc/state_probe.hpp"
 #include "nbtinoc/traffic/synthetic.hpp"
 #include "nbtinoc/util/json.hpp"
 
@@ -56,6 +58,8 @@ nbti::NbtiModel calibrated_model_of(const sim::Scenario& scenario, const nbti::N
 RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Workload& workload,
                          const RunnerOptions& options) {
   if (options.paper_scale) scenario.use_paper_scale();
+  scenario.validate();
+  options.faults.validate();
 
   // The network simulates in *phit* units — the quantum a 32b link moves per
   // cycle (Table I: 64b flits, 32b links => 2 phits/flit). Packet length and
@@ -87,6 +91,16 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
                                  options.initial_vths, scenario.pv_seed() ^ 0xa9edULL);
   controller.attach();
 
+  // Fault injection: constructed only for a nonzero plan, so the default
+  // RunnerOptions path builds the exact object graph it always did.
+  std::optional<sim::FaultInjector> injector;
+  if (options.faults.enabled()) {
+    injector.emplace(options.faults, scenario.fault_seed() ^ options.faults.seed_salt);
+    injector->bind_stats(&network.stats());
+    network.set_fault_injector(&*injector);
+    controller.set_fault_injector(&*injector);
+  }
+
   const std::uint64_t traffic_seed = scenario.traffic_seed() ^ workload.seed_salt;
   switch (workload.kind) {
     case Workload::Kind::kSynthetic:
@@ -99,9 +113,28 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
       break;
   }
 
-  network.run_with_warmup(scenario.warmup_cycles, scenario.measure_cycles);
-
   RunResult result;
+  if (!options.check_invariants) {
+    network.run_with_warmup(scenario.warmup_cycles, scenario.measure_cycles);
+  } else {
+    // Same schedule as run_with_warmup, with the invariant checker run
+    // after every cycle (it self-resyncs across the stats reset).
+    noc::InvariantChecker checker(network);
+    network.set_measuring(false);
+    for (sim::Cycle i = 0; i < scenario.warmup_cycles; ++i) {
+      network.step();
+      checker.check();
+    }
+    network.stats().reset();
+    network.set_measuring(true);
+    for (sim::Cycle i = 0; i < scenario.measure_cycles; ++i) {
+      network.step();
+      checker.check();
+    }
+    for (const auto& v : checker.violations())
+      result.invariant_violations.push_back("cycle " + std::to_string(v.cycle) + ": " + v.what);
+  }
+
   result.scenario = scenario;
   result.policy = policy;
   for (noc::NodeId id = 0; id < network.nodes(); ++id) {
@@ -137,6 +170,11 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
         network.stats().counter(network.router(id).flits_out_stat_key()));
   if (const auto* lat = network.stats().distribution("noc.packet_latency"))
     result.avg_packet_latency = lat->mean();
+  if (injector) {
+    for (const auto& name : network.stats().counter_names())
+      if (name.rfind("fault.", 0) == 0)
+        result.fault_counters.emplace(name, network.stats().counter(name));
+  }
   const double cycles = static_cast<double>(scenario.measure_cycles);
   result.throughput_flits_per_cycle_per_node =
       static_cast<double>(result.flits_ejected) / cycles / network.nodes();
@@ -165,6 +203,13 @@ std::string to_json(const RunResult& result) {
       .field("avg_packet_latency", result.avg_packet_latency)
       .field("throughput_flits_per_cycle_per_node", result.throughput_flits_per_cycle_per_node);
   w.end_object();
+  // Omitted entirely for fault-free runs: their JSON stays byte-identical
+  // to output produced before the fault subsystem existed.
+  if (!result.fault_counters.empty()) {
+    w.key("fault_counters").begin_object();
+    for (const auto& [name, value] : result.fault_counters) w.field(name, value);
+    w.end_object();
+  }
   w.key("ports").begin_array();
   for (const auto& [key, port] : result.ports) {
     w.begin_object();

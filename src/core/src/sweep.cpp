@@ -134,7 +134,7 @@ SweepResult SweepRunner::run() const {
     SweepPointResult& slot = results[i];
     slot.point = points_[i];
     slot.result = run_experiment(points_[i].scenario, points_[i].policy, points_[i].workload,
-                                 options_.runner);
+                                 points_[i].runner ? *points_[i].runner : options_.runner);
     slot.wall_seconds = seconds_since(point_start);
   };
 

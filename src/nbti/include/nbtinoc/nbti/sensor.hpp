@@ -43,6 +43,13 @@ class NbtiSensorBank {
   /// is wall-clock device age (clock.seconds_now() during simulation).
   void update(sim::Cycle now, double elapsed_seconds, const StressTrackerBank& trackers);
 
+  /// True iff update(now, ...) would refresh — the epoch boundary has
+  /// passed (or no refresh has happened yet). Lets callers that post-process
+  /// readings (fault corruption, health tracking) act exactly once per epoch.
+  bool refresh_due(sim::Cycle now) const {
+    return !refreshed_once_ || now >= last_refresh_ + config_.epoch_cycles;
+  }
+
   /// Forces a refresh regardless of epoch (used at construction/reset).
   void refresh(double elapsed_seconds, const StressTrackerBank& trackers);
 

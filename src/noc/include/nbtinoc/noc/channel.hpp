@@ -2,8 +2,19 @@
 // Fixed-latency pipelined channel. Models flit links, credit return wires
 // and the paper's Up_Down / Down_Up control links: payloads pushed at cycle
 // t with delay d become visible exactly at cycle t+d, in push order.
+//
+// A channel may carry an optional *fault hook*, fired once per payload at
+// the moment of consumption (pop_ready): the hook may mutate the payload
+// in flight (a bit flip on the wire) or veto delivery entirely (a dropped
+// command). Hooks are how the fault-injection subsystem corrupts the
+// control links; no hook installed (the default) is the zero-overhead
+// exact-delivery path. peek_ready never fires the hook — fault decisions
+// draw from a deterministic RNG stream and must happen exactly once per
+// payload.
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <utility>
 
@@ -14,21 +25,33 @@ namespace nbtinoc::noc {
 template <typename T>
 class Channel {
  public:
+  /// Delivery interceptor: may mutate the payload; returns false to drop it.
+  using FaultHook = std::function<bool(T& payload, sim::Cycle now)>;
+
   explicit Channel(sim::Cycle delay = 1) : delay_(delay) {}
 
   sim::Cycle delay() const { return delay_; }
 
   void push(T payload, sim::Cycle now) { in_flight_.emplace_back(now + delay_, std::move(payload)); }
 
-  /// Pops the oldest payload whose delivery time has been reached.
+  /// Pops the oldest payload whose delivery time has been reached. With a
+  /// fault hook installed, dropped payloads are consumed silently and the
+  /// next deliverable one is returned instead.
   std::optional<T> pop_ready(sim::Cycle now) {
-    if (in_flight_.empty() || in_flight_.front().first > now) return std::nullopt;
-    T payload = std::move(in_flight_.front().second);
-    in_flight_.pop_front();
-    return payload;
+    while (!in_flight_.empty() && in_flight_.front().first <= now) {
+      T payload = std::move(in_flight_.front().second);
+      in_flight_.pop_front();
+      if (fault_ && !fault_(payload, now)) {
+        ++dropped_;
+        continue;
+      }
+      return payload;
+    }
+    return std::nullopt;
   }
 
-  /// Peeks without consuming; nullptr when nothing is deliverable.
+  /// Peeks without consuming; nullptr when nothing is deliverable. Never
+  /// fires the fault hook (see file comment).
   const T* peek_ready(sim::Cycle now) const {
     if (in_flight_.empty() || in_flight_.front().first > now) return nullptr;
     return &in_flight_.front().second;
@@ -38,9 +61,25 @@ class Channel {
   std::size_t in_flight() const { return in_flight_.size(); }
   void clear() { in_flight_.clear(); }
 
+  /// Visits every in-flight payload (delivery cycle, payload) in queue
+  /// order — the invariant checker's window into link occupancy.
+  template <typename Fn>
+  void for_each_in_flight(Fn&& fn) const {
+    for (const auto& [at, payload] : in_flight_) fn(payload, at);
+  }
+
+  /// Installs (or, with an empty function, removes) the delivery fault
+  /// hook. The hook owns no payloads; it only inspects/mutates/vetoes.
+  void set_fault_hook(FaultHook hook) { fault_ = std::move(hook); }
+  bool has_fault_hook() const { return static_cast<bool>(fault_); }
+  /// Payloads consumed by the hook so far.
+  std::uint64_t dropped() const { return dropped_; }
+
  private:
   sim::Cycle delay_;
   std::deque<std::pair<sim::Cycle, T>> in_flight_;
+  FaultHook fault_;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace nbtinoc::noc

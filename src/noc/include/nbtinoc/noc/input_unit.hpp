@@ -14,6 +14,7 @@
 #include "nbtinoc/noc/gate.hpp"
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/nbti/duty_cycle.hpp"
+#include "nbtinoc/sim/fault_plan.hpp"
 
 namespace nbtinoc::noc {
 
@@ -49,7 +50,15 @@ class InputUnit {
   void receive_flit(const Flit& flit, Dir route, sim::Cycle now);
 
   // --- power gating (Up_Down command execution) ------------------------------
-  void apply_gate_command(const GateCommand& cmd, sim::Cycle now);
+  /// Executes a delivered Up_Down command. Throws std::invalid_argument on
+  /// structurally impossible commands (first_vc / range / keep_vc outside
+  /// the port) — a malformed command is a policy bug, not a modeled fault.
+  /// With a fault injector, a wake of a gated buffer may miss its deadline
+  /// (the buffer stays in Recovery and the wake is retried when the command
+  /// is re-issued next cycle). Faults never gate a non-empty buffer: the
+  /// Idle-and-empty precondition is enforced here regardless of injection.
+  void apply_gate_command(const GateCommand& cmd, sim::Cycle now,
+                          sim::FaultInjector* faults = nullptr);
 
   // --- NBTI accounting --------------------------------------------------------
   /// Accounts one cycle of stress/recovery per VC. Call once per cycle.

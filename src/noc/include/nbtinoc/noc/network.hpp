@@ -22,6 +22,7 @@
 #include "nbtinoc/noc/router.hpp"
 #include "nbtinoc/noc/traffic_source.hpp"
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/fault_plan.hpp"
 #include "nbtinoc/sim/stat_registry.hpp"
 
 namespace nbtinoc::noc {
@@ -40,11 +41,24 @@ class Network {
   Router& router(NodeId id) { return *routers_.at(static_cast<std::size_t>(id)); }
   const Router& router(NodeId id) const { return *routers_.at(static_cast<std::size_t>(id)); }
   NetworkInterface& ni(NodeId id) { return *nis_.at(static_cast<std::size_t>(id)); }
+  const NetworkInterface& ni(NodeId id) const { return *nis_.at(static_cast<std::size_t>(id)); }
 
   /// Installs the NBTI gating policy host (non-owning). Pass nullptr to
   /// restore the built-in always-on baseline.
   void set_gate_controller(IGateController* controller);
   IGateController& gate_controller() { return *controller_; }
+
+  /// Installs the control-path fault injector (non-owning; nullptr to
+  /// remove). Gate commands then traverse their Up_Down channels under a
+  /// fault hook (drop / in-range corruption) and wake handshakes may fail.
+  /// The flit/credit datapath is never touched: faults cannot lose flits.
+  void set_fault_injector(sim::FaultInjector* injector);
+  sim::FaultInjector* fault_injector() { return injector_; }
+
+  /// The Up_Down command link feeding one input port (always exists for
+  /// existing ports; commands cross it with zero delay, the paper's
+  /// zero-skew control wiring). Exposed for tests probing drop counts.
+  const Channel<GateCommand>& up_down_link(NodeId node, Dir port) const;
 
   /// Installs the traffic source for one node (owning).
   void set_traffic_source(NodeId node, std::unique_ptr<ITrafficSource> source);
@@ -71,8 +85,16 @@ class Network {
   /// or are still somewhere in flight. True when nothing is in flight.
   bool drained() const;
 
+  /// Flits currently crossing any flit channel (router-router links plus
+  /// NI injection/ejection channels).
+  std::size_t flits_in_flight() const;
+  /// Flits resident anywhere past injection: in-flight on channels plus
+  /// buffered in router input VCs. The invariant checker's census.
+  std::size_t flits_resident() const;
+
  private:
   void gating_stage();
+  Channel<GateCommand>& up_down_link_mutable(NodeId node, Dir port);
 
   NocConfig config_;
   sim::Clock clock_;
@@ -82,10 +104,14 @@ class Network {
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
   std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+  /// Up_Down command links, indexed node * kNumDirs + port (null where the
+  /// input port does not exist).
+  std::vector<std::unique_ptr<Channel<GateCommand>>> up_down_links_;
   std::vector<std::unique_ptr<ITrafficSource>> sources_;
 
   AlwaysOnController baseline_controller_;
   IGateController* controller_ = nullptr;
+  sim::FaultInjector* injector_ = nullptr;
 
   std::uint64_t packet_id_counter_ = 0;
 };

@@ -49,6 +49,12 @@ class NetworkInterface {
   std::uint64_t packets_ejected() const { return packets_ejected_; }
   std::uint64_t flits_injected() const { return flits_injected_; }
 
+  // --- read-only wiring views (used by the invariant checker) ---------------
+  /// Credits the NI holds for VC `vc` of its router's Local input port.
+  int credits(int vc) const { return credits_.at(static_cast<std::size_t>(vc)); }
+  const Channel<Flit>* inject_link() const { return inject_out_; }
+  const Channel<Credit>* credit_link() const { return credit_in_; }
+
  private:
   struct QueuedPacket {
     NodeId dst = 0;

@@ -43,6 +43,18 @@ class Router {
   InputUnit& input(Dir dir) { return *inputs_.at(static_cast<std::size_t>(dir)); }
   const InputUnit& input(Dir dir) const { return *inputs_.at(static_cast<std::size_t>(dir)); }
   OutputUnit& output(Dir dir) { return *outputs_.at(static_cast<std::size_t>(dir)); }
+  const OutputUnit& output(Dir dir) const { return *outputs_.at(static_cast<std::size_t>(dir)); }
+
+  // --- wiring views (read-only; used by the invariant checker) ---------------
+  const Channel<Flit>* flit_out_link(Dir dir) const {
+    return flit_out_[static_cast<std::size_t>(dir)];
+  }
+  const Channel<Credit>* credit_in_link(Dir dir) const {
+    return credit_in_[static_cast<std::size_t>(dir)];
+  }
+  const InputUnit* downstream_input(Dir dir) const {
+    return downstream_iu_[static_cast<std::size_t>(dir)];
+  }
 
   /// True if any input VC holds a routed head flit toward `out` that has no
   /// output VC yet — is_new_traffic_outport_x() of Algorithms 1 and 2.

@@ -52,4 +52,74 @@ class PortStateProbe {
   std::vector<Record> records_;
 };
 
+/// Whole-network simulation invariant checker — the safety net under fault
+/// injection. Call check() (or check_or_throw()) after each Network::step();
+/// every call asserts, at the cycle boundary:
+///
+///   1. no flit sits in a gated (Recovery) buffer — faults may cost
+///      latency and duty cycle, never data;
+///   2. credits are conserved on every link: upstream credits + flits in
+///      flight + credits in flight + downstream occupancy == buffer depth,
+///      per VC, for router-router links and the NI injection path;
+///   3. no flit is lost: the cycle-over-cycle change of the resident flit
+///      census equals flits injected minus flits ejected (self-resyncs
+///      across StatRegistry resets such as the warmup fence);
+///   4. no deadlock: whenever flits are resident, some global movement
+///      counter must advance within `deadlock_threshold` cycles.
+///
+/// The checker is read-only and deterministic; it never perturbs the run.
+class InvariantChecker {
+ public:
+  struct Options {
+    /// Cycles of zero movement with flits resident before a deadlock is
+    /// declared. Generous: at any offered load the NoC moves *something*
+    /// every few cycles unless genuinely wedged.
+    sim::Cycle deadlock_threshold = 4096;
+    /// Recording stops after this many violations (the first one is what
+    /// matters; the rest are usually cascade noise).
+    std::size_t max_violations = 64;
+  };
+
+  struct Violation {
+    sim::Cycle cycle = 0;
+    std::string what;
+  };
+
+  explicit InvariantChecker(const Network& network);
+  InvariantChecker(const Network& network, Options options);
+
+  /// Runs every check at the network's current cycle; returns the number
+  /// of new violations found.
+  std::size_t check();
+  /// check(), then throws std::runtime_error on the first violation found.
+  void check_or_throw();
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool clean() const { return violations_.empty(); }
+  std::uint64_t cycles_checked() const { return cycles_checked_; }
+
+ private:
+  void record(sim::Cycle cycle, std::string what);
+  void check_gated_buffers(sim::Cycle cycle);
+  void check_credit_conservation(sim::Cycle cycle);
+  void check_flit_conservation(sim::Cycle cycle);
+  void check_deadlock(sim::Cycle cycle);
+
+  const Network* network_;
+  Options options_;
+  std::vector<Violation> violations_;
+  std::uint64_t cycles_checked_ = 0;
+
+  // Flit-conservation deltas (self-resyncing across stat resets).
+  bool census_valid_ = false;
+  std::size_t last_resident_ = 0;
+  std::uint64_t last_injected_ = 0;
+  std::uint64_t last_ejected_ = 0;
+
+  // Deadlock watchdog.
+  std::uint64_t last_movement_ = 0;
+  sim::Cycle last_progress_cycle_ = 0;
+  bool deadlock_reported_ = false;
+};
+
 }  // namespace nbtinoc::noc

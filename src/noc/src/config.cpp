@@ -6,14 +6,18 @@
 namespace nbtinoc::noc {
 
 void NocConfig::validate() const {
-  if (width < 1 || height < 1) throw std::invalid_argument("NocConfig: mesh must be >= 1x1");
-  if (width * height < 2) throw std::invalid_argument("NocConfig: need at least 2 nodes");
-  if (num_vcs < 1) throw std::invalid_argument("NocConfig: num_vcs must be >= 1");
-  if (num_vnets < 1) throw std::invalid_argument("NocConfig: num_vnets must be >= 1");
-  if (buffer_depth < 1) throw std::invalid_argument("NocConfig: buffer_depth must be >= 1");
-  if (packet_length < 1) throw std::invalid_argument("NocConfig: packet_length must be >= 1");
+  const auto fail = [](std::string what) { throw std::invalid_argument("NocConfig: " + what); };
+  if (width < 1 || height < 1)
+    fail("mesh must be >= 1x1 (got " + std::to_string(width) + "x" + std::to_string(height) + ")");
+  if (width * height < 2)
+    fail("a 1x1 mesh has no links — use at least 2 nodes");
+  if (num_vcs < 1) fail("num_vcs must be >= 1 (got " + std::to_string(num_vcs) + ")");
+  if (num_vnets < 1) fail("num_vnets must be >= 1 (got " + std::to_string(num_vnets) + ")");
+  if (buffer_depth < 1) fail("buffer_depth must be >= 1 (got " + std::to_string(buffer_depth) + ")");
+  if (packet_length < 1) fail("packet_length must be >= 1 (got " + std::to_string(packet_length) + ")");
   if (extra_pipeline_stages < 0)
-    throw std::invalid_argument("NocConfig: extra_pipeline_stages must be >= 0");
+    fail("extra_pipeline_stages must be >= 0 (got " + std::to_string(extra_pipeline_stages) +
+         "); router_stages below 3 are not modeled");
 }
 
 std::string NocConfig::describe() const {

@@ -63,14 +63,31 @@ void InputUnit::receive_flit(const Flit& flit, Dir route, sim::Cycle now) {
   buf.push(stored);
 }
 
-void InputUnit::apply_gate_command(const GateCommand& cmd, sim::Cycle now) {
+void InputUnit::apply_gate_command(const GateCommand& cmd, sim::Cycle now,
+                                   sim::FaultInjector* faults) {
   const int first = cmd.first_vc;
+  if (first < 0 || first >= num_vcs())
+    throw std::invalid_argument("InputUnit::apply_gate_command: first_vc " +
+                                std::to_string(first) + " outside port of " +
+                                std::to_string(num_vcs()) + " VCs");
+  if (cmd.range_vcs == 0 || cmd.range_vcs < -1)
+    throw std::invalid_argument("InputUnit::apply_gate_command: range_vcs must be positive or -1");
   const int last = cmd.range_vcs < 0 ? num_vcs() : std::min(num_vcs(), first + cmd.range_vcs);
+  if (cmd.enable && cmd.keep_vc != kInvalidVc && (cmd.keep_vc < first || cmd.keep_vc >= last))
+    throw std::invalid_argument("InputUnit::apply_gate_command: keep_vc " +
+                                std::to_string(cmd.keep_vc) + " outside command range [" +
+                                std::to_string(first) + ", " + std::to_string(last) + ")");
+  // A wake that misses its deadline (injected fault) is a no-op: the buffer
+  // stays gated and the retried command wakes it on a later cycle.
+  const auto wake = [&](VcBuffer& buf) {
+    if (faults != nullptr && faults->wake_fails()) return;
+    buf.wake(now);
+  };
   if (!cmd.gating_active) {
     // Baseline upstream: every buffer stays (or returns to) powered.
     for (int i = first; i < last; ++i) {
       VcBuffer& buf = vcs_[static_cast<std::size_t>(i)];
-      if (buf.is_gated()) buf.wake(now);
+      if (buf.is_gated()) wake(buf);
     }
     return;
   }
@@ -79,7 +96,7 @@ void InputUnit::apply_gate_command(const GateCommand& cmd, sim::Cycle now) {
     if (buf.is_active()) continue;  // holds (or is reserved for) a packet
     const bool keep_awake = cmd.enable && i == cmd.keep_vc;
     if (keep_awake) {
-      if (buf.is_gated()) buf.wake(now);
+      if (buf.is_gated()) wake(buf);
     } else {
       // A wake in flight cannot be aborted: gate only once the buffer has
       // been allocatable for a full cycle (see VcBuffer::in_wake_window).

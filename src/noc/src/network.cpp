@@ -49,6 +49,18 @@ Network::Network(NocConfig config) : config_(config), controller_(&baseline_cont
     flit_channels_.push_back(std::move(eject));
     credit_channels_.push_back(std::move(credit));
   }
+
+  // Up_Down command links, one per existing input port. Delay 0: the
+  // upstream pre-VA logic and the downstream header PMOS share a cycle
+  // (the paper's dedicated control wiring), but commands still *traverse a
+  // channel*, giving the fault injector a delivery point to drop or
+  // corrupt them at.
+  up_down_links_.resize(static_cast<std::size_t>(n) * kNumDirs);
+  for (NodeId id = 0; id < n; ++id)
+    for (int p = 0; p < kNumDirs; ++p)
+      if (router(id).has_input(static_cast<Dir>(p)))
+        up_down_links_[static_cast<std::size_t>(id) * kNumDirs + static_cast<std::size_t>(p)] =
+            std::make_unique<Channel<GateCommand>>(0);
 }
 
 void Network::set_gate_controller(IGateController* controller) {
@@ -58,6 +70,49 @@ void Network::set_gate_controller(IGateController* controller) {
 void Network::set_traffic_source(NodeId node, std::unique_ptr<ITrafficSource> source) {
   ni(node).set_traffic_source(source.get());
   sources_.at(static_cast<std::size_t>(node)) = std::move(source);
+}
+
+Channel<GateCommand>& Network::up_down_link_mutable(NodeId node, Dir port) {
+  auto& link =
+      up_down_links_.at(static_cast<std::size_t>(node) * kNumDirs + static_cast<std::size_t>(port));
+  if (link == nullptr) throw std::invalid_argument("Network::up_down_link: port does not exist");
+  return *link;
+}
+
+const Channel<GateCommand>& Network::up_down_link(NodeId node, Dir port) const {
+  const auto& link =
+      up_down_links_.at(static_cast<std::size_t>(node) * kNumDirs + static_cast<std::size_t>(port));
+  if (link == nullptr) throw std::invalid_argument("Network::up_down_link: port does not exist");
+  return *link;
+}
+
+void Network::set_fault_injector(sim::FaultInjector* injector) {
+  injector_ = injector;
+  for (auto& link : up_down_links_) {
+    if (link == nullptr) continue;
+    if (injector_ == nullptr) {
+      link->set_fault_hook({});
+      continue;
+    }
+    link->set_fault_hook([this](GateCommand& cmd, sim::Cycle) {
+      if (injector_->drop_gate_command()) return false;
+      int shift = 0;
+      if (injector_->flip_gate_command(cmd.range_vcs, &shift)) {
+        // Corrupt the command but keep it well-formed for its vnet range:
+        // a valid keep_vc rotates within the range; a command that kept
+        // nothing awake gains a spurious enable on an arbitrary range VC.
+        const int range = cmd.range_vcs;
+        if (cmd.enable && cmd.keep_vc != kInvalidVc) {
+          cmd.keep_vc = cmd.first_vc + (cmd.keep_vc - cmd.first_vc + shift) % range;
+        } else {
+          cmd.gating_active = true;
+          cmd.enable = true;
+          cmd.keep_vc = cmd.first_vc + shift;
+        }
+      }
+      return true;
+    });
+  }
 }
 
 void Network::gating_stage() {
@@ -83,7 +138,14 @@ void Network::gating_stage() {
         if (cmd.keep_vc != kInvalidVc) cmd.keep_vc += first;  // local -> global
         cmd.first_vc = first;
         cmd.range_vcs = config_.num_vcs;
-        r.input(port).apply_gate_command(cmd, now);
+        // The command crosses its Up_Down channel (delay 0: push, then pop
+        // the same cycle). Under fault injection the channel's hook may
+        // drop it — the downstream port then simply holds state — or
+        // corrupt it in range.
+        Channel<GateCommand>& link = up_down_link_mutable(id, port);
+        link.push(cmd, now);
+        while (auto delivered = link.pop_ready(now))
+          r.input(port).apply_gate_command(*delivered, now, injector_);
       }
     }
   }
@@ -134,6 +196,25 @@ std::vector<double> Network::duty_cycles_percent(NodeId node, Dir input_port) co
   if (!r.has_input(input_port))
     throw std::invalid_argument("Network::duty_cycles_percent: port does not exist");
   return r.input(input_port).trackers().duty_cycles_percent();
+}
+
+std::size_t Network::flits_in_flight() const {
+  std::size_t n = 0;
+  for (const auto& link : flit_channels_) n += link->in_flight();
+  return n;
+}
+
+std::size_t Network::flits_resident() const {
+  std::size_t n = flits_in_flight();
+  for (const auto& r : routers_) {
+    for (int p = 0; p < kNumDirs; ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!r->has_input(port)) continue;
+      for (int v = 0; v < config_.total_vcs(); ++v)
+        n += static_cast<std::size_t>(r->input(port).vc(v).occupancy());
+    }
+  }
+  return n;
 }
 
 bool Network::drained() const {

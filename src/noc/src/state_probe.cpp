@@ -73,6 +73,149 @@ std::string PortStateProbe::ascii_timeline(std::size_t max_cycles) const {
   return out;
 }
 
+InvariantChecker::InvariantChecker(const Network& network)
+    : InvariantChecker(network, Options{}) {}
+
+InvariantChecker::InvariantChecker(const Network& network, Options options)
+    : network_(&network), options_(options) {}
+
+void InvariantChecker::record(sim::Cycle cycle, std::string what) {
+  if (violations_.size() < options_.max_violations)
+    violations_.push_back(Violation{cycle, std::move(what)});
+}
+
+std::size_t InvariantChecker::check() {
+  const std::size_t before = violations_.size();
+  const sim::Cycle cycle = network_->clock().now();
+  check_gated_buffers(cycle);
+  check_credit_conservation(cycle);
+  check_flit_conservation(cycle);
+  check_deadlock(cycle);
+  ++cycles_checked_;
+  return violations_.size() - before;
+}
+
+void InvariantChecker::check_or_throw() {
+  const std::size_t found = check();
+  if (found > 0)
+    throw std::runtime_error("InvariantChecker: cycle " +
+                             std::to_string(violations_.back().cycle) + ": " +
+                             violations_[violations_.size() - found].what);
+}
+
+void InvariantChecker::check_gated_buffers(sim::Cycle cycle) {
+  const NocConfig& cfg = network_->config();
+  for (NodeId id = 0; id < network_->nodes(); ++id) {
+    const Router& r = network_->router(id);
+    for (int p = 0; p < kNumDirs; ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!r.has_input(port)) continue;
+      const InputUnit& iu = r.input(port);
+      for (int v = 0; v < cfg.total_vcs(); ++v) {
+        const VcBuffer& buf = iu.vc(v);
+        if (buf.state() == VcState::Recovery && buf.occupancy() > 0)
+          record(cycle, "flit(s) resident in gated buffer r" + std::to_string(id) + ":" +
+                            dir_letter(port) + " vc" + std::to_string(v) + " (occupancy " +
+                            std::to_string(buf.occupancy()) + ")");
+      }
+    }
+  }
+}
+
+namespace {
+/// Per-VC link population: flits (by flit.vc) or credits (by credit.vc).
+template <typename T>
+std::size_t in_flight_for_vc(const Channel<T>* link, int vc) {
+  std::size_t n = 0;
+  if (link != nullptr)
+    link->for_each_in_flight([&](const T& payload, sim::Cycle) {
+      if (payload.vc == vc) ++n;
+    });
+  return n;
+}
+}  // namespace
+
+void InvariantChecker::check_credit_conservation(sim::Cycle cycle) {
+  const NocConfig& cfg = network_->config();
+  // Router-router links: the upstream output unit's credit view of each
+  // downstream VC, closed over both in-flight directions.
+  for (NodeId id = 0; id < network_->nodes(); ++id) {
+    const Router& r = network_->router(id);
+    for (int d = 0; d < 4; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      if (!r.has_output(dir) || r.downstream_input(dir) == nullptr) continue;
+      const InputUnit& diu = *r.downstream_input(dir);
+      for (int v = 0; v < cfg.total_vcs(); ++v) {
+        const std::size_t total = static_cast<std::size_t>(r.output(dir).credits(v)) +
+                                  in_flight_for_vc(r.flit_out_link(dir), v) +
+                                  in_flight_for_vc(r.credit_in_link(dir), v) +
+                                  static_cast<std::size_t>(diu.vc(v).occupancy());
+        if (total != static_cast<std::size_t>(cfg.buffer_depth))
+          record(cycle, "credit leak on r" + std::to_string(id) + " output " + to_string(dir) +
+                            " vc" + std::to_string(v) + ": credits+in_flight+occupancy = " +
+                            std::to_string(total) + ", expected " +
+                            std::to_string(cfg.buffer_depth));
+      }
+    }
+  }
+  // NI injection path: same identity for the Local input port.
+  for (NodeId id = 0; id < network_->nodes(); ++id) {
+    const NetworkInterface& ni = network_->ni(id);
+    const InputUnit& liu = network_->router(id).input(Dir::Local);
+    for (int v = 0; v < cfg.total_vcs(); ++v) {
+      const std::size_t total = static_cast<std::size_t>(ni.credits(v)) +
+                                in_flight_for_vc(ni.inject_link(), v) +
+                                in_flight_for_vc(ni.credit_link(), v) +
+                                static_cast<std::size_t>(liu.vc(v).occupancy());
+      if (total != static_cast<std::size_t>(cfg.buffer_depth))
+        record(cycle, "credit leak on NI " + std::to_string(id) +
+                          " injection path vc" + std::to_string(v) + ": " + std::to_string(total) +
+                          ", expected " + std::to_string(cfg.buffer_depth));
+    }
+  }
+}
+
+void InvariantChecker::check_flit_conservation(sim::Cycle cycle) {
+  const std::size_t resident = network_->flits_resident();
+  const std::uint64_t injected = network_->stats().counter("noc.flits_injected");
+  const std::uint64_t ejected = network_->stats().counter("noc.flits_ejected");
+  // A counter running backwards means the registry was reset (warmup
+  // fence): re-baseline instead of reporting a bogus loss.
+  if (census_valid_ && injected >= last_injected_ && ejected >= last_ejected_) {
+    const auto expected = static_cast<std::int64_t>(last_resident_) +
+                          static_cast<std::int64_t>(injected - last_injected_) -
+                          static_cast<std::int64_t>(ejected - last_ejected_);
+    if (expected != static_cast<std::int64_t>(resident))
+      record(cycle, "flit conservation broken: resident census " + std::to_string(resident) +
+                        " but expected " + std::to_string(expected) +
+                        " (injected/ejected delta since last check)");
+  }
+  census_valid_ = true;
+  last_resident_ = resident;
+  last_injected_ = injected;
+  last_ejected_ = ejected;
+}
+
+void InvariantChecker::check_deadlock(sim::Cycle cycle) {
+  const sim::StatRegistry& stats = network_->stats();
+  const std::uint64_t movement =
+      stats.counter("noc.flits_injected") + stats.counter("noc.flits_ejected") +
+      stats.counter("noc.flits_forwarded") + stats.counter("noc.flits_ejected_router");
+  if (movement != last_movement_ || network_->flits_resident() == 0) {
+    last_movement_ = movement;
+    last_progress_cycle_ = cycle;
+    deadlock_reported_ = false;
+    return;
+  }
+  if (!deadlock_reported_ && cycle >= last_progress_cycle_ &&
+      cycle - last_progress_cycle_ >= options_.deadlock_threshold) {
+    record(cycle, "deadlock: " + std::to_string(network_->flits_resident()) +
+                      " flit(s) resident with no movement since cycle " +
+                      std::to_string(last_progress_cycle_));
+    deadlock_reported_ = true;
+  }
+}
+
 void PortStateProbe::save_csv(const std::string& path) const {
   util::CsvWriter out(path);
   std::vector<std::string> header{"cycle"};

@@ -1,0 +1,158 @@
+#pragma once
+// Deterministic fault injection for the gating control path.
+//
+// The paper's sensor-wise policy assumes a perfect control fabric: sensors
+// always report plausible Vth values, the Up_Down/Down_Up links never lose
+// a command, and a gated buffer always wakes within `wakeup_latency`. Real
+// NBTI sensors age and fail along with the buffers they watch (OptGM; the
+// flip-flop write-failure literature), so the simulator can inject faults
+// into exactly that control plane and nothing else — the flit datapath is
+// never corrupted, which is what lets the invariant checker demand zero
+// flit loss under arbitrary fault storms.
+//
+// Fault taxonomy (all probabilities are per evaluation point):
+//   sensor sites (one per VC buffer, evaluated once per Down_Up refresh
+//   epoch of the owning port):
+//     stuck    — the reading freezes at its value when the fault strikes
+//     drifting — the reading gains `drift_step_v` every epoch
+//     dead     — the reading pegs at `dead_reading_v` (a rail)
+//     repair   — any faulty site returns to healthy (transient faults)
+//   control links:
+//     gate_cmd_drop — an Up_Down GateCommand is lost in flight
+//     gate_cmd_flip — a delivered GateCommand is corrupted (keep_vc
+//                     rotated within its vnet range / enable toggled on
+//                     with an arbitrary in-range keep_vc); corrupted
+//                     commands stay well-formed, they are just *wrong*
+//     down_up_drop  — one refresh epoch's Down_Up report is lost; the
+//                     upstream keeps acting on stale readings
+//   wake handshake:
+//     wake_fail — a gated buffer misses its wakeup deadline; the wake is
+//                 a no-op this cycle and is retried when the command is
+//                 re-issued
+//
+// Determinism contract: a FaultInjector owns a dedicated Xoshiro256 stream
+// seeded from {scenario, plan} alone, and every draw happens at a fixed
+// point of the (deterministic) simulation schedule. A given
+// {scenario, policy, plan} therefore replays bit-exactly — including under
+// SweepRunner at any worker count, because each sweep point builds its own
+// injector. An all-zero plan is never installed at all (`enabled()` is
+// false), so zero-rate runs are byte-identical to runs without this
+// subsystem.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/stat_registry.hpp"
+#include "nbtinoc/util/rng.hpp"
+
+namespace nbtinoc::sim {
+
+/// Health of one sensor site as the fault process sees it.
+enum class SensorFaultMode { kHealthy, kStuck, kDrifting, kDead };
+
+std::string to_string(SensorFaultMode mode);
+
+/// Declarative description of one fault storm. All rates default to zero;
+/// a zero plan is a provable no-op (see golden_test).
+struct FaultPlan {
+  /// Extra salt folded into the injector seed, so one scenario can be
+  /// replayed under several independent storms.
+  std::uint64_t seed_salt = 0;
+
+  // --- sensor-site fault process (per site, per refresh epoch) -------------
+  double sensor_stuck_rate = 0.0;   ///< P(healthy -> stuck)
+  double sensor_drift_rate = 0.0;   ///< P(healthy -> drifting)
+  double sensor_death_rate = 0.0;   ///< P(healthy -> dead)
+  double sensor_repair_rate = 0.0;  ///< P(faulty -> healthy)
+  double drift_step_v = 0.002;      ///< added to a drifting reading per epoch
+  double dead_reading_v = 0.0;      ///< rail a dead sensor reports
+
+  // --- control-link faults -------------------------------------------------
+  double gate_cmd_drop_rate = 0.0;  ///< per delivered Up_Down command
+  double gate_cmd_flip_rate = 0.0;  ///< per delivered Up_Down command
+  double down_up_drop_rate = 0.0;   ///< per port refresh epoch
+  double wake_fail_rate = 0.0;      ///< per wake attempt on a gated buffer
+
+  /// True when any rate is nonzero, i.e. installing an injector could ever
+  /// change a run. run_experiment only wires the injector when enabled.
+  bool enabled() const;
+
+  /// Throws std::invalid_argument on rates outside [0,1] or non-finite
+  /// voltage parameters.
+  void validate() const;
+
+  /// One-line human-readable summary of the nonzero rates.
+  std::string describe() const;
+
+  /// Uniform rate across every fault class — the bench sweep knob.
+  static FaultPlan uniform(double rate, std::uint64_t seed_salt = 0);
+};
+
+/// Runtime half of the subsystem: owns the dedicated RNG stream plus the
+/// per-site sensor fault state machines, and counts every injected event
+/// into an optional StatRegistry under "fault.*" keys. The class is
+/// noc-agnostic (plain node/port/vc ints) so it can live below the NoC in
+/// the layer stack; the noc/core layers translate their types at the hook
+/// sites.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled(); }
+
+  /// Counter sink for fault events ("fault.gate_cmd_drops", ...). Pass
+  /// nullptr to detach. Counting is side-effect-only: it never changes
+  /// what the injector decides.
+  void bind_stats(StatRegistry* stats) { stats_ = stats; }
+
+  // --- Up_Down link (one call per delivered GateCommand) -------------------
+  /// True: the command is lost in flight.
+  bool drop_gate_command();
+  /// True: corrupt the delivered command. `range_vcs` is the size of the
+  /// command's vnet subrange; on true, *keep_vc_shift in [0, range_vcs) is
+  /// the rotation to apply to a valid keep_vc (or the absolute local VC to
+  /// enable when the original command kept nothing awake). Corrupted
+  /// commands remain structurally valid for the range.
+  bool flip_gate_command(int range_vcs, int* keep_vc_shift);
+
+  // --- wake handshake ------------------------------------------------------
+  /// True: this cycle's wake of a gated buffer fails and must be retried.
+  bool wake_fails();
+
+  // --- Down_Up link (one call per port refresh epoch) ----------------------
+  /// True: the whole report is lost; the port's readings stay stale.
+  bool drop_down_up_report();
+
+  // --- sensor fault process ------------------------------------------------
+  /// Steps the fault state machine of every site of one port by one epoch.
+  /// Call exactly once per *delivered* refresh epoch, before reading.
+  void advance_sensor_epoch(int node, int port, int num_vcs);
+  /// The reading the faulty sensor actually reports for `true_reading`.
+  /// Pure given the site state (no RNG draw).
+  double corrupt_reading(int node, int port, int vc, double true_reading);
+  SensorFaultMode sensor_mode(int node, int port, int vc) const;
+  /// Number of sites currently not healthy.
+  std::size_t faulty_sites() const;
+
+ private:
+  struct SiteState {
+    SensorFaultMode mode = SensorFaultMode::kHealthy;
+    double stuck_value_v = 0.0;  ///< reading held while stuck
+    bool stuck_latched = false;  ///< stuck_value_v captured yet?
+    double drift_v = 0.0;        ///< accumulated drift while drifting
+  };
+  using SiteKey = std::tuple<int, int, int>;  ///< (node, port, vc)
+
+  void count(const char* key);
+
+  FaultPlan plan_;
+  util::Xoshiro256 rng_;
+  StatRegistry* stats_ = nullptr;
+  std::map<SiteKey, SiteState> sites_;
+};
+
+}  // namespace nbtinoc::sim

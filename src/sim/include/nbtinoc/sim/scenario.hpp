@@ -62,6 +62,15 @@ struct Scenario {
   /// Seed for traffic generation; also policy-independent so that every
   /// policy replays an identical offered load.
   std::uint64_t traffic_seed() const;
+  /// Seed for the fault-injection stream (xored with FaultPlan::seed_salt):
+  /// policy-independent, so every policy faces the *same* fault storm on
+  /// the same scenario.
+  std::uint64_t fault_seed() const;
+
+  /// Rejects impossible configurations with an actionable message
+  /// (std::invalid_argument). Called by scenario_from_properties and by
+  /// run_experiment before any simulation state is built.
+  void validate() const;
 
   /// Scales warmup/measure to the paper's full 30e6-cycle runs (warmup 6e6
   /// for 4-core, 9e6 for 16-core).

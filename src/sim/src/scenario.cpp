@@ -37,6 +37,44 @@ std::uint64_t Scenario::traffic_seed() const {
   return util::seed_from_string(buf);
 }
 
+std::uint64_t Scenario::fault_seed() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "fault:%dx%d-vc%d-inj%.3f", mesh_width, mesh_height, num_vcs,
+                injection_rate);
+  return util::seed_from_string(buf);
+}
+
+void Scenario::validate() const {
+  const auto fail = [this](const std::string& what) {
+    throw std::invalid_argument("Scenario '" + name + "': " + what);
+  };
+  if (mesh_width < 1 || mesh_height < 1)
+    fail("mesh must be at least 1x1 (got " + std::to_string(mesh_width) + "x" +
+         std::to_string(mesh_height) + ")");
+  if (mesh_width * mesh_height < 2)
+    fail("a single-tile mesh has no links to simulate; use at least 2 tiles");
+  if (num_vcs < 1) fail("num_vcs must be >= 1 (got " + std::to_string(num_vcs) + ")");
+  if (num_vnets < 1) fail("num_vnets must be >= 1 (got " + std::to_string(num_vnets) + ")");
+  if (buffer_depth < 1) fail("buffer_depth must be >= 1 (got " + std::to_string(buffer_depth) + ")");
+  if (flit_width_bits < 1 || link_width_bits < 1)
+    fail("flit_width_bits and link_width_bits must be >= 1");
+  if (link_width_bits > flit_width_bits)
+    fail("link_width_bits (" + std::to_string(link_width_bits) + ") wider than the flit (" +
+         std::to_string(flit_width_bits) + "b) — a phit cannot exceed the flit");
+  if (packet_length < 1) fail("packet_length must be >= 1 flit");
+  if (!(injection_rate >= 0.0) || injection_rate > 1.0)
+    fail("injection_rate must be in [0, 1] flits/cycle/port (got " +
+         std::to_string(injection_rate) + ")");
+  if (router_stages < 3) fail("router_stages must be >= 3 (3-stage pipeline is the minimum)");
+  if (measure_cycles == 0) fail("measure_cycles must be > 0 — nothing would be measured");
+  if (!(clock_period_s > 0.0)) fail("clock_period_s must be > 0");
+  if (!(tech.vdd_v > 0.0)) fail("tech.vdd_v must be > 0");
+  if (!(tech.temperature_k > 0.0)) fail("tech.temperature_k must be > 0");
+  if (!(tech.vth_nominal_v > 0.0) || tech.vth_nominal_v >= tech.vdd_v)
+    fail("tech.vth_nominal_v must be in (0, vdd)");
+  if (tech.vth_sigma_v < 0.0) fail("tech.vth_sigma_v must be >= 0");
+}
+
 void Scenario::use_paper_scale() {
   // Paper IV-B: 30e6 total cycles; steady state after 6e6 (4-core) or
   // 9e6 (16-core) cycles.
@@ -99,7 +137,11 @@ Scenario scenario_from_properties(const std::map<std::string, std::string>& prop
   s.link_width_bits = static_cast<int>(get_int("link_width_bits", s.link_width_bits));
   s.packet_length = static_cast<int>(get_int("packet_length", s.packet_length));
   s.injection_rate = get_double("injection_rate", s.injection_rate);
-  s.wakeup_latency = static_cast<Cycle>(get_int("wakeup_latency", 0));
+  const long long wakeup = get_int("wakeup_latency", 0);
+  // Cycle is unsigned: a negative value would silently wrap to ~2^64.
+  if (wakeup < 0)
+    throw std::invalid_argument("scenario_from_properties: wakeup_latency must be >= 0");
+  s.wakeup_latency = static_cast<Cycle>(wakeup);
   s.router_stages = static_cast<int>(get_int("router_stages", s.router_stages));
   if (s.router_stages < 3)
     throw std::invalid_argument("scenario_from_properties: router_stages must be >= 3");
@@ -121,6 +163,7 @@ Scenario scenario_from_properties(const std::map<std::string, std::string>& prop
     std::snprintf(buf, sizeof(buf), "%dcore-inj%.2f", s.cores(), s.injection_rate);
     s.name = buf;
   }
+  s.validate();
   return s;
 }
 

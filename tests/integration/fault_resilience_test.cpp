@@ -1,0 +1,200 @@
+// Fault-injection end-to-end: the storm may drop/corrupt every control
+// message, but the datapath invariants must hold for every policy, the
+// health watchdogs must quarantine ports whose sensors stop making sense
+// (and demonstrably run the rr fallback there), and a faulted sweep must
+// stay bit-identical at any worker count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "nbtinoc/core/sweep.hpp"
+
+namespace nbtinoc::core {
+namespace {
+
+sim::Scenario small_scenario(double inj = 0.1) {
+  sim::Scenario s = sim::Scenario::synthetic(2, 2, inj);
+  s.name = "fault-4core";
+  s.warmup_cycles = 1'000;
+  s.measure_cycles = 4'000;
+  return s;
+}
+
+std::uint64_t fault_count(const RunResult& r, const std::string& key) {
+  const auto it = r.fault_counters.find(key);
+  return it == r.fault_counters.end() ? 0u : it->second;
+}
+
+TEST(FaultResilience, InvariantsHoldUnderStormForAllPolicies) {
+  for (PolicyKind policy :
+       {PolicyKind::kRrNoSensor, PolicyKind::kSensorWise, PolicyKind::kSensorRank}) {
+    RunnerOptions opt;
+    opt.faults = sim::FaultPlan::uniform(0.05);
+    opt.check_invariants = true;
+    const RunResult r = run_experiment(small_scenario(), policy, Workload::synthetic(), opt);
+    // The storm really fired...
+    EXPECT_GT(fault_count(r, "fault.gate_cmd_drops"), 0u) << to_string(policy);
+    // ...traffic still flowed...
+    EXPECT_GT(r.flits_ejected, 0u) << to_string(policy);
+    // ...and no flit was lost, parked in a gated buffer, or deadlocked.
+    EXPECT_TRUE(r.invariant_violations.empty())
+        << to_string(policy) << ": " << r.invariant_violations.front();
+  }
+}
+
+TEST(FaultResilience, SensorPoliciesQuarantineUnderStorm) {
+  RunnerOptions opt;
+  opt.faults = sim::FaultPlan::uniform(0.2);
+  // The default 1024-cycle epoch gives this short run only ~5 Down_Up
+  // refreshes; tighten it so the watchdogs see a few hundred epochs.
+  opt.policy.sensor.epoch_cycles = 32;
+  const RunResult r =
+      run_experiment(small_scenario(), PolicyKind::kSensorWise, Workload::synthetic(), opt);
+  // Dead/stuck sensors and lost reports push ports into quarantine within
+  // the run, and the transient fault process lets some recover.
+  EXPECT_GT(fault_count(r, "fault.quarantines"), 0u);
+  EXPECT_GT(fault_count(r, "fault.quarantined_port_cycles"), 0u);
+}
+
+// --- controller-level watchdog behavior -----------------------------------
+
+noc::NocConfig mesh(int w = 2, int vcs = 4) {
+  noc::NocConfig c;
+  c.width = w;
+  c.height = w;
+  c.num_vcs = vcs;
+  return c;
+}
+
+PolicyConfig sensor_wise_config() {
+  PolicyConfig cfg;
+  cfg.kind = PolicyKind::kSensorWise;
+  cfg.sensor.epoch_cycles = 1;  // every post_cycle is a Down_Up epoch
+  return cfg;
+}
+
+void expect_same_command(const noc::GateCommand& a, const noc::GateCommand& b, sim::Cycle now) {
+  EXPECT_EQ(a.gating_active, b.gating_active) << "cycle " << now;
+  EXPECT_EQ(a.enable, b.enable) << "cycle " << now;
+  EXPECT_EQ(a.keep_vc, b.keep_vc) << "cycle " << now;
+  EXPECT_EQ(a.first_vc, b.first_vc) << "cycle " << now;
+  EXPECT_EQ(a.range_vcs, b.range_vcs) << "cycle " << now;
+}
+
+TEST(FaultResilience, StalePortFallsBackToRoundRobin) {
+  noc::Network net(mesh());
+  const nbti::NbtiModel model = nbti::NbtiModel::calibrated(nbti::NbtiParams{}, {});
+  PolicyGateController ctrl(net, sensor_wise_config(), model, {}, nbti::PvConfig{}, 1);
+  PolicyConfig rr_cfg;
+  rr_cfg.kind = PolicyKind::kRrNoSensor;
+  PolicyGateController rr(net, rr_cfg, model, {}, nbti::PvConfig{}, 1);
+
+  sim::FaultPlan plan;
+  plan.down_up_drop_rate = 1.0;  // every Down_Up report lost
+  sim::FaultInjector injector(plan, /*seed=*/3);
+  ctrl.set_fault_injector(&injector);
+
+  const noc::PortKey key{0, noc::Dir::East};
+  const noc::OutVcStateView view(&net.router(0).input(noc::Dir::East));
+
+  // Healthy (pre-quarantine): sensor-wise keeps a sensor-chosen VC, which
+  // the rotating rr candidate cannot track.
+  ASSERT_FALSE(ctrl.quarantined(key));
+  bool differed = false;
+  for (sim::Cycle now = 0; now < 8; ++now)
+    if (ctrl.decide(key, view, true, now).keep_vc != rr.decide(key, view, true, now).keep_vc)
+      differed = true;
+  EXPECT_TRUE(differed);
+
+  // Starve the watchdog: staleness_epochs dropped reports -> quarantine.
+  for (sim::Cycle now = 1; now <= 6; ++now) ctrl.post_cycle(now);
+  ASSERT_TRUE(ctrl.quarantined(key));
+  EXPECT_EQ(ctrl.quarantined_ports(), 12u);  // every port starves alike
+  EXPECT_EQ(net.stats().counter("fault.quarantines"), 12u);
+
+  // Quarantined: sensor-wise is now bit-for-bit the rr-no-sensor policy.
+  for (sim::Cycle now = 10; now < 30; ++now)
+    expect_same_command(ctrl.decide(key, view, true, now), rr.decide(key, view, true, now), now);
+  expect_same_command(ctrl.decide(key, view, false, 30), rr.decide(key, view, false, 30), 30);
+}
+
+TEST(FaultResilience, DeadSensorsTripThePlausibilityWatchdog) {
+  noc::Network net(mesh());
+  const nbti::NbtiModel model = nbti::NbtiModel::calibrated(nbti::NbtiParams{}, {});
+  PolicyGateController ctrl(net, sensor_wise_config(), model, {}, nbti::PvConfig{}, 1);
+
+  sim::FaultPlan plan;
+  plan.sensor_death_rate = 1.0;  // every site dies on its first epoch
+  plan.dead_reading_v = 0.0;     // rails well below plausible_min_v
+  sim::FaultInjector injector(plan, 3);
+  ctrl.set_fault_injector(&injector);
+
+  const noc::PortKey key{0, noc::Dir::East};
+  ctrl.post_cycle(1);
+  EXPECT_FALSE(ctrl.quarantined(key));  // one implausible epoch: not yet
+  EXPECT_EQ(ctrl.effective_vth(key, 0), 0.0);
+  ctrl.post_cycle(2);
+  EXPECT_TRUE(ctrl.quarantined(key));  // implausible_epochs_to_quarantine = 2
+}
+
+TEST(FaultResilience, PortRecoversWhenReadingsReturn) {
+  noc::Network net(mesh());
+  const nbti::NbtiModel model = nbti::NbtiModel::calibrated(nbti::NbtiParams{}, {});
+  PolicyGateController ctrl(net, sensor_wise_config(), model, {}, nbti::PvConfig{}, 1);
+
+  sim::FaultPlan starve;
+  starve.down_up_drop_rate = 1.0;
+  sim::FaultInjector blackout(starve, 3);
+  ctrl.set_fault_injector(&blackout);
+  const noc::PortKey key{0, noc::Dir::East};
+  for (sim::Cycle now = 1; now <= 6; ++now) ctrl.post_cycle(now);
+  ASSERT_TRUE(ctrl.quarantined(key));
+
+  // The link heals (reports flow again; an unrelated fault keeps the
+  // injector active): healthy_epochs_to_recover clean epochs re-arm trust.
+  sim::FaultPlan healed;
+  healed.wake_fail_rate = 0.5;
+  sim::FaultInjector flaky_wake(healed, 3);
+  ctrl.set_fault_injector(&flaky_wake);
+  for (sim::Cycle now = 7; now <= 9; ++now) ctrl.post_cycle(now);
+  EXPECT_TRUE(ctrl.quarantined(key));  // 3 clean epochs: one short
+  ctrl.post_cycle(10);
+  EXPECT_FALSE(ctrl.quarantined(key));
+  EXPECT_EQ(net.stats().counter("fault.recoveries"), 12u);
+}
+
+// --- sweep determinism -----------------------------------------------------
+
+TEST(FaultResilience, FaultedSweepIsBitIdenticalAtAnyWorkerCount) {
+  sim::Scenario s = small_scenario();
+  s.warmup_cycles = 500;
+  s.measure_cycles = 2'000;
+
+  std::vector<std::string> reference;
+  for (unsigned workers : {1u, 2u, 8u}) {
+    SweepOptions opt;
+    opt.workers = workers;
+    opt.runner.faults = sim::FaultPlan::uniform(0.02);
+    SweepRunner sweep{opt};
+    sweep.add_grid({s}, {PolicyKind::kRrNoSensor, PolicyKind::kSensorWise,
+                         PolicyKind::kSensorRank});
+    const SweepResult results = sweep.run();
+    std::vector<std::string> jsons;
+    for (const auto& point : results) jsons.push_back(to_json(point.result));
+    if (reference.empty()) {
+      reference = jsons;
+      // The storm fired: nonzero rates must not silently no-op.
+      for (const auto& point : results)
+        EXPECT_FALSE(point.result.fault_counters.empty()) << point.point.describe();
+    } else {
+      ASSERT_EQ(jsons.size(), reference.size());
+      for (std::size_t i = 0; i < jsons.size(); ++i)
+        EXPECT_EQ(jsons[i], reference[i]) << "point " << i << " at " << workers << " workers";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nbtinoc::core

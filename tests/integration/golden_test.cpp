@@ -121,5 +121,33 @@ TEST(Golden, DutyCyclesMatchCheckedInGolden) {
          << "If this change is intentional, regenerate with NBTINOC_UPDATE_GOLDEN=1 and commit.";
 }
 
+TEST(Golden, ZeroRateFaultPlanMatchesGolden) {
+  // The fault subsystem's no-op guarantee, pinned to the golden file: a
+  // plan whose rates are all zero constructs no injector, so the run is
+  // byte-identical to one from a build without the subsystem.
+  if (std::getenv("NBTINOC_UPDATE_GOLDEN") != nullptr)
+    GTEST_SKIP() << "golden file being regenerated by DutyCyclesMatchCheckedInGolden";
+  SweepOptions options;
+  options.runner.faults = sim::FaultPlan::uniform(0.0);
+  ASSERT_FALSE(options.runner.faults.enabled());
+  SweepRunner sweep{options};
+  sweep.add_grid({golden_scenario()},
+                 {PolicyKind::kBaseline, PolicyKind::kRrNoSensor,
+                  PolicyKind::kSensorWiseNoTraffic, PolicyKind::kSensorWise});
+  const SweepResult results = sweep.run();
+  for (const auto& point : results) {
+    EXPECT_TRUE(point.result.fault_counters.empty());
+    EXPECT_EQ(to_json(point.result).find("fault_counters"), std::string::npos);
+  }
+  const std::string actual = render({results.begin(), results.end()});
+
+  std::ifstream in(kGoldenPath);
+  ASSERT_TRUE(in) << "missing golden file " << kGoldenPath;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(actual, buf.str())
+      << "a zero-rate FaultPlan must be a provable no-op against the golden run";
+}
+
 }  // namespace
 }  // namespace nbtinoc::core

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace nbtinoc::noc {
 namespace {
@@ -65,6 +67,104 @@ TEST(Channel, InFlightCount) {
   ch.push(1, 0);
   ch.push(2, 1);
   EXPECT_EQ(ch.in_flight(), 2u);
+}
+
+TEST(Channel, MultipleReadySameCycleDrainInPushOrder) {
+  Channel<int> ch(2);
+  ch.push(1, 0);
+  ch.push(2, 0);
+  ch.push(3, 0);
+  // All three became deliverable at cycle 2; they drain strictly in push
+  // order, one pop at a time.
+  EXPECT_EQ(ch.pop_ready(2).value(), 1);
+  EXPECT_EQ(ch.pop_ready(2).value(), 2);
+  EXPECT_EQ(ch.pop_ready(2).value(), 3);
+  EXPECT_FALSE(ch.pop_ready(2).has_value());
+}
+
+TEST(Channel, ZeroDelayPreservesOrderWithinCycle) {
+  Channel<int> ch(0);
+  ch.push(10, 7);
+  ch.push(11, 7);
+  EXPECT_EQ(ch.pop_ready(7).value(), 10);
+  EXPECT_EQ(ch.pop_ready(7).value(), 11);
+}
+
+TEST(Channel, ClearWithMultipleInFlightDropsEverything) {
+  Channel<int> ch(4);
+  ch.push(1, 0);
+  ch.push(2, 1);
+  ch.push(3, 2);
+  EXPECT_EQ(ch.in_flight(), 3u);
+  ch.clear();
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.in_flight(), 0u);
+  // The channel keeps working after a clear.
+  ch.push(4, 10);
+  EXPECT_EQ(ch.pop_ready(14).value(), 4);
+}
+
+TEST(Channel, FaultHookCanDropPayloads) {
+  Channel<int> ch(1);
+  ch.set_fault_hook([](int& v, sim::Cycle) { return v != 2; });
+  ch.push(1, 0);
+  ch.push(2, 0);
+  ch.push(3, 0);
+  // The dropped payload is consumed silently: pop skips to the next one.
+  EXPECT_EQ(ch.pop_ready(1).value(), 1);
+  EXPECT_EQ(ch.pop_ready(1).value(), 3);
+  EXPECT_FALSE(ch.pop_ready(1).has_value());
+  EXPECT_EQ(ch.dropped(), 1u);
+}
+
+TEST(Channel, FaultHookCanMutateInFlight) {
+  Channel<int> ch(1);
+  ch.set_fault_hook([](int& v, sim::Cycle) {
+    v += 100;
+    return true;
+  });
+  ch.push(5, 0);
+  EXPECT_EQ(ch.pop_ready(1).value(), 105);
+  EXPECT_EQ(ch.dropped(), 0u);
+}
+
+TEST(Channel, FaultHookFiresExactlyOncePerPayload) {
+  Channel<int> ch(1);
+  int fires = 0;
+  ch.set_fault_hook([&fires](int&, sim::Cycle) {
+    ++fires;
+    return true;
+  });
+  ch.push(1, 0);
+  // Peeks must not fire the hook: fault decisions draw from an RNG stream
+  // and must happen exactly once, at consumption.
+  ch.peek_ready(1);
+  ch.peek_ready(1);
+  EXPECT_EQ(fires, 0);
+  ch.pop_ready(1);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Channel, RemovingFaultHookRestoresExactDelivery) {
+  Channel<int> ch(1);
+  ch.set_fault_hook([](int&, sim::Cycle) { return false; });
+  ch.push(1, 0);
+  EXPECT_FALSE(ch.pop_ready(1).has_value());
+  ch.set_fault_hook(nullptr);
+  EXPECT_FALSE(ch.has_fault_hook());
+  ch.push(2, 1);
+  EXPECT_EQ(ch.pop_ready(2).value(), 2);
+}
+
+TEST(Channel, ForEachInFlightSeesQueueOrder) {
+  Channel<int> ch(3);
+  ch.push(7, 0);
+  ch.push(8, 1);
+  std::vector<std::pair<int, sim::Cycle>> seen;
+  ch.for_each_in_flight([&](const int& v, sim::Cycle at) { seen.emplace_back(v, at); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<int, sim::Cycle>{7, 3}));
+  EXPECT_EQ(seen[1], (std::pair<int, sim::Cycle>{8, 4}));
 }
 
 }  // namespace

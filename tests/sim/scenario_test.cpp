@@ -118,6 +118,80 @@ TEST(ScenarioFromProperties, RejectsUnknownKeyAndBadValues) {
   EXPECT_THROW(scenario_from_properties({{"clock_ghz", "0"}}), std::invalid_argument);
 }
 
+TEST(Scenario, FaultSeedStableAndDistinctFromOtherStreams) {
+  const Scenario a = Scenario::synthetic(2, 2, 0.2);
+  EXPECT_EQ(a.fault_seed(), Scenario::synthetic(2, 2, 0.2).fault_seed());
+  EXPECT_NE(a.fault_seed(), Scenario::synthetic(4, 2, 0.2).fault_seed());
+  EXPECT_NE(a.fault_seed(), Scenario::synthetic(2, 2, 0.3).fault_seed());
+  // Dedicated stream: never collides with the PV or traffic streams.
+  EXPECT_NE(a.fault_seed(), a.pv_seed());
+  EXPECT_NE(a.fault_seed(), a.traffic_seed());
+}
+
+TEST(Scenario, ValidateAcceptsEveryFactoryOutput) {
+  EXPECT_NO_THROW(Scenario{}.validate());
+  EXPECT_NO_THROW(Scenario::synthetic(2, 2, 0.1).validate());
+  EXPECT_NO_THROW(Scenario::synthetic(4, 4, 1.0).validate());
+}
+
+TEST(Scenario, ValidateRejectsImpossibleConfigs) {
+  const auto broken = [](void (*mutate)(Scenario&)) {
+    Scenario s = Scenario::synthetic(2, 2, 0.1);
+    mutate(s);
+    return s;
+  };
+  EXPECT_THROW(broken([](Scenario& s) { s.mesh_width = 0; }).validate(), std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.mesh_width = s.mesh_height = 1; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.num_vcs = 0; }).validate(), std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.num_vnets = 0; }).validate(), std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.buffer_depth = 0; }).validate(), std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.link_width_bits = s.flit_width_bits + 1; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.packet_length = 0; }).validate(), std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.injection_rate = 1.5; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.injection_rate = -0.1; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.router_stages = 2; }).validate(), std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.measure_cycles = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.clock_period_s = 0.0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.tech.vdd_v = 0.0; }).validate(), std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.tech.vth_nominal_v = s.tech.vdd_v; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](Scenario& s) { s.tech.vth_sigma_v = -0.001; }).validate(),
+               std::invalid_argument);
+}
+
+TEST(Scenario, ValidateErrorsNameTheScenarioAndTheProblem) {
+  Scenario s = Scenario::synthetic(2, 2, 0.1);
+  s.name = "my-study";
+  s.buffer_depth = 0;
+  try {
+    s.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my-study"), std::string::npos) << what;
+    EXPECT_NE(what.find("buffer_depth"), std::string::npos) << what;
+    EXPECT_NE(what.find("0"), std::string::npos) << what;  // the offending value
+  }
+}
+
+TEST(ScenarioFromProperties, RejectsNegativeWakeupLatency) {
+  // Cycle is unsigned: -1 would otherwise wrap to ~2^64 cycles of wakeup.
+  EXPECT_THROW(scenario_from_properties({{"wakeup_latency", "-1"}}), std::invalid_argument);
+}
+
+TEST(ScenarioFromProperties, ValidatesTheAssembledScenario) {
+  EXPECT_THROW(scenario_from_properties({{"buffer_depth", "0"}}), std::invalid_argument);
+  EXPECT_THROW(scenario_from_properties({{"mesh_width", "1"}, {"mesh_height", "1"}}),
+               std::invalid_argument);
+  EXPECT_THROW(scenario_from_properties({{"injection_rate", "2.0"}}), std::invalid_argument);
+}
+
 TEST(Scenario, DescribeMentionsKeyParameters) {
   const Scenario s = Scenario::synthetic(2, 4, 0.2);
   const std::string d = s.describe();
