@@ -79,6 +79,29 @@ void BM_NbtiDeltaVth(benchmark::State& state) {
 }
 BENCHMARK(BM_NbtiDeltaVth);
 
+// End-to-end sweep-engine throughput: a small grid of short sensor-wise
+// runs through the worker pool. Wall time here is dominated by the same
+// per-cycle hot path the step benchmarks isolate, so it tracks how the
+// micro-level wins compose at experiment scale (and how they scale with
+// the worker count).
+void BM_SweepRunner_Throughput(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SweepOptions options;
+    options.workers = static_cast<unsigned>(state.range(0));
+    core::SweepRunner sweep(options);
+    for (int i = 0; i < 8; ++i) {
+      sim::Scenario s = sim::Scenario::synthetic(2, 2, 0.05 + 0.03 * i);
+      s.warmup_cycles = 200;
+      s.measure_cycles = 2'000;
+      sweep.add(s, core::PolicyKind::kSensorWise, core::Workload::synthetic(),
+                "bench-" + std::to_string(i));
+    }
+    benchmark::DoNotOptimize(sweep.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_SweepRunner_Throughput)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_Xoshiro(benchmark::State& state) {
   util::Xoshiro256 rng(1);
   for (auto _ : state) benchmark::DoNotOptimize(rng.next());

@@ -29,12 +29,16 @@ class DutyBudgetController final : public noc::IGateController {
       : network_(&network), budget_(budget_percent) {}
 
   noc::GateCommand decide(const noc::PortKey& key, const noc::OutVcStateView& view,
-                          bool new_traffic, sim::Cycle) override {
+                          bool new_traffic, sim::Cycle now) override {
     noc::GateCommand cmd;
     cmd.gating_active = true;
     if (!new_traffic) return cmd;  // recover everything idle
 
-    const auto& trackers = network_->router(key.router).input(key.port).trackers();
+    // Stress accounting is event-driven: flush this port's pending lazy
+    // intervals before reading duty cycles mid-run.
+    auto& iu = network_->router(key.router).input(key.port);
+    iu.sync_stress(now);
+    const auto& trackers = iu.trackers();
     int keep = noc::kInvalidVc;
     double best_duty = 1e18;
     int fallback = noc::kInvalidVc;

@@ -134,6 +134,16 @@ class PolicyGateController final : public noc::IGateController {
   std::map<noc::PortKey, PortContext> ports_;
   sim::FaultInjector* injector_ = nullptr;
 
+  // Interned stat handles (fault.quarantined_port_cycles is bumped every
+  // cycle per quarantined port — a hot-path site under fault injection).
+  sim::CounterHandle h_quarantined_cycles_;
+  sim::CounterHandle h_quarantines_;
+  sim::CounterHandle h_recoveries_;
+
+  /// Scratch for the sensor-rank degradation vector (sized once; the
+  /// per-decision fill must not allocate).
+  std::vector<double> degradation_scratch_;
+
   /// Hysteresis cache, keyed by (port, vnet subrange start).
   struct HeldDecision {
     noc::GateCommand command;

@@ -39,7 +39,11 @@ PolicyGateController::PolicyGateController(noc::Network& network, PolicyConfig c
                                            const nbti::NbtiModel& model, nbti::OperatingPoint op,
                                            std::map<noc::PortKey, std::vector<double>> initial_vths,
                                            std::uint64_t noise_seed)
-    : network_(&network), config_(config), name_(to_string(config.kind)) {
+    : network_(&network), config_(config), name_(to_string(config.kind)),
+      h_quarantined_cycles_(network.stats().intern("fault.quarantined_port_cycles")),
+      h_quarantines_(network.stats().intern("fault.quarantines")),
+      h_recoveries_(network.stats().intern("fault.recoveries")),
+      degradation_scratch_(static_cast<std::size_t>(network.config().num_vcs)) {
   // Sanity: every existing input port must be covered with the right width.
   const auto& cfg = network.config();
   for (noc::NodeId id = 0; id < cfg.nodes(); ++id) {
@@ -143,11 +147,11 @@ noc::GateCommand PolicyGateController::compute(const noc::PortKey& key,
       case PolicyKind::kSensorWise:
         return sensor_wise_decide(view, effective_local_most_degraded(ctx, view), new_traffic);
       default: {
-        std::vector<double> degradation(static_cast<std::size_t>(view.num_vcs()));
+        degradation_scratch_.resize(static_cast<std::size_t>(view.num_vcs()));
         for (int i = 0; i < view.num_vcs(); ++i)
-          degradation[static_cast<std::size_t>(i)] =
+          degradation_scratch_[static_cast<std::size_t>(i)] =
               ctx.effective_vths.at(static_cast<std::size_t>(view.global_vc(i)));
-        return sensor_rank_decide(view, degradation, new_traffic);
+        return sensor_rank_decide(view, degradation_scratch_, new_traffic);
       }
     }
   }
@@ -165,11 +169,11 @@ noc::GateCommand PolicyGateController::compute(const noc::PortKey& key,
       return sensor_wise_decide(view, local_most_degraded(key, view), new_traffic);
     case PolicyKind::kSensorRank: {
       const auto& sensors = ports_.at(key).sensors;
-      std::vector<double> degradation(static_cast<std::size_t>(view.num_vcs()));
+      degradation_scratch_.resize(static_cast<std::size_t>(view.num_vcs()));
       for (int i = 0; i < view.num_vcs(); ++i)
-        degradation[static_cast<std::size_t>(i)] =
+        degradation_scratch_[static_cast<std::size_t>(i)] =
             sensors.measured_vth(static_cast<std::size_t>(view.global_vc(i)));
-      return sensor_rank_decide(view, degradation, new_traffic);
+      return sensor_rank_decide(view, degradation_scratch_, new_traffic);
     }
   }
   throw std::logic_error("PolicyGateController::decide: bad kind");
@@ -182,11 +186,16 @@ void PolicyGateController::post_cycle(sim::Cycle now) {
   const bool faulted = injector_ != nullptr && injector_->enabled();
   for (auto& [key, ctx] : ports_) {
     const bool epoch = ctx.sensors.refresh_due(now);
-    const auto& trackers = network_->router(key.router).input(key.port).trackers();
-    ctx.sensors.update(now, elapsed, trackers);
+    noc::InputUnit& iu = network_->router(key.router).input(key.port);
+    // Stress accounting is event-driven: flush this port's lazy intervals
+    // through the end of the current cycle before the sensors read the
+    // counters, but only at epoch boundaries — update() ignores the
+    // trackers otherwise.
+    if (epoch) iu.sync_stress(now + 1);
+    ctx.sensors.update(now, elapsed, iu.trackers());
     if (!faulted) continue;
     if (epoch) faulted_epoch(key, ctx);
-    if (ctx.quarantined) network_->stats().add("fault.quarantined_port_cycles");
+    if (ctx.quarantined) network_->stats().add(h_quarantined_cycles_);
   }
 }
 
@@ -223,7 +232,7 @@ void PolicyGateController::faulted_epoch(const noc::PortKey& key, PortContext& c
     if (ctx.epochs_since_report >= h.staleness_epochs ||
         ctx.implausible_streak >= h.implausible_epochs_to_quarantine) {
       ctx.quarantined = true;
-      stats.add("fault.quarantines");
+      stats.add(h_quarantines_);
     }
   } else if (delivered && plausible) {
     if (++ctx.healthy_streak >= h.healthy_epochs_to_recover) {
@@ -231,7 +240,7 @@ void PolicyGateController::faulted_epoch(const noc::PortKey& key, PortContext& c
       ctx.healthy_streak = 0;
       ctx.implausible_streak = 0;
       ctx.epochs_since_report = 0;
-      stats.add("fault.recoveries");
+      stats.add(h_recoveries_);
     }
   } else {
     ctx.healthy_streak = 0;

@@ -1,5 +1,6 @@
 #include "nbtinoc/core/policy.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -74,13 +75,17 @@ noc::GateCommand sensor_wise_decide(const noc::OutVcStateView& view, int most_de
   for (int vc = 0; vc < num_vcs; ++vc)
     if (!view.is_active(vc)) ++count_idle;
 
-  std::vector<bool> to_recovery(static_cast<std::size_t>(num_vcs), false);
+  // Per-VC recovery marks as a bitmask: this runs per port per vnet per
+  // cycle, and a vector<bool> here was a measurable hot-path allocation.
+  if (num_vcs > 64)
+    throw std::invalid_argument("sensor_wise_decide: more than 64 VCs per vnet unsupported");
+  std::uint64_t to_recovery = 0;
 
   // Lines 9-11: the most degraded VC is put into recovery *first*, provided
   // an idle VC remains available for a potential new packet.
   if (most_degraded >= 0 && most_degraded < num_vcs && !view.is_active(most_degraded) &&
       count_idle > reserve) {
-    to_recovery[static_cast<std::size_t>(most_degraded)] = true;
+    to_recovery |= std::uint64_t{1} << most_degraded;
     --count_idle;
   }
 
@@ -88,9 +93,9 @@ noc::GateCommand sensor_wise_decide(const noc::OutVcStateView& view, int most_de
   // `reserve` remain; the surviving idle VC is the one left awake.
   int idle_vc = noc::kInvalidVc;
   for (int vc = 0; vc < num_vcs; ++vc) {
-    if (view.is_active(vc) || to_recovery[static_cast<std::size_t>(vc)]) continue;
+    if (view.is_active(vc) || ((to_recovery >> vc) & 1u) != 0) continue;
     if (count_idle > reserve) {
-      to_recovery[static_cast<std::size_t>(vc)] = true;
+      to_recovery |= std::uint64_t{1} << vc;
       --count_idle;
     } else {
       idle_vc = vc;

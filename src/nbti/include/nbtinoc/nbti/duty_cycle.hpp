@@ -8,6 +8,16 @@
 // paper's statistic:
 //
 //     NBTI-duty-cycle = stress / (stress + recovery) * 100
+//
+// Two accounting modes share the same counters:
+//  - per-cycle: record_cycle(stressed) once per simulated cycle (tests,
+//    components that sample state explicitly);
+//  - event-driven: note_state(stressed, now) at each gate/wake transition
+//    plus sync(through) at read fences. Idle meshes then cost
+//    O(transitions), not O(buffers) per cycle. The two modes produce
+//    identical counts for the same state timeline (cycle c is attributed to
+//    the state holding at the *end* of cycle c) but must not be mixed on
+//    one tracker within one measurement window.
 
 #include <cstdint>
 #include <string>
@@ -35,6 +45,31 @@ class StressTracker {
     else recovery_cycles_ += count;
   }
 
+  // --- event-driven accounting ---------------------------------------------
+  /// Declares the buffer's powered state from cycle `now` onward. Cycles
+  /// [synced_until, now) are flushed under the previous state first, so a
+  /// transition during cycle `now` attributes cycle `now` to the *new*
+  /// state — exactly what end-of-cycle record_cycle() sampling observes.
+  /// Trackers start stressed (VC buffers power up Idle) at cycle 0.
+  void note_state(bool stressed, sim::Cycle now) {
+    if (stressed == lazy_stressed_) return;
+    sync(now);
+    lazy_stressed_ = stressed;
+  }
+
+  /// Flushes the lazily-held interval: accounts cycles [synced_until,
+  /// through) under the current state. Call before any counter read and
+  /// before toggling the measuring fence (the fence applies to cycles by
+  /// *when they elapsed*, not when they were flushed).
+  void sync(sim::Cycle through) {
+    if (through <= synced_until_) return;
+    record_cycles(lazy_stressed_, through - synced_until_);
+    synced_until_ = through;
+  }
+
+  /// First cycle not yet flushed by the event-driven path.
+  sim::Cycle synced_until() const { return synced_until_; }
+
   /// While disabled (warmup), record_cycle is a no-op. Enabled by default.
   void set_measuring(bool measuring) { measuring_ = measuring; }
   bool measuring() const { return measuring_; }
@@ -60,6 +95,9 @@ class StressTracker {
  private:
   sim::Cycle stress_cycles_ = 0;
   sim::Cycle recovery_cycles_ = 0;
+  // Event-driven mode: state held since synced_until_ (powered at reset).
+  sim::Cycle synced_until_ = 0;
+  bool lazy_stressed_ = true;
   bool measuring_ = true;
 };
 
@@ -75,6 +113,11 @@ class StressTrackerBank {
 
   void set_measuring(bool measuring) {
     for (auto& t : trackers_) t.set_measuring(measuring);
+  }
+  /// Event-driven fence: flushes every tracker's lazy interval through
+  /// `through` (see StressTracker::sync).
+  void sync(sim::Cycle through) {
+    for (auto& t : trackers_) t.sync(through);
   }
   void reset() {
     for (auto& t : trackers_) t.reset();

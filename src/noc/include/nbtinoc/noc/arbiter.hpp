@@ -2,9 +2,46 @@
 // Round-robin arbitration primitive used by the VA and SA stages.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace nbtinoc::noc {
+
+/// Fixed-capacity request bitset: the scratch request vector of one
+/// arbitration. Word storage is allocated once at resize() (wiring time);
+/// clear()/set()/test() never touch the allocator, which is what keeps the
+/// per-cycle VA/SA hot path allocation-free.
+class RequestSet {
+ public:
+  RequestSet() = default;
+  explicit RequestSet(std::size_t size) { resize(size); }
+
+  /// Sets the requester count; allocates word storage. Not for per-cycle
+  /// use — size once at construction, clear() between arbitrations.
+  void resize(std::size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return size_; }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & std::uint64_t{1};
+  }
+  bool any() const {
+    for (const auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
 
 /// Classic rotating-priority arbiter over `size` requesters. The grant
 /// pointer advances past the winner so that repeated contention is fair.
@@ -23,9 +60,11 @@ class RoundRobinArbiter {
   /// Grants the first asserted request at or after the pointer; returns -1
   /// if nothing requests. On a grant, the pointer moves one past the winner.
   int arbitrate(const std::vector<bool>& requests);
+  int arbitrate(const RequestSet& requests);
 
   /// Same, but does not advance the pointer (pure query).
   int peek(const std::vector<bool>& requests) const;
+  int peek(const RequestSet& requests) const;
 
   /// Moves the pointer one past `idx` (used when the winner is decided by a
   /// later arbitration stage, e.g. separable SA).

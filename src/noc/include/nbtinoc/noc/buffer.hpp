@@ -14,10 +14,17 @@
 // Only an *empty, unallocated* buffer may be gated; only Idle buffers are
 // allocatable; a gated buffer becomes allocatable wakeup_latency cycles
 // after wake(). Every powered cycle is NBTI stress; gated cycles recover.
+//
+// The FIFO is a fixed ring sized at construction (the buffer depth is a
+// hardware constant), so the steady-state datapath performs no heap
+// allocation. An optionally attached StressTracker is notified of every
+// powered<->gated transition, which is what makes event-driven (lazy) NBTI
+// accounting exact: gate()/wake() are the only edges of is_stressed().
 
-#include <deque>
 #include <stdexcept>
+#include <vector>
 
+#include "nbtinoc/nbti/duty_cycle.hpp"
 #include "nbtinoc/noc/flit.hpp"
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/sim/clock.hpp"
@@ -27,9 +34,21 @@ namespace nbtinoc::noc {
 class VcBuffer {
  public:
   VcBuffer(int depth, sim::Cycle wakeup_latency)
-      : depth_(depth), wakeup_latency_(wakeup_latency) {
+      : depth_(depth), wakeup_latency_(wakeup_latency),
+        ring_(static_cast<std::size_t>(depth < 1 ? 1 : depth)) {
     if (depth < 1) throw std::invalid_argument("VcBuffer: depth must be >= 1");
   }
+
+  /// Attaches the NBTI tracker notified at every gate/wake transition
+  /// (event-driven accounting). The tracker must outlive the buffer; pass
+  /// nullptr to detach. Standalone buffers (unit tests) run untracked.
+  void attach_stress_tracker(nbti::StressTracker* tracker) { tracker_ = tracker; }
+
+  /// Attaches the owning port's Active-VC counter, bumped at allocation and
+  /// released when the tail flit pops. The counter must outlive the buffer.
+  /// Lets the router prove a port packet-free in O(1) and skip its VA/SA
+  /// scans entirely (waiting_for_va and SA readiness both require Active).
+  void attach_busy_counter(int* counter) { busy_counter_ = counter; }
 
   // --- state queries -------------------------------------------------------
   VcState state() const { return state_; }
@@ -49,20 +68,21 @@ class VcBuffer {
   bool in_wake_window(sim::Cycle now) const { return is_idle() && now <= wake_ready_; }
 
   int depth() const { return depth_; }
-  int occupancy() const { return static_cast<int>(fifo_.size()); }
-  bool empty() const { return fifo_.empty(); }
+  int occupancy() const { return static_cast<int>(count_); }
+  bool empty() const { return count_ == 0; }
   bool full() const { return occupancy() >= depth_; }
 
   Dir route() const { return route_; }
   PacketId packet() const { return packet_; }
 
   // --- power transitions (driven by the gate controller) -------------------
-  /// Idle -> Recovery. Precondition: empty Idle buffer.
-  void gate() {
+  /// Idle -> Recovery during cycle `now`. Precondition: empty Idle buffer.
+  void gate(sim::Cycle now) {
     if (state_ != VcState::Idle) throw std::logic_error("VcBuffer::gate: not Idle");
-    if (!fifo_.empty()) throw std::logic_error("VcBuffer::gate: buffer not empty");
+    if (count_ != 0) throw std::logic_error("VcBuffer::gate: buffer not empty");
     state_ = VcState::Recovery;
     ++gate_transitions_;
+    if (tracker_ != nullptr) tracker_->note_state(false, now);
   }
 
   /// Number of Idle->Recovery transitions so far: each one switches the
@@ -76,6 +96,7 @@ class VcBuffer {
     if (state_ != VcState::Recovery) return;
     state_ = VcState::Idle;
     wake_ready_ = now + wakeup_latency_;
+    if (tracker_ != nullptr) tracker_->note_state(true, now);
   }
 
   // --- allocation lifecycle (driven by the upstream VA stage) --------------
@@ -85,6 +106,7 @@ class VcBuffer {
     if (!allocatable(now)) throw std::logic_error("VcBuffer::allocate: not allocatable");
     state_ = VcState::Active;
     packet_ = packet;
+    if (busy_counter_ != nullptr) ++*busy_counter_;
   }
 
   /// Records the RC result for the resident packet (head-flit arrival).
@@ -96,8 +118,8 @@ class VcBuffer {
   void push(const Flit& flit);
 
   const Flit& front() const {
-    if (fifo_.empty()) throw std::logic_error("VcBuffer::front: empty");
-    return fifo_.front();
+    if (count_ == 0) throw std::logic_error("VcBuffer::front: empty");
+    return ring_[head_];
   }
 
   /// Dequeues the head flit; on tail, releases the buffer (Active -> Idle).
@@ -106,13 +128,19 @@ class VcBuffer {
  private:
   int depth_;
   sim::Cycle wakeup_latency_;
-  std::deque<Flit> fifo_;
+  // Fixed-capacity ring FIFO: head_ indexes the oldest flit, count_ flits
+  // are live. Depth is a hardware constant, so no growth path exists.
+  std::vector<Flit> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   VcState state_ = VcState::Idle;
   sim::Cycle wake_ready_ = 0;
   PacketId packet_ = 0;
   Dir route_ = Dir::Local;
   bool tail_seen_ = false;
   std::uint64_t gate_transitions_ = 0;
+  nbti::StressTracker* tracker_ = nullptr;
+  int* busy_counter_ = nullptr;
 };
 
 }  // namespace nbtinoc::noc

@@ -13,12 +13,12 @@
 // payload.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <utility>
 
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/util/ring_queue.hpp"
 
 namespace nbtinoc::noc {
 
@@ -50,6 +50,9 @@ class Channel {
     return std::nullopt;
   }
 
+  /// Pooled slots currently reserved (high-water mark of in_flight()).
+  std::size_t slot_capacity() const { return in_flight_.capacity(); }
+
   /// Peeks without consuming; nullptr when nothing is deliverable. Never
   /// fires the fault hook (see file comment).
   const T* peek_ready(sim::Cycle now) const {
@@ -65,7 +68,10 @@ class Channel {
   /// order — the invariant checker's window into link occupancy.
   template <typename Fn>
   void for_each_in_flight(Fn&& fn) const {
-    for (const auto& [at, payload] : in_flight_) fn(payload, at);
+    for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+      const auto& [at, payload] = in_flight_[i];
+      fn(payload, at);
+    }
   }
 
   /// Installs (or, with an empty function, removes) the delivery fault
@@ -77,7 +83,9 @@ class Channel {
 
  private:
   sim::Cycle delay_;
-  std::deque<std::pair<sim::Cycle, T>> in_flight_;
+  // Pooled ring: steady-state push/pop never touch the allocator (see
+  // util::RingQueue); capacity tracks the link's occupancy high-water mark.
+  util::RingQueue<std::pair<sim::Cycle, T>> in_flight_;
   FaultHook fault_;
   std::uint64_t dropped_ = 0;
 };

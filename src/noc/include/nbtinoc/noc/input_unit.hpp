@@ -22,8 +22,34 @@ class InputUnit {
  public:
   InputUnit(Dir dir, const NocConfig& config);
 
+  // The VC buffers point back into the owning unit (stress trackers and
+  // the busy-VC counter), so copying would alias the source's state; a
+  // move re-attaches the pointers to the new home.
+  InputUnit(const InputUnit&) = delete;
+  InputUnit& operator=(const InputUnit&) = delete;
+  InputUnit(InputUnit&& other) noexcept
+      : dir_(other.dir_),
+        extra_stages_(other.extra_stages_),
+        vcs_(std::move(other.vcs_)),
+        out_vc_(std::move(other.out_vc_)),
+        out_port_(std::move(other.out_port_)),
+        trackers_(std::move(other.trackers_)),
+        sa_arbiter_(std::move(other.sa_arbiter_)),
+        busy_vcs_(other.busy_vcs_) {
+    for (std::size_t i = 0; i < vcs_.size(); ++i) {
+      vcs_[i].attach_stress_tracker(&trackers_.at(i));
+      vcs_[i].attach_busy_counter(&busy_vcs_);
+    }
+  }
+  InputUnit& operator=(InputUnit&&) = delete;
+
   Dir dir() const { return dir_; }
   int num_vcs() const { return static_cast<int>(vcs_.size()); }
+
+  /// Number of VCs currently Active (reserved for or holding a packet),
+  /// maintained by the buffers themselves. Zero proves in O(1) that no VC
+  /// of this port can be waiting for VA or ready for SA.
+  int busy_vcs() const { return busy_vcs_; }
 
   VcBuffer& vc(int i) { return vcs_.at(static_cast<std::size_t>(i)); }
   const VcBuffer& vc(int i) const { return vcs_.at(static_cast<std::size_t>(i)); }
@@ -61,8 +87,13 @@ class InputUnit {
                           sim::FaultInjector* faults = nullptr);
 
   // --- NBTI accounting --------------------------------------------------------
-  /// Accounts one cycle of stress/recovery per VC. Call once per cycle.
-  void account_cycle();
+  // Accounting is event-driven: each VC buffer notifies its tracker at
+  // gate/wake transitions (the only edges of is_stressed()), and readers
+  // fence with sync_stress(). An idle port therefore costs zero accounting
+  // work per cycle instead of one record_cycle() per VC.
+  /// Flushes every VC tracker's lazy interval through cycle `through`
+  /// (exclusive). Call before reading counters; see StressTracker::sync.
+  void sync_stress(sim::Cycle through) { trackers_.sync(through); }
   nbti::StressTrackerBank& trackers() { return trackers_; }
   const nbti::StressTrackerBank& trackers() const { return trackers_; }
 
@@ -83,6 +114,7 @@ class InputUnit {
   std::vector<Dir> out_port_;
   nbti::StressTrackerBank trackers_;
   RoundRobinArbiter sa_arbiter_;
+  int busy_vcs_ = 0;
 };
 
 }  // namespace nbtinoc::noc

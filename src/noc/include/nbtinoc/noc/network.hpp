@@ -8,8 +8,11 @@
 //   3. SA + ST stage of every router (flits depart onto links)
 //   4. link delivery: arriving flits are buffer-written, credits drained
 //   5. NI injection side: VA + serialization + traffic generation
-//   6. NBTI stress accounting for every VC buffer
-//   7. controller post-cycle hook (sensor refresh, Down_Up update)
+//   6. controller post-cycle hook (sensor refresh, Down_Up update)
+// NBTI stress accounting is event-driven (StressTracker lazy mode): buffers
+// notify their trackers at gate/wake transitions, and readers fence with
+// sync_stress_accounting() — so an idle mesh pays O(transitions), not
+// O(routers × ports × VCs), per cycle.
 // A flit therefore needs three cycles per hop (BW/RC, VA/SA, ST/LT),
 // matching the paper's 3-stage pipeline.
 
@@ -72,7 +75,16 @@ class Network {
   void run_with_warmup(sim::Cycle warmup, sim::Cycle measure);
 
   /// Freezes/unfreezes NBTI accounting on every buffer (warmup fence).
+  /// Flushes pending lazy intervals first, so cycles are attributed by when
+  /// they elapsed, not by when the fence was toggled.
   void set_measuring(bool measuring);
+
+  /// Flushes the event-driven NBTI accounting of every buffer through the
+  /// current cycle. run(), set_measuring() and duty_cycles_percent() call
+  /// this themselves; call it explicitly before reading trackers() directly
+  /// after manual step() loops. Const: logically the trackers' observable
+  /// counts never change, only their internal lazy representation.
+  void sync_stress_accounting() const;
 
   const sim::Clock& clock() const { return clock_; }
   sim::StatRegistry& stats() { return stats_; }

@@ -8,7 +8,6 @@
 // loop methodology: offered load is never back-pressured into the source).
 
 #include <cstdint>
-#include <deque>
 
 #include "nbtinoc/noc/channel.hpp"
 #include "nbtinoc/noc/config.hpp"
@@ -16,12 +15,15 @@
 #include "nbtinoc/noc/input_unit.hpp"
 #include "nbtinoc/noc/traffic_source.hpp"
 #include "nbtinoc/sim/stat_registry.hpp"
+#include "nbtinoc/util/ring_queue.hpp"
 
 namespace nbtinoc::noc {
 
 class NetworkInterface {
  public:
-  NetworkInterface(NodeId node, const NocConfig& config);
+  /// `stats` must outlive the NI: counter/distribution handles are interned
+  /// against it here and bumped by the per-cycle methods.
+  NetworkInterface(NodeId node, const NocConfig& config, sim::StatRegistry& stats);
 
   NodeId node() const { return node_; }
 
@@ -32,11 +34,11 @@ class NetworkInterface {
 
   // --- per-cycle operation (order matters; called by Network) ---------------
   /// Drains returning credits and ejected flits; samples packet latency.
-  void receive(sim::Cycle now, sim::StatRegistry& stats);
+  void receive(sim::Cycle now);
   /// VA for the queue head + send one flit of the in-flight packet.
-  void inject(sim::Cycle now, sim::StatRegistry& stats, std::uint64_t& packet_id_counter);
+  void inject(sim::Cycle now, std::uint64_t& packet_id_counter);
   /// Asks the traffic source for a new packet.
-  void generate(sim::Cycle now, sim::StatRegistry& stats);
+  void generate(sim::Cycle now);
 
   /// True if a queued packet is still waiting for a VC — the NI-side
   /// is_new_traffic() input to the gating policy of the Local input port.
@@ -66,7 +68,18 @@ class NetworkInterface {
   NodeId node_;
   NocConfig config_;
   ITrafficSource* source_ = nullptr;
-  std::deque<QueuedPacket> queue_;
+  // Pooled ring (see util::RingQueue): the open-loop source queue churns
+  // every cycle under load and must not touch the allocator in steady state.
+  util::RingQueue<QueuedPacket> queue_;
+
+  // Interned stat handles (resolved once at construction).
+  sim::StatRegistry* stats_;
+  sim::CounterHandle h_flits_ejected_;
+  sim::CounterHandle h_packets_ejected_;
+  sim::CounterHandle h_ni_va_grants_;
+  sim::CounterHandle h_flits_injected_;
+  sim::CounterHandle h_packets_offered_;
+  sim::DistributionHandle d_packet_latency_;
 
   InputUnit* router_iu_ = nullptr;
   Channel<Flit>* inject_out_ = nullptr;

@@ -7,6 +7,13 @@
 // VC allocation for a downstream input port runs *here*, in the upstream
 // router — the architectural fact both NBTI policies exploit. No packet
 // mixing: a VC holds flits of a single packet between allocate and tail.
+//
+// The router binds to its network's StatRegistry at construction: counter
+// names are interned once into dense handles, and the per-cycle stages bump
+// those handles directly. Arbitration request vectors are fixed-capacity
+// scratch bitsets owned by the router. Together with the ring-buffered
+// channels this makes the steady-state cycle kernel allocation-free and
+// string-hash-free.
 
 #include <array>
 #include <memory>
@@ -23,7 +30,9 @@ namespace nbtinoc::noc {
 
 class Router {
  public:
-  Router(NodeId id, const NocConfig& config);
+  /// `stats` must outlive the router: counter handles are interned against
+  /// it here (wiring time) and used by every pipeline stage.
+  Router(NodeId id, const NocConfig& config, sim::StatRegistry& stats);
 
   NodeId id() const { return id_; }
 
@@ -64,13 +73,15 @@ class Router {
 
   // --- pipeline stages (invoked by Network in order) -------------------------
   /// Stage 2a: one output-VC allocation per output port per cycle.
-  void va_stage(sim::Cycle now, sim::StatRegistry& stats);
+  void va_stage(sim::Cycle now);
   /// Stage 2b/3: separable switch allocation, then switch+link traversal.
-  void sa_st_stage(sim::Cycle now, sim::StatRegistry& stats);
+  void sa_st_stage(sim::Cycle now);
   /// Stage 1 for arriving flits; also drains returning credits.
   void accept_arrivals(sim::Cycle now);
-  /// NBTI stress accounting for every input VC.
-  void account_cycle();
+
+  /// Flushes the event-driven NBTI accounting of every input port through
+  /// cycle `through` (exclusive); see InputUnit::sync_stress.
+  void sync_stress(sim::Cycle through);
 
   const NocConfig& config() const { return config_; }
 
@@ -79,9 +90,20 @@ class Router {
   const std::string& flits_out_stat_key() const { return flits_out_key_; }
 
  private:
+  /// True when any input port holds an Active VC — the O(ports) gate in
+  /// front of the VA/SA scans (see va_stage).
+  bool any_busy_input() const;
+
   NodeId id_;
   NocConfig config_;
   std::string flits_out_key_;
+
+  // Interned stat handles (resolved once against stats_ at construction).
+  sim::StatRegistry* stats_;
+  sim::CounterHandle h_va_grants_;
+  sim::CounterHandle h_flits_forwarded_;
+  sim::CounterHandle h_flits_ejected_router_;
+  sim::CounterHandle h_flits_out_;
 
   std::array<std::unique_ptr<InputUnit>, kNumDirs> inputs_{};
   std::array<std::unique_ptr<OutputUnit>, kNumDirs> outputs_{};
@@ -93,6 +115,13 @@ class Router {
   std::array<Channel<Flit>*, kNumDirs> flit_in_{};
   std::array<Channel<Credit>*, kNumDirs> credit_out_{};
   Channel<Flit>* eject_out_ = nullptr;
+
+  // Per-cycle arbitration scratch (sized once here; cleared, never
+  // reallocated, inside the stages).
+  RequestSet va_requests_;     ///< flattened (input port, VC) VA requests
+  RequestSet vnet_has_free_;   ///< per-vnet free-downstream-VC flags
+  RequestSet sa_ready_;        ///< per-VC SA readiness of one input port
+  RequestSet sa_port_requests_;  ///< per-input-port SA requests
 };
 
 }  // namespace nbtinoc::noc

@@ -8,20 +8,23 @@ void VcBuffer::push(const Flit& flit) {
   if (flit.packet != packet_)
     throw std::logic_error("VcBuffer::push: packet mixing in a single VC is not allowed");
   if (tail_seen_) throw std::logic_error("VcBuffer::push: flit after tail");
-  fifo_.push_back(flit);
+  ring_[(head_ + count_) % ring_.size()] = flit;
+  ++count_;
   if (is_tail(flit.type)) tail_seen_ = true;
 }
 
 Flit VcBuffer::pop() {
-  if (fifo_.empty()) throw std::logic_error("VcBuffer::pop: empty");
-  Flit flit = fifo_.front();
-  fifo_.pop_front();
+  if (count_ == 0) throw std::logic_error("VcBuffer::pop: empty");
+  Flit flit = ring_[head_];
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
   if (is_tail(flit.type)) {
     // Tail left this router: the VC returns to Idle and may be re-allocated
     // (or gated) from the next policy decision onward.
     state_ = VcState::Idle;
     packet_ = 0;
     tail_seen_ = false;
+    if (busy_counter_ != nullptr) --*busy_counter_;
   }
   return flit;
 }

@@ -17,7 +17,15 @@ InputUnit::InputUnit(Dir dir, const NocConfig& config)
       out_vc_(static_cast<std::size_t>(config.total_vcs()), kInvalidVc),
       out_port_(static_cast<std::size_t>(config.total_vcs()), Dir::Local),
       trackers_(static_cast<std::size_t>(config.total_vcs())),
-      sa_arbiter_(static_cast<std::size_t>(config.total_vcs())) {}
+      sa_arbiter_(static_cast<std::size_t>(config.total_vcs())) {
+  // Event-driven NBTI accounting: each buffer reports its gate/wake
+  // transitions straight to its tracker. Both banks are sized once here and
+  // never reallocate, so the pointers stay stable for the unit's lifetime.
+  for (std::size_t i = 0; i < vcs_.size(); ++i) {
+    vcs_[i].attach_stress_tracker(&trackers_.at(i));
+    vcs_[i].attach_busy_counter(&busy_vcs_);
+  }
+}
 
 void InputUnit::assign_output(int i, Dir port, int downstream_vc) {
   out_vc_.at(static_cast<std::size_t>(i)) = downstream_vc;
@@ -39,6 +47,7 @@ bool InputUnit::waiting_for_va(int i, sim::Cycle now) const {
 }
 
 bool InputUnit::has_new_traffic_toward(Dir port, sim::Cycle now) const {
+  if (busy_vcs_ == 0) return false;
   for (int i = 0; i < num_vcs(); ++i) {
     if (waiting_for_va(i, now) && vc(i).route() == port) return true;
   }
@@ -46,6 +55,7 @@ bool InputUnit::has_new_traffic_toward(Dir port, sim::Cycle now) const {
 }
 
 bool InputUnit::has_new_traffic_toward(Dir port, int vnet, sim::Cycle now) const {
+  if (busy_vcs_ == 0) return false;
   for (int i = 0; i < num_vcs(); ++i) {
     if (waiting_for_va(i, now) && vc(i).route() == port && vc(i).front().vnet == vnet)
       return true;
@@ -100,14 +110,9 @@ void InputUnit::apply_gate_command(const GateCommand& cmd, sim::Cycle now,
     } else {
       // A wake in flight cannot be aborted: gate only once the buffer has
       // been allocatable for a full cycle (see VcBuffer::in_wake_window).
-      if (buf.is_idle() && !buf.in_wake_window(now)) buf.gate();
+      if (buf.is_idle() && !buf.in_wake_window(now)) buf.gate(now);
     }
   }
-}
-
-void InputUnit::account_cycle() {
-  for (int i = 0; i < num_vcs(); ++i)
-    trackers_.at(static_cast<std::size_t>(i)).record_cycle(vcs_[static_cast<std::size_t>(i)].is_stressed());
 }
 
 }  // namespace nbtinoc::noc

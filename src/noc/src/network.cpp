@@ -13,8 +13,8 @@ Network::Network(NocConfig config) : config_(config), controller_(&baseline_cont
   nis_.reserve(static_cast<std::size_t>(n));
   sources_.resize(static_cast<std::size_t>(n));
   for (NodeId id = 0; id < n; ++id) {
-    routers_.push_back(std::make_unique<Router>(id, config_));
-    nis_.push_back(std::make_unique<NetworkInterface>(id, config_));
+    routers_.push_back(std::make_unique<Router>(id, config_, stats_));
+    nis_.push_back(std::make_unique<NetworkInterface>(id, config_, stats_));
   }
 
   // Router-to-router links: for every directed neighbor pair, one flit
@@ -154,21 +154,27 @@ void Network::gating_stage() {
 void Network::step() {
   const sim::Cycle now = clock_.now();
   gating_stage();
-  for (auto& r : routers_) r->va_stage(now, stats_);
-  for (auto& r : routers_) r->sa_st_stage(now, stats_);
+  for (auto& r : routers_) r->va_stage(now);
+  for (auto& r : routers_) r->sa_st_stage(now);
   for (auto& r : routers_) r->accept_arrivals(now);
-  for (auto& ni : nis_) ni->receive(now, stats_);
+  for (auto& ni : nis_) ni->receive(now);
   for (auto& ni : nis_) {
-    ni->inject(now, stats_, packet_id_counter_);
-    ni->generate(now, stats_);
+    ni->inject(now, packet_id_counter_);
+    ni->generate(now);
   }
-  for (auto& r : routers_) r->account_cycle();
+  // NBTI accounting is event-driven: buffers notified their trackers at
+  // gate/wake transitions during this cycle; nothing to walk here. Readers
+  // fence via sync_stress_accounting() (run(), the warmup fence, the duty
+  // accessors) or per-port sync_stress() (the controller's sensor epochs).
   controller_->post_cycle(now);
   clock_.tick();
 }
 
 void Network::run(sim::Cycle cycles) {
   for (sim::Cycle i = 0; i < cycles; ++i) step();
+  // One O(buffers) flush per run() call, so counters are current for any
+  // reader that inspects trackers directly after the call.
+  sync_stress_accounting();
 }
 
 void Network::run_with_warmup(sim::Cycle warmup, sim::Cycle measure) {
@@ -182,7 +188,17 @@ void Network::run_with_warmup(sim::Cycle warmup, sim::Cycle measure) {
   run(measure);
 }
 
+void Network::sync_stress_accounting() const {
+  const sim::Cycle through = clock_.now();
+  // routers_ holds unique_ptrs: the pointees are mutable from a const
+  // member, which is exactly what a lazy-flush fence needs.
+  for (const auto& r : routers_) r->sync_stress(through);
+}
+
 void Network::set_measuring(bool measuring) {
+  // Flush first: the fence applies to cycles by when they elapsed, and any
+  // still-lazy interval predates this toggle.
+  sync_stress_accounting();
   for (auto& r : routers_) {
     for (int p = 0; p < kNumDirs; ++p) {
       const Dir port = static_cast<Dir>(p);
@@ -192,6 +208,7 @@ void Network::set_measuring(bool measuring) {
 }
 
 std::vector<double> Network::duty_cycles_percent(NodeId node, Dir input_port) const {
+  sync_stress_accounting();
   const Router& r = router(node);
   if (!r.has_input(input_port))
     throw std::invalid_argument("Network::duty_cycles_percent: port does not exist");

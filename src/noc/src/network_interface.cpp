@@ -4,8 +4,15 @@
 
 namespace nbtinoc::noc {
 
-NetworkInterface::NetworkInterface(NodeId node, const NocConfig& config)
+NetworkInterface::NetworkInterface(NodeId node, const NocConfig& config, sim::StatRegistry& stats)
     : node_(node), config_(config),
+      stats_(&stats),
+      h_flits_ejected_(stats.intern("noc.flits_ejected")),
+      h_packets_ejected_(stats.intern("noc.packets_ejected")),
+      h_ni_va_grants_(stats.intern("noc.ni_va_grants")),
+      h_flits_injected_(stats.intern("noc.flits_injected")),
+      h_packets_offered_(stats.intern("noc.packets_offered")),
+      d_packet_latency_(stats.intern_distribution("noc.packet_latency")),
       credits_(static_cast<std::size_t>(config.total_vcs()), config.buffer_depth) {}
 
 void NetworkInterface::wire(InputUnit* router_local_iu, Channel<Flit>* inject_out,
@@ -16,18 +23,18 @@ void NetworkInterface::wire(InputUnit* router_local_iu, Channel<Flit>* inject_ou
   eject_in_ = eject_in;
 }
 
-void NetworkInterface::receive(sim::Cycle now, sim::StatRegistry& stats) {
+void NetworkInterface::receive(sim::Cycle now) {
   while (auto credit = credit_in_->pop_ready(now)) {
     int& c = credits_.at(static_cast<std::size_t>(credit->vc));
     if (c >= config_.buffer_depth) throw std::logic_error("NI: credit overflow");
     ++c;
   }
   while (auto flit = eject_in_->pop_ready(now)) {
-    stats.add("noc.flits_ejected");
+    stats_->add(h_flits_ejected_);
     if (is_tail(flit->type)) {
       ++packets_ejected_;
-      stats.add("noc.packets_ejected");
-      stats.sample("noc.packet_latency", static_cast<double>(now - flit->injected_at));
+      stats_->add(h_packets_ejected_);
+      stats_->sample(d_packet_latency_, static_cast<double>(now - flit->injected_at));
     }
   }
 }
@@ -41,8 +48,7 @@ bool NetworkInterface::has_new_traffic(int vnet, sim::Cycle now) const {
   return has_new_traffic(now) && queue_.front().vnet == vnet;
 }
 
-void NetworkInterface::inject(sim::Cycle now, sim::StatRegistry& stats,
-                              std::uint64_t& packet_id_counter) {
+void NetworkInterface::inject(sim::Cycle now, std::uint64_t& packet_id_counter) {
   // VA for the queue head: the NI is the only requester of the Local input
   // port, so allocation needs no arbitration — just a free, awake VC in the
   // packet's virtual network.
@@ -57,7 +63,7 @@ void NetworkInterface::inject(sim::Cycle now, sim::StatRegistry& stats,
         send_id_ = ++packet_id_counter;
         sending_ = true;
         router_iu_->vc(v).allocate(send_id_, now);
-        stats.add("noc.ni_va_grants");
+        stats_->add(h_ni_va_grants_);
         break;
       }
     }
@@ -85,7 +91,7 @@ void NetworkInterface::inject(sim::Cycle now, sim::StatRegistry& stats,
     --credits_.at(static_cast<std::size_t>(send_vc_));
     inject_out_->push(flit, now);
     ++flits_injected_;
-    stats.add("noc.flits_injected");
+    stats_->add(h_flits_injected_);
     ++send_seq_;
     if (send_seq_ >= send_pkt_.length) {
       sending_ = false;
@@ -94,7 +100,7 @@ void NetworkInterface::inject(sim::Cycle now, sim::StatRegistry& stats,
   }
 }
 
-void NetworkInterface::generate(sim::Cycle now, sim::StatRegistry& stats) {
+void NetworkInterface::generate(sim::Cycle now) {
   if (source_ == nullptr) return;
   if (auto req = source_->maybe_generate(now)) {
     if (req->dst == node_) return;  // self-traffic never enters the NoC
@@ -102,7 +108,7 @@ void NetworkInterface::generate(sim::Cycle now, sim::StatRegistry& stats) {
     if (req->vnet < 0 || req->vnet >= config_.num_vnets)
       throw std::logic_error("NI: packet vnet out of range");
     queue_.push_back(QueuedPacket{req->dst, req->length, req->vnet, now});
-    stats.add("noc.packets_offered");
+    stats_->add(h_packets_offered_);
   }
 }
 

@@ -4,9 +4,18 @@
 
 namespace nbtinoc::noc {
 
-Router::Router(NodeId id, const NocConfig& config)
+Router::Router(NodeId id, const NocConfig& config, sim::StatRegistry& stats)
     : id_(id), config_(config),
-      flits_out_key_("noc.router" + std::to_string(id) + ".flits_out") {
+      flits_out_key_("noc.router" + std::to_string(id) + ".flits_out"),
+      stats_(&stats),
+      h_va_grants_(stats.intern("noc.va_grants")),
+      h_flits_forwarded_(stats.intern("noc.flits_forwarded")),
+      h_flits_ejected_router_(stats.intern("noc.flits_ejected_router")),
+      h_flits_out_(stats.intern(flits_out_key_)),
+      va_requests_(static_cast<std::size_t>(kNumDirs * config.total_vcs())),
+      vnet_has_free_(static_cast<std::size_t>(config.num_vnets)),
+      sa_ready_(static_cast<std::size_t>(config.total_vcs())),
+      sa_port_requests_(static_cast<std::size_t>(kNumDirs)) {
   // The Local input port (fed by the NI) always exists; mesh-facing ports
   // are created lazily by wiring, so edge routers carry no dead buffers.
   inputs_[static_cast<std::size_t>(Dir::Local)] = std::make_unique<InputUnit>(Dir::Local, config_);
@@ -48,7 +57,17 @@ bool Router::has_new_traffic_toward(Dir out, int vnet, sim::Cycle now) const {
   return false;
 }
 
-void Router::va_stage(sim::Cycle now, sim::StatRegistry& stats) {
+bool Router::any_busy_input() const {
+  for (const auto& iu : inputs_)
+    if (iu && iu->busy_vcs() > 0) return true;
+  return false;
+}
+
+void Router::va_stage(sim::Cycle now) {
+  // No Active VC on any input port means no VA request can exist, and the
+  // request-less scan below has no side effects (arbiters only advance on a
+  // grant). Skipping it keeps idle routers O(ports) per cycle.
+  if (!any_busy_input()) return;
   const int num_vcs = config_.total_vcs();
   // Ejection (Local output) has no VC buffers downstream: every packet
   // routed here is "allocated" immediately; SA serializes the bandwidth.
@@ -69,12 +88,12 @@ void Router::va_stage(sim::Cycle now, sim::StatRegistry& stats) {
 
     // Per-vnet availability of a free (awake, idle) downstream VC: a packet
     // may only be allocated a VC of its own virtual network.
-    std::vector<bool> vnet_has_free(static_cast<std::size_t>(config_.num_vnets), false);
+    vnet_has_free_.clear();
     for (int vn = 0; vn < config_.num_vnets; ++vn) {
       const int first = config_.first_vc_of_vnet(vn);
       for (int v = first; v < first + config_.num_vcs; ++v) {
         if (diu->vc(v).allocatable(now)) {
-          vnet_has_free[static_cast<std::size_t>(vn)] = true;
+          vnet_has_free_.set(static_cast<std::size_t>(vn));
           break;
         }
       }
@@ -82,22 +101,22 @@ void Router::va_stage(sim::Cycle now, sim::StatRegistry& stats) {
 
     // Gather requests: input VCs holding a routed head with no output VC,
     // whose virtual network has a free downstream VC.
-    std::vector<bool> requests(static_cast<std::size_t>(kNumDirs * num_vcs), false);
+    va_requests_.clear();
     bool any = false;
     for (int p = 0; p < kNumDirs; ++p) {
       const auto& iu = inputs_[static_cast<std::size_t>(p)];
       if (!iu) continue;
       for (int v = 0; v < num_vcs; ++v) {
         if (iu->waiting_for_va(v, now) && iu->vc(v).route() == out &&
-            vnet_has_free[static_cast<std::size_t>(iu->vc(v).front().vnet)]) {
-          requests[static_cast<std::size_t>(p * num_vcs + v)] = true;
+            vnet_has_free_.test(static_cast<std::size_t>(iu->vc(v).front().vnet))) {
+          va_requests_.set(static_cast<std::size_t>(p * num_vcs + v));
           any = true;
         }
       }
     }
     if (!any) continue;
 
-    const int winner = ou->va_arbiter().arbitrate(requests);
+    const int winner = ou->va_arbiter().arbitrate(va_requests_);
     if (winner < 0) continue;
     const int port = winner / num_vcs;
     const int vc = winner % num_vcs;
@@ -122,11 +141,14 @@ void Router::va_stage(sim::Cycle now, sim::StatRegistry& stats) {
     diu->vc(free_vc).allocate(iu.vc(vc).front().packet, now);
     iu.assign_output(vc, out, free_vc);
     ou->vc_select().advance_past(static_cast<std::size_t>(free_vc));
-    stats.add("noc.va_grants");
+    stats_->add(h_va_grants_);
   }
 }
 
-void Router::sa_st_stage(sim::Cycle now, sim::StatRegistry& stats) {
+void Router::sa_st_stage(sim::Cycle now) {
+  // SA readiness requires a non-empty (hence Active) VC: same O(ports)
+  // idle skip as va_stage, equally side-effect-free.
+  if (!any_busy_input()) return;
   const int num_vcs = config_.total_vcs();
 
   // Phase 1: each input port nominates one ready VC (round-robin).
@@ -135,7 +157,7 @@ void Router::sa_st_stage(sim::Cycle now, sim::StatRegistry& stats) {
   for (int p = 0; p < kNumDirs; ++p) {
     auto& iu = inputs_[static_cast<std::size_t>(p)];
     if (!iu) continue;
-    std::vector<bool> ready(static_cast<std::size_t>(num_vcs), false);
+    sa_ready_.clear();
     bool any = false;
     for (int v = 0; v < num_vcs; ++v) {
       const VcBuffer& buf = iu->vc(v);
@@ -145,28 +167,28 @@ void Router::sa_st_stage(sim::Cycle now, sim::StatRegistry& stats) {
         const auto& ou = outputs_[static_cast<std::size_t>(out)];
         if (!ou || ou->credits(iu->out_vc(v)) <= 0) continue;
       }
-      ready[static_cast<std::size_t>(v)] = true;
+      sa_ready_.set(static_cast<std::size_t>(v));
       any = true;
     }
-    if (any) candidate[static_cast<std::size_t>(p)] = iu->sa_arbiter().peek(ready);
+    if (any) candidate[static_cast<std::size_t>(p)] = iu->sa_arbiter().peek(sa_ready_);
   }
 
   // Phase 2: each output port grants one nominating input port.
   for (int o = 0; o < kNumDirs; ++o) {
     auto& ou = outputs_[static_cast<std::size_t>(o)];
     if (!ou) continue;
-    std::vector<bool> port_requests(static_cast<std::size_t>(kNumDirs), false);
+    sa_port_requests_.clear();
     bool any = false;
     for (int p = 0; p < kNumDirs; ++p) {
       const int v = candidate[static_cast<std::size_t>(p)];
       if (v == kInvalidVc) continue;
       if (inputs_[static_cast<std::size_t>(p)]->out_port(v) == static_cast<Dir>(o)) {
-        port_requests[static_cast<std::size_t>(p)] = true;
+        sa_port_requests_.set(static_cast<std::size_t>(p));
         any = true;
       }
     }
     if (!any) continue;
-    const int port = ou->sa_arbiter().arbitrate(port_requests);
+    const int port = ou->sa_arbiter().arbitrate(sa_port_requests_);
     if (port < 0) continue;
 
     // Switch + link traversal for the winner.
@@ -184,15 +206,15 @@ void Router::sa_st_stage(sim::Cycle now, sim::StatRegistry& stats) {
     if (out == Dir::Local) {
       if (eject_out_ == nullptr) throw std::logic_error("Router: ejection not wired");
       eject_out_->push(flit, now);
-      stats.add("noc.flits_ejected_router");
+      stats_->add(h_flits_ejected_router_);
     } else {
       flit.vc = out_vc;
       outputs_[static_cast<std::size_t>(out)]->consume_credit(out_vc);
       flit_out_[static_cast<std::size_t>(out)]->push(flit, now);
-      stats.add("noc.flits_forwarded");
+      stats_->add(h_flits_forwarded_);
     }
 
-    stats.add(flits_out_key_);
+    stats_->add(h_flits_out_);
 
     // Credit (and VC-free notification) back to the upstream entity.
     Channel<Credit>* credit_out = credit_out_[static_cast<std::size_t>(port)];
@@ -218,9 +240,9 @@ void Router::accept_arrivals(sim::Cycle now) {
   }
 }
 
-void Router::account_cycle() {
+void Router::sync_stress(sim::Cycle through) {
   for (auto& iu : inputs_)
-    if (iu) iu->account_cycle();
+    if (iu) iu->sync_stress(through);
 }
 
 }  // namespace nbtinoc::noc

@@ -39,6 +39,7 @@
 // false), so zero-rate runs are byte-identical to runs without this
 // subsystem.
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -106,8 +107,10 @@ class FaultInjector {
 
   /// Counter sink for fault events ("fault.gate_cmd_drops", ...). Pass
   /// nullptr to detach. Counting is side-effect-only: it never changes
-  /// what the injector decides.
-  void bind_stats(StatRegistry* stats) { stats_ = stats; }
+  /// what the injector decides. All event keys are interned here once so
+  /// the per-event hooks (which run inside the gating hot path) never hash
+  /// a string.
+  void bind_stats(StatRegistry* stats);
 
   // --- Up_Down link (one call per delivered GateCommand) -------------------
   /// True: the command is lost in flight.
@@ -147,11 +150,25 @@ class FaultInjector {
   };
   using SiteKey = std::tuple<int, int, int>;  ///< (node, port, vc)
 
-  void count(const char* key);
+  /// Indexes into handles_ (one per "fault.*" event counter).
+  enum FaultStat : std::size_t {
+    kGateCmdDrops = 0,
+    kGateCmdFlips,
+    kWakeFailures,
+    kDownUpDrops,
+    kSensorStuck,
+    kSensorDrifting,
+    kSensorDead,
+    kSensorRepairs,
+    kNumFaultStats,
+  };
+
+  void count(FaultStat stat);
 
   FaultPlan plan_;
   util::Xoshiro256 rng_;
   StatRegistry* stats_ = nullptr;
+  std::array<CounterHandle, kNumFaultStats> handles_{};
   std::map<SiteKey, SiteState> sites_;
 };
 

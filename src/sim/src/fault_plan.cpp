@@ -88,14 +88,27 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed) : plan_(plan), 
   plan_.validate();
 }
 
-void FaultInjector::count(const char* key) {
-  if (stats_ != nullptr) stats_->add(key);
+void FaultInjector::bind_stats(StatRegistry* stats) {
+  stats_ = stats;
+  if (stats_ == nullptr) return;
+  handles_[kGateCmdDrops] = stats_->intern("fault.gate_cmd_drops");
+  handles_[kGateCmdFlips] = stats_->intern("fault.gate_cmd_flips");
+  handles_[kWakeFailures] = stats_->intern("fault.wake_failures");
+  handles_[kDownUpDrops] = stats_->intern("fault.down_up_drops");
+  handles_[kSensorStuck] = stats_->intern("fault.sensor_stuck");
+  handles_[kSensorDrifting] = stats_->intern("fault.sensor_drifting");
+  handles_[kSensorDead] = stats_->intern("fault.sensor_dead");
+  handles_[kSensorRepairs] = stats_->intern("fault.sensor_repairs");
+}
+
+void FaultInjector::count(FaultStat stat) {
+  if (stats_ != nullptr) stats_->add(handles_[stat]);
 }
 
 bool FaultInjector::drop_gate_command() {
   if (plan_.gate_cmd_drop_rate <= 0.0) return false;
   const bool hit = rng_.next_bernoulli(plan_.gate_cmd_drop_rate);
-  if (hit) count("fault.gate_cmd_drops");
+  if (hit) count(kGateCmdDrops);
   return hit;
 }
 
@@ -105,21 +118,21 @@ bool FaultInjector::flip_gate_command(int range_vcs, int* keep_vc_shift) {
   // Draw even for range 1 so the stream does not depend on the range; a
   // shift of 0 on a 1-VC range is the only well-formed "corruption" there.
   *keep_vc_shift = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(range_vcs)));
-  count("fault.gate_cmd_flips");
+  count(kGateCmdFlips);
   return true;
 }
 
 bool FaultInjector::wake_fails() {
   if (plan_.wake_fail_rate <= 0.0) return false;
   const bool hit = rng_.next_bernoulli(plan_.wake_fail_rate);
-  if (hit) count("fault.wake_failures");
+  if (hit) count(kWakeFailures);
   return hit;
 }
 
 bool FaultInjector::drop_down_up_report() {
   if (plan_.down_up_drop_rate <= 0.0) return false;
   const bool hit = rng_.next_bernoulli(plan_.down_up_drop_rate);
-  if (hit) count("fault.down_up_drops");
+  if (hit) count(kDownUpDrops);
   return hit;
 }
 
@@ -136,19 +149,19 @@ void FaultInjector::advance_sensor_epoch(int node, int port, int num_vcs) {
       if (pick < plan_.sensor_stuck_rate) {
         site.mode = SensorFaultMode::kStuck;
         site.stuck_latched = false;
-        count("fault.sensor_stuck");
+        count(kSensorStuck);
       } else if (pick < plan_.sensor_stuck_rate + plan_.sensor_drift_rate) {
         site.mode = SensorFaultMode::kDrifting;
         site.drift_v = 0.0;
-        count("fault.sensor_drifting");
+        count(kSensorDrifting);
       } else {
         site.mode = SensorFaultMode::kDead;
-        count("fault.sensor_dead");
+        count(kSensorDead);
       }
     } else {
       if (plan_.sensor_repair_rate > 0.0 && rng_.next_bernoulli(plan_.sensor_repair_rate)) {
         site = SiteState{};  // back to healthy, fault memory cleared
-        count("fault.sensor_repairs");
+        count(kSensorRepairs);
         continue;
       }
       if (site.mode == SensorFaultMode::kDrifting) site.drift_v += plan_.drift_step_v;

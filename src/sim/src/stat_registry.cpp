@@ -4,45 +4,71 @@
 
 namespace nbtinoc::sim {
 
-void StatRegistry::add(const std::string& name, std::uint64_t delta) { counters_[name] += delta; }
-
-void StatRegistry::sample(const std::string& name, double value) { distributions_[name].add(value); }
-
-std::uint64_t StatRegistry::counter(const std::string& name) const {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+CounterHandle StatRegistry::intern(const std::string& name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return CounterHandle(it->second);
+  const auto idx = static_cast<std::uint32_t>(counters_.size());
+  counters_.emplace_back();
+  counter_index_.emplace(name, idx);
+  return CounterHandle(idx);
 }
 
-bool StatRegistry::has_counter(const std::string& name) const { return counters_.count(name) != 0; }
+DistributionHandle StatRegistry::intern_distribution(const std::string& name) {
+  const auto it = distribution_index_.find(name);
+  if (it != distribution_index_.end()) return DistributionHandle(it->second);
+  const auto idx = static_cast<std::uint32_t>(distributions_.size());
+  distributions_.emplace_back();
+  distribution_index_.emplace(name, idx);
+  return DistributionHandle(idx);
+}
+
+std::uint64_t StatRegistry::counter(const std::string& name) const {
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? 0 : counters_[it->second].value;
+}
+
+bool StatRegistry::has_counter(const std::string& name) const {
+  const auto it = counter_index_.find(name);
+  return it != counter_index_.end() && counters_[it->second].touched;
+}
 
 const util::RunningStats* StatRegistry::distribution(const std::string& name) const {
-  const auto it = distributions_.find(name);
-  return it == distributions_.end() ? nullptr : &it->second;
+  const auto it = distribution_index_.find(name);
+  if (it == distribution_index_.end()) return nullptr;
+  const DistributionSlot& slot = distributions_[it->second];
+  return slot.touched ? &slot.stats : nullptr;
 }
 
 std::vector<std::string> StatRegistry::counter_names() const {
   std::vector<std::string> names;
-  names.reserve(counters_.size());
-  for (const auto& [name, _] : counters_) names.push_back(name);
+  names.reserve(counter_index_.size());
+  for (const auto& [name, idx] : counter_index_)
+    if (counters_[idx].touched) names.push_back(name);
   return names;
 }
 
 std::vector<std::string> StatRegistry::distribution_names() const {
   std::vector<std::string> names;
-  names.reserve(distributions_.size());
-  for (const auto& [name, _] : distributions_) names.push_back(name);
+  names.reserve(distribution_index_.size());
+  for (const auto& [name, idx] : distribution_index_)
+    if (distributions_[idx].touched) names.push_back(name);
   return names;
 }
 
 void StatRegistry::reset() {
-  counters_.clear();
-  distributions_.clear();
+  for (auto& slot : counters_) slot = CounterSlot{};
+  for (auto& slot : distributions_) slot = DistributionSlot{};
 }
 
 std::string StatRegistry::to_string() const {
   std::ostringstream os;
-  for (const auto& [name, value] : counters_) os << name << " = " << value << '\n';
-  for (const auto& [name, stats] : distributions_) {
+  for (const auto& [name, idx] : counter_index_) {
+    if (!counters_[idx].touched) continue;
+    os << name << " = " << counters_[idx].value << '\n';
+  }
+  for (const auto& [name, idx] : distribution_index_) {
+    if (!distributions_[idx].touched) continue;
+    const util::RunningStats& stats = distributions_[idx].stats;
     os << name << " = avg " << stats.mean() << " (n=" << stats.count() << ", min=" << stats.min()
        << ", max=" << stats.max() << ")\n";
   }

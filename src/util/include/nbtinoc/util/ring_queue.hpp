@@ -1,0 +1,100 @@
+#pragma once
+// Growable ring-buffer FIFO with pooled storage.
+//
+// std::deque allocates and frees fixed-size chunks as elements churn through
+// it, which puts an allocator round-trip on every simulated link under
+// steady traffic. RingQueue grows geometrically to the high-water mark of
+// its queue and then never releases storage: past that point push/pop are
+// plain index arithmetic, so steady-state operation performs zero heap
+// allocation. clear() keeps the pooled capacity for the same reason.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace nbtinoc::util {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  explicit RingQueue(std::size_t initial_capacity) { reserve(initial_capacity); }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Oldest element (FIFO front). Precondition: !empty().
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  /// i-th element from the front, 0 <= i < size(). Queue (FIFO) order.
+  T& operator[](std::size_t i) { return slots_[index(i)]; }
+  const T& operator[](std::size_t i) const { return slots_[index(i)]; }
+
+  void push_back(const T& value) {
+    grow_if_full();
+    slots_[index(count_)] = value;
+    ++count_;
+  }
+  void push_back(T&& value) {
+    grow_if_full();
+    slots_[index(count_)] = std::move(value);
+    ++count_;
+  }
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    grow_if_full();
+    slots_[index(count_)] = T{std::forward<Args>(args)...};
+    ++count_;
+  }
+
+  /// Removes the front element. Precondition: !empty(). The slot keeps its
+  /// (moved-from) object: storage is pooled, never destroyed per pop.
+  void pop_front() {
+    head_ = next(head_);
+    --count_;
+  }
+
+  /// Removes and returns the front element. Precondition: !empty().
+  T take_front() {
+    T value = std::move(slots_[head_]);
+    pop_front();
+    return value;
+  }
+
+  /// Drops every element; pooled capacity is retained.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  /// Ensures capacity for at least `n` elements without further allocation.
+  void reserve(std::size_t n) {
+    if (n > slots_.size()) regrow(n);
+  }
+
+ private:
+  std::size_t index(std::size_t i) const {
+    const std::size_t raw = head_ + i;
+    return raw < slots_.size() ? raw : raw - slots_.size();
+  }
+  std::size_t next(std::size_t i) const { return i + 1 < slots_.size() ? i + 1 : 0; }
+
+  void grow_if_full() {
+    if (count_ == slots_.size()) regrow(slots_.size() < 4 ? 8 : slots_.size() * 2);
+  }
+
+  void regrow(std::size_t new_capacity) {
+    std::vector<T> grown(new_capacity);
+    for (std::size_t i = 0; i < count_; ++i) grown[i] = std::move(slots_[index(i)]);
+    slots_ = std::move(grown);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace nbtinoc::util

@@ -201,8 +201,8 @@ TEST(PolicyGateController, PostCycleRefreshesSensorsFromTrackers) {
   const noc::PortKey key{0, noc::Dir::East};
   // Stress VC1 only.
   auto& iu = net.router(0).input(noc::Dir::East);
-  iu.vc(0).gate();
-  for (int i = 0; i < 1000; ++i) iu.account_cycle();
+  iu.vc(0).gate(0);
+  iu.sync_stress(1000);  // 1000 cycles elapse: VC0 recovers, VC1 stresses
   // Advance the network clock so elapsed time is nonzero.
   net.run(2);
   ctrl.post_cycle(net.clock().now());

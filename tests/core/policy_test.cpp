@@ -32,7 +32,7 @@ InputUnit make_port(const std::string& states) {
         iu.vc(static_cast<int>(i)).allocate(1 + i, 0);
         break;
       case 'R':
-        iu.vc(static_cast<int>(i)).gate();
+        iu.vc(static_cast<int>(i)).gate(0);
         break;
       default:
         throw std::invalid_argument("bad state char");

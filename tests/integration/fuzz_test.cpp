@@ -87,6 +87,10 @@ TEST_P(NetworkFuzzTest, InvariantsHoldOnRandomConfigurations) {
   ASSERT_TRUE(net.drained()) << "network failed to drain (possible deadlock)";
   ASSERT_TRUE(queues_empty) << "NI source queues failed to drain";
 
+  // The drain loop used raw step(): flush the event-driven stress
+  // accounting before reading trackers directly below.
+  net.sync_stress_accounting();
+
   // Conservation over the measured window + drain.
   EXPECT_EQ(net.stats().counter("noc.flits_injected"), net.stats().counter("noc.flits_ejected"));
 

@@ -98,5 +98,94 @@ TEST(StressTrackerBank, OutOfRangeThrows) {
   EXPECT_THROW(bank.at(2), std::out_of_range);
 }
 
+// --- event-driven mode -----------------------------------------------------
+
+TEST(StressTracker, EventDrivenBasics) {
+  StressTracker t;
+  EXPECT_EQ(t.synced_until(), 0u);
+  t.note_state(false, 10);  // powered for cycles [0,10), gated from 10
+  t.note_state(true, 25);   // gated for [10,25), powered again from 25
+  t.sync(30);
+  EXPECT_EQ(t.stress_cycles(), 15u);
+  EXPECT_EQ(t.recovery_cycles(), 15u);
+  EXPECT_EQ(t.synced_until(), 30u);
+  // Redundant notes and stale syncs are no-ops.
+  t.note_state(true, 31);
+  t.sync(20);
+  EXPECT_EQ(t.total_cycles(), 30u);
+}
+
+TEST(StressTracker, MeasuringFenceMidLazyInterval) {
+  // A warmup fence lands in the middle of a lazily-held interval: cycles
+  // before the fence must stay frozen, cycles after it must count — which
+  // is why every fence site syncs *before* toggling the flag.
+  StressTracker t;
+  t.set_measuring(false);
+  t.note_state(false, 100);  // [0,100) powered but unmeasured
+  t.sync(150);               // [100,150) gated, unmeasured
+  t.set_measuring(true);     // fence at 150
+  t.note_state(true, 170);   // [150,170) gated, measured
+  t.sync(200);               // [170,200) powered, measured
+  EXPECT_EQ(t.recovery_cycles(), 20u);
+  EXPECT_EQ(t.stress_cycles(), 30u);
+}
+
+// Property: for any interleaving of gate/wake transitions, measuring
+// fences, and counter resets, transition-timestamped accounting equals
+// per-cycle end-of-cycle sampling — the equivalence the Network relies on
+// after replacing the per-cycle account_cycle() walk.
+TEST(StressTracker, EventDrivenMatchesPerCycleOnRandomTimelines) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    StressTracker eager;  // driven by record_cycle at the end of each cycle
+    StressTracker lazy;   // driven by note_state at transitions + sync fences
+    bool stressed = true;
+    bool measuring = true;
+    const sim::Cycle total = 150 + static_cast<sim::Cycle>(next() % 200);
+    for (sim::Cycle t = 0; t < total; ++t) {
+      // Gate/wake transition during cycle t (the gating stage runs first).
+      if (next() % 5 == 0) {
+        stressed = !stressed;
+        lazy.note_state(stressed, t);
+      }
+      // Warmup fence during cycle t: sync first, then flip (Network::
+      // set_measuring order). The fence applies from cycle t on.
+      if (next() % 37 == 0) {
+        measuring = !measuring;
+        lazy.sync(t);
+        lazy.set_measuring(measuring);
+        eager.set_measuring(measuring);
+      }
+      // Stats-window restart during cycle t: counters zeroed, cycle t
+      // itself lands in the new window (run_with_warmup resets before the
+      // measured run).
+      if (next() % 53 == 0) {
+        lazy.sync(t);
+        lazy.reset();
+        eager.reset();
+      }
+      // End of cycle t: the per-cycle model samples the settled state.
+      eager.record_cycle(stressed);
+      // Random read fences (sensor epochs) must always agree exactly.
+      if (next() % 11 == 0) {
+        lazy.sync(t + 1);
+        ASSERT_EQ(lazy.stress_cycles(), eager.stress_cycles()) << "trial " << trial << " @" << t;
+        ASSERT_EQ(lazy.recovery_cycles(), eager.recovery_cycles())
+            << "trial " << trial << " @" << t;
+      }
+    }
+    lazy.sync(total);
+    EXPECT_EQ(lazy.stress_cycles(), eager.stress_cycles()) << "trial " << trial;
+    EXPECT_EQ(lazy.recovery_cycles(), eager.recovery_cycles()) << "trial " << trial;
+    EXPECT_EQ(lazy.synced_until(), total);
+  }
+}
+
 }  // namespace
 }  // namespace nbtinoc::nbti

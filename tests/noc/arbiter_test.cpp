@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
 namespace nbtinoc::noc {
 namespace {
@@ -10,7 +11,7 @@ namespace {
 TEST(RoundRobinArbiter, NoRequestsNoGrant) {
   RoundRobinArbiter arb(4);
   EXPECT_EQ(arb.arbitrate({false, false, false, false}), -1);
-  EXPECT_EQ(arb.arbitrate({}), -1);
+  EXPECT_EQ(arb.arbitrate(std::vector<bool>{}), -1);
 }
 
 TEST(RoundRobinArbiter, SingleRequesterWins) {
@@ -68,7 +69,55 @@ TEST(RoundRobinArbiter, ResizeResetsOutOfRangePointer) {
 
 TEST(RoundRobinArbiter, ShortRequestVectorTolerated) {
   RoundRobinArbiter arb(4);
-  EXPECT_EQ(arb.arbitrate({true}), 0);  // treats missing entries as absent
+  EXPECT_EQ(arb.arbitrate(std::vector<bool>{true}), 0);  // treats missing entries as absent
+}
+
+// --- RequestSet (the allocation-free scratch form of the request vector) ---
+
+TEST(RequestSet, SetTestClearAny) {
+  RequestSet set(70);  // spans two 64-bit words
+  EXPECT_EQ(set.size(), 70u);
+  EXPECT_FALSE(set.any());
+  set.set(0);
+  set.set(63);
+  set.set(69);
+  EXPECT_TRUE(set.any());
+  EXPECT_TRUE(set.test(0));
+  EXPECT_TRUE(set.test(63));
+  EXPECT_TRUE(set.test(69));
+  EXPECT_FALSE(set.test(1));
+  EXPECT_FALSE(set.test(64));
+  set.clear();
+  EXPECT_FALSE(set.any());
+  EXPECT_FALSE(set.test(63));
+}
+
+// The two overloads must grant identically: the RequestSet path replaced the
+// vector<bool> path in the router stages and must not change arbitration.
+TEST(RequestSet, ArbitrateMatchesVectorBoolOverload) {
+  RoundRobinArbiter vec_arb(5);
+  RoundRobinArbiter set_arb(5);
+  std::uint32_t lcg = 12345;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<bool> requests(5);
+    RequestSet set(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      lcg = lcg * 1664525u + 1013904223u;
+      const bool req = (lcg >> 16) & 1u;
+      requests[i] = req;
+      if (req) set.set(i);
+    }
+    EXPECT_EQ(vec_arb.peek(requests), set_arb.peek(set));
+    EXPECT_EQ(vec_arb.arbitrate(requests), set_arb.arbitrate(set));
+    EXPECT_EQ(vec_arb.pointer(), set_arb.pointer());
+  }
+}
+
+TEST(RequestSet, ShorterThanArbiterTolerated) {
+  RoundRobinArbiter arb(4);
+  RequestSet set(1);
+  set.set(0);
+  EXPECT_EQ(arb.arbitrate(set), 0);
 }
 
 }  // namespace

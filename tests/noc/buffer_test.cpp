@@ -25,7 +25,7 @@ TEST(VcBuffer, StartsIdleEmptyAllocatable) {
 
 TEST(VcBuffer, GateAndWakeLifecycle) {
   VcBuffer buf(4, 0);
-  buf.gate();
+  buf.gate(0);
   EXPECT_TRUE(buf.is_gated());
   EXPECT_FALSE(buf.is_stressed());  // only recovery state heals
   EXPECT_FALSE(buf.allocatable(0));
@@ -36,7 +36,7 @@ TEST(VcBuffer, GateAndWakeLifecycle) {
 
 TEST(VcBuffer, WakeupLatencyDelaysAllocatability) {
   VcBuffer buf(4, 3);
-  buf.gate();
+  buf.gate(0);
   buf.wake(10);
   EXPECT_TRUE(buf.is_idle());
   EXPECT_FALSE(buf.allocatable(10));
@@ -53,13 +53,13 @@ TEST(VcBuffer, WakeWhenPoweredIsNoOp) {
 TEST(VcBuffer, CannotGateActiveBuffer) {
   VcBuffer buf(4, 0);
   buf.allocate(1, 0);
-  EXPECT_THROW(buf.gate(), std::logic_error);
+  EXPECT_THROW(buf.gate(0), std::logic_error);
 }
 
 TEST(VcBuffer, CannotGateTwice) {
   VcBuffer buf(4, 0);
-  buf.gate();
-  EXPECT_THROW(buf.gate(), std::logic_error);
+  buf.gate(0);
+  EXPECT_THROW(buf.gate(0), std::logic_error);
 }
 
 TEST(VcBuffer, AllocateRequiresIdle) {
@@ -70,7 +70,7 @@ TEST(VcBuffer, AllocateRequiresIdle) {
 
 TEST(VcBuffer, AllocateRequiresAwake) {
   VcBuffer buf(4, 2);
-  buf.gate();
+  buf.gate(0);
   EXPECT_THROW(buf.allocate(1, 0), std::logic_error);
   buf.wake(0);
   EXPECT_THROW(buf.allocate(1, 1), std::logic_error);  // still waking
@@ -152,14 +152,32 @@ TEST(VcBuffer, PopEmptyThrows) {
 TEST(VcBuffer, GateTransitionsCounted) {
   VcBuffer buf(4, 0);
   EXPECT_EQ(buf.gate_transitions(), 0u);
-  buf.gate();
+  buf.gate(0);
   buf.wake(1);
-  buf.gate();
+  buf.gate(0);
   buf.wake(2);
   EXPECT_EQ(buf.gate_transitions(), 2u);
   // wake() alone never counts.
   buf.wake(3);
   EXPECT_EQ(buf.gate_transitions(), 2u);
+}
+
+TEST(VcBuffer, AttachedTrackerSeesTransitions) {
+  nbti::StressTracker tracker;
+  VcBuffer buf(4, 0);
+  buf.attach_stress_tracker(&tracker);
+  buf.gate(10);      // cycles [0,10) elapsed powered -> stress
+  buf.wake(25);      // cycles [10,25) elapsed gated -> recovery
+  tracker.sync(30);  // cycles [25,30) powered again
+  EXPECT_EQ(tracker.stress_cycles(), 15u);
+  EXPECT_EQ(tracker.recovery_cycles(), 15u);
+}
+
+TEST(VcBuffer, NoTrackerAttachedIsFine) {
+  VcBuffer buf(4, 0);
+  buf.gate(5);
+  buf.wake(9);
+  EXPECT_TRUE(buf.is_idle());
 }
 
 TEST(VcBuffer, RouteRoundTrip) {

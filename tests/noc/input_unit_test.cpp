@@ -90,8 +90,8 @@ TEST(InputUnit, AssignAndClearOutput) {
 
 TEST(InputUnit, GateCommandBaselineWakesEverything) {
   InputUnit iu(Dir::East, config());
-  iu.vc(0).gate();
-  iu.vc(1).gate();
+  iu.vc(0).gate(0);
+  iu.vc(1).gate(0);
   GateCommand cmd;  // gating_active = false
   iu.apply_gate_command(cmd, 0);
   EXPECT_TRUE(iu.vc(0).is_idle());
@@ -137,7 +137,7 @@ TEST(InputUnit, GateCommandNeverTouchesActive) {
 
 TEST(InputUnit, GateCommandWakesKeptVc) {
   InputUnit iu(Dir::East, config());
-  iu.vc(3).gate();
+  iu.vc(3).gate(0);
   GateCommand cmd;
   cmd.gating_active = true;
   cmd.enable = true;
@@ -146,11 +146,10 @@ TEST(InputUnit, GateCommandWakesKeptVc) {
   EXPECT_TRUE(iu.vc(3).is_idle());
 }
 
-TEST(InputUnit, AccountCycleTracksPowerState) {
+TEST(InputUnit, SyncStressTracksPowerState) {
   InputUnit iu(Dir::East, config(2));
-  iu.vc(1).gate();
-  iu.account_cycle();
-  iu.account_cycle();
+  iu.vc(1).gate(0);   // gated before any cycle elapses
+  iu.sync_stress(2);  // cycles 0 and 1 elapse
   EXPECT_EQ(iu.trackers().at(0).stress_cycles(), 2u);
   EXPECT_EQ(iu.trackers().at(1).recovery_cycles(), 2u);
   EXPECT_DOUBLE_EQ(iu.trackers().at(0).duty_cycle_percent(), 100.0);
@@ -160,7 +159,7 @@ TEST(InputUnit, AccountCycleTracksPowerState) {
 TEST(OutVcStateViewTest, ReflectsStates) {
   InputUnit iu(Dir::East, config(3));
   iu.vc(0).allocate(1, 0);
-  iu.vc(2).gate();
+  iu.vc(2).gate(0);
   OutVcStateView view(&iu);
   EXPECT_EQ(view.num_vcs(), 3);
   EXPECT_TRUE(view.is_active(0));

@@ -37,20 +37,20 @@ class OneShotSource final : public ITrafficSource {
 
 struct NiRig {
   NocConfig cfg = config();
+  sim::StatRegistry stats;
   InputUnit local_iu{Dir::Local, cfg};
   Channel<Flit> inject{NocConfig::kLinkDelay};
   Channel<Credit> credit{NocConfig::kCreditDelay};
   Channel<Flit> eject{NocConfig::kLinkDelay};
-  NetworkInterface ni{0, cfg};
-  sim::StatRegistry stats;
+  NetworkInterface ni{0, cfg, stats};
   std::uint64_t packet_ids = 0;
 
   NiRig() { ni.wire(&local_iu, &inject, &credit, &eject); }
 
   void cycle(sim::Cycle now) {
-    ni.receive(now, stats);
-    ni.inject(now, stats, packet_ids);
-    ni.generate(now, stats);
+    ni.receive(now);
+    ni.inject(now, packet_ids);
+    ni.generate(now);
   }
 };
 
@@ -81,7 +81,7 @@ TEST(NetworkInterface, AllocatesAnAwakeVcAndMarksItActive) {
   NiRig rig;
   OneShotSource src(0, 1, 4);
   rig.ni.set_traffic_source(&src);
-  rig.local_iu.vc(0).gate();  // only VC1 is allocatable
+  rig.local_iu.vc(0).gate(0);  // only VC1 is allocatable
   rig.cycle(0);
   rig.cycle(1);
   EXPECT_TRUE(rig.local_iu.vc(0).is_gated());
@@ -93,8 +93,8 @@ TEST(NetworkInterface, StallsWhenEveryVcIsGated) {
   NiRig rig;
   OneShotSource src(0, 1, 4);
   rig.ni.set_traffic_source(&src);
-  rig.local_iu.vc(0).gate();
-  rig.local_iu.vc(1).gate();
+  rig.local_iu.vc(0).gate(0);
+  rig.local_iu.vc(1).gate(0);
   for (sim::Cycle t = 0; t < 10; ++t) rig.cycle(t);
   EXPECT_EQ(rig.ni.queue_depth(), 1u);
   EXPECT_EQ(rig.ni.flits_injected(), 0u);
@@ -148,22 +148,22 @@ TEST(NetworkInterface, RespectsCredits) {
   tight.cfg = config(2, 2);
   // Rebuild with the tighter config.
   InputUnit iu(Dir::Local, tight.cfg);
-  NetworkInterface ni(0, tight.cfg);
+  NetworkInterface ni(0, tight.cfg, tight.stats);
   ni.wire(&iu, &tight.inject, &tight.credit, &tight.eject);
   OneShotSource src2(0, 1, 4);
   ni.set_traffic_source(&src2);
   std::uint64_t ids = 0;
   for (sim::Cycle t = 0; t <= 6; ++t) {
-    ni.receive(t, tight.stats);
-    ni.inject(t, tight.stats, ids);
-    ni.generate(t, tight.stats);
+    ni.receive(t);
+    ni.inject(t, ids);
+    ni.generate(t);
   }
   EXPECT_EQ(ni.flits_injected(), 2u);
   // Return one credit: one more flit goes.
   tight.credit.push(Credit{0, false}, 6);
   for (sim::Cycle t = 7; t <= 9; ++t) {
-    ni.receive(t, tight.stats);
-    ni.inject(t, tight.stats, ids);
+    ni.receive(t);
+    ni.inject(t, ids);
   }
   EXPECT_EQ(ni.flits_injected(), 3u);
 }
@@ -194,7 +194,7 @@ TEST(NetworkInterface, CreditOverflowThrows) {
   NiRig rig;
   // More credits than buffer depth is a protocol violation.
   for (int i = 0; i < 5; ++i) rig.credit.push(Credit{0, false}, 0);
-  EXPECT_THROW(rig.ni.receive(NocConfig::kCreditDelay, rig.stats), std::logic_error);
+  EXPECT_THROW(rig.ni.receive(NocConfig::kCreditDelay), std::logic_error);
 }
 
 }  // namespace

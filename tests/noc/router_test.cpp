@@ -19,10 +19,13 @@ NocConfig config(int vcs = 2, int depth = 4) {
 }
 
 /// A two-router east-west rig: u --East--> r, plus NI-side channels on u.
+/// The shared StatRegistry is declared first: routers intern their counter
+/// handles against it at construction.
 struct Rig {
   NocConfig cfg;
-  Router u{0, config()};
-  Router r{1, config()};
+  sim::StatRegistry stats;
+  Router u;
+  Router r;
   Channel<Flit> flit_ur{NocConfig::kLinkDelay};
   Channel<Credit> credit_ru{NocConfig::kCreditDelay};
   Channel<Flit> inject_u{NocConfig::kLinkDelay};
@@ -32,7 +35,7 @@ struct Rig {
   Channel<Credit> credit_r_ni{NocConfig::kCreditDelay};
   Channel<Flit> eject_r{NocConfig::kLinkDelay};
 
-  explicit Rig(NocConfig c = config()) : cfg(c), u(0, c), r(1, c) {
+  explicit Rig(NocConfig c = config()) : cfg(c), u(0, c, stats), r(1, c, stats) {
     r.wire_input(Dir::West, &flit_ur, &credit_ru);
     u.wire_output(Dir::East, &r.input(Dir::West), &flit_ur, &credit_ru);
     u.wire_input(Dir::Local, &inject_u, &credit_u_ni);
@@ -61,15 +64,16 @@ struct Rig {
     }
   }
 
-  void step_routers(sim::Cycle now, sim::StatRegistry& stats) {
-    for (Router* router : {&u, &r}) router->va_stage(now, stats);
-    for (Router* router : {&u, &r}) router->sa_st_stage(now, stats);
+  void step_routers(sim::Cycle now) {
+    for (Router* router : {&u, &r}) router->va_stage(now);
+    for (Router* router : {&u, &r}) router->sa_st_stage(now);
     for (Router* router : {&u, &r}) router->accept_arrivals(now);
   }
 };
 
 TEST(Router, ConstructionHasLocalPortsOnly) {
-  Router router(0, config());
+  sim::StatRegistry stats;
+  Router router(0, config(), stats);
   EXPECT_TRUE(router.has_input(Dir::Local));
   EXPECT_TRUE(router.has_output(Dir::Local));
   EXPECT_FALSE(router.has_input(Dir::East));
@@ -86,20 +90,18 @@ TEST(Router, WiringCreatesPorts) {
 
 TEST(Router, FlitFlowsThroughBothRouters) {
   Rig rig;
-  sim::StatRegistry stats;
   rig.inject_packet(1, /*dst=*/1, /*length=*/2, /*now=*/0);
-  for (sim::Cycle t = 0; t < 20; ++t) rig.step_routers(t, stats);
+  for (sim::Cycle t = 0; t < 20; ++t) rig.step_routers(t);
   // Both flits ejected at router 1.
   int ejected = 0;
   while (rig.eject_r.pop_ready(30)) ++ejected;
   EXPECT_EQ(ejected, 2);
-  EXPECT_EQ(stats.counter("noc.flits_forwarded"), 2u);
-  EXPECT_EQ(stats.counter("noc.flits_ejected_router"), 2u);
+  EXPECT_EQ(rig.stats.counter("noc.flits_forwarded"), 2u);
+  EXPECT_EQ(rig.stats.counter("noc.flits_ejected_router"), 2u);
 }
 
 TEST(Router, NewTrafficVisibleAfterHeadArrives) {
   Rig rig;
-  sim::StatRegistry stats;
   rig.inject_packet(1, 1, 2, 0);
   EXPECT_FALSE(rig.u.has_new_traffic_toward(Dir::East, 0));
   // Head arrives at u's local input at kLinkDelay; new traffic asserts the
@@ -107,17 +109,16 @@ TEST(Router, NewTrafficVisibleAfterHeadArrives) {
   rig.u.accept_arrivals(NocConfig::kLinkDelay);
   EXPECT_TRUE(rig.u.has_new_traffic_toward(Dir::East, NocConfig::kLinkDelay + 1));
   EXPECT_FALSE(rig.u.has_new_traffic_toward(Dir::West, NocConfig::kLinkDelay + 1));
-  rig.u.va_stage(NocConfig::kLinkDelay + 1, stats);
+  rig.u.va_stage(NocConfig::kLinkDelay + 1);
   EXPECT_FALSE(rig.u.has_new_traffic_toward(Dir::East, NocConfig::kLinkDelay + 2));
 }
 
 TEST(Router, VaReservesDownstreamVcImmediately) {
   Rig rig;
-  sim::StatRegistry stats;
   rig.inject_packet(7, 1, 2, 0);
   const sim::Cycle arrival = NocConfig::kLinkDelay;
   rig.u.accept_arrivals(arrival);
-  rig.u.va_stage(arrival + 1, stats);
+  rig.u.va_stage(arrival + 1);
   // One downstream VC of r's west port is now Active (reserved), before any
   // flit reached r.
   int active = 0;
@@ -128,28 +129,26 @@ TEST(Router, VaReservesDownstreamVcImmediately) {
 
 TEST(Router, VaSkipsGatedDownstreamVcs) {
   Rig rig;
-  sim::StatRegistry stats;
   // Gate ALL downstream VCs: VA must not allocate anything.
-  for (int v = 0; v < rig.cfg.num_vcs; ++v) rig.r.input(Dir::West).vc(v).gate();
+  for (int v = 0; v < rig.cfg.num_vcs; ++v) rig.r.input(Dir::West).vc(v).gate(0);
   rig.inject_packet(7, 1, 2, 0);
   rig.u.accept_arrivals(NocConfig::kLinkDelay);
-  rig.u.va_stage(NocConfig::kLinkDelay + 1, stats);
+  rig.u.va_stage(NocConfig::kLinkDelay + 1);
   EXPECT_FALSE(rig.u.input(Dir::Local).has_output(0));
   // Wake one: allocation proceeds next VA.
   rig.r.input(Dir::West).vc(1).wake(NocConfig::kLinkDelay + 1);
-  rig.u.va_stage(NocConfig::kLinkDelay + 2, stats);
+  rig.u.va_stage(NocConfig::kLinkDelay + 2);
   EXPECT_TRUE(rig.u.input(Dir::Local).has_output(0));
   EXPECT_EQ(rig.u.input(Dir::Local).out_vc(0), 1);
 }
 
 TEST(Router, CreditsDecrementOnSendAndReturnAfterDequeue) {
   Rig rig;
-  sim::StatRegistry stats;
   rig.inject_packet(3, 1, 2, 0);
   const int depth = rig.cfg.buffer_depth;
   sim::Cycle t = 0;
   // Run until the first flit leaves u.
-  for (; t < 20 && stats.counter("noc.flits_forwarded") == 0; ++t) rig.step_routers(t, stats);
+  for (; t < 20 && rig.stats.counter("noc.flits_forwarded") == 0; ++t) rig.step_routers(t);
   const int out_vc = [&] {
     for (int v = 0; v < rig.cfg.num_vcs; ++v)
       if (rig.r.input(Dir::West).vc(v).is_active()) return v;
@@ -158,15 +157,14 @@ TEST(Router, CreditsDecrementOnSendAndReturnAfterDequeue) {
   ASSERT_NE(out_vc, kInvalidVc);
   EXPECT_LT(rig.u.output(Dir::East).credits(out_vc), depth);
   // Drain completely: credits must return to full depth.
-  for (; t < 40; ++t) rig.step_routers(t, stats);
+  for (; t < 40; ++t) rig.step_routers(t);
   EXPECT_EQ(rig.u.output(Dir::East).credits(out_vc), depth);
 }
 
 TEST(Router, TailFreesBothEnds) {
   Rig rig;
-  sim::StatRegistry stats;
   rig.inject_packet(9, 1, 2, 0);
-  for (sim::Cycle t = 0; t < 40; ++t) rig.step_routers(t, stats);
+  for (sim::Cycle t = 0; t < 40; ++t) rig.step_routers(t);
   // After full drain every VC on both routers is Idle again.
   for (int v = 0; v < rig.cfg.num_vcs; ++v) {
     EXPECT_TRUE(rig.u.input(Dir::Local).vc(v).is_idle());
@@ -181,10 +179,9 @@ TEST(Router, SaRespectsCreditBackpressure) {
   NocConfig tiny = config(/*vcs=*/1, /*depth=*/1);
   tiny.packet_length = 4;
   Rig rig(tiny);
-  sim::StatRegistry stats;
   rig.inject_packet(5, 1, 4, 0, /*spacing=*/10);
   for (sim::Cycle t = 0; t < 80; ++t) {
-    rig.step_routers(t, stats);
+    rig.step_routers(t);
     EXPECT_LE(rig.r.input(Dir::West).vc(0).occupancy(), 1);
   }
   int ejected = 0;
@@ -192,10 +189,10 @@ TEST(Router, SaRespectsCreditBackpressure) {
   EXPECT_EQ(ejected, 4);
 }
 
-TEST(Router, AccountCycleCoversAllPorts) {
+TEST(Router, SyncStressCoversAllPorts) {
   Rig rig;
-  rig.r.input(Dir::West).vc(0).gate();
-  rig.r.account_cycle();
+  rig.r.input(Dir::West).vc(0).gate(0);
+  rig.r.sync_stress(1);  // flush cycle 0 on every input port
   EXPECT_EQ(rig.r.input(Dir::West).trackers().at(0).recovery_cycles(), 1u);
   EXPECT_EQ(rig.r.input(Dir::West).trackers().at(1).stress_cycles(), 1u);
   EXPECT_EQ(rig.r.input(Dir::Local).trackers().at(0).stress_cycles(), 1u);
@@ -203,7 +200,8 @@ TEST(Router, AccountCycleCoversAllPorts) {
 
 TEST(Router, EjectionUnwiredThrows) {
   NocConfig c = config();
-  Router router(0, c);
+  sim::StatRegistry stats;
+  Router router(0, c, stats);
   Channel<Flit> in{NocConfig::kLinkDelay};
   Channel<Credit> out{NocConfig::kCreditDelay};
   router.wire_input(Dir::Local, &in, &out);
@@ -215,10 +213,9 @@ TEST(Router, EjectionUnwiredThrows) {
   f.vc = 0;
   f.type = FlitType::HeadTail;
   in.push(f, 0);
-  sim::StatRegistry stats;
   router.accept_arrivals(NocConfig::kLinkDelay);
-  router.va_stage(NocConfig::kLinkDelay + 1, stats);
-  EXPECT_THROW(router.sa_st_stage(NocConfig::kLinkDelay + 1, stats), std::logic_error);
+  router.va_stage(NocConfig::kLinkDelay + 1);
+  EXPECT_THROW(router.sa_st_stage(NocConfig::kLinkDelay + 1), std::logic_error);
 }
 
 }  // namespace

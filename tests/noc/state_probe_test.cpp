@@ -27,7 +27,7 @@ TEST(PortStateProbe, SamplesCurrentStates) {
   Network net(mesh());
   PortStateProbe probe(net, {0, Dir::East});
   probe.sample();
-  net.router(0).input(Dir::East).vc(0).gate();
+  net.router(0).input(Dir::East).vc(0).gate(net.clock().now());
   net.router(0).input(Dir::East).vc(1).allocate(1, 0);
   net.step();
   probe.sample();
@@ -41,7 +41,7 @@ TEST(PortStateProbe, SamplesCurrentStates) {
 TEST(PortStateProbe, SharesSumToOne) {
   Network net(mesh());
   PortStateProbe probe(net, {0, Dir::East});
-  net.router(0).input(Dir::East).vc(0).gate();
+  net.router(0).input(Dir::East).vc(0).gate(net.clock().now());
   for (int i = 0; i < 10; ++i) probe.sample();  // no stepping: states frozen
   const auto sh = probe.shares(0);
   EXPECT_DOUBLE_EQ(sh.recovery, 1.0);
@@ -81,7 +81,7 @@ TEST(PortStateProbe, AsciiTimelineTruncatesToWindow) {
 TEST(PortStateProbe, CsvRoundTrip) {
   Network net(mesh());
   PortStateProbe probe(net, {0, Dir::East});
-  net.router(0).input(Dir::East).vc(1).gate();
+  net.router(0).input(Dir::East).vc(1).gate(net.clock().now());
   probe.sample();
   const std::string path = std::filesystem::temp_directory_path() / "nbtinoc_probe.csv";
   probe.save_csv(path);

@@ -56,5 +56,76 @@ TEST(StatRegistry, ToStringContainsEntries) {
   EXPECT_NE(s.find("noc.flits = 3"), std::string::npos);
 }
 
+// --- interned handles (the allocation-free hot-path API) -------------------
+
+TEST(StatRegistry, HandlesAliasStringKeys) {
+  StatRegistry r;
+  const CounterHandle h = r.intern("flits");
+  r.add(h);
+  r.add("flits", 2);  // string path lands on the same slot
+  r.add(h, 3);
+  EXPECT_EQ(r.counter("flits"), 6u);
+  EXPECT_EQ(r.counter(h), 6u);
+
+  const DistributionHandle d = r.intern_distribution("lat");
+  r.sample(d, 10.0);
+  r.sample("lat", 20.0);
+  ASSERT_NE(r.distribution("lat"), nullptr);
+  EXPECT_DOUBLE_EQ(r.distribution("lat")->mean(), 15.0);
+}
+
+TEST(StatRegistry, InternIsIdempotent) {
+  StatRegistry r;
+  const CounterHandle a = r.intern("x");
+  const CounterHandle b = r.intern("x");
+  r.add(a);
+  r.add(b);
+  EXPECT_EQ(r.counter("x"), 2u);
+}
+
+// Regression: reset() must zero values, not erase the dense storage —
+// components hold interned handles across the warmup fence (run_with_warmup
+// resets the registry mid-run), and stale handles into freed slots would be
+// undefined behavior.
+TEST(StatRegistry, HandlesSurviveReset) {
+  StatRegistry r;
+  const CounterHandle h = r.intern("warm.counter");
+  const DistributionHandle d = r.intern_distribution("warm.dist");
+  r.add(h, 41);
+  r.sample(d, 3.0);
+  r.reset();
+  // Values are zeroed...
+  EXPECT_EQ(r.counter(h), 0u);
+  EXPECT_EQ(r.counter("warm.counter"), 0u);
+  // ...and the handles keep working without re-interning.
+  r.add(h, 7);
+  r.sample(d, 5.0);
+  EXPECT_EQ(r.counter("warm.counter"), 7u);
+  ASSERT_NE(r.distribution("warm.dist"), nullptr);
+  EXPECT_DOUBLE_EQ(r.distribution("warm.dist")->mean(), 5.0);
+  EXPECT_EQ(r.distribution("warm.dist")->count(), 1u);
+}
+
+// Observable reset() semantics are unchanged by interning: a counter that
+// was only ever touched before the reset must not reappear in reports.
+TEST(StatRegistry, ResetHidesUntouchedCountersFromReports) {
+  StatRegistry r;
+  const CounterHandle pre = r.intern("only.pre_reset");
+  const CounterHandle both = r.intern("touched.after");
+  r.add(pre);
+  r.add(both);
+  r.reset();
+  r.add(both);
+  EXPECT_FALSE(r.has_counter("only.pre_reset"));
+  EXPECT_TRUE(r.has_counter("touched.after"));
+  const auto names = r.counter_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "touched.after");
+  EXPECT_EQ(r.to_string().find("only.pre_reset"), std::string::npos);
+  // An interned-but-never-added name is likewise invisible.
+  (void)r.intern("never.added");
+  EXPECT_FALSE(r.has_counter("never.added"));
+}
+
 }  // namespace
 }  // namespace nbtinoc::sim
