@@ -4,8 +4,13 @@
 // charge/discharge energy [19]. This bench sweeps the decision-hold period
 // (hysteresis) and reports gating transitions, NBTI protection and the NET
 // leakage saving after transition overhead — locating the break-even point.
+//
+// The hold-period grid runs on core::SweepRunner (--workers N); each point
+// carries its decision_period as a per-point RunnerOptions override, so the
+// table is byte-identical at any worker count.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -26,13 +31,26 @@ int main(int argc, char** argv) {
                      "avg port duty", "gross leakage saving", "net leakage saving",
                      "avg latency"});
 
-  for (sim::Cycle period : {1, 4, 16, 64, 256, 1024}) {
+  const std::vector<sim::Cycle> period_grid = {1, 4, 16, 64, 256, 1024};
+  core::SweepRunner sweep(bench::sweep_options(options));
+  for (sim::Cycle period : period_grid) {
     sim::Scenario s = sim::Scenario::synthetic(4, 4, 0.2);
     bench::apply_scale(s, options);
+    core::SweepPoint point;
+    point.scenario = s;
+    point.policy = core::PolicyKind::kSensorWise;
+    point.workload = core::Workload::synthetic();
+    point.label = "period" + std::to_string(period);
     core::RunnerOptions ropt;
     ropt.policy.decision_period = period;
-    const auto r = core::run_experiment(s, core::PolicyKind::kSensorWise,
-                                        core::Workload::synthetic(), ropt);
+    point.runner = ropt;
+    sweep.add(std::move(point));
+  }
+  const core::SweepResult results = sweep.run();
+
+  for (std::size_t i = 0; i < period_grid.size(); ++i) {
+    const core::RunResult& r = results[i].result;
+    const sim::Scenario& s = r.scenario;
     const auto& port = r.port(0, noc::Dir::East);
     const power::EnergyReport energy = pmodel.evaluate(core::activity_of(r));
 
@@ -40,13 +58,12 @@ int main(int argc, char** argv) {
     const double per_buffer_per_kcycle = static_cast<double>(r.total_gate_transitions) /
                                          buffers /
                                          (static_cast<double>(s.measure_cycles) / 1000.0);
-    table.add_row({std::to_string(period), util::format_double(per_buffer_per_kcycle, 2),
+    table.add_row({std::to_string(period_grid[i]), util::format_double(per_buffer_per_kcycle, 2),
                    bench::duty_cell(port.duty_percent[static_cast<std::size_t>(port.most_degraded)]),
                    bench::duty_cell(util::mean_of(port.duty_percent)),
                    util::format_percent(energy.leakage_saving() * 100.0),
                    util::format_percent(energy.net_leakage_saving() * 100.0),
                    util::format_double(r.avg_packet_latency, 1)});
-    std::cerr << "  [done] period=" << period << '\n';
   }
 
   bench::emit(table, options);

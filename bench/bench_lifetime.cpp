@@ -5,11 +5,16 @@
 // — the series a "Vth vs years" figure would plot — plus wear-migration
 // statistics.
 
+// The four policy trajectories are independent multi-epoch studies, so they
+// fan out on core::parallel_for (--workers N): each policy writes its own
+// results slot and the printed tables are byte-identical at any worker count.
+
 #include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "nbtinoc/core/lifetime.hpp"
+#include "nbtinoc/core/sweep.hpp"
 
 using namespace nbtinoc;
 
@@ -34,14 +39,16 @@ int main(int argc, char** argv) {
   const noc::PortKey sampled{0, noc::Dir::East};
 
   std::vector<std::string> header{"years"};
-  std::vector<core::LifetimeResult> results;
   std::vector<core::PolicyKind> policies = {core::PolicyKind::kBaseline,
                                             core::PolicyKind::kRrNoSensor,
                                             core::PolicyKind::kSensorWise,
                                             core::PolicyKind::kSensorRank};
+  std::vector<core::LifetimeResult> results(policies.size());
+  core::parallel_for(policies.size(), options.workers, [&](std::size_t i) {
+    results[i] = core::run_lifetime_study(s, policies[i], core::Workload::synthetic(), sampled,
+                                          lopt);
+  });
   for (auto policy : policies) {
-    results.push_back(core::run_lifetime_study(s, policy, core::Workload::synthetic(), sampled,
-                                               lopt));
     header.push_back("worst Vth mV [" + to_string(policy) + "]");
     std::cerr << "  [done] " << to_string(policy) << '\n';
   }

@@ -3,8 +3,13 @@
 // buffers and reports the MD VC duty, packet latency and throughput under
 // sensor-wise — quantifying how much of the paper's benefit survives with
 // realistic sleep-transistor wake delays.
+//
+// The latency grid runs on core::SweepRunner (--workers N): the wake delay
+// is a Scenario field, so each grid point is a plain experiment and the
+// table is byte-identical at any worker count.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -23,18 +28,25 @@ int main(int argc, char** argv) {
   util::Table table({"wakeup cycles", "MD VC duty", "avg port duty", "avg packet latency",
                      "throughput (phit/cyc/node)"});
 
-  for (sim::Cycle wake : {0, 1, 2, 4, 8}) {
+  const std::vector<sim::Cycle> wake_grid = {0, 1, 2, 4, 8};
+  core::SweepRunner sweep(bench::sweep_options(options));
+  for (sim::Cycle wake : wake_grid) {
     sim::Scenario s = sim::Scenario::synthetic(4, 4, 0.2);
     s.wakeup_latency = wake;
     bench::apply_scale(s, options);
-    const auto r = bench::run_synthetic(s, core::PolicyKind::kSensorWise);
+    sweep.add(s, core::PolicyKind::kSensorWise, core::Workload::synthetic(),
+              "wakeup" + std::to_string(wake));
+  }
+  const core::SweepResult results = sweep.run();
+
+  for (std::size_t i = 0; i < wake_grid.size(); ++i) {
+    const core::RunResult& r = results[i].result;
     const auto& port = r.port(0, noc::Dir::East);
-    table.add_row({std::to_string(wake),
+    table.add_row({std::to_string(wake_grid[i]),
                    bench::duty_cell(port.duty_percent[static_cast<std::size_t>(port.most_degraded)]),
                    bench::duty_cell(util::mean_of(port.duty_percent)),
                    util::format_double(r.avg_packet_latency, 1),
                    util::format_double(r.throughput_flits_per_cycle_per_node, 3)});
-    std::cerr << "  [done] wakeup=" << wake << '\n';
   }
 
   bench::emit(table, options);

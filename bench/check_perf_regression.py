@@ -45,7 +45,30 @@ def load_times(path):
 def load_reference(path):
     with open(path) as f:
         data = json.load(f)
-    return {name: row["after"]["real_time_ns"] for name, row in data["benchmarks"].items()}
+    times = {name: row["after"]["real_time_ns"] for name, row in data["benchmarks"].items()}
+    return times, data.get("fast_forward_gates", [])
+
+
+def check_fast_forward_gates(fresh, gates):
+    """Same-machine speedup floors: both sides of each pair come from the
+    *fresh* run, so no calibration is involved and the check is immune to
+    machine-speed differences — only the ratio matters. Guards the
+    event-horizon fast-forward engine: if quiescence detection breaks (the
+    engine silently stops skipping) or skipping becomes as expensive as
+    stepping, the pair collapses toward 1x and this fails."""
+    failures = []
+    for gate in gates:
+        fast, slow = gate["fast"], gate["slow"]
+        if fast not in fresh or slow not in fresh:
+            print(f"  SKIP fast-forward gate {slow} / {fast}: benchmark missing from fresh run")
+            continue
+        speedup = fresh[slow] / fresh[fast]
+        verdict = "FAIL" if speedup < gate["min_speedup"] else "ok"
+        print(f"  {verdict:4s} {slow} / {fast}: {speedup:.1f}x "
+              f"(floor {gate['min_speedup']:.0f}x)")
+        if speedup < gate["min_speedup"]:
+            failures.append(f"{slow}/{fast}")
+    return failures
 
 
 def main():
@@ -60,7 +83,7 @@ def main():
     args = parser.parse_args()
 
     fresh = load_times(args.fresh)
-    reference = load_reference(args.reference)
+    reference, ff_gates = load_reference(args.reference)
 
     scale = 1.0
     if args.calibrate:
@@ -80,11 +103,21 @@ def main():
         if ratio > args.threshold:
             failures.append(name)
 
-    if failures:
-        print(f"\nperf smoke FAILED: {len(failures)} benchmark(s) regressed past "
-              f"{args.threshold}x: {', '.join(failures)}")
+    ff_failures = []
+    if ff_gates:
+        print("\nfast-forward speedup gates (same-machine pair ratios):")
+        ff_failures = check_fast_forward_gates(fresh, ff_gates)
+
+    if failures or ff_failures:
+        if failures:
+            print(f"\nperf smoke FAILED: {len(failures)} benchmark(s) regressed past "
+                  f"{args.threshold}x: {', '.join(failures)}")
+        if ff_failures:
+            print(f"\nperf smoke FAILED: {len(ff_failures)} fast-forward gate(s) below their "
+                  f"speedup floor: {', '.join(ff_failures)}")
         return 1
-    print(f"\nperf smoke passed: {len(shared)} benchmarks within {args.threshold}x of reference")
+    print(f"\nperf smoke passed: {len(shared)} benchmarks within {args.threshold}x of reference"
+          + (f", {len(ff_gates)} fast-forward gates above their floors" if ff_gates else ""))
     return 0
 
 

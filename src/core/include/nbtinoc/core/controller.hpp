@@ -49,6 +49,11 @@ struct PolicyConfig {
   sim::Cycle decision_period = 1;
   nbti::SensorConfig sensor;
   HealthConfig health;
+
+  /// Throws std::invalid_argument with an actionable message on
+  /// configurations that would divide by zero or stall the machinery
+  /// (zero rotation/decision periods, zero-length sensor epochs).
+  void validate() const;
 };
 
 /// Samples one initial Vth per VC buffer for every existing input port of a
@@ -77,6 +82,12 @@ class PolicyGateController final : public noc::IGateController {
   noc::GateCommand decide(const noc::PortKey& key, const noc::OutVcStateView& view,
                           bool new_traffic, sim::Cycle now) override;
   void post_cycle(sim::Cycle now) override;
+  /// Fast-forward horizon: with a fault injector installed the fault
+  /// processes draw RNG every cycle, so the horizon is pinned to `now`
+  /// (fast-forward effectively disabled); otherwise the only autonomous
+  /// events are the per-port sensor refresh epochs, so the horizon is the
+  /// earliest next_refresh_cycle() across ports.
+  sim::Cycle next_event_cycle(sim::Cycle now) override;
   const char* name() const override;
 
   /// Installs this controller on the network it was built for.

@@ -87,6 +87,13 @@ struct RunnerOptions {
   /// are reported in RunResult::invariant_violations. Roughly doubles run
   /// time; meant for tests and fault studies, not duty-cycle production.
   bool check_invariants = false;
+  /// Event-horizon fast-forwarding (Network::set_fast_forward): skip
+  /// provably quiescent stretches instead of stepping them. Results are
+  /// bit-identical either way (pinned by the golden/equivalence tests);
+  /// turn it off only to time or debug the literal per-cycle path. Ignored
+  /// (forced off) when check_invariants is set, which steps every cycle by
+  /// construction.
+  bool fast_forward = true;
 };
 
 /// Runs one scenario under one policy. PV seed and traffic seed derive from

@@ -1,10 +1,26 @@
 #include "nbtinoc/core/controller.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nbtinoc/noc/routing.hpp"
 
 namespace nbtinoc::core {
+
+void PolicyConfig::validate() const {
+  if (rr_rotation_period == 0)
+    throw std::invalid_argument(
+        "PolicyConfig: rr_rotation_period must be >= 1 (the rr candidate is "
+        "(now / rr_rotation_period) % num_vcs; 0 divides by zero)");
+  if (decision_period == 0)
+    throw std::invalid_argument(
+        "PolicyConfig: decision_period must be >= 1 (0 would never refresh a "
+        "held decision; use 1 for the paper's per-cycle behavior)");
+  if (sensor.epoch_cycles == 0)
+    throw std::invalid_argument(
+        "PolicyConfig: sensor.epoch_cycles must be >= 1 (a zero-length epoch "
+        "would refresh sensors every cycle and defeat the Down_Up protocol)");
+}
 
 std::map<noc::PortKey, std::vector<double>> sample_network_vths(const noc::NocConfig& config,
                                                                 const nbti::PvConfig& pv,
@@ -197,6 +213,20 @@ void PolicyGateController::post_cycle(sim::Cycle now) {
     if (epoch) faulted_epoch(key, ctx);
     if (ctx.quarantined) network_->stats().add(h_quarantined_cycles_);
   }
+}
+
+sim::Cycle PolicyGateController::next_event_cycle(sim::Cycle now) {
+  // Fault processes advance every cycle (per-cycle stats, RNG draws), so a
+  // skip would change the fault stream: pin the horizon to `now`.
+  if (injector_ != nullptr && injector_->enabled()) return now;
+  // Otherwise post_cycle only acts at sensor epoch boundaries. The refresh
+  // itself must be *stepped* (it reads elapsed time and draws noise RNG at
+  // exactly its due cycle), so report the earliest due cycle across ports
+  // and let the engine land on it.
+  sim::Cycle horizon = sim::kCycleNever;
+  for (const auto& [key, ctx] : ports_)
+    horizon = std::min(horizon, ctx.sensors.next_refresh_cycle());
+  return std::max(horizon, now);
 }
 
 void PolicyGateController::faulted_epoch(const noc::PortKey& key, PortContext& ctx) {

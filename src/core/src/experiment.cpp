@@ -59,6 +59,7 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
                          const RunnerOptions& options) {
   if (options.paper_scale) scenario.use_paper_scale();
   scenario.validate();
+  options.policy.validate();
   options.faults.validate();
 
   // The network simulates in *phit* units — the quantum a 32b link moves per
@@ -115,6 +116,7 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
 
   RunResult result;
   if (!options.check_invariants) {
+    network.set_fast_forward(options.fast_forward);
     network.run_with_warmup(scenario.warmup_cycles, scenario.measure_cycles);
   } else {
     // Same schedule as run_with_warmup, with the invariant checker run

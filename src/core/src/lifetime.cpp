@@ -11,6 +11,11 @@ LifetimeResult run_lifetime_study(sim::Scenario scenario, PolicyKind policy,
   if (options.epochs < 1) throw std::invalid_argument("run_lifetime_study: epochs < 1");
   if (options.years_per_epoch <= 0.0)
     throw std::invalid_argument("run_lifetime_study: years_per_epoch <= 0");
+  if (options.measure_cycles_per_epoch == 0)
+    throw std::invalid_argument(
+        "run_lifetime_study: measure_cycles_per_epoch must be >= 1 — each "
+        "epoch needs a measurement window to sample duty cycles from "
+        "(Scenario::validate would reject the derived measure_cycles anyway)");
 
   scenario.warmup_cycles = options.measure_cycles_per_epoch / 5;
   scenario.measure_cycles = options.measure_cycles_per_epoch;

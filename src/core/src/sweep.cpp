@@ -88,6 +88,41 @@ void SweepResult::write_json(const std::string& path) const {
   out << to_json();
 }
 
+void parallel_for(std::size_t count, unsigned workers,
+                  const std::function<void(std::size_t)>& fn) {
+  unsigned n = workers;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (count < static_cast<std::size_t>(n)) n = static_cast<unsigned>(count == 0 ? 1 : count);
+
+  if (n <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker_loop = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;  // stop this worker; others drain their claimed indices
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned w = 0; w < n; ++w) pool.emplace_back(worker_loop);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
 
 std::size_t SweepRunner::add(SweepPoint point) {

@@ -50,6 +50,15 @@ class NbtiSensorBank {
     return !refreshed_once_ || now >= last_refresh_ + config_.epoch_cycles;
   }
 
+  /// Earliest cycle at which refresh_due() turns true — the bank's epoch
+  /// fence for the fast-forward engine. A refresh draws noise RNG and
+  /// re-reads elapsed time, so skipping across this cycle would shift the
+  /// whole measurement schedule; the engine instead skips *to* it and steps
+  /// it normally.
+  sim::Cycle next_refresh_cycle() const {
+    return refreshed_once_ ? last_refresh_ + config_.epoch_cycles : 0;
+  }
+
   /// Forces a refresh regardless of epoch (used at construction/reset).
   void refresh(double elapsed_seconds, const StressTrackerBank& trackers);
 

@@ -50,6 +50,12 @@ class VcBuffer {
   /// scans entirely (waiting_for_va and SA readiness both require Active).
   void attach_busy_counter(int* counter) { busy_counter_ = counter; }
 
+  /// Attaches the owning port's Gated-VC counter, bumped at gate() and
+  /// released at wake(). The counter must outlive the buffer. Together with
+  /// the busy counter this gives the fast-forward engine an O(1) proof that
+  /// a port is in a gating fixed point (all VCs Recovery) without scanning.
+  void attach_gated_counter(int* counter) { gated_counter_ = counter; }
+
   // --- state queries -------------------------------------------------------
   VcState state() const { return state_; }
   bool is_idle() const { return state_ == VcState::Idle; }
@@ -82,6 +88,7 @@ class VcBuffer {
     if (count_ != 0) throw std::logic_error("VcBuffer::gate: buffer not empty");
     state_ = VcState::Recovery;
     ++gate_transitions_;
+    if (gated_counter_ != nullptr) ++*gated_counter_;
     if (tracker_ != nullptr) tracker_->note_state(false, now);
   }
 
@@ -95,6 +102,7 @@ class VcBuffer {
   void wake(sim::Cycle now) {
     if (state_ != VcState::Recovery) return;
     state_ = VcState::Idle;
+    if (gated_counter_ != nullptr) --*gated_counter_;
     wake_ready_ = now + wakeup_latency_;
     if (tracker_ != nullptr) tracker_->note_state(true, now);
   }
@@ -141,6 +149,7 @@ class VcBuffer {
   std::uint64_t gate_transitions_ = 0;
   nbti::StressTracker* tracker_ = nullptr;
   int* busy_counter_ = nullptr;
+  int* gated_counter_ = nullptr;
 };
 
 }  // namespace nbtinoc::noc

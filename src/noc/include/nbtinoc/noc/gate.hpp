@@ -9,6 +9,7 @@
 
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/event_horizon.hpp"
 
 namespace nbtinoc::noc {
 
@@ -78,6 +79,15 @@ class IGateController {
   virtual GateCommand decide(const PortKey& key, const OutVcStateView& view, bool new_traffic,
                              sim::Cycle now) = 0;
   virtual void post_cycle(sim::Cycle now) { (void)now; }
+
+  /// Earliest cycle >= now at which this controller's `post_cycle` (or any
+  /// other internal process — sensor refresh, fault machinery) does
+  /// something observable while the mesh stays quiescent, or
+  /// sim::kCycleNever.  Conservative answers (<= the true next event) are
+  /// safe; the default pins the horizon to `now`, which disables
+  /// fast-forwarding for controllers that do not implement the query.
+  virtual sim::Cycle next_event_cycle(sim::Cycle now) { return now; }
+
   virtual const char* name() const = 0;
 };
 
@@ -88,6 +98,8 @@ class AlwaysOnController final : public IGateController {
   GateCommand decide(const PortKey&, const OutVcStateView&, bool, sim::Cycle) override {
     return GateCommand{};  // gating_active = false
   }
+  // Stateless and sensor-free: nothing ever happens on its own.
+  sim::Cycle next_event_cycle(sim::Cycle) override { return sim::kCycleNever; }
   const char* name() const override { return "baseline"; }
 };
 

@@ -35,10 +35,12 @@ class InputUnit {
         out_port_(std::move(other.out_port_)),
         trackers_(std::move(other.trackers_)),
         sa_arbiter_(std::move(other.sa_arbiter_)),
-        busy_vcs_(other.busy_vcs_) {
+        busy_vcs_(other.busy_vcs_),
+        gated_vcs_(other.gated_vcs_) {
     for (std::size_t i = 0; i < vcs_.size(); ++i) {
       vcs_[i].attach_stress_tracker(&trackers_.at(i));
       vcs_[i].attach_busy_counter(&busy_vcs_);
+      vcs_[i].attach_gated_counter(&gated_vcs_);
     }
   }
   InputUnit& operator=(InputUnit&&) = delete;
@@ -50,6 +52,12 @@ class InputUnit {
   /// maintained by the buffers themselves. Zero proves in O(1) that no VC
   /// of this port can be waiting for VA or ready for SA.
   int busy_vcs() const { return busy_vcs_; }
+
+  /// Number of VCs currently gated (Recovery), maintained by the buffers.
+  /// `gated_vcs() == num_vcs()` proves in O(1) that the port sits in the
+  /// all-gated fixed point of an active gating policy; `busy_vcs() == 0 &&
+  /// gated_vcs() == 0` proves the all-idle fixed point of the baseline.
+  int gated_vcs() const { return gated_vcs_; }
 
   VcBuffer& vc(int i) { return vcs_.at(static_cast<std::size_t>(i)); }
   const VcBuffer& vc(int i) const { return vcs_.at(static_cast<std::size_t>(i)); }
@@ -115,6 +123,7 @@ class InputUnit {
   nbti::StressTrackerBank trackers_;
   RoundRobinArbiter sa_arbiter_;
   int busy_vcs_ = 0;
+  int gated_vcs_ = 0;
 };
 
 }  // namespace nbtinoc::noc

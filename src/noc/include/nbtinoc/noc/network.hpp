@@ -25,6 +25,7 @@
 #include "nbtinoc/noc/router.hpp"
 #include "nbtinoc/noc/traffic_source.hpp"
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/event_horizon.hpp"
 #include "nbtinoc/sim/fault_plan.hpp"
 #include "nbtinoc/sim/stat_registry.hpp"
 
@@ -68,7 +69,9 @@ class Network {
 
   /// Advances one cycle.
   void step();
-  /// Advances `cycles` cycles.
+  /// Advances `cycles` cycles. With fast-forwarding enabled, provably
+  /// quiescent stretches are skipped in closed form (bit-identical results;
+  /// see quiescent()/next_event_horizon()).
   void run(sim::Cycle cycles);
   /// Runs `warmup` cycles with stress accounting frozen, then `measure`
   /// cycles with accounting enabled.
@@ -97,6 +100,35 @@ class Network {
   /// or are still somewhere in flight. True when nothing is in flight.
   bool drained() const;
 
+  // --- fast-forward engine (sim::EventHorizon) -------------------------------
+  /// Enables event-horizon cycle skipping inside run(). Off by default on a
+  /// raw Network (step()-level tests expect literal per-cycle execution);
+  /// core::run_experiment turns it on via RunnerOptions::fast_forward.
+  void set_fast_forward(bool enabled) { fast_forward_ = enabled; }
+  bool fast_forward() const { return fast_forward_; }
+
+  /// O(channels + ports) proof that nothing observable can happen until an
+  /// external event: no flit or credit in flight, every NI empty and not
+  /// serializing, no fault injector, and every input port parked in its
+  /// gating fixed point (all VCs gated under an active gating command, or
+  /// all VCs idle-and-unGated under the baseline). Each policy's decide()
+  /// is a no-op on such a port (asserted by tests, derived in
+  /// ARCHITECTURE.md §9), so repeating step() until the next traffic/sensor
+  /// event only spins the clock.
+  bool quiescent() const;
+
+  /// Earliest cycle >= now at which anything observable can happen while
+  /// the mesh stays quiescent: min over every traffic source's
+  /// next_event_cycle() and the controller's (sensor refresh epochs; `now`
+  /// under fault injection). May conservatively undershoot — run() then
+  /// simply re-checks after stepping there. Non-const: sources pre-roll
+  /// their RNG streams to answer.
+  sim::Cycle next_event_horizon();
+
+  /// How often run() fast-forwarded and how many cycles it elided
+  /// (monotonic over the network's lifetime).
+  const sim::SkipStats& skip_stats() const { return skip_stats_; }
+
   /// Flits currently crossing any flit channel (router-router links plus
   /// NI injection/ejection channels).
   std::size_t flits_in_flight() const;
@@ -107,6 +139,14 @@ class Network {
  private:
   void gating_stage();
   Channel<GateCommand>& up_down_link_mutable(NodeId node, Dir port);
+  /// Last applied gating mode (gating_active) per (node, port, vnet) —
+  /// written by gating_stage, read by the quiescence proof to pick which
+  /// fixed point (all-gated vs all-idle) each port must satisfy.
+  std::size_t gating_record_index(NodeId node, Dir port, int vnet) const {
+    return (static_cast<std::size_t>(node) * kNumDirs + static_cast<std::size_t>(port)) *
+               static_cast<std::size_t>(config_.num_vnets) +
+           static_cast<std::size_t>(vnet);
+  }
 
   NocConfig config_;
   sim::Clock clock_;
@@ -124,6 +164,10 @@ class Network {
   AlwaysOnController baseline_controller_;
   IGateController* controller_ = nullptr;
   sim::FaultInjector* injector_ = nullptr;
+
+  bool fast_forward_ = false;
+  sim::SkipStats skip_stats_;
+  std::vector<unsigned char> gating_record_;
 
   std::uint64_t packet_id_counter_ = 0;
 };

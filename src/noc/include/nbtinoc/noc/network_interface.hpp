@@ -48,6 +48,13 @@ class NetworkInterface {
   bool has_new_traffic(int vnet, sim::Cycle now) const;
 
   std::size_t queue_depth() const { return queue_.size(); }
+
+  /// True when the NI holds no work at all: nothing queued and no packet
+  /// mid-serialization. Part of the O(nodes) quiescence proof — an idle NI
+  /// can neither inject a flit nor assert has_new_traffic() until its
+  /// source generates again.
+  bool idle() const { return !sending_ && queue_.empty(); }
+
   std::uint64_t packets_ejected() const { return packets_ejected_; }
   std::uint64_t flits_injected() const { return flits_injected_; }
 

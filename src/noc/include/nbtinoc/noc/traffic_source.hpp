@@ -7,6 +7,7 @@
 
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/event_horizon.hpp"
 
 namespace nbtinoc::noc {
 
@@ -22,12 +23,22 @@ class ITrafficSource {
   /// Called once per cycle; returns a packet to enqueue at this node's NI,
   /// or nullopt. At most one packet per cycle per node.
   virtual std::optional<PacketRequest> maybe_generate(sim::Cycle now) = 0;
+
+  /// Earliest cycle >= now at which this source could return a packet, or
+  /// sim::kCycleNever if it never will.  Answers may be conservative (any
+  /// cycle <= the true next event is safe — the caller simply re-asks after
+  /// stepping there); they must never overshoot a real event.  The default
+  /// returns `now`, which disables fast-forwarding for sources that do not
+  /// implement the query.  Implementations must not change the source's
+  /// observable RNG consumption order relative to per-cycle stepping.
+  virtual sim::Cycle next_event_cycle(sim::Cycle now) { return now; }
 };
 
 /// A source that never generates traffic (default for unconfigured nodes).
 class SilentSource final : public ITrafficSource {
  public:
   std::optional<PacketRequest> maybe_generate(sim::Cycle) override { return std::nullopt; }
+  sim::Cycle next_event_cycle(sim::Cycle) override { return sim::kCycleNever; }
 };
 
 }  // namespace nbtinoc::noc

@@ -24,6 +24,7 @@ InputUnit::InputUnit(Dir dir, const NocConfig& config)
   for (std::size_t i = 0; i < vcs_.size(); ++i) {
     vcs_[i].attach_stress_tracker(&trackers_.at(i));
     vcs_[i].attach_busy_counter(&busy_vcs_);
+    vcs_[i].attach_gated_counter(&gated_vcs_);
   }
 }
 

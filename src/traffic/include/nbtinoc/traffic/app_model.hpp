@@ -41,6 +41,12 @@ class AppTrafficSource final : public noc::ITrafficSource {
 
   std::optional<noc::PacketRequest> maybe_generate(sim::Cycle now) override;
 
+  /// Next-fire query for the fast-forward engine. Pre-rolls the Markov
+  /// chain (transition draw, then emission draw, per cycle — the exact
+  /// stepped order) up to a bounded look-ahead, deferring the destination
+  /// draws to consumption time so the RNG stream matches stepped execution.
+  sim::Cycle next_event_cycle(sim::Cycle now) override;
+
   const AppProfile& profile() const { return profile_; }
   bool in_burst() const { return on_; }
 
@@ -49,6 +55,7 @@ class AppTrafficSource final : public noc::ITrafficSource {
 
  private:
   noc::NodeId pick_destination();
+  void roll_until(sim::Cycle limit);
 
   noc::NodeId src_;
   AppProfile profile_;
@@ -62,6 +69,12 @@ class AppTrafficSource final : public noc::ITrafficSource {
   double p_off_packet_ = 0.0;  ///< residual probability while off
   double p_exit_on_ = 0.0;     ///< on -> off transition probability
   double p_exit_off_ = 0.0;    ///< off -> on transition probability
+
+  // Pre-roll frontier (see SyntheticSource). on_ above is the Markov state
+  // as of cycle rolled_until_, which may run ahead of the last consumed
+  // cycle; in_burst() is therefore only meaningful to stepped callers.
+  sim::Cycle rolled_until_ = 0;
+  sim::Cycle next_fire_ = sim::kCycleNever;
 };
 
 }  // namespace nbtinoc::traffic

@@ -55,10 +55,21 @@ class RequestReplySource final : public noc::ITrafficSource {
 
   std::optional<noc::PacketRequest> maybe_generate(sim::Cycle now) override;
 
+  /// Next-fire query for the fast-forward engine: min of the pending-reply
+  /// front's ready_at and the next pre-rolled request fire. Pre-rolling is
+  /// capped strictly below min(front ready_at, now + service_delay) so that
+  /// no Bernoulli is ever drawn for a cycle that stepped execution would
+  /// spend serving a reply (reply cycles draw nothing). Assumes every
+  /// source sharing the ReplyBoard uses the same service_delay, as
+  /// install_request_reply_traffic guarantees.
+  sim::Cycle next_event_cycle(sim::Cycle now) override;
+
   std::uint64_t requests_sent() const { return requests_sent_; }
   std::uint64_t replies_sent() const { return replies_sent_; }
 
  private:
+  void roll_until(sim::Cycle limit, sim::Cycle now);
+
   noc::NodeId node_;
   int mesh_nodes_;
   RequestReplyConfig config_;
@@ -66,6 +77,11 @@ class RequestReplySource final : public noc::ITrafficSource {
   util::Xoshiro256 rng_;
   std::uint64_t requests_sent_ = 0;
   std::uint64_t replies_sent_ = 0;
+  // Pre-roll frontier (see SyntheticSource): Bernoullis for all *request*
+  // cycles < rolled_until_ are drawn; next_fire_ is the earliest unserved
+  // success. Reply cycles advance rolled_until_ without a draw.
+  sim::Cycle rolled_until_ = 0;
+  sim::Cycle next_fire_ = sim::kCycleNever;
 };
 
 /// Installs request/reply sources on every node (shares one ReplyBoard,

@@ -22,15 +22,31 @@ class SyntheticSource final : public noc::ITrafficSource {
 
   std::optional<noc::PacketRequest> maybe_generate(sim::Cycle now) override;
 
+  /// Exact next-fire query for the fast-forward engine. Pre-rolls the
+  /// per-cycle Bernoulli stream (bounded look-ahead) without disturbing the
+  /// draw order: destination draws still happen at consumption time, so the
+  /// RNG stream is bit-identical to stepped execution.
+  sim::Cycle next_event_cycle(sim::Cycle now) override;
+
   double injection_rate() const { return injection_rate_; }
 
  private:
+  /// Advances the pre-rolled Bernoulli frontier through cycle `limit`
+  /// (inclusive), stopping at the first success.
+  void roll_until(sim::Cycle limit);
+
   noc::NodeId src_;
   double injection_rate_;
   int packet_length_;
   double packet_probability_;
   DestinationPattern pattern_;
   util::Xoshiro256 rng_;
+  // Pre-roll state: the Bernoulli for every cycle < rolled_until_ has been
+  // drawn; next_fire_ is the earliest undelivered success (kCycleNever if
+  // none found yet). Invariant: no success exists in [next roll start,
+  // rolled_until_) other than next_fire_.
+  sim::Cycle rolled_until_ = 0;
+  sim::Cycle next_fire_ = sim::kCycleNever;
 };
 
 /// Installs one SyntheticSource per node with the given pattern; each node

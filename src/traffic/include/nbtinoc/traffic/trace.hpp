@@ -47,6 +47,12 @@ class TraceReplaySource final : public noc::ITrafficSource {
 
   std::optional<noc::PacketRequest> maybe_generate(sim::Cycle now) override;
 
+  /// Exact next-event query: the recorded cycle of the next unreplayed
+  /// record (clamped to `now` for slipped same-cycle records), or
+  /// sim::kCycleNever once the trace is exhausted. Draw-free, so the
+  /// fast-forward engine can skip between trace records losslessly.
+  sim::Cycle next_event_cycle(sim::Cycle now) override;
+
  private:
   std::vector<TraceRecord> mine_;
   std::size_t next_ = 0;

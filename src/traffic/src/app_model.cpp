@@ -58,16 +58,42 @@ noc::NodeId AppTrafficSource::pick_destination() {
   return draw >= src_ ? draw + 1 : draw;
 }
 
-std::optional<noc::PacketRequest> AppTrafficSource::maybe_generate(sim::Cycle) {
-  // Phase transition first, then emission from the (possibly new) state.
-  if (on_) {
-    if (rng_.next_bernoulli(p_exit_on_)) on_ = false;
-  } else {
-    if (rng_.next_bernoulli(p_exit_off_)) on_ = true;
+namespace {
+// Bounded pre-roll window for next_event_cycle (see SyntheticSource).
+constexpr sim::Cycle kLookaheadCycles = 4096;
+}  // namespace
+
+void AppTrafficSource::roll_until(sim::Cycle limit) {
+  // Exact stepped draw order per cycle: phase transition first, then
+  // emission from the (possibly new) state; the destination draws of a
+  // successful emission happen at consumption time.
+  while (next_fire_ == sim::kCycleNever && rolled_until_ <= limit) {
+    if (on_) {
+      if (rng_.next_bernoulli(p_exit_on_)) on_ = false;
+    } else {
+      if (rng_.next_bernoulli(p_exit_off_)) on_ = true;
+    }
+    if (rng_.next_bernoulli(on_ ? p_on_packet_ : p_off_packet_)) next_fire_ = rolled_until_;
+    ++rolled_until_;
   }
-  const double p = on_ ? p_on_packet_ : p_off_packet_;
-  if (!rng_.next_bernoulli(p)) return std::nullopt;
+}
+
+std::optional<noc::PacketRequest> AppTrafficSource::maybe_generate(sim::Cycle now) {
+  roll_until(now);
+  if (next_fire_ > now) return std::nullopt;  // covers kCycleNever
+  next_fire_ = sim::kCycleNever;
   return noc::PacketRequest{pick_destination(), profile_.packet_length};
+}
+
+sim::Cycle AppTrafficSource::next_event_cycle(sim::Cycle now) {
+  // With both emission probabilities at zero no packet can ever appear.
+  // The skipped transition draws are unobservable then: the chain's state
+  // only ever surfaces through emitted packets (in_burst() is a stepped
+  // test hook, not a simulation output).
+  if (p_on_packet_ <= 0.0 && p_off_packet_ <= 0.0) return sim::kCycleNever;
+  if (next_fire_ == sim::kCycleNever) roll_until(now + kLookaheadCycles);
+  if (next_fire_ != sim::kCycleNever) return std::max(now, next_fire_);
+  return rolled_until_;
 }
 
 }  // namespace nbtinoc::traffic

@@ -59,4 +59,9 @@ std::optional<noc::PacketRequest> TraceReplaySource::maybe_generate(sim::Cycle n
   return noc::PacketRequest{rec.dst, rec.length};
 }
 
+sim::Cycle TraceReplaySource::next_event_cycle(sim::Cycle now) {
+  if (next_ >= mine_.size()) return sim::kCycleNever;
+  return std::max(now, mine_[next_].cycle);
+}
+
 }  // namespace nbtinoc::traffic

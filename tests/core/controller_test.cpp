@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "nbtinoc/core/experiment.hpp"
+
 namespace nbtinoc::core {
 namespace {
 
@@ -42,6 +44,28 @@ TEST(SampleNetworkVths, SixteenCoreCenterRouterHasFivePorts) {
   for (const auto& [key, bank] : vths)
     if (key.router == 5) ++ports_r5;
   EXPECT_EQ(ports_r5, 5);
+}
+
+TEST(PolicyConfigValidate, RejectsZeroPeriodsWithActionableMessages) {
+  PolicyConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());  // defaults are valid
+  cfg.decision_period = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = PolicyConfig{};
+  cfg.rr_rotation_period = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = PolicyConfig{};
+  cfg.sensor.epoch_cycles = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // run_experiment validates the policy config up front, whichever policy
+  // kind ends up using the bad field.
+  sim::Scenario s = sim::Scenario::synthetic(2, 2, 0.1);
+  s.warmup_cycles = 100;
+  s.measure_cycles = 500;
+  RunnerOptions ropt;
+  ropt.policy.rr_rotation_period = 0;
+  EXPECT_THROW(run_experiment(s, PolicyKind::kRrNoSensor, Workload::synthetic(), ropt),
+               std::invalid_argument);
 }
 
 TEST(PolicyGateController, NameMatchesKind) {

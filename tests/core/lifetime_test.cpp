@@ -28,6 +28,11 @@ TEST(LifetimeStudy, RejectsBadOptions) {
   EXPECT_THROW(run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
                                   {0, noc::Dir::East}, bad),
                std::invalid_argument);
+  bad = quick_options();
+  bad.measure_cycles_per_epoch = 0;
+  EXPECT_THROW(run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
+                                  {0, noc::Dir::East}, bad),
+               std::invalid_argument);
   EXPECT_THROW(run_lifetime_study(scenario(), PolicyKind::kSensorWise, Workload::synthetic(),
                                   {0, noc::Dir::West}, quick_options()),
                std::invalid_argument);

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "nbtinoc/core/sweep.hpp"
@@ -171,6 +173,31 @@ TEST(SweepRunner, ErrorsInWorkerThreadsPropagate) {
   bad.router_stages = 1;  // run_experiment throws on < 3
   sweep.add(bad, PolicyKind::kBaseline, Workload::synthetic());
   EXPECT_THROW(sweep.run(), std::invalid_argument);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnceAtAnyWorkerCount) {
+  for (unsigned workers : {1u, 2u, 7u, 32u}) {
+    constexpr std::size_t kCount = 100;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for(kCount, workers, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with " << workers << " workers";
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoOpAndErrorsPropagate) {
+  parallel_for(0, 4, [](std::size_t) { FAIL() << "fn called for empty range"; });
+  EXPECT_THROW(
+      parallel_for(8, 4,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The serial path (one worker) propagates too, at the failing index.
+  EXPECT_THROW(parallel_for(2, 1, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
 }
 
 TEST(SweepResult, JsonAndCsvExportCoverEveryPoint) {

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include "nbtinoc/core/controller.hpp"
+#include "nbtinoc/core/experiment.hpp"
 #include "nbtinoc/core/sweep.hpp"
 #include "nbtinoc/noc/network.hpp"
+#include "nbtinoc/traffic/benchmarks.hpp"
+#include "nbtinoc/traffic/request_reply.hpp"
 #include "nbtinoc/traffic/synthetic.hpp"
 #include "nbtinoc/util/rng.hpp"
 
@@ -186,6 +189,101 @@ TEST_P(SweepFuzzTest, RandomGridsSurviveParallelExecutionIntact) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomGrids, SweepFuzzTest, ::testing::Range<std::uint64_t>(1, 9));
+
+// Fast-forward fuzz: the event-horizon engine claims bit-identical results
+// with cycle skipping on or off, for *any* valid configuration — not just
+// the golden scenario. Each seed derives a random scenario/policy/workload
+// pair and runs it both ways; every externally visible number (the full
+// JSON report, plus the gating counters it omits) must match exactly.
+class FastForwardFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastForwardFuzzTest, SkippedExperimentsMatchSteppedExactly) {
+  util::Xoshiro256 rng(GetParam() ^ 0xfa57ULL);
+  sim::Scenario s = sim::Scenario::synthetic(2 + static_cast<int>(rng.next_below(2)),
+                                             1 + static_cast<int>(rng.next_below(3)),
+                                             0.06 * rng.next_double());
+  // Low rates most of the time (that is where skipping engages); every
+  // fourth seed runs fully idle, where the engine must carry the whole run.
+  if (GetParam() % 4 == 0) s.injection_rate = 0.0;
+  s.num_vnets = 1 + static_cast<int>(rng.next_below(2));
+  s.wakeup_latency = rng.next_below(4);
+  s.warmup_cycles = 1'000;
+  s.measure_cycles = 8'000 + rng.next_below(8'000);
+  constexpr core::PolicyKind kPolicies[] = {
+      core::PolicyKind::kBaseline, core::PolicyKind::kRrNoSensor,
+      core::PolicyKind::kSensorWiseNoTraffic, core::PolicyKind::kSensorWise,
+      core::PolicyKind::kSensorRank};
+  const core::PolicyKind policy = kPolicies[rng.next_below(5)];
+  constexpr traffic::PatternKind kPatterns[] = {
+      traffic::PatternKind::kUniform, traffic::PatternKind::kTranspose,
+      traffic::PatternKind::kBitComplement, traffic::PatternKind::kHotspot,
+      traffic::PatternKind::kNeighbor, traffic::PatternKind::kTornado};
+  // Every third seed swaps in a benchmark mix, covering the bursty
+  // Markov-modulated sources' pre-roll as well.
+  const core::Workload workload =
+      GetParam() % 3 == 0
+          ? core::Workload::benchmark_mix(
+                traffic::random_mix(s.mesh_width * s.mesh_height, GetParam()), GetParam())
+          : core::Workload::synthetic(kPatterns[rng.next_below(6)]);
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) + ", " + s.name + ", policy " +
+               core::to_string(policy));
+
+  core::RunnerOptions options;
+  options.fast_forward = false;
+  const core::RunResult stepped = core::run_experiment(s, policy, workload, options);
+  options.fast_forward = true;
+  const core::RunResult skipped = core::run_experiment(s, policy, workload, options);
+
+  EXPECT_EQ(core::to_json(stepped), core::to_json(skipped));
+  ASSERT_EQ(stepped.ports.size(), skipped.ports.size());
+  for (const auto& [key, port] : stepped.ports) {
+    const core::PortResult& other = skipped.ports.at(key);
+    EXPECT_EQ(port.gate_transitions, other.gate_transitions);
+    EXPECT_EQ(port.most_degraded, other.most_degraded);
+    EXPECT_EQ(port.duty_percent, other.duty_percent);
+  }
+  EXPECT_EQ(stepped.total_gate_transitions, skipped.total_gate_transitions);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, FastForwardFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// run_experiment has no request/reply workload, so that source family gets
+// its fast-forward equivalence pinned at the Network level: coupled
+// requesters and repliers across two vnets, run both ways.
+TEST(FastForwardFuzz, RequestReplyTrafficMatchesStepped) {
+  const auto run_one = [](bool fast_forward) {
+    NocConfig c;
+    c.width = 3;
+    c.height = 3;
+    c.num_vcs = 2;
+    c.num_vnets = 2;
+    c.buffer_depth = 4;
+    c.packet_length = 4;
+    Network net(c);
+    traffic::RequestReplyConfig rr;
+    rr.request_rate = 0.004;  // sparse: long quiescent gaps between transactions
+    traffic::install_request_reply_traffic(net, rr, 77);
+    net.set_fast_forward(fast_forward);
+    net.run_with_warmup(1'000, 40'000);
+    std::vector<double> out;
+    for (NodeId id = 0; id < net.nodes(); ++id)
+      for (int p = 0; p < kNumDirs; ++p) {
+        const Dir port = static_cast<Dir>(p);
+        if (!net.router(id).has_input(port)) continue;
+        for (double d : net.duty_cycles_percent(id, port)) out.push_back(d);
+      }
+    out.push_back(static_cast<double>(net.stats().counter("noc.flits_ejected")));
+    out.push_back(static_cast<double>(net.stats().counter("noc.packets_ejected")));
+    out.push_back(static_cast<double>(net.stats().counter("noc.packets_offered")));
+    return out;
+  };
+  const std::vector<double> stepped = run_one(false);
+  const std::vector<double> skipped = run_one(true);
+  ASSERT_EQ(stepped.size(), skipped.size());
+  for (std::size_t i = 0; i < stepped.size(); ++i)
+    EXPECT_EQ(stepped[i], skipped[i]) << "index " << i;
+}
 
 }  // namespace
 }  // namespace nbtinoc::noc

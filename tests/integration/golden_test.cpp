@@ -121,6 +121,30 @@ TEST(Golden, DutyCyclesMatchCheckedInGolden) {
          << "If this change is intentional, regenerate with NBTINOC_UPDATE_GOLDEN=1 and commit.";
 }
 
+TEST(Golden, FastForwardOffMatchesGolden) {
+  // The event-horizon engine's hard guarantee, pinned from the other side:
+  // DutyCyclesMatchCheckedInGolden runs with fast_forward on (the
+  // RunnerOptions default), so re-running the same grid with the literal
+  // per-cycle loop must reproduce the same golden bytes.
+  if (std::getenv("NBTINOC_UPDATE_GOLDEN") != nullptr)
+    GTEST_SKIP() << "golden file being regenerated by DutyCyclesMatchCheckedInGolden";
+  SweepOptions options;
+  options.runner.fast_forward = false;
+  SweepRunner sweep{options};
+  sweep.add_grid({golden_scenario()},
+                 {PolicyKind::kBaseline, PolicyKind::kRrNoSensor,
+                  PolicyKind::kSensorWiseNoTraffic, PolicyKind::kSensorWise});
+  const SweepResult results = sweep.run();
+  const std::string actual = render({results.begin(), results.end()});
+
+  std::ifstream in(kGoldenPath);
+  ASSERT_TRUE(in) << "missing golden file " << kGoldenPath;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(actual, buf.str())
+      << "fast_forward=false must be bit-identical to the fast-forwarded golden run";
+}
+
 TEST(Golden, ZeroRateFaultPlanMatchesGolden) {
   // The fault subsystem's no-op guarantee, pinned to the golden file: a
   // plan whose rates are all zero constructs no injector, so the run is

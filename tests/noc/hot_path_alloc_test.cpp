@@ -100,6 +100,31 @@ TEST(HotPathAllocation, LoadedSensorWiseSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocations_during_steps(net, 2'500), 0u);
 }
 
+TEST(HotPathAllocation, FastForwardRunIsAllocationFree) {
+  // The fast-forward machinery itself — quiescence proof, event-horizon
+  // aggregation, and the sources' Bernoulli pre-roll — must stay off the
+  // heap: a skip is supposed to be cheaper than the cycles it elides.
+  Network net(mesh(4, 4));
+  const auto model = nbti::NbtiModel::calibrated({}, {});
+  core::PolicyConfig pc;
+  pc.kind = core::PolicyKind::kSensorWise;
+  core::PolicyGateController ctrl(net, pc, model, {}, nbti::PvConfig{}, 7);
+  ctrl.attach();
+  // Low enough load that long quiescent stretches separate the packets.
+  traffic::install_uniform_traffic(net, 0.005, 42);
+  net.set_fast_forward(true);
+  // The warm window is long: at this rate packets are rare, so the peak
+  // ring/queue occupancies (which bound container growth) are only reached
+  // after many packet coincidences.
+  net.run(60'000);
+  const std::uint64_t skips_before = net.skip_stats().skips;
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  net.run(50'000);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
+  // The audited window must actually have exercised the skip path.
+  EXPECT_GT(net.skip_stats().skips, skips_before);
+}
+
 TEST(HotPathAllocation, FaultyRunSteadyStateIsAllocationFree) {
   Network net(mesh(4, 4));
   const auto model = nbti::NbtiModel::calibrated({}, {});
