@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "nbtinoc/nbtinoc.hpp"
+#include "nbtinoc/noc/routing.hpp"
 
 using namespace nbtinoc;
 
@@ -144,6 +145,40 @@ void BM_NetworkRun_LowLoadSensorWise(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 20'000);
 }
 BENCHMARK(BM_NetworkRun_LowLoadSensorWise)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Routing-cost pair: the legacy per-flit coordinate arithmetic vs the
+// topology layer's precomputed-table load, over an identical mesh
+// destination stream. check_perf_regression.py gates the ratio (a
+// "fast_forward_gates" pair in BENCH_hotpath.json): replacing the RC-stage
+// arithmetic with a table must not have made mesh routing slower.
+void BM_RouteCompute_Arithmetic(benchmark::State& state) {
+  const noc::NocConfig cfg = mesh_config(8, 4);
+  const int n = cfg.nodes();
+  int i = 0;
+  for (auto _ : state) {
+    const noc::NodeId r = i % n;
+    const noc::NodeId dst = (i * 31 + 7) % n;
+    benchmark::DoNotOptimize(noc::route_compute(r, dst, cfg));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteCompute_Arithmetic);
+
+void BM_RouteCompute_Table(benchmark::State& state) {
+  const noc::NocConfig cfg = mesh_config(8, 4);
+  const auto topo = noc::Topology::create(cfg);
+  const int n = cfg.nodes();
+  int i = 0;
+  for (auto _ : state) {
+    const noc::NodeId r = i % n;
+    const noc::NodeId dst = (i * 31 + 7) % n;
+    benchmark::DoNotOptimize(topo->route(r, dst));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteCompute_Table);
 
 void BM_Xoshiro(benchmark::State& state) {
   util::Xoshiro256 rng(1);

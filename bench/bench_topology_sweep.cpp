@@ -1,0 +1,81 @@
+// Extension X15: topology sweep. The paper studies NBTI stress on a 2D mesh;
+// this bench asks how the sensor-wise gains transfer when the same routers
+// sit in a different fabric — torus and ring (wrap links keep mid-fabric
+// ports busier and need dateline VC classes), and a concentrated mesh
+// (fewer routers, each serving several NIs through extra local ports).
+// Every topology runs the same terminal grid, injection rate, and policy
+// pair through one SweepRunner, so rows differ only in the fabric.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nbtinoc/nbti/aging.hpp"
+
+using namespace nbtinoc;
+
+namespace {
+
+struct TopoPoint {
+  const char* topology;
+  int concentration;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const bench::BenchOptions options = bench::BenchOptions::from_cli(args);
+  const double rate = args.get_double_or("rate", 0.1);
+  const double years = args.get_double_or("years", 3.0);
+
+  sim::Scenario banner = sim::Scenario::synthetic(4, 4, rate);
+  bench::apply_scale(banner, options);
+  bench::print_banner("Extension X15 — topology sweep (16 terminals, injection " +
+                          util::format_double(rate, 1) + ")",
+                      "mesh vs torus vs ring vs cmesh: MD-VC duty and projected dVth",
+                      banner, options);
+
+  const TopoPoint kTopologies[] = {{"mesh", 1}, {"torus", 1}, {"ring", 1}, {"cmesh", 2}};
+
+  // One grid, every (topology, policy) point: the SweepRunner interleaves
+  // them across --workers threads and is byte-identical at any count.
+  core::SweepRunner sweep(bench::sweep_options(options));
+  std::vector<sim::Scenario> scenarios;
+  for (const auto& [topology, concentration] : kTopologies) {
+    sim::Scenario s = sim::Scenario::synthetic(4, 4, rate);
+    s.topology = topology;
+    s.concentration = concentration;
+    s.name = std::string(topology) + "-inj" + util::format_double(rate, 2);
+    bench::apply_scale(s, options);
+    scenarios.push_back(s);
+  }
+  sweep.add_grid(scenarios, {core::PolicyKind::kRrNoSensor, core::PolicyKind::kSensorWise});
+  const core::SweepResult results = sweep.run();
+
+  util::Table table({"topology", "MD VC", "rr MD duty", "sw MD duty", "Gap",
+                     "dVth(MD,sw) @" + util::format_double(years, 0) + "y",
+                     "avg latency (sw)"});
+  for (std::size_t i = 0; i < std::size(kTopologies); ++i) {
+    const auto& rr = results[i * 2 + 0].result;
+    const auto& sw = results[i * 2 + 1].result;
+    // Router 0's East port exists on every topology in the sweep (the ring
+    // keeps its N/S ports unwired instead).
+    const auto& port = sw.port(0, noc::Dir::East);
+    const auto md = static_cast<std::size_t>(port.most_degraded);
+    // The forecaster keeps a pointer to the model: it must outlive the
+    // forecast() call, so bind it to a named local.
+    const nbti::NbtiModel model = core::calibrated_model_of(sw.scenario);
+    const nbti::AgingForecaster forecaster(model, core::operating_point_of(sw.scenario));
+    const nbti::BufferForecast fc = forecaster.forecast(
+        {port.initial_vth_v[md], port.duty_percent[md] / 100.0}, years);
+    table.add_row({kTopologies[i].topology, std::to_string(port.most_degraded),
+                   bench::duty_cell(rr.port(0, noc::Dir::East).duty_percent[md]),
+                   bench::duty_cell(port.duty_percent[md]),
+                   util::format_percent(bench::gap_on_md(rr, sw, 0, noc::Dir::East)),
+                   util::format_double(fc.delta_vth_v * 1e3, 2) + " mV",
+                   util::format_double(sw.avg_packet_latency, 1)});
+  }
+
+  bench::emit(table, options);
+  return 0;
+}

@@ -3,6 +3,7 @@
 // "east input port of the upper-left-most router").
 //
 //   ./quickstart [--cores 16] [--vcs 4] [--rate 0.2] [--cycles 300000]
+//                [--topology mesh|torus|ring|cmesh] [--concentration 2]
 
 #include <iostream>
 
@@ -22,8 +23,17 @@ int main(int argc, char** argv) {
   int width = 1;
   while (width * width < cores) ++width;
   sim::Scenario scenario = sim::Scenario::synthetic(width, vcs, rate);
+  scenario.topology = args.get_or("topology", scenario.topology);
+  scenario.concentration = static_cast<int>(
+      args.get_int_or("concentration", scenario.topology == "cmesh" ? 2 : 1));
   scenario.warmup_cycles = cycles / 5;
   scenario.measure_cycles = cycles - scenario.warmup_cycles;
+  try {
+    scenario.validate();
+  } catch (const std::exception& e) {
+    std::cerr << "bad scenario: " << e.what() << '\n';
+    return 1;
+  }
 
   std::cout << scenario.describe() << '\n';
 

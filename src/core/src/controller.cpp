@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "nbtinoc/noc/routing.hpp"
+#include "nbtinoc/noc/topology.hpp"
 
 namespace nbtinoc::core {
 
@@ -26,17 +26,19 @@ std::map<noc::PortKey, std::vector<double>> sample_network_vths(const noc::NocCo
                                                                 const nbti::PvConfig& pv,
                                                                 std::uint64_t seed) {
   nbti::ProcessVariation sampler(pv, seed);
+  const auto topo = noc::Topology::create(config);
   std::map<noc::PortKey, std::vector<double>> out;
-  for (noc::NodeId id = 0; id < config.nodes(); ++id) {
-    const noc::Coord c = noc::coord_of(id, config.width);
-    const double xn = config.width > 1 ? static_cast<double>(c.x) / (config.width - 1) : 0.0;
-    const double yn = config.height > 1 ? static_cast<double>(c.y) / (config.height - 1) : 0.0;
-    for (int p = 0; p < noc::kNumDirs; ++p) {
+  for (noc::NodeId id = 0; id < topo->num_routers(); ++id) {
+    // Die-position gradient coordinates come from the topology (identical
+    // to the mesh's x/(width-1) arithmetic on non-concentrated layouts, so
+    // the sampling stream — and every seeded experiment — is unchanged).
+    const double xn = topo->norm_x(id);
+    const double yn = topo->norm_y(id);
+    for (int p = 0; p < topo->ports_per_router(); ++p) {
       const noc::Dir port = static_cast<noc::Dir>(p);
-      // An input port exists iff a neighbor feeds it; Local always exists.
-      if (port != noc::Dir::Local &&
-          noc::neighbor_of(id, port, config.width, config.height) < 0)
-        continue;
+      // An input port exists iff a neighbor feeds it; local ports always
+      // exist.
+      if (!noc::is_local(port) && topo->neighbor(id, port) == noc::kInvalidNode) continue;
       out.emplace(noc::PortKey{id, port},
                   sampler.sample_bank(static_cast<std::size_t>(config.total_vcs()), xn, yn));
     }
@@ -62,8 +64,8 @@ PolicyGateController::PolicyGateController(noc::Network& network, PolicyConfig c
       degradation_scratch_(static_cast<std::size_t>(network.config().num_vcs)) {
   // Sanity: every existing input port must be covered with the right width.
   const auto& cfg = network.config();
-  for (noc::NodeId id = 0; id < cfg.nodes(); ++id) {
-    for (int p = 0; p < noc::kNumDirs; ++p) {
+  for (noc::NodeId id = 0; id < network.num_routers(); ++id) {
+    for (int p = 0; p < cfg.ports_per_router(); ++p) {
       const noc::Dir port = static_cast<noc::Dir>(p);
       if (!network.router(id).has_input(port)) continue;
       const auto it = initial_vths.find(noc::PortKey{id, port});

@@ -70,6 +70,8 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
   noc::NocConfig config;
   config.width = scenario.mesh_width;
   config.height = scenario.mesh_height;
+  config.topology = noc::parse_topology_kind(scenario.topology);
+  config.concentration = scenario.concentration;
   config.num_vcs = scenario.num_vcs;
   config.num_vnets = scenario.num_vnets;
   config.buffer_depth = scenario.buffer_depth * ppf;
@@ -139,8 +141,8 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
 
   result.scenario = scenario;
   result.policy = policy;
-  for (noc::NodeId id = 0; id < network.nodes(); ++id) {
-    for (int p = 0; p < noc::kNumDirs; ++p) {
+  for (noc::NodeId id = 0; id < network.num_routers(); ++id) {
+    for (int p = 0; p < config.ports_per_router(); ++p) {
       const noc::Dir dir = static_cast<noc::Dir>(p);
       if (!network.router(id).has_input(dir)) continue;
       const noc::PortKey key{id, dir};
@@ -166,8 +168,8 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
   result.flits_ejected_router = network.stats().counter("noc.flits_ejected_router");
   result.va_grants = network.stats().counter("noc.va_grants");
   result.ni_va_grants = network.stats().counter("noc.ni_va_grants");
-  result.router_flits_out.reserve(static_cast<std::size_t>(network.nodes()));
-  for (noc::NodeId id = 0; id < network.nodes(); ++id)
+  result.router_flits_out.reserve(static_cast<std::size_t>(network.num_routers()));
+  for (noc::NodeId id = 0; id < network.num_routers(); ++id)
     result.router_flits_out.push_back(
         network.stats().counter(network.router(id).flits_out_stat_key()));
   if (const auto* lat = network.stats().distribution("noc.packet_latency"))
@@ -189,8 +191,15 @@ std::string to_json(const RunResult& result) {
   w.key("scenario").begin_object();
   w.field("name", result.scenario.name)
       .field("mesh_width", result.scenario.mesh_width)
-      .field("mesh_height", result.scenario.mesh_height)
-      .field("num_vcs", result.scenario.num_vcs)
+      .field("mesh_height", result.scenario.mesh_height);
+  // Emitted only off the mesh default: mesh-run JSON stays byte-identical
+  // to output produced before the topology layer existed.
+  if (result.scenario.topology != "mesh") {
+    w.field("topology", result.scenario.topology);
+    if (result.scenario.topology == "cmesh")
+      w.field("concentration", result.scenario.concentration);
+  }
+  w.field("num_vcs", result.scenario.num_vcs)
       .field("num_vnets", result.scenario.num_vnets)
       .field("injection_rate", result.scenario.injection_rate)
       .field("warmup_cycles", static_cast<std::uint64_t>(result.scenario.warmup_cycles))

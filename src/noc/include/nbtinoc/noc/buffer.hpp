@@ -79,6 +79,10 @@ class VcBuffer {
   bool full() const { return occupancy() >= depth_; }
 
   Dir route() const { return route_; }
+  /// Dateline VC class the resident packet needs at the *next* router's
+  /// input (recorded with the route at RC; always 0 on single-class
+  /// topologies).
+  int next_class() const { return next_class_; }
   PacketId packet() const { return packet_; }
 
   // --- power transitions (driven by the gate controller) -------------------
@@ -119,6 +123,7 @@ class VcBuffer {
 
   /// Records the RC result for the resident packet (head-flit arrival).
   void set_route(Dir route) { route_ = route; }
+  void set_next_class(int next_class) { next_class_ = next_class; }
 
   // --- datapath -------------------------------------------------------------
   /// Buffer write (BW stage). Precondition: Active, not full, flit belongs
@@ -145,6 +150,7 @@ class VcBuffer {
   sim::Cycle wake_ready_ = 0;
   PacketId packet_ = 0;
   Dir route_ = Dir::Local;
+  int next_class_ = 0;
   bool tail_seen_ = false;
   std::uint64_t gate_transitions_ = 0;
   nbti::StressTracker* tracker_ = nullptr;

@@ -3,11 +3,29 @@
 
 #include <string>
 
+#include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/sim/clock.hpp"
 
 namespace nbtinoc::noc {
 
 enum class RoutingAlgo { kXY, kYX };
+
+/// Network shape (see noc/topology.hpp for the concrete classes):
+///  - kMesh2D:           width x height grid, the paper's baseline.
+///  - kTorus2D:          mesh plus X/Y wrap links; DOR picks the shorter
+///                       way around and a dateline VC-class split keeps the
+///                       wrap cycles deadlock-free (needs >= 2 VCs/vnet).
+///  - kRing:             all width*height tiles on one bidirectional ring
+///                       (row-major order), same dateline scheme.
+///  - kConcentratedMesh: `concentration` NIs share one router; routers form
+///                       a (width/concentration) x height mesh and carry
+///                       one local port per attached tile.
+enum class TopologyKind { kMesh2D, kTorus2D, kRing, kConcentratedMesh };
+
+/// Parses "mesh" / "torus" / "ring" / "cmesh" (case-sensitive); throws
+/// std::invalid_argument listing the valid spellings otherwise.
+TopologyKind parse_topology_kind(const std::string& name);
+std::string to_string(TopologyKind kind);
 
 struct NocConfig {
   int width = 2;          ///< mesh columns
@@ -17,6 +35,10 @@ struct NocConfig {
   int buffer_depth = 4;   ///< flits per VC buffer
   int packet_length = 4;  ///< flits per packet (head .. tail)
   RoutingAlgo routing = RoutingAlgo::kXY;
+  TopologyKind topology = TopologyKind::kMesh2D;
+  /// NIs per router; meaningful only for kConcentratedMesh (must then
+  /// divide width — tiles concentrate along x), 1 otherwise.
+  int concentration = 1;
 
   /// Physical VC buffers per input port. VC buffer i belongs to virtual
   /// network i / num_vcs; a packet of vnet k may only be allocated VCs in
@@ -44,7 +66,39 @@ struct NocConfig {
   static constexpr sim::Cycle kLinkDelay = 2;
   static constexpr sim::Cycle kCreditDelay = 1;
 
+  /// Terminals (tiles / NIs): always the full width x height grid, on every
+  /// topology. Traffic sources and destination patterns live in this space.
   int nodes() const { return width * height; }
+
+  /// Routers: equals nodes() except on the concentrated mesh, where
+  /// `concentration` tiles share one router.
+  int routers() const {
+    return topology == TopologyKind::kConcentratedMesh && concentration > 0
+               ? (width / concentration) * height
+               : width * height;
+  }
+
+  /// Input/output ports per router: 4 cardinal + one local port per
+  /// attached NI.
+  int ports_per_router() const {
+    return kFirstLocalPort +
+           (topology == TopologyKind::kConcentratedMesh ? concentration : 1);
+  }
+
+  /// Dateline VC classes per vnet: 2 on wrap-link topologies (torus, ring),
+  /// 1 otherwise. Class c of vnet k spans the VCs
+  /// [first_vc_of_vnet(k) + class_first_vc(c), ... + class_num_vcs(c)).
+  int vc_classes() const {
+    return topology == TopologyKind::kTorus2D || topology == TopologyKind::kRing ? 2 : 1;
+  }
+  /// First VC (local to the vnet's subrange) of dateline class `c`.
+  int class_first_vc(int c) const { return c == 0 ? 0 : (num_vcs + 1) / 2; }
+  /// VCs of dateline class `c` (class 0 gets the larger half on odd splits;
+  /// with a single class it spans the whole vnet).
+  int class_num_vcs(int c) const {
+    if (vc_classes() == 1) return num_vcs;
+    return c == 0 ? (num_vcs + 1) / 2 : num_vcs / 2;
+  }
 
   /// Throws std::invalid_argument if any field is out of range.
   void validate() const;

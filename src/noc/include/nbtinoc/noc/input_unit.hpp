@@ -77,11 +77,18 @@ class InputUnit {
   bool has_new_traffic_toward(Dir port, sim::Cycle now) const;
   /// Same, restricted to packets of one virtual network.
   bool has_new_traffic_toward(Dir port, int vnet, sim::Cycle now) const;
+  /// Same, further restricted to packets needing downstream dateline class
+  /// `cls` — the per-class gating decision's traffic signal.
+  bool has_new_traffic_toward(Dir port, int vnet, int cls, sim::Cycle now) const;
 
   // --- datapath --------------------------------------------------------------
-  /// Buffer write (+ RC on head flits). `route` is the precomputed RC result
-  /// for head flits, ignored otherwise.
-  void receive_flit(const Flit& flit, Dir route, sim::Cycle now);
+  /// Buffer write (+ RC on head flits). `route` / `next_class` are the
+  /// precomputed RC results for head flits, ignored otherwise.
+  void receive_flit(const Flit& flit, Dir route, int next_class, sim::Cycle now);
+  /// Single-class convenience (mesh-era call sites and unit tests).
+  void receive_flit(const Flit& flit, Dir route, sim::Cycle now) {
+    receive_flit(flit, route, /*next_class=*/0, now);
+  }
 
   // --- power gating (Up_Down command execution) ------------------------------
   /// Executes a delivered Up_Down command. Throws std::invalid_argument on

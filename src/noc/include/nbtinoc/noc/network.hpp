@@ -1,5 +1,8 @@
 #pragma once
-// The full 2D-mesh network: routers, NIs, links, and the per-cycle schedule.
+// The full network: topology, routers, NIs, links, and the per-cycle
+// schedule. The link pattern, router count, and per-router port count all
+// come from the pluggable Topology (mesh / torus / ring / concentrated
+// mesh, see topology.hpp); the cycle schedule below is topology-agnostic.
 //
 // Cycle schedule (one step() call):
 //   1. pre-VA gating: every (upstream, downstream-input-port) pair runs the
@@ -23,6 +26,7 @@
 #include "nbtinoc/noc/gate.hpp"
 #include "nbtinoc/noc/network_interface.hpp"
 #include "nbtinoc/noc/router.hpp"
+#include "nbtinoc/noc/topology.hpp"
 #include "nbtinoc/noc/traffic_source.hpp"
 #include "nbtinoc/sim/clock.hpp"
 #include "nbtinoc/sim/event_horizon.hpp"
@@ -40,7 +44,12 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   const NocConfig& config() const { return config_; }
+  /// Terminals (tiles / NIs) — the id space of Flit::src/dst and the
+  /// traffic layer, on every topology.
   int nodes() const { return config_.nodes(); }
+  /// Routers — equals nodes() except on the concentrated mesh.
+  int num_routers() const { return static_cast<int>(routers_.size()); }
+  const Topology& topology() const { return *topo_; }
 
   Router& router(NodeId id) { return *routers_.at(static_cast<std::size_t>(id)); }
   const Router& router(NodeId id) const { return *routers_.at(static_cast<std::size_t>(id)); }
@@ -59,10 +68,10 @@ class Network {
   void set_fault_injector(sim::FaultInjector* injector);
   sim::FaultInjector* fault_injector() { return injector_; }
 
-  /// The Up_Down command link feeding one input port (always exists for
-  /// existing ports; commands cross it with zero delay, the paper's
+  /// The Up_Down command link feeding one router input port (always exists
+  /// for existing ports; commands cross it with zero delay, the paper's
   /// zero-skew control wiring). Exposed for tests probing drop counts.
-  const Channel<GateCommand>& up_down_link(NodeId node, Dir port) const;
+  const Channel<GateCommand>& up_down_link(NodeId router, Dir port) const;
 
   /// Installs the traffic source for one node (owning).
   void set_traffic_source(NodeId node, std::unique_ptr<ITrafficSource> source);
@@ -138,26 +147,31 @@ class Network {
 
  private:
   void gating_stage();
-  Channel<GateCommand>& up_down_link_mutable(NodeId node, Dir port);
-  /// Last applied gating mode (gating_active) per (node, port, vnet) —
-  /// written by gating_stage, read by the quiescence proof to pick which
-  /// fixed point (all-gated vs all-idle) each port must satisfy.
-  std::size_t gating_record_index(NodeId node, Dir port, int vnet) const {
-    return (static_cast<std::size_t>(node) * kNumDirs + static_cast<std::size_t>(port)) *
-               static_cast<std::size_t>(config_.num_vnets) +
-           static_cast<std::size_t>(vnet);
+  Channel<GateCommand>& up_down_link_mutable(NodeId router, Dir port);
+  /// Last applied gating mode (gating_active) per (router, port, vnet,
+  /// dateline class) — written by gating_stage, read by the quiescence
+  /// proof to pick which fixed point (all-gated vs all-idle) each port must
+  /// satisfy. Single-class topologies collapse the class axis.
+  std::size_t gating_record_index(NodeId router, Dir port, int vnet, int cls) const {
+    const auto ports = static_cast<std::size_t>(config_.ports_per_router());
+    return ((static_cast<std::size_t>(router) * ports + static_cast<std::size_t>(port)) *
+                static_cast<std::size_t>(config_.num_vnets) +
+            static_cast<std::size_t>(vnet)) *
+               static_cast<std::size_t>(config_.vc_classes()) +
+           static_cast<std::size_t>(cls);
   }
 
   NocConfig config_;
   sim::Clock clock_;
   sim::StatRegistry stats_;
 
+  std::unique_ptr<Topology> topo_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
   std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
-  /// Up_Down command links, indexed node * kNumDirs + port (null where the
-  /// input port does not exist).
+  /// Up_Down command links, indexed router * ports_per_router + port (null
+  /// where the input port does not exist).
   std::vector<std::unique_ptr<Channel<GateCommand>>> up_down_links_;
   std::vector<std::unique_ptr<ITrafficSource>> sources_;
 

@@ -19,6 +19,8 @@
 
 namespace nbtinoc::noc {
 
+class Topology;
+
 class NetworkInterface {
  public:
   /// `stats` must outlive the NI: counter/distribution handles are interned
@@ -31,6 +33,10 @@ class NetworkInterface {
   void wire(InputUnit* router_local_iu, Channel<Flit>* inject_out, Channel<Credit>* credit_in,
             Channel<Flit>* eject_in);
   void set_traffic_source(ITrafficSource* source) { source_ = source; }
+  /// Attaches the topology (non-owning, must outlive the NI) whose
+  /// inject_class() restricts VC allocation on wrap-link topologies.
+  /// Unattached NIs (standalone unit tests) behave single-class.
+  void set_topology(const Topology* topology) { topo_ = topology; }
 
   // --- per-cycle operation (order matters; called by Network) ---------------
   /// Drains returning credits and ejected flits; samples packet latency.
@@ -46,6 +52,8 @@ class NetworkInterface {
   /// Same, restricted to one virtual network (the pre-VA policy runs once
   /// per vnet).
   bool has_new_traffic(int vnet, sim::Cycle now) const;
+  /// Same, further restricted to one dateline class (per-class gating).
+  bool has_new_traffic(int vnet, int cls, sim::Cycle now) const;
 
   std::size_t queue_depth() const { return queue_.size(); }
 
@@ -72,8 +80,13 @@ class NetworkInterface {
     sim::Cycle injected_at = 0;
   };
 
+  /// Dateline class of the queue-front packet at this NI's router (0
+  /// without an attached topology or on single-class topologies).
+  int front_class() const;
+
   NodeId node_;
   NocConfig config_;
+  const Topology* topo_ = nullptr;
   ITrafficSource* source_ = nullptr;
   // Pooled ring (see util::RingQueue): the open-loop source queue churns
   // every cycle under load and must not touch the allocator in steady state.

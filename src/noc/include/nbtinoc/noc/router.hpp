@@ -8,6 +8,16 @@
 // router — the architectural fact both NBTI policies exploit. No packet
 // mixing: a VC holds flits of a single packet between allocate and tail.
 //
+// Port space: 4 cardinal ports plus one local (injection/ejection) port per
+// attached NI — Topology::ports_per_router() in total. Non-concentrated
+// topologies have exactly one local port (Dir::Local), reproducing the
+// classic 5-port router.
+//
+// The RC stage is table-driven: one Topology::route() load per arriving
+// head flit replaces the per-flit coordinate arithmetic, and carries the
+// dateline VC class the packet needs downstream (torus/ring wrap-link
+// deadlock avoidance; see topology.hpp).
+//
 // The router binds to its network's StatRegistry at construction: counter
 // names are interned once into dense handles, and the per-cycle stages bump
 // those handles directly. Arbitration request vectors are fixed-capacity
@@ -15,15 +25,15 @@
 // channels this makes the steady-state cycle kernel allocation-free and
 // string-hash-free.
 
-#include <array>
 #include <memory>
+#include <vector>
 
 #include "nbtinoc/noc/channel.hpp"
 #include "nbtinoc/noc/config.hpp"
 #include "nbtinoc/noc/flit.hpp"
 #include "nbtinoc/noc/input_unit.hpp"
 #include "nbtinoc/noc/output_unit.hpp"
-#include "nbtinoc/noc/routing.hpp"
+#include "nbtinoc/noc/topology.hpp"
 #include "nbtinoc/sim/stat_registry.hpp"
 
 namespace nbtinoc::noc {
@@ -31,10 +41,15 @@ namespace nbtinoc::noc {
 class Router {
  public:
   /// `stats` must outlive the router: counter handles are interned against
-  /// it here (wiring time) and used by every pipeline stage.
-  Router(NodeId id, const NocConfig& config, sim::StatRegistry& stats);
+  /// it here (wiring time) and used by every pipeline stage. `topology`
+  /// (non-owning, must outlive the router) supplies the route table; pass
+  /// nullptr — the standalone-unit-test convenience — and the router builds
+  /// and owns its own from `config`.
+  Router(NodeId id, const NocConfig& config, sim::StatRegistry& stats,
+         const Topology* topology = nullptr);
 
   NodeId id() const { return id_; }
+  int num_ports() const { return ports_; }
 
   // --- wiring (performed once by Network) -----------------------------------
   /// Output side toward `dir`: the downstream router's input unit, the flit
@@ -44,8 +59,10 @@ class Router {
   /// Input side from `dir`: the flit link in and the credit link back to the
   /// upstream entity.
   void wire_input(Dir dir, Channel<Flit>* flit_in, Channel<Credit>* credit_out);
-  /// Local output = ejection channel into the NI.
-  void wire_ejection(Channel<Flit>* eject_out);
+  /// Local output `dir` = ejection channel into that slot's NI.
+  void wire_ejection(Dir dir, Channel<Flit>* eject_out);
+  /// Single-NI convenience: ejection on Dir::Local.
+  void wire_ejection(Channel<Flit>* eject_out) { wire_ejection(Dir::Local, eject_out); }
 
   bool has_input(Dir dir) const { return inputs_[static_cast<std::size_t>(dir)] != nullptr; }
   bool has_output(Dir dir) const { return outputs_[static_cast<std::size_t>(dir)] != nullptr; }
@@ -70,6 +87,9 @@ class Router {
   bool has_new_traffic_toward(Dir out, sim::Cycle now) const;
   /// Same, restricted to packets of one virtual network.
   bool has_new_traffic_toward(Dir out, int vnet, sim::Cycle now) const;
+  /// Same, further restricted to one downstream dateline class (the
+  /// per-class gating decision's traffic signal).
+  bool has_new_traffic_toward(Dir out, int vnet, int cls, sim::Cycle now) const;
 
   // --- pipeline stages (invoked by Network in order) -------------------------
   /// Stage 2a: one output-VC allocation per output port per cycle.
@@ -84,6 +104,7 @@ class Router {
   void sync_stress(sim::Cycle through);
 
   const NocConfig& config() const { return config_; }
+  const Topology& topology() const { return *topo_; }
 
   /// Stat key of this router's per-cycle flit movements
   /// ("noc.router<id>.flits_out"), used for per-tile power attribution.
@@ -96,6 +117,9 @@ class Router {
 
   NodeId id_;
   NocConfig config_;
+  std::unique_ptr<Topology> owned_topology_;  ///< standalone routers only
+  const Topology* topo_;
+  int ports_;
   std::string flits_out_key_;
 
   // Interned stat handles (resolved once against stats_ at construction).
@@ -105,23 +129,25 @@ class Router {
   sim::CounterHandle h_flits_ejected_router_;
   sim::CounterHandle h_flits_out_;
 
-  std::array<std::unique_ptr<InputUnit>, kNumDirs> inputs_{};
-  std::array<std::unique_ptr<OutputUnit>, kNumDirs> outputs_{};
+  std::vector<std::unique_ptr<InputUnit>> inputs_;
+  std::vector<std::unique_ptr<OutputUnit>> outputs_;
 
-  // Wiring (non-owning; channels owned by Network).
-  std::array<InputUnit*, kNumDirs> downstream_iu_{};
-  std::array<Channel<Flit>*, kNumDirs> flit_out_{};
-  std::array<Channel<Credit>*, kNumDirs> credit_in_{};
-  std::array<Channel<Flit>*, kNumDirs> flit_in_{};
-  std::array<Channel<Credit>*, kNumDirs> credit_out_{};
-  Channel<Flit>* eject_out_ = nullptr;
+  // Wiring (non-owning; channels owned by Network). All sized ports_;
+  // ejection channels are indexed by local port, null on cardinal slots.
+  std::vector<InputUnit*> downstream_iu_;
+  std::vector<Channel<Flit>*> flit_out_;
+  std::vector<Channel<Credit>*> credit_in_;
+  std::vector<Channel<Flit>*> flit_in_;
+  std::vector<Channel<Credit>*> credit_out_;
+  std::vector<Channel<Flit>*> eject_out_;
 
   // Per-cycle arbitration scratch (sized once here; cleared, never
   // reallocated, inside the stages).
   RequestSet va_requests_;     ///< flattened (input port, VC) VA requests
-  RequestSet vnet_has_free_;   ///< per-vnet free-downstream-VC flags
+  RequestSet vnet_has_free_;   ///< per-(vnet, class) free-downstream-VC flags
   RequestSet sa_ready_;        ///< per-VC SA readiness of one input port
   RequestSet sa_port_requests_;  ///< per-input-port SA requests
+  std::vector<int> sa_candidate_;  ///< per-input-port nominated VC (phase 1)
 };
 
 }  // namespace nbtinoc::noc

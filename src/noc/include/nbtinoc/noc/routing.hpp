@@ -11,7 +11,7 @@ namespace nbtinoc::noc {
 Coord coord_of(NodeId id, int width);
 NodeId id_of(Coord c, int width);
 bool in_mesh(Coord c, int width, int height);
-/// Neighbor node in direction d, or -1 if off-mesh / Local.
+/// Neighbor node in direction d, or kInvalidNode if off-mesh / Local.
 NodeId neighbor_of(NodeId id, Dir d, int width, int height);
 /// Minimal hop count between two nodes.
 int hop_distance(NodeId a, NodeId b, int width);

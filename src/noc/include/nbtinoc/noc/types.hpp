@@ -9,16 +9,38 @@ namespace nbtinoc::noc {
 using NodeId = int;    ///< tile index, row-major: id = y * width + x
 using PacketId = std::uint64_t;
 
-/// Router port direction. Local is the NI-facing port of a tile.
+/// Named sentinel for "no such node": what Topology::neighbor (and the
+/// legacy mesh neighbor_of) return for an off-network direction.
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Router port direction. Local is the NI-facing port of a tile. On a
+/// concentrated topology a router carries several NI-facing ports; they are
+/// the Dir values >= kFirstLocalPort (Local == first local slot), compared
+/// and iterated as plain ints. The four cardinal ports are always 0..3.
 enum class Dir : int { North = 0, South = 1, East = 2, West = 3, Local = 4 };
 
+/// First NI-facing port index: Dir values >= this are local (slot = value -
+/// kFirstLocalPort). Dir::Local is slot 0.
+inline constexpr int kFirstLocalPort = 4;
+/// Ports of a non-concentrated router (4 cardinal + 1 local). Concentrated
+/// routers have kFirstLocalPort + concentration ports.
 inline constexpr int kNumDirs = 5;
 inline constexpr int kInvalidVc = -1;
 
-/// The port on the neighboring router that faces back at `d`.
+/// True for every NI-facing port (Dir::Local and the extra slots of a
+/// concentrated router).
+inline constexpr bool is_local(Dir d) { return static_cast<int>(d) >= kFirstLocalPort; }
+/// The local port for NI slot `slot` of a router (slot 0 == Dir::Local).
+inline constexpr Dir local_port(int slot) { return static_cast<Dir>(kFirstLocalPort + slot); }
+/// The NI slot of a local port.
+inline constexpr int local_slot(Dir d) { return static_cast<int>(d) - kFirstLocalPort; }
+
+/// The port on the neighboring router that faces back at `d` (local ports
+/// face their own NI and are their own opposite).
 Dir opposite(Dir d);
 std::string to_string(Dir d);
-/// Short one-letter name ("N","S","E","W","L") used in stat keys.
+/// Short one-letter name ("N","S","E","W","L") used in stat keys. Every
+/// local slot prints 'L'; use to_string for a slot-unique name.
 char dir_letter(Dir d);
 
 /// 2D mesh coordinates.

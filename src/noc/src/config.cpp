@@ -5,6 +5,29 @@
 
 namespace nbtinoc::noc {
 
+TopologyKind parse_topology_kind(const std::string& name) {
+  if (name == "mesh") return TopologyKind::kMesh2D;
+  if (name == "torus") return TopologyKind::kTorus2D;
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "cmesh") return TopologyKind::kConcentratedMesh;
+  throw std::invalid_argument("parse_topology_kind: unknown topology '" + name +
+                              "' (expected mesh, torus, ring, or cmesh)");
+}
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kMesh2D:
+      return "mesh";
+    case TopologyKind::kTorus2D:
+      return "torus";
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kConcentratedMesh:
+      return "cmesh";
+  }
+  return "?";
+}
+
 void NocConfig::validate() const {
   const auto fail = [](std::string what) { throw std::invalid_argument("NocConfig: " + what); };
   if (width < 1 || height < 1)
@@ -12,6 +35,25 @@ void NocConfig::validate() const {
   if (width * height < 2)
     fail("a 1x1 mesh has no links — use at least 2 nodes");
   if (num_vcs < 1) fail("num_vcs must be >= 1 (got " + std::to_string(num_vcs) + ")");
+  if (topology == TopologyKind::kConcentratedMesh) {
+    if (concentration < 1)
+      fail("cmesh concentration must be >= 1 (got " + std::to_string(concentration) + ")");
+    if (width % concentration != 0)
+      fail("cmesh concentration " + std::to_string(concentration) + " does not divide the " +
+           std::to_string(width) + "-tile row — " + std::to_string(width) + "x" +
+           std::to_string(height) + " leaves a partial router; use a divisor of the width");
+  } else if (concentration != 1) {
+    fail("concentration is a cmesh knob; " + to_string(topology) + " requires concentration 1 (got " +
+         std::to_string(concentration) + ")");
+  }
+  if (topology == TopologyKind::kTorus2D && (width < 2 || height < 2))
+    fail("a torus needs >= 2x2 tiles so every wrap link connects distinct routers (got " +
+         std::to_string(width) + "x" + std::to_string(height) +
+         "); use a ring for one-dimensional layouts");
+  if (vc_classes() > num_vcs)
+    fail(to_string(topology) + " requires >= " + std::to_string(vc_classes()) +
+         " VCs per vnet for its dateline classes (got " + std::to_string(num_vcs) +
+         "); wrap-link deadlock freedom splits each vnet's VCs into pre-/post-dateline halves");
   if (num_vnets < 1) fail("num_vnets must be >= 1 (got " + std::to_string(num_vnets) + ")");
   if (buffer_depth < 1) fail("buffer_depth must be >= 1 (got " + std::to_string(buffer_depth) + ")");
   if (packet_length < 1) fail("packet_length must be >= 1 (got " + std::to_string(packet_length) + ")");
@@ -22,7 +64,10 @@ void NocConfig::validate() const {
 
 std::string NocConfig::describe() const {
   std::ostringstream os;
-  os << width << "x" << height << " mesh, " << num_vnets << " vnet(s) x " << num_vcs
+  os << width << "x" << height << " " << to_string(topology);
+  if (topology == TopologyKind::kConcentratedMesh)
+    os << " (c=" << concentration << ", " << routers() << " routers)";
+  os << ", " << num_vnets << " vnet(s) x " << num_vcs
      << " VCs x " << buffer_depth
      << " flits, packets of " << packet_length << " flits, "
      << (routing == RoutingAlgo::kXY ? "XY" : "YX") << " routing, wakeup latency "

@@ -64,13 +64,26 @@ bool InputUnit::has_new_traffic_toward(Dir port, int vnet, sim::Cycle now) const
   return false;
 }
 
-void InputUnit::receive_flit(const Flit& flit, Dir route, sim::Cycle now) {
+bool InputUnit::has_new_traffic_toward(Dir port, int vnet, int cls, sim::Cycle now) const {
+  if (busy_vcs_ == 0) return false;
+  for (int i = 0; i < num_vcs(); ++i) {
+    if (waiting_for_va(i, now) && vc(i).route() == port && vc(i).next_class() == cls &&
+        vc(i).front().vnet == vnet)
+      return true;
+  }
+  return false;
+}
+
+void InputUnit::receive_flit(const Flit& flit, Dir route, int next_class, sim::Cycle now) {
   if (flit.vc < 0 || flit.vc >= num_vcs())
     throw std::logic_error("InputUnit::receive_flit: bad VC id");
   VcBuffer& buf = vc(flit.vc);
   Flit stored = flit;
   stored.arrived_at = now;
-  if (is_head(flit.type)) buf.set_route(route);
+  if (is_head(flit.type)) {
+    buf.set_route(route);
+    buf.set_next_class(next_class);
+  }
   buf.push(stored);
 }
 

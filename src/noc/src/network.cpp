@@ -3,32 +3,36 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "nbtinoc/noc/routing.hpp"
-
 namespace nbtinoc::noc {
 
 Network::Network(NocConfig config) : config_(config), controller_(&baseline_controller_) {
   config_.validate();
-  const int n = config_.nodes();
+  topo_ = Topology::create(config_);
+  const int n = topo_->num_routers();
+  const int terminals = topo_->num_terminals();
+  const int ports = topo_->ports_per_router();
   routers_.reserve(static_cast<std::size_t>(n));
-  nis_.reserve(static_cast<std::size_t>(n));
-  sources_.resize(static_cast<std::size_t>(n));
-  for (NodeId id = 0; id < n; ++id) {
-    routers_.push_back(std::make_unique<Router>(id, config_, stats_));
-    nis_.push_back(std::make_unique<NetworkInterface>(id, config_, stats_));
-  }
+  nis_.reserve(static_cast<std::size_t>(terminals));
+  sources_.resize(static_cast<std::size_t>(terminals));
+  for (NodeId id = 0; id < n; ++id)
+    routers_.push_back(std::make_unique<Router>(id, config_, stats_, topo_.get()));
+  for (NodeId t = 0; t < terminals; ++t)
+    nis_.push_back(std::make_unique<NetworkInterface>(t, config_, stats_));
 
   // Router-to-router links: for every directed neighbor pair, one flit
   // channel downstream and one credit channel upstream.
   for (NodeId u = 0; u < n; ++u) {
     for (int d = 0; d < 4; ++d) {
       const Dir dir = static_cast<Dir>(d);
-      const NodeId r = neighbor_of(u, dir, config_.width, config_.height);
-      if (r < 0) continue;
+      const NodeId r = topo_->neighbor(u, dir);
+      if (r == kInvalidNode) continue;
       auto flit_link = std::make_unique<Channel<Flit>>(NocConfig::kLinkDelay);
       auto credit_link = std::make_unique<Channel<Credit>>(NocConfig::kCreditDelay);
       // From the receiver's point of view the sender sits in direction
-      // opposite(dir): u's East output feeds r's West input.
+      // opposite(dir): u's East output feeds r's West input. On wrap links
+      // (torus, ring) this holds too — neighbor() is symmetric under
+      // opposite(), so each directed port pair is wired exactly once even
+      // on 2-wide dimensions where both of u's x-ports face the same r.
       router(r).wire_input(opposite(dir), flit_link.get(), credit_link.get());
       router(u).wire_output(dir, &router(r).input(opposite(dir)), flit_link.get(),
                             credit_link.get());
@@ -37,15 +41,19 @@ Network::Network(NocConfig config) : config_(config), controller_(&baseline_cont
     }
   }
 
-  // NI links: injection (NI->router Local input), its credit return, and
-  // the ejection channel (router Local output -> NI).
-  for (NodeId id = 0; id < n; ++id) {
+  // NI links: injection (NI -> its router's local input), its credit
+  // return, and the ejection channel (router local output -> NI). Each
+  // terminal owns one local port of its router.
+  for (NodeId t = 0; t < terminals; ++t) {
+    const NodeId r = topo_->router_of(t);
+    const Dir local = topo_->local_port_of(t);
     auto inject = std::make_unique<Channel<Flit>>(NocConfig::kLinkDelay);
     auto credit = std::make_unique<Channel<Credit>>(NocConfig::kCreditDelay);
     auto eject = std::make_unique<Channel<Flit>>(NocConfig::kLinkDelay);
-    router(id).wire_input(Dir::Local, inject.get(), credit.get());
-    router(id).wire_ejection(eject.get());
-    ni(id).wire(&router(id).input(Dir::Local), inject.get(), credit.get(), eject.get());
+    router(r).wire_input(local, inject.get(), credit.get());
+    router(r).wire_ejection(local, eject.get());
+    ni(t).wire(&router(r).input(local), inject.get(), credit.get(), eject.get());
+    ni(t).set_topology(topo_.get());
     flit_channels_.push_back(std::move(inject));
     flit_channels_.push_back(std::move(eject));
     credit_channels_.push_back(std::move(credit));
@@ -56,15 +64,17 @@ Network::Network(NocConfig config) : config_(config), controller_(&baseline_cont
   // (the paper's dedicated control wiring), but commands still *traverse a
   // channel*, giving the fault injector a delivery point to drop or
   // corrupt them at.
-  gating_record_.assign(
-      static_cast<std::size_t>(n) * kNumDirs * static_cast<std::size_t>(config_.num_vnets), 0);
+  gating_record_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(ports) *
+                            static_cast<std::size_t>(config_.num_vnets) *
+                            static_cast<std::size_t>(config_.vc_classes()),
+                        0);
 
-  up_down_links_.resize(static_cast<std::size_t>(n) * kNumDirs);
+  up_down_links_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(ports));
   for (NodeId id = 0; id < n; ++id)
-    for (int p = 0; p < kNumDirs; ++p)
+    for (int p = 0; p < ports; ++p)
       if (router(id).has_input(static_cast<Dir>(p)))
-        up_down_links_[static_cast<std::size_t>(id) * kNumDirs + static_cast<std::size_t>(p)] =
-            std::make_unique<Channel<GateCommand>>(0);
+        up_down_links_[static_cast<std::size_t>(id) * static_cast<std::size_t>(ports) +
+                       static_cast<std::size_t>(p)] = std::make_unique<Channel<GateCommand>>(0);
 }
 
 void Network::set_gate_controller(IGateController* controller) {
@@ -76,16 +86,18 @@ void Network::set_traffic_source(NodeId node, std::unique_ptr<ITrafficSource> so
   sources_.at(static_cast<std::size_t>(node)) = std::move(source);
 }
 
-Channel<GateCommand>& Network::up_down_link_mutable(NodeId node, Dir port) {
-  auto& link =
-      up_down_links_.at(static_cast<std::size_t>(node) * kNumDirs + static_cast<std::size_t>(port));
+Channel<GateCommand>& Network::up_down_link_mutable(NodeId router, Dir port) {
+  const auto ports = static_cast<std::size_t>(config_.ports_per_router());
+  auto& link = up_down_links_.at(static_cast<std::size_t>(router) * ports +
+                                 static_cast<std::size_t>(port));
   if (link == nullptr) throw std::invalid_argument("Network::up_down_link: port does not exist");
   return *link;
 }
 
-const Channel<GateCommand>& Network::up_down_link(NodeId node, Dir port) const {
-  const auto& link =
-      up_down_links_.at(static_cast<std::size_t>(node) * kNumDirs + static_cast<std::size_t>(port));
+const Channel<GateCommand>& Network::up_down_link(NodeId router, Dir port) const {
+  const auto ports = static_cast<std::size_t>(config_.ports_per_router());
+  const auto& link = up_down_links_.at(static_cast<std::size_t>(router) * ports +
+                                       static_cast<std::size_t>(port));
   if (link == nullptr) throw std::invalid_argument("Network::up_down_link: port does not exist");
   return *link;
 }
@@ -121,36 +133,46 @@ void Network::set_fault_injector(sim::FaultInjector* injector) {
 
 void Network::gating_stage() {
   const sim::Cycle now = clock_.now();
-  for (NodeId id = 0; id < nodes(); ++id) {
+  const int ports = config_.ports_per_router();
+  const int num_classes = config_.vc_classes();
+  for (NodeId id = 0; id < num_routers(); ++id) {
     Router& r = router(id);
-    for (int p = 0; p < kNumDirs; ++p) {
+    for (int p = 0; p < ports; ++p) {
       const Dir port = static_cast<Dir>(p);
       if (!r.has_input(port)) continue;
-      // One pre-VA decision per virtual network: each vnet's VC subrange is
-      // managed exactly like the paper's single-vnet case.
+      // One pre-VA decision per (virtual network, dateline class): each
+      // class's VC subrange is managed exactly like the paper's
+      // single-vnet case. The split matters for deadlock freedom — a
+      // sensor-wise policy keeping only one VC awake per decision must
+      // keep one *per class*, or a packet needing the other class would
+      // wait forever behind a traffic signal that never fires for it.
+      // Single-class topologies run the class loop once over the whole
+      // vnet, reproducing the pre-topology decision sequence exactly.
       for (int vn = 0; vn < config_.num_vnets; ++vn) {
-        bool new_traffic = false;
-        if (port == Dir::Local) {
-          new_traffic = ni(id).has_new_traffic(vn, now);
-        } else {
-          const NodeId upstream = neighbor_of(id, port, config_.width, config_.height);
-          new_traffic = router(upstream).has_new_traffic_toward(opposite(port), vn, now);
+        for (int cls = 0; cls < num_classes; ++cls) {
+          bool new_traffic = false;
+          if (is_local(port)) {
+            new_traffic = ni(topo_->terminal_of(id, local_slot(port))).has_new_traffic(vn, cls, now);
+          } else {
+            const NodeId upstream = topo_->neighbor(id, port);
+            new_traffic = router(upstream).has_new_traffic_toward(opposite(port), vn, cls, now);
+          }
+          const int first = config_.first_vc_of_vnet(vn) + config_.class_first_vc(cls);
+          const OutVcStateView view(&r.input(port), first, config_.class_num_vcs(cls));
+          GateCommand cmd = controller_->decide(PortKey{id, port}, view, new_traffic, now);
+          if (cmd.keep_vc != kInvalidVc) cmd.keep_vc += first;  // local -> global
+          cmd.first_vc = first;
+          cmd.range_vcs = config_.class_num_vcs(cls);
+          gating_record_[gating_record_index(id, port, vn, cls)] = cmd.gating_active ? 1 : 0;
+          // The command crosses its Up_Down channel (delay 0: push, then
+          // pop the same cycle). Under fault injection the channel's hook
+          // may drop it — the downstream port then simply holds state —
+          // or corrupt it in range.
+          Channel<GateCommand>& link = up_down_link_mutable(id, port);
+          link.push(cmd, now);
+          while (auto delivered = link.pop_ready(now))
+            r.input(port).apply_gate_command(*delivered, now, injector_);
         }
-        const int first = config_.first_vc_of_vnet(vn);
-        const OutVcStateView view(&r.input(port), first, config_.num_vcs);
-        GateCommand cmd = controller_->decide(PortKey{id, port}, view, new_traffic, now);
-        if (cmd.keep_vc != kInvalidVc) cmd.keep_vc += first;  // local -> global
-        cmd.first_vc = first;
-        cmd.range_vcs = config_.num_vcs;
-        gating_record_[gating_record_index(id, port, vn)] = cmd.gating_active ? 1 : 0;
-        // The command crosses its Up_Down channel (delay 0: push, then pop
-        // the same cycle). Under fault injection the channel's hook may
-        // drop it — the downstream port then simply holds state — or
-        // corrupt it in range.
-        Channel<GateCommand>& link = up_down_link_mutable(id, port);
-        link.push(cmd, now);
-        while (auto delivered = link.pop_ready(now))
-          r.input(port).apply_gate_command(*delivered, now, injector_);
       }
     }
   }
@@ -220,7 +242,7 @@ void Network::set_measuring(bool measuring) {
   // still-lazy interval predates this toggle.
   sync_stress_accounting();
   for (auto& r : routers_) {
-    for (int p = 0; p < kNumDirs; ++p) {
+    for (int p = 0; p < r->num_ports(); ++p) {
       const Dir port = static_cast<Dir>(p);
       if (r->has_input(port)) r->input(port).trackers().set_measuring(measuring);
     }
@@ -244,7 +266,7 @@ std::size_t Network::flits_in_flight() const {
 std::size_t Network::flits_resident() const {
   std::size_t n = flits_in_flight();
   for (const auto& r : routers_) {
-    for (int p = 0; p < kNumDirs; ++p) {
+    for (int p = 0; p < r->num_ports(); ++p) {
       const Dir port = static_cast<Dir>(p);
       if (!r->has_input(port)) continue;
       for (int v = 0; v < config_.total_vcs(); ++v)
@@ -268,21 +290,24 @@ bool Network::quiescent() const {
   // Up_Down links are delay-0 (drained inside gating_stage every cycle).
   for (const auto& ni : nis_)
     if (!ni->idle()) return false;
-  for (NodeId id = 0; id < nodes(); ++id) {
+  const int num_classes = config_.vc_classes();
+  for (NodeId id = 0; id < num_routers(); ++id) {
     const Router& r = router(id);
-    for (int p = 0; p < kNumDirs; ++p) {
+    for (int p = 0; p < r.num_ports(); ++p) {
       const Dir port = static_cast<Dir>(p);
       if (!r.has_input(port)) continue;
       const InputUnit& iu = r.input(port);
       if (iu.busy_vcs() != 0) return false;
-      // Every vnet of the port must sit in the *same* fixed point of its
-      // last applied command. Under an active gating command that is
+      // Every (vnet, class) of the port must sit in the *same* fixed point
+      // of its last applied command. Under an active gating command that is
       // all-VCs-gated (a kept-awake or wake-window VC would be re-gated on
       // a later cycle — an event); under the baseline it is all-idle with
       // nothing gated (a gated VC would need a wake — also an event).
-      const bool active = gating_record_[gating_record_index(id, port, 0)] != 0;
-      for (int vn = 1; vn < config_.num_vnets; ++vn)
-        if ((gating_record_[gating_record_index(id, port, vn)] != 0) != active) return false;
+      const bool active = gating_record_[gating_record_index(id, port, 0, 0)] != 0;
+      for (int vn = 0; vn < config_.num_vnets; ++vn)
+        for (int cls = 0; cls < num_classes; ++cls)
+          if ((gating_record_[gating_record_index(id, port, vn, cls)] != 0) != active)
+            return false;
       if (active) {
         if (iu.gated_vcs() != config_.total_vcs()) return false;
       } else {
@@ -306,7 +331,7 @@ bool Network::drained() const {
   for (const auto& link : flit_channels_)
     if (!link->empty()) return false;
   for (const auto& r : routers_) {
-    for (int p = 0; p < kNumDirs; ++p) {
+    for (int p = 0; p < r->num_ports(); ++p) {
       const Dir port = static_cast<Dir>(p);
       if (!r->has_input(port)) continue;
       for (int v = 0; v < config_.total_vcs(); ++v)

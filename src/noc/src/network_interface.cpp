@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nbtinoc/noc/topology.hpp"
+
 namespace nbtinoc::noc {
 
 NetworkInterface::NetworkInterface(NodeId node, const NocConfig& config, sim::StatRegistry& stats)
@@ -48,13 +50,23 @@ bool NetworkInterface::has_new_traffic(int vnet, sim::Cycle now) const {
   return has_new_traffic(now) && queue_.front().vnet == vnet;
 }
 
+bool NetworkInterface::has_new_traffic(int vnet, int cls, sim::Cycle now) const {
+  return has_new_traffic(vnet, now) && front_class() == cls;
+}
+
+int NetworkInterface::front_class() const {
+  return topo_ == nullptr ? 0 : topo_->inject_class(node_, queue_.front().dst);
+}
+
 void NetworkInterface::inject(sim::Cycle now, std::uint64_t& packet_id_counter) {
-  // VA for the queue head: the NI is the only requester of the Local input
+  // VA for the queue head: the NI is the only requester of its local input
   // port, so allocation needs no arbitration — just a free, awake VC in the
-  // packet's virtual network.
+  // packet's virtual network (and, on wrap-link topologies, its dateline
+  // class subrange).
   if (!sending_ && !queue_.empty() && queue_.front().injected_at < now) {
-    const int first = config_.first_vc_of_vnet(queue_.front().vnet);
-    for (int v = first; v < first + config_.num_vcs; ++v) {
+    const int cls = front_class();
+    const int first = config_.first_vc_of_vnet(queue_.front().vnet) + config_.class_first_vc(cls);
+    for (int v = first; v < first + config_.class_num_vcs(cls); ++v) {
       if (router_iu_->vc(v).allocatable(now)) {
         send_pkt_ = queue_.front();
         queue_.pop_front();

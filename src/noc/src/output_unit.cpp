@@ -9,9 +9,9 @@ OutputUnit::OutputUnit(Dir dir, const NocConfig& config, bool ejection)
       ejection_(ejection),
       credits_(ejection ? 0 : static_cast<std::size_t>(config.total_vcs()), config.buffer_depth),
       buffer_depth_(config.buffer_depth),
-      va_arbiter_(static_cast<std::size_t>(kNumDirs * config.total_vcs())),
+      va_arbiter_(static_cast<std::size_t>(config.ports_per_router() * config.total_vcs())),
       vc_select_(static_cast<std::size_t>(config.total_vcs())),
-      sa_arbiter_(static_cast<std::size_t>(kNumDirs)) {}
+      sa_arbiter_(static_cast<std::size_t>(config.ports_per_router())) {}
 
 void OutputUnit::add_credit(int vc) {
   int& c = credits_.at(static_cast<std::size_t>(vc));

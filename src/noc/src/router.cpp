@@ -1,26 +1,43 @@
 #include "nbtinoc/noc/router.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nbtinoc::noc {
 
-Router::Router(NodeId id, const NocConfig& config, sim::StatRegistry& stats)
+Router::Router(NodeId id, const NocConfig& config, sim::StatRegistry& stats,
+               const Topology* topology)
     : id_(id), config_(config),
+      owned_topology_(topology == nullptr ? Topology::create(config) : nullptr),
+      topo_(topology == nullptr ? owned_topology_.get() : topology),
+      ports_(config.ports_per_router()),
       flits_out_key_("noc.router" + std::to_string(id) + ".flits_out"),
       stats_(&stats),
       h_va_grants_(stats.intern("noc.va_grants")),
       h_flits_forwarded_(stats.intern("noc.flits_forwarded")),
       h_flits_ejected_router_(stats.intern("noc.flits_ejected_router")),
       h_flits_out_(stats.intern(flits_out_key_)),
-      va_requests_(static_cast<std::size_t>(kNumDirs * config.total_vcs())),
-      vnet_has_free_(static_cast<std::size_t>(config.num_vnets)),
+      inputs_(static_cast<std::size_t>(ports_)),
+      outputs_(static_cast<std::size_t>(ports_)),
+      downstream_iu_(static_cast<std::size_t>(ports_), nullptr),
+      flit_out_(static_cast<std::size_t>(ports_), nullptr),
+      credit_in_(static_cast<std::size_t>(ports_), nullptr),
+      flit_in_(static_cast<std::size_t>(ports_), nullptr),
+      credit_out_(static_cast<std::size_t>(ports_), nullptr),
+      eject_out_(static_cast<std::size_t>(ports_), nullptr),
+      va_requests_(static_cast<std::size_t>(ports_ * config.total_vcs())),
+      vnet_has_free_(static_cast<std::size_t>(config.num_vnets * config.vc_classes())),
       sa_ready_(static_cast<std::size_t>(config.total_vcs())),
-      sa_port_requests_(static_cast<std::size_t>(kNumDirs)) {
-  // The Local input port (fed by the NI) always exists; mesh-facing ports
-  // are created lazily by wiring, so edge routers carry no dead buffers.
-  inputs_[static_cast<std::size_t>(Dir::Local)] = std::make_unique<InputUnit>(Dir::Local, config_);
-  outputs_[static_cast<std::size_t>(Dir::Local)] =
-      std::make_unique<OutputUnit>(Dir::Local, config_, /*ejection=*/true);
+      sa_port_requests_(static_cast<std::size_t>(ports_)),
+      sa_candidate_(static_cast<std::size_t>(ports_), kInvalidVc) {
+  // The local (NI-facing) ports always exist; mesh-facing ports are created
+  // lazily by wiring, so edge routers carry no dead buffers.
+  for (int p = kFirstLocalPort; p < ports_; ++p) {
+    const Dir local = static_cast<Dir>(p);
+    inputs_[static_cast<std::size_t>(p)] = std::make_unique<InputUnit>(local, config_);
+    outputs_[static_cast<std::size_t>(p)] =
+        std::make_unique<OutputUnit>(local, config_, /*ejection=*/true);
+  }
 }
 
 void Router::wire_output(Dir dir, InputUnit* downstream_iu, Channel<Flit>* flit_out,
@@ -34,15 +51,20 @@ void Router::wire_output(Dir dir, InputUnit* downstream_iu, Channel<Flit>* flit_
 
 void Router::wire_input(Dir dir, Channel<Flit>* flit_in, Channel<Credit>* credit_out) {
   const auto d = static_cast<std::size_t>(dir);
-  if (dir != Dir::Local) inputs_[d] = std::make_unique<InputUnit>(dir, config_);
+  if (!is_local(dir)) inputs_[d] = std::make_unique<InputUnit>(dir, config_);
   flit_in_[d] = flit_in;
   credit_out_[d] = credit_out;
 }
 
-void Router::wire_ejection(Channel<Flit>* eject_out) { eject_out_ = eject_out; }
+void Router::wire_ejection(Dir dir, Channel<Flit>* eject_out) {
+  if (!is_local(dir))
+    throw std::invalid_argument("Router::wire_ejection: " + to_string(dir) +
+                                " is not a local port");
+  eject_out_[static_cast<std::size_t>(dir)] = eject_out;
+}
 
 bool Router::has_new_traffic_toward(Dir out, sim::Cycle now) const {
-  for (int p = 0; p < kNumDirs; ++p) {
+  for (int p = 0; p < ports_; ++p) {
     const auto& iu = inputs_[static_cast<std::size_t>(p)];
     if (iu && iu->has_new_traffic_toward(out, now)) return true;
   }
@@ -50,9 +72,17 @@ bool Router::has_new_traffic_toward(Dir out, sim::Cycle now) const {
 }
 
 bool Router::has_new_traffic_toward(Dir out, int vnet, sim::Cycle now) const {
-  for (int p = 0; p < kNumDirs; ++p) {
+  for (int p = 0; p < ports_; ++p) {
     const auto& iu = inputs_[static_cast<std::size_t>(p)];
     if (iu && iu->has_new_traffic_toward(out, vnet, now)) return true;
+  }
+  return false;
+}
+
+bool Router::has_new_traffic_toward(Dir out, int vnet, int cls, sim::Cycle now) const {
+  for (int p = 0; p < ports_; ++p) {
+    const auto& iu = inputs_[static_cast<std::size_t>(p)];
+    if (iu && iu->has_new_traffic_toward(out, vnet, cls, now)) return true;
   }
   return false;
 }
@@ -69,46 +99,54 @@ void Router::va_stage(sim::Cycle now) {
   // grant). Skipping it keeps idle routers O(ports) per cycle.
   if (!any_busy_input()) return;
   const int num_vcs = config_.total_vcs();
-  // Ejection (Local output) has no VC buffers downstream: every packet
-  // routed here is "allocated" immediately; SA serializes the bandwidth.
-  for (int p = 0; p < kNumDirs; ++p) {
+  const int num_classes = config_.vc_classes();
+  // Ejection (local output) has no VC buffers downstream: every packet
+  // routed there is "allocated" immediately; SA serializes the bandwidth.
+  for (int p = 0; p < ports_; ++p) {
     const auto& iu = inputs_[static_cast<std::size_t>(p)];
     if (!iu) continue;
     for (int v = 0; v < num_vcs; ++v)
-      if (iu->waiting_for_va(v, now) && iu->vc(v).route() == Dir::Local)
-        iu->assign_output(v, Dir::Local, 0);
+      if (iu->waiting_for_va(v, now) && is_local(iu->vc(v).route()))
+        iu->assign_output(v, iu->vc(v).route(), 0);
   }
 
-  for (int o = 0; o < kNumDirs; ++o) {
+  for (int o = 0; o < ports_; ++o) {
     const Dir out = static_cast<Dir>(o);
-    if (out == Dir::Local) continue;  // handled above
+    if (is_local(out)) continue;  // handled above
     auto& ou = outputs_[static_cast<std::size_t>(o)];
     if (!ou) continue;
     InputUnit* diu = downstream_iu_[static_cast<std::size_t>(o)];
 
-    // Per-vnet availability of a free (awake, idle) downstream VC: a packet
-    // may only be allocated a VC of its own virtual network.
+    // Per-(vnet, dateline class) availability of a free (awake, idle)
+    // downstream VC: a packet may only be allocated a VC of its own virtual
+    // network, and — on wrap-link topologies — of its route's dateline
+    // class. With one class the inner loop spans the whole vnet.
     vnet_has_free_.clear();
     for (int vn = 0; vn < config_.num_vnets; ++vn) {
-      const int first = config_.first_vc_of_vnet(vn);
-      for (int v = first; v < first + config_.num_vcs; ++v) {
-        if (diu->vc(v).allocatable(now)) {
-          vnet_has_free_.set(static_cast<std::size_t>(vn));
-          break;
+      const int base = config_.first_vc_of_vnet(vn);
+      for (int cls = 0; cls < num_classes; ++cls) {
+        const int lo = base + config_.class_first_vc(cls);
+        const int hi = lo + config_.class_num_vcs(cls);
+        for (int v = lo; v < hi; ++v) {
+          if (diu->vc(v).allocatable(now)) {
+            vnet_has_free_.set(static_cast<std::size_t>(vn * num_classes + cls));
+            break;
+          }
         }
       }
     }
 
     // Gather requests: input VCs holding a routed head with no output VC,
-    // whose virtual network has a free downstream VC.
+    // whose (vnet, class) has a free downstream VC.
     va_requests_.clear();
     bool any = false;
-    for (int p = 0; p < kNumDirs; ++p) {
+    for (int p = 0; p < ports_; ++p) {
       const auto& iu = inputs_[static_cast<std::size_t>(p)];
       if (!iu) continue;
       for (int v = 0; v < num_vcs; ++v) {
         if (iu->waiting_for_va(v, now) && iu->vc(v).route() == out &&
-            vnet_has_free_.test(static_cast<std::size_t>(iu->vc(v).front().vnet))) {
+            vnet_has_free_.test(static_cast<std::size_t>(
+                iu->vc(v).front().vnet * num_classes + iu->vc(v).next_class()))) {
           va_requests_.set(static_cast<std::size_t>(p * num_vcs + v));
           any = true;
         }
@@ -122,16 +160,19 @@ void Router::va_stage(sim::Cycle now) {
     const int vc = winner % num_vcs;
     InputUnit& iu = *inputs_[static_cast<std::size_t>(port)];
     const int vnet = iu.vc(vc).front().vnet;
+    const int cls = iu.vc(vc).next_class();
 
-    // Pick the free downstream VC within the winner's vnet subrange; fair
-    // rotation when several are awake (the non-gating baseline).
-    const int first = config_.first_vc_of_vnet(vnet);
+    // Pick the free downstream VC within the winner's (vnet, class)
+    // subrange; fair rotation when several are awake (the non-gating
+    // baseline).
+    const int lo = config_.first_vc_of_vnet(vnet) + config_.class_first_vc(cls);
+    const int hi = lo + config_.class_num_vcs(cls);
     int free_vc = kInvalidVc;
     const std::size_t start = ou->vc_select().pointer();
     for (int i = 0; i < num_vcs; ++i) {
       const int v = static_cast<int>((start + static_cast<std::size_t>(i)) %
                                      static_cast<std::size_t>(num_vcs));
-      if (v >= first && v < first + config_.num_vcs && diu->vc(v).allocatable(now)) {
+      if (v >= lo && v < hi && diu->vc(v).allocatable(now)) {
         free_vc = v;
         break;
       }
@@ -152,9 +193,8 @@ void Router::sa_st_stage(sim::Cycle now) {
   const int num_vcs = config_.total_vcs();
 
   // Phase 1: each input port nominates one ready VC (round-robin).
-  std::array<int, kNumDirs> candidate{};
-  candidate.fill(kInvalidVc);
-  for (int p = 0; p < kNumDirs; ++p) {
+  std::fill(sa_candidate_.begin(), sa_candidate_.end(), kInvalidVc);
+  for (int p = 0; p < ports_; ++p) {
     auto& iu = inputs_[static_cast<std::size_t>(p)];
     if (!iu) continue;
     sa_ready_.clear();
@@ -163,24 +203,24 @@ void Router::sa_st_stage(sim::Cycle now) {
       const VcBuffer& buf = iu->vc(v);
       if (!iu->has_output(v) || buf.empty() || !iu->flit_eligible(buf.front(), now)) continue;
       const Dir out = iu->out_port(v);
-      if (out != Dir::Local) {
+      if (!is_local(out)) {
         const auto& ou = outputs_[static_cast<std::size_t>(out)];
         if (!ou || ou->credits(iu->out_vc(v)) <= 0) continue;
       }
       sa_ready_.set(static_cast<std::size_t>(v));
       any = true;
     }
-    if (any) candidate[static_cast<std::size_t>(p)] = iu->sa_arbiter().peek(sa_ready_);
+    if (any) sa_candidate_[static_cast<std::size_t>(p)] = iu->sa_arbiter().peek(sa_ready_);
   }
 
   // Phase 2: each output port grants one nominating input port.
-  for (int o = 0; o < kNumDirs; ++o) {
+  for (int o = 0; o < ports_; ++o) {
     auto& ou = outputs_[static_cast<std::size_t>(o)];
     if (!ou) continue;
     sa_port_requests_.clear();
     bool any = false;
-    for (int p = 0; p < kNumDirs; ++p) {
-      const int v = candidate[static_cast<std::size_t>(p)];
+    for (int p = 0; p < ports_; ++p) {
+      const int v = sa_candidate_[static_cast<std::size_t>(p)];
       if (v == kInvalidVc) continue;
       if (inputs_[static_cast<std::size_t>(p)]->out_port(v) == static_cast<Dir>(o)) {
         sa_port_requests_.set(static_cast<std::size_t>(p));
@@ -193,8 +233,8 @@ void Router::sa_st_stage(sim::Cycle now) {
 
     // Switch + link traversal for the winner.
     InputUnit& iu = *inputs_[static_cast<std::size_t>(port)];
-    const int vc = candidate[static_cast<std::size_t>(port)];
-    candidate[static_cast<std::size_t>(port)] = kInvalidVc;  // one grant per input port per cycle
+    const int vc = sa_candidate_[static_cast<std::size_t>(port)];
+    sa_candidate_[static_cast<std::size_t>(port)] = kInvalidVc;  // one grant per input port per cycle
     const int out_vc = iu.out_vc(vc);
     const Dir out = iu.out_port(vc);
     iu.sa_arbiter().advance_past(static_cast<std::size_t>(vc));
@@ -203,9 +243,10 @@ void Router::sa_st_stage(sim::Cycle now) {
     const bool tail = is_tail(flit.type);
     if (tail) iu.clear_output(vc);
 
-    if (out == Dir::Local) {
-      if (eject_out_ == nullptr) throw std::logic_error("Router: ejection not wired");
-      eject_out_->push(flit, now);
+    if (is_local(out)) {
+      Channel<Flit>* eject = eject_out_[static_cast<std::size_t>(out)];
+      if (eject == nullptr) throw std::logic_error("Router: ejection not wired");
+      eject->push(flit, now);
       stats_->add(h_flits_ejected_router_);
     } else {
       flit.vc = out_vc;
@@ -223,15 +264,17 @@ void Router::sa_st_stage(sim::Cycle now) {
 }
 
 void Router::accept_arrivals(sim::Cycle now) {
-  for (int p = 0; p < kNumDirs; ++p) {
+  for (int p = 0; p < ports_; ++p) {
     Channel<Flit>* link = flit_in_[static_cast<std::size_t>(p)];
     if (link == nullptr) continue;
     while (auto flit = link->pop_ready(now)) {
-      const Dir route = route_compute(id_, flit->dst, config_);
-      inputs_[static_cast<std::size_t>(p)]->receive_flit(*flit, route, now);
+      // RC: one route-table load replaces the per-flit coordinate
+      // arithmetic; the entry also carries the downstream dateline class.
+      const RouteEntry entry = topo_->route(id_, flit->dst);
+      inputs_[static_cast<std::size_t>(p)]->receive_flit(*flit, entry.dir(), entry.vc_class, now);
     }
   }
-  for (int o = 0; o < kNumDirs; ++o) {
+  for (int o = 0; o < ports_; ++o) {
     Channel<Credit>* link = credit_in_[static_cast<std::size_t>(o)];
     if (link == nullptr) continue;
     while (auto credit = link->pop_ready(now)) {

@@ -14,6 +14,7 @@ bool in_mesh(Coord c, int width, int height) {
 }
 
 NodeId neighbor_of(NodeId id, Dir d, int width, int height) {
+  if (is_local(d)) return kInvalidNode;
   Coord c = coord_of(id, width);
   switch (d) {
     case Dir::North:
@@ -28,10 +29,10 @@ NodeId neighbor_of(NodeId id, Dir d, int width, int height) {
     case Dir::West:
       c.x -= 1;
       break;
-    case Dir::Local:
-      return -1;
+    default:
+      return kInvalidNode;
   }
-  return in_mesh(c, width, height) ? id_of(c, width) : -1;
+  return in_mesh(c, width, height) ? id_of(c, width) : kInvalidNode;
 }
 
 int hop_distance(NodeId a, NodeId b, int width) {

@@ -105,9 +105,9 @@ void InvariantChecker::check_or_throw() {
 
 void InvariantChecker::check_gated_buffers(sim::Cycle cycle) {
   const NocConfig& cfg = network_->config();
-  for (NodeId id = 0; id < network_->nodes(); ++id) {
+  for (NodeId id = 0; id < network_->num_routers(); ++id) {
     const Router& r = network_->router(id);
-    for (int p = 0; p < kNumDirs; ++p) {
+    for (int p = 0; p < r.num_ports(); ++p) {
       const Dir port = static_cast<Dir>(p);
       if (!r.has_input(port)) continue;
       const InputUnit& iu = r.input(port);
@@ -139,7 +139,7 @@ void InvariantChecker::check_credit_conservation(sim::Cycle cycle) {
   const NocConfig& cfg = network_->config();
   // Router-router links: the upstream output unit's credit view of each
   // downstream VC, closed over both in-flight directions.
-  for (NodeId id = 0; id < network_->nodes(); ++id) {
+  for (NodeId id = 0; id < network_->num_routers(); ++id) {
     const Router& r = network_->router(id);
     for (int d = 0; d < 4; ++d) {
       const Dir dir = static_cast<Dir>(d);
@@ -158,10 +158,11 @@ void InvariantChecker::check_credit_conservation(sim::Cycle cycle) {
       }
     }
   }
-  // NI injection path: same identity for the Local input port.
+  // NI injection path: same identity for each terminal's local input port.
   for (NodeId id = 0; id < network_->nodes(); ++id) {
     const NetworkInterface& ni = network_->ni(id);
-    const InputUnit& liu = network_->router(id).input(Dir::Local);
+    const Topology& topo = network_->topology();
+    const InputUnit& liu = network_->router(topo.router_of(id)).input(topo.local_port_of(id));
     for (int v = 0; v < cfg.total_vcs(); ++v) {
       const std::size_t total = static_cast<std::size_t>(ni.credits(v)) +
                                 in_flight_for_vc(ni.inject_link(), v) +

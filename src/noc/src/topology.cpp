@@ -1,0 +1,311 @@
+#include "nbtinoc/noc/topology.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "nbtinoc/noc/routing.hpp"
+
+namespace nbtinoc::noc {
+
+Topology::Topology(const NocConfig& config) : config_(config) {
+  num_terminals_ = config.nodes();
+  num_routers_ = config.routers();
+  ports_per_router_ = config.ports_per_router();
+  concentration_ =
+      config.topology == TopologyKind::kConcentratedMesh ? config.concentration : 1;
+
+  // Terminal <-> router mapping. Tiles concentrate along x: terminal
+  // (tx, ty) hangs off router (tx / c, ty) at local slot tx % c. With c = 1
+  // this is the identity (router id == terminal id, slot 0) on every
+  // non-concentrated topology, the ring included (its router index is the
+  // row-major terminal index).
+  const int c = concentration_;
+  const int router_width = config.width / c;
+  router_of_terminal_.resize(static_cast<std::size_t>(num_terminals_));
+  local_slot_of_terminal_.resize(static_cast<std::size_t>(num_terminals_));
+  terminal_of_slot_.assign(static_cast<std::size_t>(num_routers_ * c), kInvalidNode);
+  for (NodeId t = 0; t < num_terminals_; ++t) {
+    const int tx = t % config.width;
+    const int ty = t / config.width;
+    const NodeId r = ty * router_width + tx / c;
+    const int slot = tx % c;
+    router_of_terminal_[static_cast<std::size_t>(t)] = r;
+    local_slot_of_terminal_[static_cast<std::size_t>(t)] = slot;
+    terminal_of_slot_[static_cast<std::size_t>(r * c + slot)] = t;
+  }
+}
+
+void Topology::build_tables() {
+  neighbors_.resize(static_cast<std::size_t>(num_routers_ * 4));
+  for (NodeId r = 0; r < num_routers_; ++r)
+    for (int d = 0; d < 4; ++d)
+      neighbors_[static_cast<std::size_t>(r * 4 + d)] =
+          compute_neighbor(r, static_cast<Dir>(d));
+
+  route_table_.resize(static_cast<std::size_t>(num_routers_) *
+                      static_cast<std::size_t>(num_terminals_));
+  inject_class_.resize(route_table_.size());
+  for (NodeId r = 0; r < num_routers_; ++r) {
+    for (NodeId t = 0; t < num_terminals_; ++t) {
+      const std::size_t idx = static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(num_terminals_) +
+                              static_cast<std::size_t>(t);
+      const Dir port = compute_port(r, t);
+      RouteEntry entry;
+      entry.port = static_cast<std::int16_t>(port);
+      // The entry's class restricts VC allocation at the *downstream* input
+      // of `port` — in `port`'s dimension, per Dally-Seitz. The ejection
+      // path has no downstream VC buffer.
+      entry.vc_class =
+          is_local(port)
+              ? std::int16_t{0}
+              : static_cast<std::int16_t>(compute_vc_class(neighbor(r, port), t, port));
+      route_table_[idx] = entry;
+      // The class of a VC *at* r itself, in the first hop's dimension —
+      // what the NI-side injection uses.
+      inject_class_[idx] = static_cast<std::int8_t>(compute_vc_class(r, t, port));
+    }
+  }
+}
+
+std::unique_ptr<Topology> Topology::create(const NocConfig& config) {
+  switch (config.topology) {
+    case TopologyKind::kMesh2D:
+      return std::make_unique<Mesh2D>(config);
+    case TopologyKind::kTorus2D:
+      return std::make_unique<Torus2D>(config);
+    case TopologyKind::kRing:
+      return std::make_unique<Ring>(config);
+    case TopologyKind::kConcentratedMesh:
+      return std::make_unique<ConcentratedMesh>(config);
+  }
+  throw std::invalid_argument("Topology::create: bad TopologyKind");
+}
+
+// --- Mesh2D ------------------------------------------------------------------
+
+Mesh2D::Mesh2D(const NocConfig& config) : Topology(config) { build_tables(); }
+
+NodeId Mesh2D::compute_neighbor(NodeId router, Dir d) const {
+  return neighbor_of(router, d, config_.width, config_.height);
+}
+
+Dir Mesh2D::compute_port(NodeId router, NodeId dst_terminal) const {
+  // Same arithmetic as the legacy route_compute(): the table is a cache of
+  // it, so the mesh stays bit-identical to the pre-topology simulator.
+  return route_compute(router, dst_terminal, config_);
+}
+
+int Mesh2D::hop_distance(NodeId src_terminal, NodeId dst_terminal) const {
+  return noc::hop_distance(src_terminal, dst_terminal, config_.width);
+}
+
+double Mesh2D::norm_x(NodeId router) const {
+  return config_.width > 1
+             ? static_cast<double>(coord_of(router, config_.width).x) / (config_.width - 1)
+             : 0.0;
+}
+
+double Mesh2D::norm_y(NodeId router) const {
+  return config_.height > 1
+             ? static_cast<double>(coord_of(router, config_.width).y) / (config_.height - 1)
+             : 0.0;
+}
+
+// --- Torus2D -----------------------------------------------------------------
+
+namespace {
+/// Forward (increasing-coordinate, wrapping) distance from a to b mod n.
+int wrap_delta(int a, int b, int n) { return (b - a + n) % n; }
+/// Shortest-way rule for one torus dimension: go forward (East/South) when
+/// the wrapping forward distance is at most half the ring — ties go forward,
+/// which keeps the choice deterministic on even sizes.
+bool go_forward(int delta, int n) { return 2 * delta <= n; }
+}  // namespace
+
+Torus2D::Torus2D(const NocConfig& config) : Topology(config) { build_tables(); }
+
+NodeId Torus2D::compute_neighbor(NodeId router, Dir d) const {
+  Coord c = coord_of(router, config_.width);
+  switch (d) {
+    case Dir::North:
+      c.y = (c.y - 1 + config_.height) % config_.height;
+      break;
+    case Dir::South:
+      c.y = (c.y + 1) % config_.height;
+      break;
+    case Dir::East:
+      c.x = (c.x + 1) % config_.width;
+      break;
+    case Dir::West:
+      c.x = (c.x - 1 + config_.width) % config_.width;
+      break;
+    default:
+      return kInvalidNode;
+  }
+  return id_of(c, config_.width);
+}
+
+Dir Torus2D::compute_port(NodeId router, NodeId dst_terminal) const {
+  const Coord c = coord_of(router, config_.width);
+  const Coord d = coord_of(dst_terminal, config_.width);
+  if (c == d) return Dir::Local;
+  const auto x_port = [&] {
+    const int east = wrap_delta(c.x, d.x, config_.width);
+    return go_forward(east, config_.width) ? Dir::East : Dir::West;
+  };
+  const auto y_port = [&] {
+    const int south = wrap_delta(c.y, d.y, config_.height);
+    return go_forward(south, config_.height) ? Dir::South : Dir::North;
+  };
+  if (config_.routing == RoutingAlgo::kXY) return c.x != d.x ? x_port() : y_port();
+  return c.y != d.y ? y_port() : x_port();
+}
+
+int Torus2D::compute_vc_class(NodeId router, NodeId dst_terminal, Dir link_dir) const {
+  // Per-dimension dateline rule: the class is 0 while the remaining path in
+  // *link_dir's* dimension still crosses that dimension's wrap link, 1 once
+  // it no longer does — including when that dimension is already done, so a
+  // packet turning into Y never occupies a class-0 VC of the X ring it just
+  // left (the conflation that would close a dependency cycle). Heading East
+  // the path wraps iff x > dst.x, West iff x < dst.x; South iff y > dst.y,
+  // North iff y < dst.y.
+  const Coord c = coord_of(router, config_.width);
+  const Coord d = coord_of(dst_terminal, config_.width);
+  if (link_dir == Dir::East || link_dir == Dir::West) {
+    if (c.x == d.x) return 1;  // x traversal done
+    const int east = wrap_delta(c.x, d.x, config_.width);
+    return go_forward(east, config_.width) ? (c.x > d.x ? 0 : 1) : (c.x < d.x ? 0 : 1);
+  }
+  if (link_dir == Dir::North || link_dir == Dir::South) {
+    if (c.y == d.y) return 1;  // y traversal done
+    const int south = wrap_delta(c.y, d.y, config_.height);
+    return go_forward(south, config_.height) ? (c.y > d.y ? 0 : 1) : (c.y < d.y ? 0 : 1);
+  }
+  return 1;  // injecting a packet that ejects at its own router
+}
+
+int Torus2D::hop_distance(NodeId src_terminal, NodeId dst_terminal) const {
+  const Coord a = coord_of(src_terminal, config_.width);
+  const Coord b = coord_of(dst_terminal, config_.width);
+  const int dx = wrap_delta(a.x, b.x, config_.width);
+  const int dy = wrap_delta(a.y, b.y, config_.height);
+  return std::min(dx, config_.width - dx) + std::min(dy, config_.height - dy);
+}
+
+double Torus2D::norm_x(NodeId router) const {
+  return config_.width > 1
+             ? static_cast<double>(coord_of(router, config_.width).x) / (config_.width - 1)
+             : 0.0;
+}
+
+double Torus2D::norm_y(NodeId router) const {
+  return config_.height > 1
+             ? static_cast<double>(coord_of(router, config_.width).y) / (config_.height - 1)
+             : 0.0;
+}
+
+// --- Ring --------------------------------------------------------------------
+
+Ring::Ring(const NocConfig& config) : Topology(config) { build_tables(); }
+
+NodeId Ring::compute_neighbor(NodeId router, Dir d) const {
+  const int n = num_routers_;
+  switch (d) {
+    case Dir::East:
+      return (router + 1) % n;
+    case Dir::West:
+      return (router - 1 + n) % n;
+    default:
+      return kInvalidNode;  // N/S stay unwired, like mesh edges
+  }
+}
+
+Dir Ring::compute_port(NodeId router, NodeId dst_terminal) const {
+  if (router == dst_terminal) return Dir::Local;
+  const int east = wrap_delta(router, dst_terminal, num_routers_);
+  return go_forward(east, num_routers_) ? Dir::East : Dir::West;
+}
+
+int Ring::compute_vc_class(NodeId router, NodeId dst_terminal, Dir link_dir) const {
+  // One-dimensional dateline: the wrap link sits between the last and first
+  // ring index, so an eastbound path wraps iff index > dst, a westbound one
+  // iff index < dst. There is no second dimension to turn into, so the
+  // link_dir's dimension is always the travel dimension.
+  (void)link_dir;
+  switch (compute_port(router, dst_terminal)) {
+    case Dir::East:
+      return router > dst_terminal ? 0 : 1;
+    case Dir::West:
+      return router < dst_terminal ? 0 : 1;
+    default:
+      return 1;
+  }
+}
+
+int Ring::hop_distance(NodeId src_terminal, NodeId dst_terminal) const {
+  const int forward = wrap_delta(src_terminal, dst_terminal, num_routers_);
+  return std::min(forward, num_routers_ - forward);
+}
+
+double Ring::norm_x(NodeId router) const {
+  // The ring is laid out on the same width x height die grid as the mesh;
+  // only the link pattern differs, so the PV gradient keeps the grid coords.
+  return config_.width > 1
+             ? static_cast<double>(coord_of(router, config_.width).x) / (config_.width - 1)
+             : 0.0;
+}
+
+double Ring::norm_y(NodeId router) const {
+  return config_.height > 1
+             ? static_cast<double>(coord_of(router, config_.width).y) / (config_.height - 1)
+             : 0.0;
+}
+
+// --- ConcentratedMesh --------------------------------------------------------
+
+ConcentratedMesh::ConcentratedMesh(const NocConfig& config)
+    : Topology(config), router_width_(config.width / config.concentration) {
+  build_tables();
+}
+
+NodeId ConcentratedMesh::compute_neighbor(NodeId router, Dir d) const {
+  return neighbor_of(router, d, router_width_, config_.height);
+}
+
+Dir ConcentratedMesh::compute_port(NodeId router, NodeId dst_terminal) const {
+  const NodeId dst_router = router_of(dst_terminal);
+  if (router == dst_router) return local_port_of(dst_terminal);
+  // Plain DOR on the router grid; single class, so deadlock freedom is the
+  // mesh argument unchanged.
+  const Coord c = coord_of(router, router_width_);
+  const Coord d = coord_of(dst_router, router_width_);
+  if (config_.routing == RoutingAlgo::kXY) {
+    if (d.x > c.x) return Dir::East;
+    if (d.x < c.x) return Dir::West;
+    return d.y > c.y ? Dir::South : Dir::North;
+  }
+  if (d.y > c.y) return Dir::South;
+  if (d.y < c.y) return Dir::North;
+  return d.x > c.x ? Dir::East : Dir::West;
+}
+
+int ConcentratedMesh::hop_distance(NodeId src_terminal, NodeId dst_terminal) const {
+  const Coord a = coord_of(router_of(src_terminal), router_width_);
+  const Coord b = coord_of(router_of(dst_terminal), router_width_);
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+double ConcentratedMesh::norm_x(NodeId router) const {
+  return router_width_ > 1
+             ? static_cast<double>(coord_of(router, router_width_).x) / (router_width_ - 1)
+             : 0.0;
+}
+
+double ConcentratedMesh::norm_y(NodeId router) const {
+  return config_.height > 1
+             ? static_cast<double>(coord_of(router, router_width_).y) / (config_.height - 1)
+             : 0.0;
+}
+
+}  // namespace nbtinoc::noc

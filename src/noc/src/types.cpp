@@ -14,9 +14,10 @@ Dir opposite(Dir d) {
       return Dir::West;
     case Dir::West:
       return Dir::East;
-    case Dir::Local:
-      return Dir::Local;
+    default:
+      break;
   }
+  if (is_local(d)) return d;  // a local port faces its own NI
   throw std::invalid_argument("opposite: bad Dir");
 }
 
@@ -32,7 +33,11 @@ std::string to_string(Dir d) {
       return "West";
     case Dir::Local:
       return "Local";
+    default:
+      break;
   }
+  // Extra NI slots of a concentrated router: "Local1", "Local2", ...
+  if (is_local(d)) return "Local" + std::to_string(local_slot(d));
   return "?";
 }
 
@@ -46,10 +51,10 @@ char dir_letter(Dir d) {
       return 'E';
     case Dir::West:
       return 'W';
-    case Dir::Local:
-      return 'L';
+    default:
+      break;
   }
-  return '?';
+  return is_local(d) ? 'L' : '?';
 }
 
 std::string to_string(VcState s) {

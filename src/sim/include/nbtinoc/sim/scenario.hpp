@@ -30,6 +30,11 @@ struct Scenario {
   std::string name;          ///< e.g. "4core-inj0.10"
   int mesh_width = 2;        ///< 2 -> 4-core, 4 -> 16-core
   int mesh_height = 2;
+  /// Network shape: "mesh" (default), "torus", "ring", or "cmesh". Torus
+  /// and ring need num_vcs >= 2 (dateline VC classes); see noc::TopologyKind.
+  std::string topology = "mesh";
+  /// NIs per router, "cmesh" only (must divide mesh_width); 1 otherwise.
+  int concentration = 1;
   int num_vcs = 4;           ///< virtual channels per vnet per input port (2 or 4 in the paper)
   int num_vnets = 1;         ///< virtual networks (Table I: 2/6; 1 = single-protocol study)
   int buffer_depth = 4;      ///< flits per VC buffer (Table I / §III-D)
@@ -85,10 +90,11 @@ struct Scenario {
 
 /// Builds a Scenario from a properties map (see util::load_properties).
 /// Recognized keys (all optional, defaults as in Scenario):
-///   name, mesh_width, mesh_height, num_vcs, num_vnets, buffer_depth,
-///   flit_width_bits, link_width_bits, packet_length, injection_rate,
-///   wakeup_latency, warmup_cycles, measure_cycles, clock_ghz,
-///   technology_nm (45 or 32), vth_sigma_v, temperature_k, vdd_v
+///   name, mesh_width, mesh_height, topology (mesh|torus|ring|cmesh),
+///   concentration, num_vcs, num_vnets, buffer_depth, flit_width_bits,
+///   link_width_bits, packet_length, injection_rate, wakeup_latency,
+///   warmup_cycles, measure_cycles, clock_ghz, technology_nm (45 or 32),
+///   vth_sigma_v, temperature_k, vdd_v
 /// Unknown keys throw std::invalid_argument (typo protection).
 Scenario scenario_from_properties(const std::map<std::string, std::string>& props);
 

@@ -23,25 +23,37 @@ Technology Technology::node_32nm() {
   return t;
 }
 
+namespace {
+/// Non-mesh topologies tag every seed string so each topology gets its own
+/// silicon/traffic/fault streams; the mesh tag is empty, keeping every
+/// pre-topology seed — and with it golden results — byte-identical.
+std::string topology_seed_tag(const Scenario& s) {
+  if (s.topology == "mesh") return "";
+  std::string tag = "-" + s.topology;
+  if (s.topology == "cmesh") tag += std::to_string(s.concentration);
+  return tag;
+}
+}  // namespace
+
 std::uint64_t Scenario::pv_seed() const {
   char buf[128];
   std::snprintf(buf, sizeof(buf), "pv:%dx%d-vc%d-inj%.3f-%dnm", mesh_width, mesh_height, num_vcs,
                 injection_rate, tech.node_nm);
-  return util::seed_from_string(buf);
+  return util::seed_from_string(buf + topology_seed_tag(*this));
 }
 
 std::uint64_t Scenario::traffic_seed() const {
   char buf[128];
   std::snprintf(buf, sizeof(buf), "traffic:%dx%d-vc%d-inj%.3f", mesh_width, mesh_height, num_vcs,
                 injection_rate);
-  return util::seed_from_string(buf);
+  return util::seed_from_string(buf + topology_seed_tag(*this));
 }
 
 std::uint64_t Scenario::fault_seed() const {
   char buf[128];
   std::snprintf(buf, sizeof(buf), "fault:%dx%d-vc%d-inj%.3f", mesh_width, mesh_height, num_vcs,
                 injection_rate);
-  return util::seed_from_string(buf);
+  return util::seed_from_string(buf + topology_seed_tag(*this));
 }
 
 void Scenario::validate() const {
@@ -53,7 +65,28 @@ void Scenario::validate() const {
          std::to_string(mesh_height) + ")");
   if (mesh_width * mesh_height < 2)
     fail("a single-tile mesh has no links to simulate; use at least 2 tiles");
+  if (topology != "mesh" && topology != "torus" && topology != "ring" && topology != "cmesh")
+    fail("unknown topology '" + topology + "' (expected mesh, torus, ring, or cmesh)");
   if (num_vcs < 1) fail("num_vcs must be >= 1 (got " + std::to_string(num_vcs) + ")");
+  if ((topology == "torus" || topology == "ring") && num_vcs < 2)
+    fail(topology + " needs >= 2 VCs per vnet for its dateline classes (got " +
+         std::to_string(num_vcs) + "); wrap-link deadlock freedom splits each vnet's VCs into "
+         "pre-/post-dateline halves");
+  if (topology == "torus" && (mesh_width < 2 || mesh_height < 2))
+    fail("a torus needs >= 2x2 tiles so every wrap link connects distinct routers (got " +
+         std::to_string(mesh_width) + "x" + std::to_string(mesh_height) +
+         "); use topology=ring for one-dimensional layouts");
+  if (topology == "cmesh") {
+    if (concentration < 1)
+      fail("cmesh concentration must be >= 1 (got " + std::to_string(concentration) + ")");
+    if (mesh_width % concentration != 0)
+      fail("cmesh concentration " + std::to_string(concentration) + " does not divide the " +
+           std::to_string(mesh_width) + "-tile row — it would leave a partial router; use a "
+           "divisor of mesh_width");
+  } else if (concentration != 1) {
+    fail("concentration is a cmesh knob; topology '" + topology +
+         "' requires concentration 1 (got " + std::to_string(concentration) + ")");
+  }
   if (num_vnets < 1) fail("num_vnets must be >= 1 (got " + std::to_string(num_vnets) + ")");
   if (buffer_depth < 1) fail("buffer_depth must be >= 1 (got " + std::to_string(buffer_depth) + ")");
   if (flit_width_bits < 1 || link_width_bits < 1)
@@ -84,9 +117,23 @@ void Scenario::use_paper_scale() {
 
 std::string Scenario::describe() const {
   std::ostringstream os;
-  os << "Scenario: " << name << '\n'
-     << "  topology        : " << mesh_width << "x" << mesh_height << " 2D-mesh (" << cores()
-     << " tiles, Tilera-iMesh-style)\n"
+  os << "Scenario: " << name << '\n';
+  // The mesh line is byte-identical to the pre-topology output.
+  if (topology == "mesh") {
+    os << "  topology        : " << mesh_width << "x" << mesh_height << " 2D-mesh (" << cores()
+       << " tiles, Tilera-iMesh-style)\n";
+  } else if (topology == "torus") {
+    os << "  topology        : " << mesh_width << "x" << mesh_height << " 2D-torus (" << cores()
+       << " tiles, wrap links, dateline VC classes)\n";
+  } else if (topology == "ring") {
+    os << "  topology        : " << cores() << "-tile bidirectional ring (row-major over "
+       << mesh_width << "x" << mesh_height << ", dateline VC classes)\n";
+  } else {
+    os << "  topology        : " << mesh_width << "x" << mesh_height << " concentrated mesh ("
+       << cores() << " tiles, " << concentration << " NIs/router, "
+       << (mesh_width / concentration) << "x" << mesh_height << " routers)\n";
+  }
+  os
      << "  router          : 3-stage wormhole, " << num_vcs << " VCs/input port, " << buffer_depth
      << " flits/VC, no packet mixing\n"
      << "  flit / link     : " << flit_width_bits << "b flit over " << link_width_bits
@@ -104,11 +151,12 @@ std::string Scenario::describe() const {
 
 Scenario scenario_from_properties(const std::map<std::string, std::string>& props) {
   static const std::set<std::string> known = {
-      "name",          "mesh_width",    "mesh_height",     "num_vcs",
-      "num_vnets",     "buffer_depth",  "flit_width_bits", "link_width_bits",
-      "packet_length", "injection_rate", "wakeup_latency",  "warmup_cycles",
-      "measure_cycles", "clock_ghz",     "technology_nm",   "vth_sigma_v",
-      "temperature_k", "vdd_v",          "router_stages"};
+      "name",          "mesh_width",    "mesh_height",     "topology",
+      "concentration", "num_vcs",       "num_vnets",       "buffer_depth",
+      "flit_width_bits", "link_width_bits", "packet_length", "injection_rate",
+      "wakeup_latency", "warmup_cycles", "measure_cycles",  "clock_ghz",
+      "technology_nm", "vth_sigma_v",    "temperature_k",   "vdd_v",
+      "router_stages"};
   for (const auto& [key, value] : props) {
     if (!known.count(key))
       throw std::invalid_argument("scenario_from_properties: unknown key '" + key + "'");
@@ -130,6 +178,8 @@ Scenario scenario_from_properties(const std::map<std::string, std::string>& prop
 
   s.mesh_width = static_cast<int>(get_int("mesh_width", s.mesh_width));
   s.mesh_height = static_cast<int>(get_int("mesh_height", s.mesh_width));
+  if (const auto it = props.find("topology"); it != props.end()) s.topology = it->second;
+  s.concentration = static_cast<int>(get_int("concentration", s.concentration));
   s.num_vcs = static_cast<int>(get_int("num_vcs", s.num_vcs));
   s.num_vnets = static_cast<int>(get_int("num_vnets", s.num_vnets));
   s.buffer_depth = static_cast<int>(get_int("buffer_depth", s.buffer_depth));

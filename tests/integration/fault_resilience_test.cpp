@@ -44,6 +44,35 @@ TEST(FaultResilience, InvariantsHoldUnderStormForAllPolicies) {
   }
 }
 
+// The dateline VC classes and multi-NI local ports must not open a deadlock
+// or conservation hole even when the storm drops gate commands: every
+// topology runs clean under the same invariant checker.
+TEST(FaultResilience, InvariantsHoldUnderStormOnEveryTopology) {
+  struct TopoPoint {
+    const char* topology;
+    int width;
+    int concentration;
+  };
+  for (const auto& [topology, width, concentration] :
+       {TopoPoint{"mesh", 4, 1}, {"torus", 4, 1}, {"ring", 4, 1}, {"cmesh", 4, 2}}) {
+    sim::Scenario s = sim::Scenario::synthetic(width, 2, 0.1);
+    s.topology = topology;
+    s.concentration = concentration;
+    s.name = std::string("fault-") + topology;
+    s.warmup_cycles = 1'000;
+    s.measure_cycles = 4'000;
+    RunnerOptions opt;
+    opt.faults = sim::FaultPlan::uniform(0.05);
+    opt.check_invariants = true;
+    const RunResult r =
+        run_experiment(s, PolicyKind::kSensorWise, Workload::synthetic(), opt);
+    EXPECT_GT(fault_count(r, "fault.gate_cmd_drops"), 0u) << topology;
+    EXPECT_GT(r.flits_ejected, 0u) << topology;
+    EXPECT_TRUE(r.invariant_violations.empty())
+        << topology << ": " << r.invariant_violations.front();
+  }
+}
+
 TEST(FaultResilience, SensorPoliciesQuarantineUnderStorm) {
   RunnerOptions opt;
   opt.faults = sim::FaultPlan::uniform(0.2);

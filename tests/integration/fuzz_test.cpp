@@ -248,6 +248,56 @@ TEST_P(FastForwardFuzzTest, SkippedExperimentsMatchSteppedExactly) {
 INSTANTIATE_TEST_SUITE_P(RandomConfigs, FastForwardFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+// Topology fast-forward fuzz: the same FF-vs-stepped equality over the
+// non-mesh topologies — wrap links, dateline VC classes, and multi-NI local
+// ports all feed the quiescence proof, so each must round-trip exactly.
+class TopologyFastForwardFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyFastForwardFuzzTest, SkippedTopologyRunsMatchSteppedExactly) {
+  util::Xoshiro256 rng(GetParam() ^ 0x7090ULL);
+  sim::Scenario s = sim::Scenario::synthetic(4, 2 + static_cast<int>(rng.next_below(3)),
+                                             0.05 * rng.next_double());
+  constexpr const char* kTopologies[] = {"torus", "ring", "cmesh"};
+  s.topology = kTopologies[GetParam() % 3];
+  if (s.topology == "cmesh") s.concentration = 2;
+  if (GetParam() % 4 == 0) s.injection_rate = 0.0;  // fully idle: FF carries the run
+  s.num_vnets = 1 + static_cast<int>(rng.next_below(2));
+  s.wakeup_latency = rng.next_below(4);
+  s.warmup_cycles = 1'000;
+  s.measure_cycles = 8'000 + rng.next_below(8'000);
+  constexpr core::PolicyKind kPolicies[] = {
+      core::PolicyKind::kBaseline, core::PolicyKind::kRrNoSensor,
+      core::PolicyKind::kSensorWiseNoTraffic, core::PolicyKind::kSensorWise,
+      core::PolicyKind::kSensorRank};
+  const core::PolicyKind policy = kPolicies[rng.next_below(5)];
+  constexpr traffic::PatternKind kPatterns[] = {
+      traffic::PatternKind::kUniform, traffic::PatternKind::kTranspose,
+      traffic::PatternKind::kBitComplement, traffic::PatternKind::kHotspot,
+      traffic::PatternKind::kNeighbor, traffic::PatternKind::kTornado};
+  const core::Workload workload = core::Workload::synthetic(kPatterns[rng.next_below(6)]);
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) + ", " + s.topology + ", policy " +
+               core::to_string(policy));
+
+  core::RunnerOptions options;
+  options.fast_forward = false;
+  const core::RunResult stepped = core::run_experiment(s, policy, workload, options);
+  options.fast_forward = true;
+  const core::RunResult skipped = core::run_experiment(s, policy, workload, options);
+
+  EXPECT_EQ(core::to_json(stepped), core::to_json(skipped));
+  ASSERT_EQ(stepped.ports.size(), skipped.ports.size());
+  for (const auto& [key, port] : stepped.ports) {
+    const core::PortResult& other = skipped.ports.at(key);
+    EXPECT_EQ(port.gate_transitions, other.gate_transitions);
+    EXPECT_EQ(port.most_degraded, other.most_degraded);
+    EXPECT_EQ(port.duty_percent, other.duty_percent);
+  }
+  EXPECT_EQ(stepped.total_gate_transitions, skipped.total_gate_transitions);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologyConfigs, TopologyFastForwardFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
 // run_experiment has no request/reply workload, so that source family gets
 // its fast-forward equivalence pinned at the Network level: coupled
 // requesters and repliers across two vnets, run both ways.

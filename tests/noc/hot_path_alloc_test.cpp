@@ -125,6 +125,32 @@ TEST(HotPathAllocation, FastForwardRunIsAllocationFree) {
   EXPECT_GT(net.skip_stats().skips, skips_before);
 }
 
+TEST(HotPathAllocation, TopologyRoutedSteadyStateIsAllocationFree) {
+  // The table-driven RC stage (route() lookups, dateline-class VC
+  // subranges, multi-NI local ports) must stay off the heap on every
+  // topology, not just the mesh the other audits cover.
+  struct TopoLoad {
+    const char* topology;
+    double rate;  // below each topology's saturation point, so source
+                  // queues reach a bounded steady state inside the warmup
+  };
+  for (const auto& [topology, rate] :
+       {TopoLoad{"torus", 0.3}, {"ring", 0.05}, {"cmesh", 0.15}}) {
+    NocConfig c = mesh(4, 4);
+    c.topology = parse_topology_kind(topology);
+    if (c.topology == TopologyKind::kConcentratedMesh) c.concentration = 2;
+    Network net(c);
+    const auto model = nbti::NbtiModel::calibrated({}, {});
+    core::PolicyConfig pc;
+    pc.kind = core::PolicyKind::kSensorWise;
+    core::PolicyGateController ctrl(net, pc, model, {}, nbti::PvConfig{}, 7);
+    ctrl.attach();
+    traffic::install_uniform_traffic(net, rate, 42);
+    net.run(6'000);
+    EXPECT_EQ(allocations_during_steps(net, 2'500), 0u) << topology;
+  }
+}
+
 TEST(HotPathAllocation, FaultyRunSteadyStateIsAllocationFree) {
   Network net(mesh(4, 4));
   const auto model = nbti::NbtiModel::calibrated({}, {});
