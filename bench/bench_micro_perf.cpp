@@ -146,6 +146,66 @@ void BM_NetworkRun_LowLoadSensorWise(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkRun_LowLoadSensorWise)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+void BM_NetworkRun_LowLoadActiveSet(benchmark::State& state) {
+  const noc::SchedulerMode mode =
+      state.range(0) != 0 ? noc::SchedulerMode::kActiveSet : noc::SchedulerMode::kStepped;
+  for (auto _ : state) {
+    noc::Network net(mesh_config(4, 4));
+    const auto model = nbti::NbtiModel::calibrated({}, {});
+    core::PolicyConfig pc;
+    pc.kind = core::PolicyKind::kSensorWise;
+    core::PolicyGateController ctrl(net, pc, model, {}, nbti::PvConfig{}, 7);
+    ctrl.attach();
+    traffic::install_uniform_traffic(net, 0.0005, 42);
+    net.set_scheduler_mode(mode);
+    net.run(20'000);
+    benchmark::DoNotOptimize(net.scheduler_stats().router_steps);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_NetworkRun_LowLoadActiveSet)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Deterministic periodic point-to-point source: one packet to `dst` every
+// `period` cycles, with an exact next-event answer for the schedulers.
+class OneHotSource final : public noc::ITrafficSource {
+ public:
+  OneHotSource(noc::NodeId dst, sim::Cycle period) : dst_(dst), period_(period) {}
+  std::optional<noc::PacketRequest> maybe_generate(sim::Cycle now) override {
+    if (now < next_) return std::nullopt;
+    next_ = now + period_;
+    return noc::PacketRequest{dst_, 4, 0};
+  }
+  sim::Cycle next_event_cycle(sim::Cycle now) override { return next_ < now ? now : next_; }
+
+ private:
+  noc::NodeId dst_;
+  sim::Cycle period_;
+  sim::Cycle next_ = 0;
+};
+
+void BM_NetworkRun_OneHotCornerActiveSet(benchmark::State& state) {
+  // One permanently busy corner in an otherwise idle 16x16 mesh: global
+  // quiescence never holds, so the event-horizon engine degenerates to
+  // ~1x, while the active set steps only the corner's handful of
+  // components and parks the other ~250 routers.
+  const noc::SchedulerMode mode =
+      state.range(0) != 0 ? noc::SchedulerMode::kActiveSet : noc::SchedulerMode::kStepped;
+  for (auto _ : state) {
+    noc::Network net(mesh_config(16, 2));
+    const auto model = nbti::NbtiModel::calibrated({}, {});
+    core::PolicyConfig pc;
+    pc.kind = core::PolicyKind::kSensorWise;
+    core::PolicyGateController ctrl(net, pc, model, {}, nbti::PvConfig{}, 7);
+    ctrl.attach();
+    net.set_traffic_source(0, std::make_unique<OneHotSource>(1, 8));
+    net.set_scheduler_mode(mode);
+    net.run(20'000);
+    benchmark::DoNotOptimize(net.scheduler_stats().router_steps);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_NetworkRun_OneHotCornerActiveSet)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 // Routing-cost pair: the legacy per-flit coordinate arithmetic vs the
 // topology layer's precomputed-table load, over an identical mesh
 // destination stream. check_perf_regression.py gates the ratio (a

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Enforce per-file line-coverage floors from an lcov tracefile.
+
+Usage: check_coverage.py coverage.info --floor 90 active_set.cpp active_set.hpp
+
+Each positional file argument is matched against the basename of every SF:
+record in the tracefile. A file that never appears fails the check too —
+a silently dropped TU (e.g. the scheduler compiled out of the test build)
+must not read as 100% covered.
+"""
+
+import argparse
+import sys
+
+
+def parse_tracefile(path):
+    """Returns {source_path: (lines_hit, lines_instrumented)}."""
+    per_file = {}
+    current = None
+    hit = instrumented = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith("SF:"):
+                current = line[3:]
+                hit = instrumented = 0
+            elif line.startswith("DA:"):
+                count = line[3:].split(",")[1]
+                instrumented += 1
+                if int(count) > 0:
+                    hit += 1
+            elif line == "end_of_record" and current is not None:
+                prev_hit, prev_instr = per_file.get(current, (0, 0))
+                per_file[current] = (prev_hit + hit, prev_instr + instrumented)
+                current = None
+    return per_file
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("tracefile", help="lcov .info tracefile")
+    parser.add_argument("--floor", type=float, default=90.0,
+                        help="minimum line coverage percent (default 90)")
+    parser.add_argument("files", nargs="+",
+                        help="source basenames that must meet the floor")
+    args = parser.parse_args()
+
+    per_file = parse_tracefile(args.tracefile)
+    failures = []
+    for wanted in args.files:
+        matches = {src: counts for src, counts in per_file.items()
+                   if src.rsplit("/", 1)[-1] == wanted}
+        if not matches:
+            print(f"FAIL {wanted}: not present in {args.tracefile}")
+            failures.append(wanted)
+            continue
+        hit = sum(h for h, _ in matches.values())
+        instrumented = sum(i for _, i in matches.values())
+        percent = 100.0 * hit / instrumented if instrumented else 100.0
+        verdict = "FAIL" if percent < args.floor else "ok"
+        print(f"{verdict:4s} {wanted}: {percent:.1f}% line coverage "
+              f"({hit}/{instrumented}, floor {args.floor:.0f}%)")
+        if percent < args.floor:
+            failures.append(wanted)
+
+    if failures:
+        print(f"coverage floor violated: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,8 +67,15 @@ std::map<noc::PortKey, std::vector<double>> sample_network_vths(const noc::NocCo
 
 class PolicyGateController final : public noc::IGateController {
  public:
+  /// `model` must outlive the controller: every per-port sensor bank keeps
+  /// a pointer into it. The rvalue overloads are deleted so a temporary
+  /// (e.g. `NbtiModel::calibrated(...)` inline) is a compile error instead
+  /// of a dangling pointer.
   PolicyGateController(noc::Network& network, PolicyConfig config, const nbti::NbtiModel& model,
                        nbti::OperatingPoint op, const nbti::PvConfig& pv, std::uint64_t pv_seed);
+  PolicyGateController(noc::Network& network, PolicyConfig config, nbti::NbtiModel&& model,
+                       nbti::OperatingPoint op, const nbti::PvConfig& pv,
+                       std::uint64_t pv_seed) = delete;
 
   /// Builds the controller on explicitly provided per-port Vth vectors
   /// (e.g. partially aged silicon in a lifetime study) instead of sampling
@@ -77,6 +84,10 @@ class PolicyGateController final : public noc::IGateController {
                        nbti::OperatingPoint op,
                        std::map<noc::PortKey, std::vector<double>> initial_vths,
                        std::uint64_t noise_seed = 0x5e7502ULL);
+  PolicyGateController(noc::Network& network, PolicyConfig config, nbti::NbtiModel&& model,
+                       nbti::OperatingPoint op,
+                       std::map<noc::PortKey, std::vector<double>> initial_vths,
+                       std::uint64_t noise_seed = 0x5e7502ULL) = delete;
 
   // IGateController
   noc::GateCommand decide(const noc::PortKey& key, const noc::OutVcStateView& view,
@@ -144,6 +155,11 @@ class PolicyGateController final : public noc::IGateController {
   std::string name_;
   std::map<noc::PortKey, PortContext> ports_;
   sim::FaultInjector* injector_ = nullptr;
+
+  /// Earliest sensor-refresh epoch across ports: fault-free post_cycle
+  /// calls before this cycle are provable no-ops and return in O(1) — the
+  /// controller-side epoch fence of the event-driven schedulers.
+  sim::Cycle post_cycle_fence_ = 0;
 
   // Interned stat handles (fault.quarantined_port_cycles is bumped every
   // cycle per quarantined port — a hot-path site under fault injection).

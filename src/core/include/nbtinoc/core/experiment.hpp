@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,12 @@ struct RunnerOptions {
   /// (forced off) when check_invariants is set, which steps every cycle by
   /// construction.
   bool fast_forward = true;
+  /// Explicit scheduler selection. When set it wins over `fast_forward`
+  /// (which remains as the legacy two-state knob): kStepped / kFastForward /
+  /// kActiveSet. Unlike fast-forward, the active-set scheduler composes
+  /// with check_invariants — the checker then also audits that every parked
+  /// component is provably idle.
+  std::optional<noc::SchedulerMode> scheduler;
 };
 
 /// Runs one scenario under one policy. PV seed and traffic seed derive from

@@ -147,7 +147,12 @@ noc::GateCommand PolicyGateController::compute(const noc::PortKey& key,
   // the sensor-free rr fallback: keep gating, stop trusting. With no
   // injector this block is dead and the paths below are bit-identical to
   // the fault-free build.
-  const bool faulted = injector_ != nullptr && injector_->enabled();
+  // Targeted plans (FaultPlan::targets) confine the storm: an untargeted
+  // port never sees corrupted readings or quarantine and must take the
+  // fault-free paths below — its effective_vths are never refreshed.
+  const bool faulted = injector_ != nullptr && injector_->enabled() &&
+                       injector_->plan().targets_port(static_cast<int>(key.router),
+                                                     static_cast<int>(key.port));
   const bool sensor_policy = config_.kind == PolicyKind::kSensorWiseNoTraffic ||
                              config_.kind == PolicyKind::kSensorWise ||
                              config_.kind == PolicyKind::kSensorRank;
@@ -198,10 +203,16 @@ noc::GateCommand PolicyGateController::compute(const noc::PortKey& key,
 }
 
 void PolicyGateController::post_cycle(sim::Cycle now) {
+  const bool have_injector = injector_ != nullptr && injector_->enabled();
+  // Off-epoch, fault-free calls are strict no-ops (refresh_due is false for
+  // every port and update() is epoch-gated with no RNG), so an O(1) fence
+  // skips the O(ports) walk until the earliest due epoch. With an injector
+  // the walk runs every cycle: quarantine dwell stats accrue per cycle.
+  if (!have_injector && now < post_cycle_fence_) return;
   // Sensor refresh (epoch-gated inside the bank) from the authoritative
   // stress trackers; this is the Down_Up link update point.
   const double elapsed = network_->clock().seconds_now();
-  const bool faulted = injector_ != nullptr && injector_->enabled();
+  sim::Cycle fence = sim::kCycleNever;
   for (auto& [key, ctx] : ports_) {
     const bool epoch = ctx.sensors.refresh_due(now);
     noc::InputUnit& iu = network_->router(key.router).input(key.port);
@@ -211,10 +222,18 @@ void PolicyGateController::post_cycle(sim::Cycle now) {
     // trackers otherwise.
     if (epoch) iu.sync_stress(now + 1);
     ctx.sensors.update(now, elapsed, iu.trackers());
-    if (!faulted) continue;
+    fence = std::min(fence, ctx.sensors.next_refresh_cycle());
+    if (!have_injector) continue;
+    // Targeted plans confine the fault machinery (and its RNG draws) to
+    // the ports the plan names; with an empty target list that is all of
+    // them, the pre-locality behavior.
+    if (!injector_->plan().targets_port(static_cast<int>(key.router),
+                                        static_cast<int>(key.port)))
+      continue;
     if (epoch) faulted_epoch(key, ctx);
     if (ctx.quarantined) network_->stats().add(h_quarantined_cycles_);
   }
+  post_cycle_fence_ = fence;
 }
 
 sim::Cycle PolicyGateController::next_event_cycle(sim::Cycle now) {

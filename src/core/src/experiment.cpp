@@ -118,11 +118,17 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
 
   RunResult result;
   if (!options.check_invariants) {
-    network.set_fast_forward(options.fast_forward);
+    if (options.scheduler)
+      network.set_scheduler_mode(*options.scheduler);
+    else
+      network.set_fast_forward(options.fast_forward);
     network.run_with_warmup(scenario.warmup_cycles, scenario.measure_cycles);
   } else {
     // Same schedule as run_with_warmup, with the invariant checker run
-    // after every cycle (it self-resyncs across the stats reset).
+    // after every cycle (it self-resyncs across the stats reset). step()
+    // honors the explicit scheduler choice (active-set steps one cycle of
+    // its scheduled components; fast-forward degenerates to stepped here).
+    if (options.scheduler) network.set_scheduler_mode(*options.scheduler);
     noc::InvariantChecker checker(network);
     network.set_measuring(false);
     for (sim::Cycle i = 0; i < scenario.warmup_cycles; ++i) {

@@ -34,8 +34,12 @@ struct SensorConfig {
 /// One sensor per buffer of an input port. Deterministic given its seed.
 class NbtiSensorBank {
  public:
+  /// `model` must outlive the bank (stored by pointer); the rvalue overload
+  /// is deleted so passing a temporary is a compile error.
   NbtiSensorBank(std::vector<double> initial_vths, const NbtiModel& model, OperatingPoint op,
                  SensorConfig config = {}, std::uint64_t noise_seed = 0x5e7501ULL);
+  NbtiSensorBank(std::vector<double> initial_vths, NbtiModel&& model, OperatingPoint op,
+                 SensorConfig config = {}, std::uint64_t noise_seed = 0x5e7501ULL) = delete;
 
   std::size_t size() const { return initial_vths_.size(); }
 

@@ -27,12 +27,21 @@ class Channel {
  public:
   /// Delivery interceptor: may mutate the payload; returns false to drop it.
   using FaultHook = std::function<bool(T& payload, sim::Cycle now)>;
+  /// Push observer, fired with the payload's delivery cycle. The active-set
+  /// scheduler installs these to wake a channel's receiver exactly when the
+  /// payload becomes deliverable; no hook (the default) keeps the stepped
+  /// hot path at a single branch.
+  using PushHook = std::function<void(sim::Cycle ready_at)>;
 
   explicit Channel(sim::Cycle delay = 1) : delay_(delay) {}
 
   sim::Cycle delay() const { return delay_; }
 
-  void push(T payload, sim::Cycle now) { in_flight_.emplace_back(now + delay_, std::move(payload)); }
+  void push(T payload, sim::Cycle now) {
+    const sim::Cycle ready_at = now + delay_;
+    in_flight_.emplace_back(ready_at, std::move(payload));
+    if (on_push_) on_push_(ready_at);
+  }
 
   /// Pops the oldest payload whose delivery time has been reached. With a
   /// fault hook installed, dropped payloads are consumed silently and the
@@ -78,6 +87,9 @@ class Channel {
   /// hook. The hook owns no payloads; it only inspects/mutates/vetoes.
   void set_fault_hook(FaultHook hook) { fault_ = std::move(hook); }
   bool has_fault_hook() const { return static_cast<bool>(fault_); }
+  /// Installs (or removes, with an empty function) the push observer.
+  void set_push_hook(PushHook hook) { on_push_ = std::move(hook); }
+  bool has_push_hook() const { return static_cast<bool>(on_push_); }
   /// Payloads consumed by the hook so far.
   std::uint64_t dropped() const { return dropped_; }
 
@@ -87,6 +99,7 @@ class Channel {
   // util::RingQueue); capacity tracks the link's occupancy high-water mark.
   util::RingQueue<std::pair<sim::Cycle, T>> in_flight_;
   FaultHook fault_;
+  PushHook on_push_;
   std::uint64_t dropped_ = 0;
 };
 

@@ -19,6 +19,7 @@
 // A flit therefore needs three cycles per hop (BW/RC, VA/SA, ST/LT),
 // matching the paper's 3-stage pipeline.
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -28,12 +29,26 @@
 #include "nbtinoc/noc/router.hpp"
 #include "nbtinoc/noc/topology.hpp"
 #include "nbtinoc/noc/traffic_source.hpp"
+#include "nbtinoc/sim/active_set.hpp"
 #include "nbtinoc/sim/clock.hpp"
 #include "nbtinoc/sim/event_horizon.hpp"
 #include "nbtinoc/sim/fault_plan.hpp"
 #include "nbtinoc/sim/stat_registry.hpp"
 
 namespace nbtinoc::noc {
+
+/// Execution engines for Network::run(). All three are bit-identical in
+/// every observable (stats, duty cycles, RNG streams); they differ only in
+/// how much work each simulated cycle costs:
+///  - kStepped:     literal per-cycle execution of every component.
+///  - kFastForward: stepped, plus closed-form jumps across whole-network
+///                  quiescence (the PR 4 event-horizon engine).
+///  - kActiveSet:   event-driven — only routers/NIs with provable work are
+///                  stepped each cycle; wake events (channel deliveries,
+///                  source fires, reply posts) re-insert parked components,
+///                  and full quiescence degenerates to the same
+///                  event-horizon jump.
+enum class SchedulerMode { kStepped, kFastForward, kActiveSet };
 
 class Network {
  public:
@@ -109,12 +124,54 @@ class Network {
   /// or are still somewhere in flight. True when nothing is in flight.
   bool drained() const;
 
-  // --- fast-forward engine (sim::EventHorizon) -------------------------------
-  /// Enables event-horizon cycle skipping inside run(). Off by default on a
-  /// raw Network (step()-level tests expect literal per-cycle execution);
-  /// core::run_experiment turns it on via RunnerOptions::fast_forward.
-  void set_fast_forward(bool enabled) { fast_forward_ = enabled; }
-  bool fast_forward() const { return fast_forward_; }
+  // --- execution engines (sim::EventHorizon, sim::ActiveSet) -----------------
+  /// Selects the execution engine. Defaults to kStepped (step()-level tests
+  /// expect literal per-cycle execution); core::run_experiment picks via
+  /// RunnerOptions. Entering kActiveSet installs channel push hooks and
+  /// marks every component active (the first retire pass parks what it
+  /// can); leaving removes the hooks.
+  ///
+  /// kActiveSet caveat: when the *gate controller* carries a fault
+  /// injector, the network must carry one with the same FaultPlan too —
+  /// faulted ports can emit time-varying commands, and it is the network's
+  /// injector that pins their routers active. core::run_experiment always
+  /// installs both together.
+  void set_scheduler_mode(SchedulerMode mode);
+  SchedulerMode scheduler_mode() const { return scheduler_mode_; }
+
+  /// Legacy toggle: maps to kFastForward / kStepped.
+  void set_fast_forward(bool enabled) {
+    set_scheduler_mode(enabled ? SchedulerMode::kFastForward : SchedulerMode::kStepped);
+  }
+  bool fast_forward() const { return scheduler_mode_ == SchedulerMode::kFastForward; }
+
+  // --- active-set introspection (oracle tests, invariant checker) ------------
+  /// Membership of the active set for the *next* cycle to execute (the
+  /// retire pass of the previous step populated it; wake-heap entries due
+  /// later are not yet visible). A component outside is parked: provably at
+  /// a local fixed point until a wake event re-inserts it.
+  bool router_active(NodeId id) const { return active_routers_.contains(id); }
+  bool ni_active(NodeId t) const { return active_nis_.contains(t); }
+  /// Membership during the most recently executed active-set cycle.
+  bool router_stepped(NodeId id) const { return stepped_routers_.contains(id); }
+  bool ni_stepped(NodeId t) const { return stepped_nis_.contains(t); }
+
+  /// True when router `id` sits in the per-port gating fixed point the park
+  /// condition (and quiescent()) require: every (vnet, class) record of a
+  /// port agrees, and the port is all-gated or all-idle accordingly.
+  bool router_gating_fixed_point(NodeId id) const;
+
+  struct SchedulerStats {
+    std::uint64_t cycles_executed = 0;  ///< active-set cycles actually stepped
+    std::uint64_t router_steps = 0;     ///< sum over cycles of active routers
+    std::uint64_t ni_steps = 0;         ///< sum over cycles of active NIs
+  };
+  const SchedulerStats& scheduler_stats() const { return scheduler_stats_; }
+
+  /// Wakes terminal `t`'s NI no later than max(at, now + 1) — the hook for
+  /// cross-source events no channel carries (ReplyBoard posts a reply to a
+  /// possibly parked server). No-op outside kActiveSet mode.
+  void wake_terminal_at(NodeId t, sim::Cycle at);
 
   /// O(channels + ports) proof that nothing observable can happen until an
   /// external event: no flit or credit in flight, every NI empty and not
@@ -147,6 +204,36 @@ class Network {
 
  private:
   void gating_stage();
+  /// One router's slice of the gating stage (decide + Up_Down delivery for
+  /// every port/vnet/class) — shared by the full walk and the active-set
+  /// scheduler.
+  void gating_stage_for(NodeId id, sim::Cycle now);
+  /// The injector seen by `apply_gate_command` at this port: the installed
+  /// one if the plan targets the port (an empty target list targets all),
+  /// nullptr otherwise — untargeted ports must not draw wake-fail RNG.
+  sim::FaultInjector* injector_for(NodeId id, Dir port) const;
+
+  // --- active-set scheduler ---------------------------------------------------
+  /// One cycle stepping only active components (the kActiveSet step()).
+  void step_active();
+  /// End-of-cycle bookkeeping: parks / keeps each active component, wakes
+  /// neighbors of busy routers, schedules source wakes, and rotates the
+  /// wake ring into the next cycle's active sets.
+  void retire_active_cycle(sim::Cycle now);
+  /// Moves heap wakes due at `now` into the active sets.
+  void drain_wakes(sim::Cycle now);
+  void wake_router_at(NodeId id, sim::Cycle at);
+  void wake_ni_at(NodeId t, sim::Cycle at);
+  /// Park precondition beyond busy_vcs == 0 (checked by the caller): not
+  /// fault-pinned, inbound channels quiet, gating fixed point.
+  bool router_park_eligible(NodeId id) const;
+  void install_push_hooks();
+  void remove_push_hooks();
+  /// Recomputes pinned_routers_ from the injector's FaultPlan targets: a
+  /// targeted router never parks, so every fault RNG draw stays at its
+  /// stepped-schedule position and the rest of the fabric keeps skipping.
+  void refresh_fault_pins();
+
   Channel<GateCommand>& up_down_link_mutable(NodeId router, Dir port);
   /// Last applied gating mode (gating_active) per (router, port, vnet,
   /// dateline class) — written by gating_stage, read by the quiescence
@@ -170,6 +257,15 @@ class Network {
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
   std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+  /// Receiver of each channel (parallel to flit_channels_ /
+  /// credit_channels_), recorded at wiring time so the active-set push
+  /// hooks know whom a delivery wakes.
+  struct ChannelSink {
+    bool is_ni = false;
+    NodeId id = 0;
+  };
+  std::vector<ChannelSink> flit_sinks_;
+  std::vector<ChannelSink> credit_sinks_;
   /// Up_Down command links, indexed router * ports_per_router + port (null
   /// where the input port does not exist).
   std::vector<std::unique_ptr<Channel<GateCommand>>> up_down_links_;
@@ -179,9 +275,22 @@ class Network {
   IGateController* controller_ = nullptr;
   sim::FaultInjector* injector_ = nullptr;
 
-  bool fast_forward_ = false;
+  SchedulerMode scheduler_mode_ = SchedulerMode::kStepped;
   sim::SkipStats skip_stats_;
   std::vector<unsigned char> gating_record_;
+
+  // --- active-set scheduler state --------------------------------------------
+  sim::ActiveSet active_routers_;   ///< cycle about to execute
+  sim::ActiveSet active_nis_;
+  sim::ActiveSet stepped_routers_;  ///< cycle just executed (introspection)
+  sim::ActiveSet stepped_nis_;
+  /// Short wake ring: [0] holds wakes for now + 1, [1] for now + 2 (the
+  /// flit-link delay); rotated at retire. Anything farther goes to the heap.
+  std::array<sim::ActiveSet, 2> wake_routers_;
+  std::array<sim::ActiveSet, 2> wake_nis_;
+  sim::WakeHeap wake_heap_;  ///< ids: [0, routers) routers, then terminals
+  std::vector<unsigned char> pinned_routers_;  ///< fault-targeted, never park
+  SchedulerStats scheduler_stats_;
 
   std::uint64_t packet_id_counter_ = 0;
 };

@@ -63,6 +63,15 @@ class NetworkInterface {
   /// source generates again.
   bool idle() const { return !sending_ && queue_.empty(); }
 
+  /// True when no inbound channel (credit return, ejection) carries a
+  /// payload: with idle() this proves receive()/inject()/generate() would
+  /// all be no-ops until a link delivery or source fire — the active-set
+  /// scheduler's NI park-eligibility condition.
+  bool inbound_links_quiet() const {
+    return (credit_in_ == nullptr || credit_in_->empty()) &&
+           (eject_in_ == nullptr || eject_in_->empty());
+  }
+
   std::uint64_t packets_ejected() const { return packets_ejected_; }
   std::uint64_t flits_injected() const { return flits_injected_; }
 
@@ -71,6 +80,7 @@ class NetworkInterface {
   int credits(int vc) const { return credits_.at(static_cast<std::size_t>(vc)); }
   const Channel<Flit>* inject_link() const { return inject_out_; }
   const Channel<Credit>* credit_link() const { return credit_in_; }
+  const Channel<Flit>* eject_link() const { return eject_in_; }
 
  private:
   struct QueuedPacket {

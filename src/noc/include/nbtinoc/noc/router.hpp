@@ -78,6 +78,9 @@ class Router {
   const Channel<Credit>* credit_in_link(Dir dir) const {
     return credit_in_[static_cast<std::size_t>(dir)];
   }
+  const Channel<Flit>* flit_in_link(Dir dir) const {
+    return flit_in_[static_cast<std::size_t>(dir)];
+  }
   const InputUnit* downstream_input(Dir dir) const {
     return downstream_iu_[static_cast<std::size_t>(dir)];
   }
@@ -110,11 +113,18 @@ class Router {
   /// ("noc.router<id>.flits_out"), used for per-tile power attribution.
   const std::string& flits_out_stat_key() const { return flits_out_key_; }
 
- private:
   /// True when any input port holds an Active VC — the O(ports) gate in
-  /// front of the VA/SA scans (see va_stage).
+  /// front of the VA/SA scans (see va_stage), and the active-set
+  /// scheduler's "this router still has datapath work" signal.
   bool any_busy_input() const;
 
+  /// True when no inbound flit or credit channel of this router carries a
+  /// payload: together with any_busy_input() == false this proves
+  /// accept_arrivals() would be a no-op — half of the scheduler's
+  /// park-eligibility condition.
+  bool inbound_links_quiet() const;
+
+ private:
   NodeId id_;
   NocConfig config_;
   std::unique_ptr<Topology> owned_topology_;  ///< standalone routers only

@@ -67,6 +67,13 @@ class PortStateProbe {
 ///   4. no deadlock: whenever flits are resident, some global movement
 ///      counter must advance within `deadlock_threshold` cycles.
 ///
+/// Under the active-set scheduler (Network::scheduler_mode() ==
+/// SchedulerMode::kActiveSet) a fifth audit runs: every *parked* component
+/// (absent from the next cycle's active set) must be provably idle — no
+/// busy input VC, gating at its fixed point, and no inbound link payload
+/// deliverable soon enough that skipping the component could change
+/// behavior. A parked component holding imminent work is the scheduler's
+/// one unforgivable bug, so it is reported as a violation here.
 /// The checker is read-only and deterministic; it never perturbs the run.
 class InvariantChecker {
  public:
@@ -104,6 +111,7 @@ class InvariantChecker {
   void check_credit_conservation(sim::Cycle cycle);
   void check_flit_conservation(sim::Cycle cycle);
   void check_deadlock(sim::Cycle cycle);
+  void check_active_set(sim::Cycle cycle);
 
   const Network* network_;
   Options options_;

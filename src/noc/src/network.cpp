@@ -28,6 +28,10 @@ Network::Network(NocConfig config) : config_(config), controller_(&baseline_cont
       if (r == kInvalidNode) continue;
       auto flit_link = std::make_unique<Channel<Flit>>(NocConfig::kLinkDelay);
       auto credit_link = std::make_unique<Channel<Credit>>(NocConfig::kCreditDelay);
+      // A delivered flit wakes the downstream router; a returning credit
+      // wakes the upstream one (active-set push hooks bind by these sinks).
+      flit_sinks_.push_back(ChannelSink{false, r});
+      credit_sinks_.push_back(ChannelSink{false, u});
       // From the receiver's point of view the sender sits in direction
       // opposite(dir): u's East output feeds r's West input. On wrap links
       // (torus, ring) this holds too — neighbor() is symmetric under
@@ -57,7 +61,20 @@ Network::Network(NocConfig config) : config_(config), controller_(&baseline_cont
     flit_channels_.push_back(std::move(inject));
     flit_channels_.push_back(std::move(eject));
     credit_channels_.push_back(std::move(credit));
+    flit_sinks_.push_back(ChannelSink{false, r});  // injection: wakes the router
+    flit_sinks_.push_back(ChannelSink{true, t});   // ejection: wakes the NI
+    credit_sinks_.push_back(ChannelSink{true, t});
   }
+
+  // Active-set scheduler state (engaged by set_scheduler_mode).
+  active_routers_.resize(n);
+  active_nis_.resize(terminals);
+  stepped_routers_.resize(n);
+  stepped_nis_.resize(terminals);
+  for (auto& set : wake_routers_) set.resize(n);
+  for (auto& set : wake_nis_) set.resize(terminals);
+  wake_heap_.reserve(static_cast<std::size_t>(n) + 4 * static_cast<std::size_t>(terminals));
+  pinned_routers_.assign(static_cast<std::size_t>(n), 0);
 
   // Up_Down command links, one per existing input port. Delay 0: the
   // upstream pre-VA logic and the downstream header PMOS share a cycle
@@ -79,11 +96,19 @@ Network::Network(NocConfig config) : config_(config), controller_(&baseline_cont
 
 void Network::set_gate_controller(IGateController* controller) {
   controller_ = controller != nullptr ? controller : &baseline_controller_;
+  // Mid-run swap under the active-set scheduler: parked routers sit at the
+  // *old* policy's gating fixed point — wake everything so each port
+  // re-proves its fixed point against the new policy before re-parking.
+  if (scheduler_mode_ == SchedulerMode::kActiveSet) active_routers_.insert_all();
 }
 
 void Network::set_traffic_source(NodeId node, std::unique_ptr<ITrafficSource> source) {
   ni(node).set_traffic_source(source.get());
   sources_.at(static_cast<std::size_t>(node)) = std::move(source);
+  // Mid-run installation under the active-set scheduler: the NI may be
+  // parked on the old source's (or no) horizon — re-activate it so the next
+  // retire pass re-parks against the new source's next_event_cycle.
+  if (scheduler_mode_ == SchedulerMode::kActiveSet) active_nis_.insert(node);
 }
 
 Channel<GateCommand>& Network::up_down_link_mutable(NodeId router, Dir port) {
@@ -104,81 +129,121 @@ const Channel<GateCommand>& Network::up_down_link(NodeId router, Dir port) const
 
 void Network::set_fault_injector(sim::FaultInjector* injector) {
   injector_ = injector;
-  for (auto& link : up_down_links_) {
-    if (link == nullptr) continue;
-    if (injector_ == nullptr) {
-      link->set_fault_hook({});
-      continue;
-    }
-    link->set_fault_hook([this](GateCommand& cmd, sim::Cycle) {
-      if (injector_->drop_gate_command()) return false;
-      int shift = 0;
-      if (injector_->flip_gate_command(cmd.range_vcs, &shift)) {
-        // Corrupt the command but keep it well-formed for its vnet range:
-        // a valid keep_vc rotates within the range; a command that kept
-        // nothing awake gains a spurious enable on an arbitrary range VC.
-        const int range = cmd.range_vcs;
-        if (cmd.enable && cmd.keep_vc != kInvalidVc) {
-          cmd.keep_vc = cmd.first_vc + (cmd.keep_vc - cmd.first_vc + shift) % range;
-        } else {
-          cmd.gating_active = true;
-          cmd.enable = true;
-          cmd.keep_vc = cmd.first_vc + shift;
-        }
+  const int ports = config_.ports_per_router();
+  for (NodeId id = 0; id < num_routers(); ++id) {
+    for (int p = 0; p < ports; ++p) {
+      auto& link = up_down_links_[static_cast<std::size_t>(id) * static_cast<std::size_t>(ports) +
+                                  static_cast<std::size_t>(p)];
+      if (link == nullptr) continue;
+      // The storm only touches links its plan targets (an empty target list
+      // targets everything — the pre-locality behavior). Untargeted links
+      // keep the zero-overhead exact-delivery path and draw no RNG, so the
+      // active-set scheduler can go on parking their routers.
+      if (injector_ == nullptr || !injector_->plan().targets_port(id, p)) {
+        link->set_fault_hook({});
+        continue;
       }
-      return true;
-    });
+      link->set_fault_hook([this](GateCommand& cmd, sim::Cycle) {
+        if (injector_->drop_gate_command()) return false;
+        int shift = 0;
+        if (injector_->flip_gate_command(cmd.range_vcs, &shift)) {
+          // Corrupt the command but keep it well-formed for its vnet range:
+          // a valid keep_vc rotates within the range; a command that kept
+          // nothing awake gains a spurious enable on an arbitrary range VC.
+          const int range = cmd.range_vcs;
+          if (cmd.enable && cmd.keep_vc != kInvalidVc) {
+            cmd.keep_vc = cmd.first_vc + (cmd.keep_vc - cmd.first_vc + shift) % range;
+          } else {
+            cmd.gating_active = true;
+            cmd.enable = true;
+            cmd.keep_vc = cmd.first_vc + shift;
+          }
+        }
+        return true;
+      });
+    }
   }
+  refresh_fault_pins();
+}
+
+void Network::refresh_fault_pins() {
+  std::fill(pinned_routers_.begin(), pinned_routers_.end(), 0);
+  if (injector_ == nullptr) return;
+  const int ports = config_.ports_per_router();
+  for (NodeId id = 0; id < num_routers(); ++id) {
+    for (int p = 0; p < ports; ++p) {
+      if (!router(id).has_input(static_cast<Dir>(p))) continue;
+      if (!injector_->plan().targets_port(id, p)) continue;
+      // Every fault process at this router (link hook draws, wake-fail
+      // draws, the controller's per-epoch sensor machinery) must run at its
+      // stepped-schedule position, so the router can never park.
+      pinned_routers_[static_cast<std::size_t>(id)] = 1;
+      if (scheduler_mode_ == SchedulerMode::kActiveSet) active_routers_.insert(id);
+      break;
+    }
+  }
+}
+
+sim::FaultInjector* Network::injector_for(NodeId id, Dir port) const {
+  if (injector_ == nullptr) return nullptr;
+  return injector_->plan().targets_port(id, static_cast<int>(port)) ? injector_ : nullptr;
 }
 
 void Network::gating_stage() {
   const sim::Cycle now = clock_.now();
+  for (NodeId id = 0; id < num_routers(); ++id) gating_stage_for(id, now);
+}
+
+void Network::gating_stage_for(NodeId id, sim::Cycle now) {
   const int ports = config_.ports_per_router();
   const int num_classes = config_.vc_classes();
-  for (NodeId id = 0; id < num_routers(); ++id) {
-    Router& r = router(id);
-    for (int p = 0; p < ports; ++p) {
-      const Dir port = static_cast<Dir>(p);
-      if (!r.has_input(port)) continue;
-      // One pre-VA decision per (virtual network, dateline class): each
-      // class's VC subrange is managed exactly like the paper's
-      // single-vnet case. The split matters for deadlock freedom — a
-      // sensor-wise policy keeping only one VC awake per decision must
-      // keep one *per class*, or a packet needing the other class would
-      // wait forever behind a traffic signal that never fires for it.
-      // Single-class topologies run the class loop once over the whole
-      // vnet, reproducing the pre-topology decision sequence exactly.
-      for (int vn = 0; vn < config_.num_vnets; ++vn) {
-        for (int cls = 0; cls < num_classes; ++cls) {
-          bool new_traffic = false;
-          if (is_local(port)) {
-            new_traffic = ni(topo_->terminal_of(id, local_slot(port))).has_new_traffic(vn, cls, now);
-          } else {
-            const NodeId upstream = topo_->neighbor(id, port);
-            new_traffic = router(upstream).has_new_traffic_toward(opposite(port), vn, cls, now);
-          }
-          const int first = config_.first_vc_of_vnet(vn) + config_.class_first_vc(cls);
-          const OutVcStateView view(&r.input(port), first, config_.class_num_vcs(cls));
-          GateCommand cmd = controller_->decide(PortKey{id, port}, view, new_traffic, now);
-          if (cmd.keep_vc != kInvalidVc) cmd.keep_vc += first;  // local -> global
-          cmd.first_vc = first;
-          cmd.range_vcs = config_.class_num_vcs(cls);
-          gating_record_[gating_record_index(id, port, vn, cls)] = cmd.gating_active ? 1 : 0;
-          // The command crosses its Up_Down channel (delay 0: push, then
-          // pop the same cycle). Under fault injection the channel's hook
-          // may drop it — the downstream port then simply holds state —
-          // or corrupt it in range.
-          Channel<GateCommand>& link = up_down_link_mutable(id, port);
-          link.push(cmd, now);
-          while (auto delivered = link.pop_ready(now))
-            r.input(port).apply_gate_command(*delivered, now, injector_);
+  Router& r = router(id);
+  for (int p = 0; p < ports; ++p) {
+    const Dir port = static_cast<Dir>(p);
+    if (!r.has_input(port)) continue;
+    sim::FaultInjector* port_injector = injector_for(id, port);
+    // One pre-VA decision per (virtual network, dateline class): each
+    // class's VC subrange is managed exactly like the paper's
+    // single-vnet case. The split matters for deadlock freedom — a
+    // sensor-wise policy keeping only one VC awake per decision must
+    // keep one *per class*, or a packet needing the other class would
+    // wait forever behind a traffic signal that never fires for it.
+    // Single-class topologies run the class loop once over the whole
+    // vnet, reproducing the pre-topology decision sequence exactly.
+    for (int vn = 0; vn < config_.num_vnets; ++vn) {
+      for (int cls = 0; cls < num_classes; ++cls) {
+        bool new_traffic = false;
+        if (is_local(port)) {
+          new_traffic = ni(topo_->terminal_of(id, local_slot(port))).has_new_traffic(vn, cls, now);
+        } else {
+          const NodeId upstream = topo_->neighbor(id, port);
+          new_traffic = router(upstream).has_new_traffic_toward(opposite(port), vn, cls, now);
         }
+        const int first = config_.first_vc_of_vnet(vn) + config_.class_first_vc(cls);
+        const OutVcStateView view(&r.input(port), first, config_.class_num_vcs(cls));
+        GateCommand cmd = controller_->decide(PortKey{id, port}, view, new_traffic, now);
+        if (cmd.keep_vc != kInvalidVc) cmd.keep_vc += first;  // local -> global
+        cmd.first_vc = first;
+        cmd.range_vcs = config_.class_num_vcs(cls);
+        gating_record_[gating_record_index(id, port, vn, cls)] = cmd.gating_active ? 1 : 0;
+        // The command crosses its Up_Down channel (delay 0: push, then
+        // pop the same cycle). Under fault injection the channel's hook
+        // may drop it — the downstream port then simply holds state —
+        // or corrupt it in range.
+        Channel<GateCommand>& link = up_down_link_mutable(id, port);
+        link.push(cmd, now);
+        while (auto delivered = link.pop_ready(now))
+          r.input(port).apply_gate_command(*delivered, now, port_injector);
       }
     }
   }
 }
 
 void Network::step() {
+  if (scheduler_mode_ == SchedulerMode::kActiveSet) {
+    step_active();
+    return;
+  }
   const sim::Cycle now = clock_.now();
   gating_stage();
   for (auto& r : routers_) r->va_stage(now);
@@ -199,6 +264,34 @@ void Network::step() {
 
 void Network::run(sim::Cycle cycles) {
   const sim::Cycle end = clock_.now() + cycles;
+  if (scheduler_mode_ == SchedulerMode::kActiveSet) {
+    while (clock_.now() < end) {
+      drain_wakes(clock_.now());
+      // Full quiescence degenerates to the event-horizon jump: with nothing
+      // active now, nothing scheduled for the next cycle, and retire having
+      // left the far ring slot empty, the only possible events are heap
+      // wakes and controller epochs — jump to the earliest (clamped to this
+      // run's end fence).
+      if (active_routers_.empty() && active_nis_.empty() && wake_routers_[0].empty() &&
+          wake_nis_[0].empty()) {
+        const sim::Cycle now = clock_.now();
+        sim::EventHorizon horizon(now);
+        horizon.consider(controller_->next_event_cycle(now));
+        horizon.consider(wake_heap_.top_cycle());
+        const sim::Cycle target = std::min(horizon.horizon(), end);
+        if (target > now) {
+          skip_stats_.note_skip(target - now);
+          clock_.advance(target - now);
+          continue;  // re-drain heap wakes due at the landing cycle
+        }
+        // Horizon pinned at now (e.g. a sensor epoch due this cycle):
+        // execute it — with empty active sets that is post_cycle + tick.
+      }
+      step_active();
+    }
+    sync_stress_accounting();
+    return;
+  }
   while (clock_.now() < end) {
     step();
     // Fast-forward: once the mesh is provably quiescent, nothing observable
@@ -207,7 +300,8 @@ void Network::run(sim::Cycle cycles) {
     // trackers are lazy (note_state/sync), so the skipped span accrues to
     // each buffer's unchanged state at the next fence — exactly what
     // stepping the same span would have recorded.
-    if (!fast_forward_ || clock_.now() >= end || !quiescent()) continue;
+    if (scheduler_mode_ != SchedulerMode::kFastForward || clock_.now() >= end || !quiescent())
+      continue;
     const sim::Cycle target = std::min(next_event_horizon(), end);
     if (target > clock_.now()) {
       skip_stats_.note_skip(target - clock_.now());
@@ -217,6 +311,199 @@ void Network::run(sim::Cycle cycles) {
   // One O(buffers) flush per run() call, so counters are current for any
   // reader that inspects trackers directly after the call.
   sync_stress_accounting();
+}
+
+void Network::set_scheduler_mode(SchedulerMode mode) {
+  if (mode == scheduler_mode_) return;
+  const bool was_active = scheduler_mode_ == SchedulerMode::kActiveSet;
+  scheduler_mode_ = mode;
+  if (mode == SchedulerMode::kActiveSet) {
+    install_push_hooks();
+    // Everything starts live; the first retire pass parks what it can.
+    active_routers_.insert_all();
+    active_nis_.insert_all();
+    for (auto& set : wake_routers_) set.clear();
+    for (auto& set : wake_nis_) set.clear();
+    wake_heap_.clear();
+    refresh_fault_pins();
+  } else if (was_active) {
+    remove_push_hooks();
+  }
+}
+
+void Network::install_push_hooks() {
+  for (std::size_t i = 0; i < flit_channels_.size(); ++i) {
+    const ChannelSink sink = flit_sinks_[i];
+    flit_channels_[i]->set_push_hook([this, sink](sim::Cycle ready_at) {
+      if (sink.is_ni)
+        wake_ni_at(sink.id, ready_at);
+      else
+        wake_router_at(sink.id, ready_at);
+    });
+  }
+  for (std::size_t i = 0; i < credit_channels_.size(); ++i) {
+    const ChannelSink sink = credit_sinks_[i];
+    credit_channels_[i]->set_push_hook([this, sink](sim::Cycle ready_at) {
+      if (sink.is_ni)
+        wake_ni_at(sink.id, ready_at);
+      else
+        wake_router_at(sink.id, ready_at);
+    });
+  }
+  // Up_Down links are delay-0 and drained inside the sender's own gating
+  // stage — no receiver to wake.
+}
+
+void Network::remove_push_hooks() {
+  for (auto& link : flit_channels_) link->set_push_hook({});
+  for (auto& link : credit_channels_) link->set_push_hook({});
+}
+
+void Network::wake_router_at(NodeId id, sim::Cycle at) {
+  const sim::Cycle now = clock_.now();
+  if (at <= now + 1)
+    wake_routers_[0].insert(id);
+  else if (at == now + 2)
+    wake_routers_[1].insert(id);
+  else
+    wake_heap_.push(at, id);
+}
+
+void Network::wake_ni_at(NodeId t, sim::Cycle at) {
+  const sim::Cycle now = clock_.now();
+  if (at <= now + 1)
+    wake_nis_[0].insert(t);
+  else if (at == now + 2)
+    wake_nis_[1].insert(t);
+  else
+    wake_heap_.push(at, num_routers() + t);
+}
+
+void Network::wake_terminal_at(NodeId t, sim::Cycle at) {
+  if (scheduler_mode_ != SchedulerMode::kActiveSet) return;
+  wake_ni_at(t, std::max(at, clock_.now() + 1));
+}
+
+void Network::drain_wakes(sim::Cycle now) {
+  while (!wake_heap_.empty() && wake_heap_.top_cycle() <= now) {
+    const sim::WakeEvent ev = wake_heap_.pop();
+    if (ev.id < num_routers())
+      active_routers_.insert(ev.id);
+    else
+      active_nis_.insert(ev.id - num_routers());
+  }
+}
+
+void Network::step_active() {
+  const sim::Cycle now = clock_.now();
+  drain_wakes(now);
+  stepped_routers_.assign(active_routers_);
+  stepped_nis_.assign(active_nis_);
+  scheduler_stats_.cycles_executed += 1;
+  scheduler_stats_.router_steps += static_cast<std::uint64_t>(active_routers_.count());
+  scheduler_stats_.ni_steps += static_cast<std::uint64_t>(active_nis_.count());
+  // Same stage order as step(), restricted to active members; ascending-id
+  // iteration keeps every RNG draw, arbiter rotation, and stat bump at its
+  // stepped-schedule position. Push hooks fired inside these loops only
+  // write the wake ring / heap, never the sets being iterated.
+  active_routers_.for_each([&](int id) { gating_stage_for(id, now); });
+  active_routers_.for_each([&](int id) { routers_[static_cast<std::size_t>(id)]->va_stage(now); });
+  active_routers_.for_each(
+      [&](int id) { routers_[static_cast<std::size_t>(id)]->sa_st_stage(now); });
+  active_routers_.for_each(
+      [&](int id) { routers_[static_cast<std::size_t>(id)]->accept_arrivals(now); });
+  active_nis_.for_each([&](int t) { nis_[static_cast<std::size_t>(t)]->receive(now); });
+  active_nis_.for_each([&](int t) {
+    nis_[static_cast<std::size_t>(t)]->inject(now, packet_id_counter_);
+    nis_[static_cast<std::size_t>(t)]->generate(now);
+  });
+  // The controller runs on every *executed* cycle, exactly as in stepped
+  // mode — jumps never cross a sensor epoch (next_event_cycle fences them).
+  controller_->post_cycle(now);
+  retire_active_cycle(now);
+  clock_.tick();
+}
+
+void Network::retire_active_cycle(sim::Cycle now) {
+  active_routers_.for_each([&](int id) {
+    Router& r = *routers_[static_cast<std::size_t>(id)];
+    if (r.any_busy_input()) {
+      // A busy router's waiting flits are the new-traffic signal of every
+      // neighbor's gating stage, and its VA stage allocates directly into
+      // downstream input VCs — keep it and its neighbors live. The flood
+      // stops one hop out: woken-but-flitless neighbors park again at
+      // their own retire.
+      wake_routers_[0].insert(id);
+      for (int d = 0; d < 4; ++d) {
+        const NodeId nb = topo_->neighbor(id, static_cast<Dir>(d));
+        if (nb != kInvalidNode) wake_routers_[0].insert(nb);
+      }
+      return;
+    }
+    if (pinned_routers_[static_cast<std::size_t>(id)] != 0 || !router_park_eligible(id))
+      wake_routers_[0].insert(id);
+  });
+  active_nis_.for_each([&](int t) {
+    NetworkInterface& terminal = *nis_[static_cast<std::size_t>(t)];
+    if (!terminal.idle()) {
+      // A non-idle NI asserts has_new_traffic for — and allocates VCs of —
+      // its router's local input port: both must stay live.
+      wake_nis_[0].insert(t);
+      wake_routers_[0].insert(topo_->router_of(t));
+      return;
+    }
+    if (!terminal.inbound_links_quiet()) {
+      wake_nis_[0].insert(t);
+      return;
+    }
+    // Park with a heap wake at the source's next event. Horizons may be
+    // conservative (pre-roll windows): the landing step finds nothing to
+    // do, re-asks, and re-parks — never overshoots a real fire.
+    ITrafficSource* src = sources_[static_cast<std::size_t>(t)].get();
+    if (src != nullptr) {
+      const sim::Cycle h = src->next_event_cycle(now + 1);
+      if (h != sim::kCycleNever) wake_heap_.push(std::max(h, now + 1), num_routers() + t);
+    }
+  });
+  // Rotate the wake ring into place: wakes for now+1 become the next active
+  // sets; the far slot (now+2) moves near; the far slot starts empty.
+  active_routers_.swap(wake_routers_[0]);
+  wake_routers_[0].clear();
+  wake_routers_[0].swap(wake_routers_[1]);
+  active_nis_.swap(wake_nis_[0]);
+  wake_nis_[0].clear();
+  wake_nis_[0].swap(wake_nis_[1]);
+}
+
+bool Network::router_park_eligible(NodeId id) const {
+  const Router& r = *routers_[static_cast<std::size_t>(id)];
+  if (!r.inbound_links_quiet()) return false;
+  return router_gating_fixed_point(id);
+}
+
+bool Network::router_gating_fixed_point(NodeId id) const {
+  const Router& r = *routers_[static_cast<std::size_t>(id)];
+  const int num_classes = config_.vc_classes();
+  for (int p = 0; p < r.num_ports(); ++p) {
+    const Dir port = static_cast<Dir>(p);
+    if (!r.has_input(port)) continue;
+    const InputUnit& iu = r.input(port);
+    // Same per-port clause as quiescent(): every (vnet, class) of the port
+    // must sit in the fixed point of its last applied command — all VCs
+    // gated under an active gating record, all idle-and-unGated otherwise.
+    // Every policy's decide() is a no-op on such a port (ARCHITECTURE.md
+    // §9), which is what makes skipping the decide call bit-exact.
+    const bool active = gating_record_[gating_record_index(id, port, 0, 0)] != 0;
+    for (int vn = 0; vn < config_.num_vnets; ++vn)
+      for (int cls = 0; cls < num_classes; ++cls)
+        if ((gating_record_[gating_record_index(id, port, vn, cls)] != 0) != active) return false;
+    if (active) {
+      if (iu.gated_vcs() != config_.total_vcs()) return false;
+    } else {
+      if (iu.gated_vcs() != 0) return false;
+    }
+  }
+  return true;
 }
 
 void Network::run_with_warmup(sim::Cycle warmup, sim::Cycle measure) {

@@ -93,6 +93,14 @@ bool Router::any_busy_input() const {
   return false;
 }
 
+bool Router::inbound_links_quiet() const {
+  for (const auto* link : flit_in_)
+    if (link != nullptr && !link->empty()) return false;
+  for (const auto* link : credit_in_)
+    if (link != nullptr && !link->empty()) return false;
+  return true;
+}
+
 void Router::va_stage(sim::Cycle now) {
   // No Active VC on any input port means no VA request can exist, and the
   // request-less scan below has no side effects (arbiters only advance on a

@@ -91,6 +91,7 @@ std::size_t InvariantChecker::check() {
   check_credit_conservation(cycle);
   check_flit_conservation(cycle);
   check_deadlock(cycle);
+  if (network_->scheduler_mode() == SchedulerMode::kActiveSet) check_active_set(cycle);
   ++cycles_checked_;
   return violations_.size() - before;
 }
@@ -214,6 +215,55 @@ void InvariantChecker::check_deadlock(sim::Cycle cycle) {
                       " flit(s) resident with no movement since cycle " +
                       std::to_string(last_progress_cycle_));
     deadlock_reported_ = true;
+  }
+}
+
+namespace {
+/// True if `link` carries any payload whose delivery cycle is <= `by`.
+template <typename T>
+bool has_payload_due(const Channel<T>* link, sim::Cycle by) {
+  bool due = false;
+  if (link != nullptr)
+    link->for_each_in_flight([&](const T&, sim::Cycle at) {
+      if (at <= by) due = true;
+    });
+  return due;
+}
+}  // namespace
+
+void InvariantChecker::check_active_set(sim::Cycle cycle) {
+  // `cycle` is the cycle about to execute; router_active()/ni_active() name
+  // the components scheduled for it. Any parked component must be provably
+  // inert *this* cycle: no busy datapath, gating at its fixed point, and no
+  // link payload already deliverable. Payloads due at cycle+1 and later are
+  // legal while parked — their wakes sit in the scheduler's wake ring/heap,
+  // which this read-only probe intentionally cannot see.
+  for (NodeId id = 0; id < network_->num_routers(); ++id) {
+    if (network_->router_active(id)) continue;
+    const Router& r = network_->router(id);
+    if (r.any_busy_input())
+      record(cycle, "active-set: parked router r" + std::to_string(id) + " has a busy input VC");
+    if (!network_->router_gating_fixed_point(id))
+      record(cycle, "active-set: parked router r" + std::to_string(id) +
+                        " is not at its gating fixed point");
+    for (int p = 0; p < r.num_ports(); ++p) {
+      const Dir dir = static_cast<Dir>(p);
+      if (has_payload_due(r.flit_in_link(dir), cycle))
+        record(cycle, "active-set: parked router r" + std::to_string(id) +
+                          " has a deliverable inbound flit on " + to_string(dir));
+      if (has_payload_due(r.credit_in_link(dir), cycle))
+        record(cycle, "active-set: parked router r" + std::to_string(id) +
+                          " has a deliverable inbound credit on " + to_string(dir));
+    }
+  }
+  for (NodeId t = 0; t < network_->nodes(); ++t) {
+    if (network_->ni_active(t)) continue;
+    const NetworkInterface& ni = network_->ni(t);
+    if (!ni.idle())
+      record(cycle, "active-set: parked NI " + std::to_string(t) + " holds queued/sending work");
+    if (has_payload_due(ni.credit_link(), cycle) || has_payload_due(ni.eject_link(), cycle))
+      record(cycle,
+             "active-set: parked NI " + std::to_string(t) + " has a deliverable inbound payload");
   }
 }
 

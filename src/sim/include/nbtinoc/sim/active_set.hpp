@@ -1,0 +1,104 @@
+#pragma once
+// Dense component activity tracking for the event-driven scheduler.
+//
+// ActiveSet is a fixed-size bitmap over component ids (routers or NIs)
+// supporting O(1) insert/contains and ascending-id iteration by word-wise
+// bit scan. Ascending order matters: the scheduler must visit active
+// components in exactly the order the full per-cycle walk would, so every
+// RNG draw, arbiter rotation, and stat bump lands in the same sequence.
+//
+// WakeHeap is a preallocated binary min-heap of (cycle, id) wake events for
+// wake-ups landing further out than the scheduler's short next-cycle ring
+// (source fires after an idle stretch, replies posted with a service
+// delay). Duplicate and stale entries are permitted — waking an already
+// parked-and-idle component is a no-op — so producers never need to search
+// or decrease-key; correctness only requires that no wake is *missing*.
+//
+// Neither structure allocates in steady state: the bitmap is sized once
+// and the heap vector's capacity ratchets during warmup.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/event_horizon.hpp"
+
+namespace nbtinoc::sim {
+
+class ActiveSet {
+ public:
+  /// Sizes the set for ids [0, size) and clears it.
+  void resize(int size);
+
+  void insert(int id) {
+    const auto word = static_cast<std::size_t>(id) >> 6;
+    const std::uint64_t bit = std::uint64_t{1} << (static_cast<unsigned>(id) & 63u);
+    if ((bits_[word] & bit) == 0) {
+      bits_[word] |= bit;
+      ++count_;
+    }
+  }
+
+  bool contains(int id) const {
+    const auto word = static_cast<std::size_t>(id) >> 6;
+    return (bits_[word] >> (static_cast<unsigned>(id) & 63u)) & 1u;
+  }
+
+  bool empty() const { return count_ == 0; }
+  int count() const { return count_; }
+  int size() const { return size_; }
+
+  void clear();
+  /// Inserts every id in [0, size()).
+  void insert_all();
+  void swap(ActiveSet& other) noexcept;
+  /// Copies membership from `other` (same size required).
+  void assign(const ActiveSet& other);
+  /// Merges every member of `other` into this set (same size required).
+  void merge(const ActiveSet& other);
+
+  /// Visits members in ascending id order. The callback must not mutate
+  /// this set (the scheduler routes mid-cycle wakes to the next-cycle ring
+  /// and the heap instead).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < bits_.size(); ++w) {
+      std::uint64_t word = bits_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<int>(w * 64) + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  int size_ = 0;
+  int count_ = 0;
+};
+
+struct WakeEvent {
+  Cycle cycle = 0;
+  int id = 0;  ///< caller-defined id space (the Network packs routers + NIs)
+};
+
+class WakeHeap {
+ public:
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+  void clear() { heap_.clear(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  /// Earliest pending wake cycle; kCycleNever when empty.
+  Cycle top_cycle() const { return heap_.empty() ? kCycleNever : heap_.front().cycle; }
+
+  void push(Cycle cycle, int id);
+  /// Removes and returns the earliest event. Precondition: !empty().
+  WakeEvent pop();
+
+ private:
+  std::vector<WakeEvent> heap_;
+};
+
+}  // namespace nbtinoc::sim

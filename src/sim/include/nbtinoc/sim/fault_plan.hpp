@@ -44,6 +44,8 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "nbtinoc/sim/clock.hpp"
 #include "nbtinoc/sim/stat_registry.hpp"
@@ -76,6 +78,17 @@ struct FaultPlan {
   double gate_cmd_flip_rate = 0.0;  ///< per delivered Up_Down command
   double down_up_drop_rate = 0.0;   ///< per port refresh epoch
   double wake_fail_rate = 0.0;      ///< per wake attempt on a gated buffer
+
+  // --- fault locality ------------------------------------------------------
+  /// Restricts the storm to these (router, input port) sites; empty (the
+  /// default) means every site, the pre-locality behavior. Targeting is
+  /// what lets the active-set scheduler keep parking the healthy part of
+  /// the fabric: only targeted routers are pinned active.
+  std::vector<std::pair<int, int>> targets;
+
+  /// True when the storm covers this (router, port) site (always true with
+  /// an empty target list).
+  bool targets_port(int node, int port) const;
 
   /// True when any rate is nonzero, i.e. installing an injector could ever
   /// change a run. run_experiment only wires the injector when enabled.

@@ -1,0 +1,65 @@
+#include "nbtinoc/sim/active_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbtinoc::sim {
+
+void ActiveSet::resize(int size) {
+  if (size < 0) throw std::invalid_argument("ActiveSet::resize: negative size");
+  size_ = size;
+  bits_.assign((static_cast<std::size_t>(size) + 63) / 64, 0);
+  count_ = 0;
+}
+
+void ActiveSet::clear() {
+  std::fill(bits_.begin(), bits_.end(), std::uint64_t{0});
+  count_ = 0;
+}
+
+void ActiveSet::insert_all() {
+  if (size_ == 0) return;
+  std::fill(bits_.begin(), bits_.end(), ~std::uint64_t{0});
+  // Mask the tail word so count() and for_each agree on the id range.
+  const unsigned tail = static_cast<unsigned>(size_) & 63u;
+  if (tail != 0) bits_.back() = (std::uint64_t{1} << tail) - 1;
+  count_ = size_;
+}
+
+void ActiveSet::swap(ActiveSet& other) noexcept {
+  bits_.swap(other.bits_);
+  std::swap(size_, other.size_);
+  std::swap(count_, other.count_);
+}
+
+void ActiveSet::assign(const ActiveSet& other) {
+  if (other.size_ != size_) throw std::invalid_argument("ActiveSet::assign: size mismatch");
+  std::copy(other.bits_.begin(), other.bits_.end(), bits_.begin());
+  count_ = other.count_;
+}
+
+void ActiveSet::merge(const ActiveSet& other) {
+  if (other.size_ != size_) throw std::invalid_argument("ActiveSet::merge: size mismatch");
+  int count = 0;
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    bits_[w] |= other.bits_[w];
+    count += std::popcount(bits_[w]);
+  }
+  count_ = count;
+}
+
+void WakeHeap::push(Cycle cycle, int id) {
+  heap_.push_back(WakeEvent{cycle, id});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const WakeEvent& a, const WakeEvent& b) { return a.cycle > b.cycle; });
+}
+
+WakeEvent WakeHeap::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const WakeEvent& a, const WakeEvent& b) { return a.cycle > b.cycle; });
+  const WakeEvent out = heap_.back();
+  heap_.pop_back();
+  return out;
+}
+
+}  // namespace nbtinoc::sim

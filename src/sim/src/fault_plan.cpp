@@ -20,6 +20,13 @@ std::string to_string(SensorFaultMode mode) {
   return "?";
 }
 
+bool FaultPlan::targets_port(int node, int port) const {
+  if (targets.empty()) return true;
+  for (const auto& [t_node, t_port] : targets)
+    if (t_node == node && t_port == port) return true;
+  return false;
+}
+
 bool FaultPlan::enabled() const {
   return sensor_stuck_rate > 0.0 || sensor_drift_rate > 0.0 || sensor_death_rate > 0.0 ||
          gate_cmd_drop_rate > 0.0 || gate_cmd_flip_rate > 0.0 || down_up_drop_rate > 0.0 ||
@@ -46,6 +53,9 @@ void FaultPlan::validate() const {
         "(they compete for the same healthy->faulty transition)");
   if (!std::isfinite(drift_step_v) || !std::isfinite(dead_reading_v))
     throw std::invalid_argument("FaultPlan: drift_step_v and dead_reading_v must be finite");
+  for (const auto& [node, port] : targets)
+    if (node < 0 || port < 0)
+      throw std::invalid_argument("FaultPlan: targets must be non-negative (router, port) pairs");
 }
 
 std::string FaultPlan::describe() const {
@@ -63,6 +73,7 @@ std::string FaultPlan::describe() const {
   rate("gate_cmd_flip", gate_cmd_flip_rate);
   rate("down_up_drop", down_up_drop_rate);
   rate("wake_fail", wake_fail_rate);
+  if (!targets.empty()) os << " targets=" << targets.size() << " ports";
   return os.str();
 }
 

@@ -10,7 +10,9 @@
 // each NI single-threaded, as in the simulator's one-source-per-node model.
 
 #include <deque>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "nbtinoc/noc/network.hpp"
@@ -36,8 +38,17 @@ class ReplyBoard {
     noc::NodeId dst = 0;
   };
 
+  /// Cross-source wake channel: posting a reply onto a *parked* server's
+  /// board is the one traffic event next_event_cycle() cannot predict from
+  /// the server's own state, so the board tells the active-set scheduler
+  /// directly (install_request_reply_traffic wires this to
+  /// Network::wake_terminal_at; a no-op in the stepped/fast-forward modes).
+  using WakeSink = std::function<void(noc::NodeId server, sim::Cycle ready_at)>;
+  void set_wake_sink(WakeSink sink) { wake_sink_ = std::move(sink); }
+
   void post(noc::NodeId server, PendingReply reply) {
     boards_.at(static_cast<std::size_t>(server)).push_back(reply);
+    if (wake_sink_) wake_sink_(server, reply.ready_at);
   }
   std::deque<PendingReply>& of(noc::NodeId server) {
     return boards_.at(static_cast<std::size_t>(server));
@@ -46,6 +57,7 @@ class ReplyBoard {
 
  private:
   std::vector<std::deque<PendingReply>> boards_;
+  WakeSink wake_sink_;
 };
 
 class RequestReplySource final : public noc::ITrafficSource {

@@ -112,6 +112,13 @@ void install_request_reply_traffic(noc::Network& network, RequestReplyConfig con
   if (network.config().num_vnets < 2)
     throw std::invalid_argument("install_request_reply_traffic: needs >= 2 virtual networks");
   auto board = std::make_shared<ReplyBoard>(network.nodes());
+  // Under the active-set scheduler a parked server cannot discover a reply
+  // posted by a remote requester on its own; the board pokes the network so
+  // the server's NI is re-activated at the reply's ready_at. Harmless (and
+  // ignored) in stepped/fast-forward modes.
+  board->set_wake_sink([&network](noc::NodeId server, sim::Cycle ready_at) {
+    network.wake_terminal_at(server, ready_at);
+  });
   util::SplitMix64 seeder(base_seed);
   for (noc::NodeId id = 0; id < network.nodes(); ++id) {
     network.set_traffic_source(id, std::make_unique<OwningRequestReplySource>(

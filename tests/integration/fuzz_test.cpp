@@ -182,7 +182,9 @@ TEST_P(SweepFuzzTest, RandomGridsSurviveParallelExecutionIntact) {
       for (double d : port.duty_percent) {
         EXPECT_GE(d, 0.0);
         EXPECT_LE(d, 100.0);
-        if (results[i].point.policy == core::PolicyKind::kBaseline) EXPECT_DOUBLE_EQ(d, 100.0);
+        if (results[i].point.policy == core::PolicyKind::kBaseline) {
+          EXPECT_DOUBLE_EQ(d, 100.0);
+        }
       }
     }
   }
@@ -190,11 +192,42 @@ TEST_P(SweepFuzzTest, RandomGridsSurviveParallelExecutionIntact) {
 
 INSTANTIATE_TEST_SUITE_P(RandomGrids, SweepFuzzTest, ::testing::Range<std::uint64_t>(1, 9));
 
-// Fast-forward fuzz: the event-horizon engine claims bit-identical results
-// with cycle skipping on or off, for *any* valid configuration — not just
-// the golden scenario. Each seed derives a random scenario/policy/workload
-// pair and runs it both ways; every externally visible number (the full
-// JSON report, plus the gating counters it omits) must match exactly.
+/// Full-result equality between two experiment runs: the serialized JSON
+/// report (every externally visible number) plus the per-port gating
+/// counters and fault counters it omits.
+void expect_run_equal(const core::RunResult& a, const core::RunResult& b,
+                      const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(core::to_json(a), core::to_json(b));
+  ASSERT_EQ(a.ports.size(), b.ports.size());
+  for (const auto& [key, port] : a.ports) {
+    const core::PortResult& other = b.ports.at(key);
+    EXPECT_EQ(port.gate_transitions, other.gate_transitions);
+    EXPECT_EQ(port.most_degraded, other.most_degraded);
+    EXPECT_EQ(port.duty_percent, other.duty_percent);
+  }
+  EXPECT_EQ(a.total_gate_transitions, b.total_gate_transitions);
+  EXPECT_EQ(a.fault_counters, b.fault_counters);
+}
+
+/// Runs one scenario under all three scheduler modes and asserts the
+/// stepped / fast-forward / active-set results are bit-identical.
+void run_three_way(const sim::Scenario& s, core::PolicyKind policy,
+                   const core::Workload& workload, core::RunnerOptions options) {
+  options.scheduler = SchedulerMode::kStepped;
+  const core::RunResult stepped = core::run_experiment(s, policy, workload, options);
+  options.scheduler = SchedulerMode::kFastForward;
+  const core::RunResult skipped = core::run_experiment(s, policy, workload, options);
+  options.scheduler = SchedulerMode::kActiveSet;
+  const core::RunResult active = core::run_experiment(s, policy, workload, options);
+  expect_run_equal(stepped, skipped, "stepped vs fast-forward");
+  expect_run_equal(stepped, active, "stepped vs active-set");
+}
+
+// Scheduler fuzz: the event-horizon engine and the active-set scheduler
+// both claim bit-identical results against literal stepping, for *any*
+// valid configuration — not just the golden scenario. Each seed derives a
+// random scenario/policy/workload pair and runs it three ways.
 class FastForwardFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FastForwardFuzzTest, SkippedExperimentsMatchSteppedExactly) {
@@ -228,29 +261,16 @@ TEST_P(FastForwardFuzzTest, SkippedExperimentsMatchSteppedExactly) {
   SCOPED_TRACE("seed " + std::to_string(GetParam()) + ", " + s.name + ", policy " +
                core::to_string(policy));
 
-  core::RunnerOptions options;
-  options.fast_forward = false;
-  const core::RunResult stepped = core::run_experiment(s, policy, workload, options);
-  options.fast_forward = true;
-  const core::RunResult skipped = core::run_experiment(s, policy, workload, options);
-
-  EXPECT_EQ(core::to_json(stepped), core::to_json(skipped));
-  ASSERT_EQ(stepped.ports.size(), skipped.ports.size());
-  for (const auto& [key, port] : stepped.ports) {
-    const core::PortResult& other = skipped.ports.at(key);
-    EXPECT_EQ(port.gate_transitions, other.gate_transitions);
-    EXPECT_EQ(port.most_degraded, other.most_degraded);
-    EXPECT_EQ(port.duty_percent, other.duty_percent);
-  }
-  EXPECT_EQ(stepped.total_gate_transitions, skipped.total_gate_transitions);
+  run_three_way(s, policy, workload, core::RunnerOptions{});
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomConfigs, FastForwardFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
-// Topology fast-forward fuzz: the same FF-vs-stepped equality over the
-// non-mesh topologies — wrap links, dateline VC classes, and multi-NI local
-// ports all feed the quiescence proof, so each must round-trip exactly.
+// Topology scheduler fuzz: the same three-way equality over the non-mesh
+// topologies — wrap links, dateline VC classes, and multi-NI local ports
+// all feed the quiescence proof and the active-set neighbor wakes, so each
+// must round-trip exactly.
 class TopologyFastForwardFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(TopologyFastForwardFuzzTest, SkippedTopologyRunsMatchSteppedExactly) {
@@ -278,31 +298,45 @@ TEST_P(TopologyFastForwardFuzzTest, SkippedTopologyRunsMatchSteppedExactly) {
   SCOPED_TRACE("seed " + std::to_string(GetParam()) + ", " + s.topology + ", policy " +
                core::to_string(policy));
 
-  core::RunnerOptions options;
-  options.fast_forward = false;
-  const core::RunResult stepped = core::run_experiment(s, policy, workload, options);
-  options.fast_forward = true;
-  const core::RunResult skipped = core::run_experiment(s, policy, workload, options);
-
-  EXPECT_EQ(core::to_json(stepped), core::to_json(skipped));
-  ASSERT_EQ(stepped.ports.size(), skipped.ports.size());
-  for (const auto& [key, port] : stepped.ports) {
-    const core::PortResult& other = skipped.ports.at(key);
-    EXPECT_EQ(port.gate_transitions, other.gate_transitions);
-    EXPECT_EQ(port.most_degraded, other.most_degraded);
-    EXPECT_EQ(port.duty_percent, other.duty_percent);
-  }
-  EXPECT_EQ(stepped.total_gate_transitions, skipped.total_gate_transitions);
+  run_three_way(s, policy, workload, core::RunnerOptions{});
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomTopologyConfigs, TopologyFastForwardFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+// Fault storm, three ways: an untargeted fault plan forces the active-set
+// scheduler to pin every router (and the event horizon to `now`), so both
+// engines degenerate to literal stepping — and every fault RNG draw, drop,
+// flip, and quarantine decision must land identically.
+TEST(ThreeWayDifferential, FaultStormMatchesAcrossSchedulers) {
+  sim::Scenario s = sim::Scenario::synthetic(3, 2, 0.05);
+  s.warmup_cycles = 500;
+  s.measure_cycles = 6'000;
+  core::RunnerOptions options;
+  options.faults = sim::FaultPlan::uniform(0.02);
+  run_three_way(s, core::PolicyKind::kSensorWise, core::Workload::synthetic(), options);
+}
+
+// All-gated fixed point, three ways: sensor-wise with zero offered load
+// drives every port to the fully gated state, where fast-forward jumps
+// epoch to epoch and the active set parks the entire fabric. The NBTI
+// accounting across those jumps must still match literal stepping bit for
+// bit over a long horizon.
+TEST(ThreeWayDifferential, AllGatedFixedPointMatchesAcrossSchedulers) {
+  sim::Scenario s = sim::Scenario::synthetic(3, 2, 0.0);
+  s.warmup_cycles = 500;
+  s.measure_cycles = 60'000;
+  run_three_way(s, core::PolicyKind::kSensorWise, core::Workload::synthetic(),
+                core::RunnerOptions{});
+}
+
 // run_experiment has no request/reply workload, so that source family gets
-// its fast-forward equivalence pinned at the Network level: coupled
-// requesters and repliers across two vnets, run both ways.
+// its scheduler equivalence pinned at the Network level: coupled requesters
+// and repliers across two vnets, run under all three schedulers. The
+// active-set leg leans on the ReplyBoard wake sink — a reply posted while
+// the server's NI is parked must still be served on time.
 TEST(FastForwardFuzz, RequestReplyTrafficMatchesStepped) {
-  const auto run_one = [](bool fast_forward) {
+  const auto run_one = [](SchedulerMode mode) {
     NocConfig c;
     c.width = 3;
     c.height = 3;
@@ -314,7 +348,7 @@ TEST(FastForwardFuzz, RequestReplyTrafficMatchesStepped) {
     traffic::RequestReplyConfig rr;
     rr.request_rate = 0.004;  // sparse: long quiescent gaps between transactions
     traffic::install_request_reply_traffic(net, rr, 77);
-    net.set_fast_forward(fast_forward);
+    net.set_scheduler_mode(mode);
     net.run_with_warmup(1'000, 40'000);
     std::vector<double> out;
     for (NodeId id = 0; id < net.nodes(); ++id)
@@ -328,11 +362,15 @@ TEST(FastForwardFuzz, RequestReplyTrafficMatchesStepped) {
     out.push_back(static_cast<double>(net.stats().counter("noc.packets_offered")));
     return out;
   };
-  const std::vector<double> stepped = run_one(false);
-  const std::vector<double> skipped = run_one(true);
+  const std::vector<double> stepped = run_one(SchedulerMode::kStepped);
+  const std::vector<double> skipped = run_one(SchedulerMode::kFastForward);
+  const std::vector<double> active = run_one(SchedulerMode::kActiveSet);
   ASSERT_EQ(stepped.size(), skipped.size());
-  for (std::size_t i = 0; i < stepped.size(); ++i)
-    EXPECT_EQ(stepped[i], skipped[i]) << "index " << i;
+  ASSERT_EQ(stepped.size(), active.size());
+  for (std::size_t i = 0; i < stepped.size(); ++i) {
+    EXPECT_EQ(stepped[i], skipped[i]) << "fast-forward index " << i;
+    EXPECT_EQ(stepped[i], active[i]) << "active-set index " << i;
+  }
 }
 
 }  // namespace

@@ -125,6 +125,32 @@ TEST(HotPathAllocation, FastForwardRunIsAllocationFree) {
   EXPECT_GT(net.skip_stats().skips, skips_before);
 }
 
+TEST(HotPathAllocation, ActiveSetRunIsAllocationFree) {
+  // The active-set scheduler's machinery — wake ring rotation, heap pops,
+  // park-eligibility checks, and the channel push hooks — must stay off
+  // the heap in steady state: the bitmap is sized at mode entry and the
+  // heap's capacity ratchets during warmup.
+  Network net(mesh(4, 4));
+  const auto model = nbti::NbtiModel::calibrated({}, {});
+  core::PolicyConfig pc;
+  pc.kind = core::PolicyKind::kSensorWise;
+  core::PolicyGateController ctrl(net, pc, model, {}, nbti::PvConfig{}, 7);
+  ctrl.attach();
+  traffic::install_uniform_traffic(net, 0.005, 42);
+  net.set_scheduler_mode(SchedulerMode::kActiveSet);
+  // Long warm window: at this rate the peak wake-heap occupancy is only
+  // reached after many packet coincidences.
+  net.run(60'000);
+  const auto steps_before = net.scheduler_stats().router_steps;
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  net.run(50'000);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
+  // The audited window must have actually parked routers: far fewer router
+  // steps than a full walk would execute.
+  EXPECT_LT(net.scheduler_stats().router_steps - steps_before,
+            50'000u * static_cast<std::uint64_t>(net.num_routers()));
+}
+
 TEST(HotPathAllocation, TopologyRoutedSteadyStateIsAllocationFree) {
   // The table-driven RC stage (route() lookups, dateline-class VC
   // subranges, multi-NI local ports) must stay off the heap on every
