@@ -2,6 +2,14 @@
 //
 //   ./scenario_runner my_scenario.cfg [--policy sensor-wise] [--json out.json]
 //                                 [--workload uniform|transpose|...|mix]
+//                                 [--dump-routes [--kill 3E,5]]
+//
+// --dump-routes skips the simulation and prints the scenario's route table,
+// per-link VC-class/orientation inventory and CDG audit verdicts
+// (noc::describe_routes). --kill applies structural failures first — a
+// comma list of "<router><NSEW>" link kills and bare "<router>" router
+// kills — and prints the table before and after the degradation, showing
+// how the up*/down* regeneration rewired the fabric.
 //
 // The scenario file uses "key = value" lines; see
 // sim::scenario_from_properties for the accepted keys. Example:
@@ -17,8 +25,11 @@
 #include <iostream>
 
 #include "nbtinoc/nbtinoc.hpp"
+#include "nbtinoc/noc/fault_routing.hpp"
+#include "nbtinoc/noc/topology.hpp"
 #include "nbtinoc/util/cli.hpp"
 #include "nbtinoc/util/properties.hpp"
+#include "nbtinoc/util/strings.hpp"
 #include "nbtinoc/util/table.hpp"
 
 using namespace nbtinoc;
@@ -37,6 +48,44 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error reading scenario: " << e.what() << '\n';
     return 1;
+  }
+
+  if (args.has("dump-routes")) {
+    noc::NocConfig config;
+    config.width = scenario.mesh_width;
+    config.height = scenario.mesh_height;
+    config.topology = noc::parse_topology_kind(scenario.topology);
+    config.routing = noc::parse_routing_algo(scenario.routing);
+    config.concentration = scenario.concentration;
+    config.num_vcs = scenario.num_vcs;
+    config.num_vnets = scenario.num_vnets;
+    const auto topo = noc::Topology::create(config);
+    std::cout << "--- routes (healthy) ---\n" << noc::describe_routes(*topo);
+    if (const auto kills = args.get("kill")) {
+      for (const std::string& token : util::split(*kills, ',')) {
+        if (token.empty()) continue;
+        std::size_t pos = 0;
+        const int router = std::stoi(token, &pos);
+        bool changed = false;
+        if (pos == token.size()) {
+          changed = topo->kill_router(router);
+        } else if (pos + 1 == token.size()) {
+          const auto dir = std::string("NSEW").find(token[pos]);
+          if (dir == std::string::npos) {
+            std::cerr << "bad --kill token '" << token << "' (want e.g. 3E or 5)\n";
+            return 2;
+          }
+          changed = topo->kill_link(router, static_cast<noc::Dir>(dir));
+        } else {
+          std::cerr << "bad --kill token '" << token << "' (want e.g. 3E or 5)\n";
+          return 2;
+        }
+        if (!changed) std::cerr << "note: '" << token << "' was already dead or unwired\n";
+      }
+      std::cout << "--- routes (degraded: " << *kills << ") ---\n"
+                << noc::describe_routes(*topo);
+    }
+    return 0;
   }
 
   const auto policy = core::parse_policy(args.get_or("policy", "sensor-wise"));
@@ -60,8 +109,10 @@ int main(int argc, char** argv) {
     const auto md = static_cast<std::size_t>(port.most_degraded);
     std::uint64_t transitions = 0;
     for (auto t : port.gate_transitions) transitions += t;
-    table.add_row({"r" + std::to_string(key.router) + "-" +
-                       std::string(1, noc::dir_letter(key.port)),
+    table.add_row({std::string("r")
+                       .append(std::to_string(key.router))
+                       .append(1, '-')
+                       .append(1, noc::dir_letter(key.port)),
                    std::to_string(port.most_degraded),
                    util::format_percent(port.duty_percent[md]),
                    util::format_percent(util::mean_of(port.duty_percent)),

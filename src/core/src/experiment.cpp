@@ -71,6 +71,7 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
   config.width = scenario.mesh_width;
   config.height = scenario.mesh_height;
   config.topology = noc::parse_topology_kind(scenario.topology);
+  config.routing = noc::parse_routing_algo(scenario.routing);
   config.concentration = scenario.concentration;
   config.num_vcs = scenario.num_vcs;
   config.num_vnets = scenario.num_vnets;
@@ -205,6 +206,8 @@ std::string to_json(const RunResult& result) {
     if (result.scenario.topology == "cmesh")
       w.field("concentration", result.scenario.concentration);
   }
+  // Same convention for the routing mode: "dor" runs stay byte-identical.
+  if (result.scenario.routing != "dor") w.field("routing", result.scenario.routing);
   w.field("num_vcs", result.scenario.num_vcs)
       .field("num_vnets", result.scenario.num_vnets)
       .field("injection_rate", result.scenario.injection_rate)

@@ -138,6 +138,25 @@ class VcBuffer {
   /// Dequeues the head flit; on tail, releases the buffer (Active -> Idle).
   Flit pop();
 
+  /// Structural-fault drain: drops every buffered flit and force-releases
+  /// an Active buffer to Idle without waiting for a tail (the purged packet
+  /// will never complete). Returns the number of flits dropped; no-op on
+  /// non-Active buffers.
+  int purge() {
+    const int dropped = occupancy();
+    head_ = 0;
+    count_ = 0;
+    tail_seen_ = false;
+    if (state_ == VcState::Active) {
+      state_ = VcState::Idle;
+      if (busy_counter_ != nullptr) --*busy_counter_;
+    }
+    packet_ = 0;
+    route_ = Dir::Local;
+    next_class_ = 0;
+    return dropped;
+  }
+
  private:
   int depth_;
   sim::Cycle wakeup_latency_;

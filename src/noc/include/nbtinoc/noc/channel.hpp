@@ -73,6 +73,23 @@ class Channel {
   std::size_t in_flight() const { return in_flight_.size(); }
   void clear() { in_flight_.clear(); }
 
+  /// Removes every in-flight payload matching `pred`, preserving the order
+  /// of the survivors; returns how many were removed. The structural-fault
+  /// drain uses this to purge a doomed packet's flits wherever they sit.
+  template <typename Pred>
+  std::size_t remove_if(Pred&& pred) {
+    const std::size_t n = in_flight_.size();
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto item = in_flight_.take_front();
+      if (pred(item.second))
+        ++removed;
+      else
+        in_flight_.push_back(std::move(item));
+    }
+    return removed;
+  }
+
   /// Visits every in-flight payload (delivery cycle, payload) in queue
   /// order — the invariant checker's window into link occupancy.
   template <typename Fn>

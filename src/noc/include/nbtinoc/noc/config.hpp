@@ -8,7 +8,31 @@
 
 namespace nbtinoc::noc {
 
-enum class RoutingAlgo { kXY, kYX };
+/// Routing modes:
+///  - kXY / kYX:      deterministic dimension-order routing (DOR), the
+///                    paper's baseline; table-driven, single VC class on
+///                    meshes.
+///  - kWestFirst:     turn-model adaptive routing (mesh only). Packets whose
+///                    source and destination share a row or column travel in
+///                    the escape class (class 0, pure DOR); all others use
+///                    the adaptive class (class 1), where RC picks the
+///                    least-stressed admissible output among the turn
+///                    model's minimal productive directions — west-first:
+///                    a packet with its destination to the west goes West
+///                    immediately and exclusively; otherwise East/North/South
+///                    are all admissible.
+///  - kOddEven:       same scheme with Chiu's odd-even turn rules: EN/ES
+///                    turns are prohibited in even columns, NW/SW turns in
+///                    odd columns.
+/// Both adaptive classes are deadlock-free turn models on their own; keeping
+/// escape traffic in a disjoint VC class (no mid-route class switch) makes
+/// the union channel-dependency graph two disjoint acyclic graphs.
+enum class RoutingAlgo { kXY, kYX, kWestFirst, kOddEven };
+
+/// Parses "dor"/"xy", "yx", "west-first", "odd-even" (case-sensitive);
+/// throws std::invalid_argument listing the valid spellings otherwise.
+RoutingAlgo parse_routing_algo(const std::string& name);
+std::string to_string(RoutingAlgo algo);
 
 /// Network shape (see noc/topology.hpp for the concrete classes):
 ///  - kMesh2D:           width x height grid, the paper's baseline.
@@ -85,11 +109,21 @@ struct NocConfig {
            (topology == TopologyKind::kConcentratedMesh ? concentration : 1);
   }
 
-  /// Dateline VC classes per vnet: 2 on wrap-link topologies (torus, ring),
-  /// 1 otherwise. Class c of vnet k spans the VCs
+  /// True for the turn-model adaptive routing modes (escape + adaptive
+  /// VC classes, dynamic RC in the adaptive class).
+  bool adaptive_routing() const {
+    return routing == RoutingAlgo::kWestFirst || routing == RoutingAlgo::kOddEven;
+  }
+
+  /// VC classes per vnet: 2 on wrap-link topologies (torus, ring — the
+  /// dateline split) and under adaptive routing (the escape/adaptive
+  /// split), 1 otherwise. Class c of vnet k spans the VCs
   /// [first_vc_of_vnet(k) + class_first_vc(c), ... + class_num_vcs(c)).
   int vc_classes() const {
-    return topology == TopologyKind::kTorus2D || topology == TopologyKind::kRing ? 2 : 1;
+    return topology == TopologyKind::kTorus2D || topology == TopologyKind::kRing ||
+                   adaptive_routing()
+               ? 2
+               : 1;
   }
   /// First VC (local to the vnet's subrange) of dateline class `c`.
   int class_first_vc(int c) const { return c == 0 ? 0 : (num_vcs + 1) / 2; }

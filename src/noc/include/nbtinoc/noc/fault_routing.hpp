@@ -1,0 +1,155 @@
+#pragma once
+// Routing on degraded fabrics, and the machinery that proves it safe.
+//
+// When a structural fault kills a link or a whole router (sim::StructuralFault),
+// dimension-order routing stops being total: the DOR path between two alive
+// terminals may cross the dead resource. The classic repair is up*/down*
+// routing (Autonet; Gunlock/Myrinet lineage): pick a root, orient every
+// surviving link "up" (toward the root) or "down" (away from it), and
+// restrict paths to *up-phase then down-phase* — a packet may take up links
+// only while it has never taken a down link. Any cycle in the channel
+// dependency graph would need a down->up transition somewhere, so the
+// restriction makes the CDG acyclic on ANY connected survivor graph, no
+// geometry required. That is what lets one regeneration algorithm serve the
+// mesh, torus, ring and concentrated mesh alike.
+//
+// DegradedRouting holds the orientation. Links are oriented by a BFS order:
+// rank every alive router by (BFS depth from the component's lowest-id
+// router, router id); the move u->v is *up* iff order(v) < order(u). BFS
+// tree edges parent->child are down moves, so the root reaches every router
+// pure-down and every router reaches the root pure-up — routing is total on
+// each connected component. For destination d, D(d) is d's *down region*:
+// routers with a pure-down path to d (the root is always a member). The
+// deterministic table route goes pure-down once inside D(d) and otherwise
+// climbs up (or steps directly down into D(d)) along a shortest legal path.
+//
+// Deadlock freedom, independently of VC classes: give the VC at a router's
+// input the rank (2, 0) when fed by injection, (1, order(router)) when fed
+// by an up link, and (0, -order(router)) when fed by a down link. Every
+// legal move strictly decreases this rank lexicographically — up moves
+// decrease order, and a packet that has gone down may only continue down —
+// so the CDG is acyclic no matter how the regenerated table assigns dateline
+// classes. Surviving torus packets keep their pre-fault dateline classes and
+// need no re-classification; only *moves* are policed (see the kill-protocol
+// legality rules in Network).
+//
+// The same file hosts the turn-model half of the PR: minimal-adaptive
+// candidate sets for west-first and odd-even routing on the healthy mesh
+// (NocConfig::RoutingAlgo), the turn-permission predicate the CDG audit
+// uses, and the audit/dump helpers (`route_cdg_acyclic`,
+// `route_walks_terminate`, `describe_routes`) shared by tests, the
+// scenario runner's --dump-routes flag, and the network's post-kill
+// self-check.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nbtinoc/noc/config.hpp"
+#include "nbtinoc/noc/routing.hpp"
+#include "nbtinoc/noc/types.hpp"
+
+namespace nbtinoc::noc {
+
+class Topology;
+
+/// Up*/down* orientation and distance tables over the survivor graph.
+/// Built from plain adjacency (no Topology dependency) so the topology layer
+/// can own one without a header cycle. All tables are computed eagerly at
+/// construction; every query is a flat-array load.
+class DegradedRouting {
+ public:
+  /// Distance sentinel for "no legal path" (dead router, other component).
+  static constexpr int kUnreachable = std::numeric_limits<std::int32_t>::max() / 4;
+
+  /// `alive_neighbor` is routers x 4 (port-indexed; kInvalidNode where the
+  /// link or either endpoint is dead); `alive` flags the surviving routers.
+  /// Links must be symmetric: if u lists v, v lists u.
+  DegradedRouting(int num_routers, std::vector<NodeId> alive_neighbor,
+                  std::vector<std::uint8_t> alive);
+
+  int num_routers() const { return num_routers_; }
+  bool alive(NodeId r) const { return alive_[static_cast<std::size_t>(r)] != 0; }
+  /// True when every alive router sits in one connected component.
+  bool connected() const { return connected_; }
+
+  /// BFS rank of an alive router (component roots rank lowest within their
+  /// component); kUnreachable for dead routers.
+  int order(NodeId r) const { return order_[static_cast<std::size_t>(r)]; }
+
+  /// Orientation of the *move* u -> v over an alive link.
+  bool move_is_up(NodeId u, NodeId v) const { return order(v) < order(u); }
+  bool move_is_down(NodeId u, NodeId v) const { return order(v) > order(u); }
+
+  /// Pure-down distance from r to destination router d; kUnreachable when r
+  /// is outside D(d) (no pure-down path).
+  int down_dist(NodeId r, NodeId d) const {
+    return down_dist_[static_cast<std::size_t>(d) * static_cast<std::size_t>(num_routers_) +
+                      static_cast<std::size_t>(r)];
+  }
+  bool in_down_region(NodeId r, NodeId d) const { return down_dist(r, d) < kUnreachable; }
+
+  /// Length of the shortest legal (up-phase then down-phase) path r -> d;
+  /// equals down_dist inside D(d). kUnreachable across components.
+  int dist(NodeId r, NodeId d) const {
+    return dist_[static_cast<std::size_t>(d) * static_cast<std::size_t>(num_routers_) +
+                 static_cast<std::size_t>(r)];
+  }
+
+ private:
+  int num_routers_ = 0;
+  bool connected_ = true;
+  std::vector<NodeId> nbr_;           ///< routers x 4, alive links only
+  std::vector<std::uint8_t> alive_;   ///< routers
+  std::vector<int> order_;            ///< routers
+  std::vector<int> down_dist_;        ///< destinations x routers
+  std::vector<int> dist_;             ///< destinations x routers
+};
+
+/// Admissible output directions for one RC decision, in Dir index order
+/// (North, South, East, West) — the deterministic tie-break order of the
+/// least-stressed selection.
+struct AdaptiveCandidates {
+  std::array<Dir, 4> dir{};
+  int count = 0;
+  void add(Dir d) { dir[static_cast<std::size_t>(count++)] = d; }
+};
+
+/// Minimal-adaptive candidate set of the turn model at `cur` for a packet
+/// src -> dst on a healthy mesh (coordinates, not ids — callers hold the
+/// width). Never empty for cur != dst:
+///  - west-first: all west hops come first (dst to the west => {West}),
+///    after which East and the productive vertical are both admissible;
+///  - odd-even (Chiu): EN/ES turns are banned in even columns, NW/SW turns
+///    in odd columns, which the minimal rule below encodes exactly.
+AdaptiveCandidates turn_model_candidates(RoutingAlgo algo, Coord cur, Coord src, Coord dst);
+
+/// True when the turn from travel direction `from_travel` into
+/// `to_travel` is permitted by the turn model in column `x`. 180-degree
+/// turns are never permitted; DOR modes permit only straight moves and
+/// X-to-Y turns. The CDG audit uses this as a destination-free superset of
+/// the moves adaptive RC can take.
+bool turn_allowed(RoutingAlgo algo, Dir from_travel, Dir to_travel, int x);
+
+/// Audits the topology's *current* route relation for channel-dependency
+/// cycles: exact route-table walk edges for every (router, destination)
+/// pair plus, under adaptive routing, the destination-free turn-permission
+/// (healthy) or up*/down* orientation (degraded) edges of the adaptive
+/// class. Returns false and names a cycle node in *diag when a cycle
+/// exists. O(routers x terminals + routers x ports x classes).
+bool route_cdg_acyclic(const Topology& topo, std::string* diag = nullptr);
+
+/// Walks the route table from every alive source router to every alive,
+/// reachable destination terminal and checks the walk ends at the
+/// destination's router within a generous hop bound. Returns false and
+/// describes the first stuck pair in *diag.
+bool route_walks_terminate(const Topology& topo, std::string* diag = nullptr);
+
+/// Multi-line human-readable dump: per-router route-table rows
+/// (dst=port/class), the per-link class usage + up/down orientation, and
+/// the audit verdicts. The scenario runner's --dump-routes output.
+std::string describe_routes(const Topology& topo);
+
+}  // namespace nbtinoc::noc

@@ -70,6 +70,13 @@ class InputUnit {
   void clear_output(int i);
   bool has_output(int i) const { return out_vc(i) != kInvalidVc; }
 
+  /// Structural-fault drain: purges vc i's buffer (see VcBuffer::purge) and
+  /// clears its downstream allocation. Returns the flits dropped.
+  int purge_vc(int i) {
+    clear_output(i);
+    return vc(i).purge();
+  }
+
   /// True if vc i holds a routed head flit still waiting for an output VC —
   /// the "new packet" notion of is_new_traffic_outport_x().
   bool waiting_for_va(int i, sim::Cycle now) const;

@@ -76,10 +76,13 @@ class Network {
   void set_gate_controller(IGateController* controller);
   IGateController& gate_controller() { return *controller_; }
 
-  /// Installs the control-path fault injector (non-owning; nullptr to
-  /// remove). Gate commands then traverse their Up_Down channels under a
-  /// fault hook (drop / in-range corruption) and wake handshakes may fail.
-  /// The flit/credit datapath is never touched: faults cannot lose flits.
+  /// Installs the fault injector (non-owning; nullptr to remove). Control
+  /// faults make gate commands traverse their Up_Down channels under a
+  /// fault hook (drop / in-range corruption) and wake handshakes may fail —
+  /// the flit/credit datapath is never touched by them. Structural faults
+  /// (plan().structural) are permanent data-plane kills: the schedule is
+  /// validated and sorted here, and each kill is applied at the start of
+  /// exactly its cycle in every scheduler mode (see apply_structural_faults).
   void set_fault_injector(sim::FaultInjector* injector);
   sim::FaultInjector* fault_injector() { return injector_; }
 
@@ -123,6 +126,14 @@ class Network {
   /// Conservation check: all flits accepted by NIs were eventually ejected
   /// or are still somewhere in flight. True when nothing is in flight.
   bool drained() const;
+
+  // --- structural (data-plane) faults ----------------------------------------
+  /// Flits physically removed by structural-fault drains so far — the
+  /// -Δ term of the invariant checker's conservation audit.
+  std::uint64_t dropped_flits() const { return dropped_flits_total_; }
+  /// Cycle of the next pending structural kill (kCycleNever when none) —
+  /// the fence both fast-forwarding engines must not jump across.
+  sim::Cycle next_structural_cycle() const { return next_structural_cycle_; }
 
   // --- execution engines (sim::EventHorizon, sim::ActiveSet) -----------------
   /// Selects the execution engine. Defaults to kStepped (step()-level tests
@@ -234,6 +245,21 @@ class Network {
   /// stepped-schedule position and the rest of the fabric keeps skipping.
   void refresh_fault_pins();
 
+  // --- structural-fault kill protocol ----------------------------------------
+  /// Applies every scheduled kill whose cycle has arrived (start-of-cycle,
+  /// before any pipeline stage), then runs one drain/quarantine pass.
+  void apply_structural_faults(sim::Cycle now);
+  /// The drain: dooms every packet whose position, committed move, or
+  /// destination is illegal under the regenerated up*/down* orientation,
+  /// purges it everywhere (channels, VC buffers, NI serialization), clears
+  /// dead channels, quarantines dead ports/routers/NIs, rewrites every
+  /// surviving credit counter from the conservation identity, re-runs RC
+  /// for waiting heads, and audits the regenerated CDG for acyclicity.
+  void purge_after_kill(sim::Cycle now);
+  /// Rewrites credit counters of every surviving link and NI to
+  /// depth - in-flight flits - in-flight credits - downstream occupancy.
+  void restore_credits();
+
   Channel<GateCommand>& up_down_link_mutable(NodeId router, Dir port);
   /// Last applied gating mode (gating_active) per (router, port, vnet,
   /// dateline class) — written by gating_stage, read by the quiescence
@@ -291,6 +317,12 @@ class Network {
   sim::WakeHeap wake_heap_;  ///< ids: [0, routers) routers, then terminals
   std::vector<unsigned char> pinned_routers_;  ///< fault-targeted, never park
   SchedulerStats scheduler_stats_;
+
+  // --- structural-fault schedule ---------------------------------------------
+  std::vector<sim::StructuralFault> structural_events_;  ///< sorted (cycle, router, port)
+  std::size_t next_structural_ = 0;          ///< first unapplied event
+  sim::Cycle next_structural_cycle_ = sim::kCycleNever;
+  std::uint64_t dropped_flits_total_ = 0;    ///< flits removed by drains
 
   std::uint64_t packet_id_counter_ = 0;
 };

@@ -57,6 +57,37 @@ class NetworkInterface {
 
   std::size_t queue_depth() const { return queue_.size(); }
 
+  // --- structural-fault support ----------------------------------------------
+  /// Kills the NI (its router died): the source queue is discarded and
+  /// receive()/inject()/generate() become permanent no-ops. The traffic
+  /// source is never consulted again, so the RNG stream of a dead tile is
+  /// identical across scheduler modes by construction.
+  void mark_dead();
+  bool dead() const { return dead_; }
+
+  /// True while a packet is mid-serialization into the router.
+  bool sending() const { return sending_; }
+  PacketId sending_packet() const { return send_id_; }
+  NodeId sending_dst() const { return send_pkt_.dst; }
+  int sending_vc() const { return send_vc_; }
+  /// Abandons the in-flight packet without sending its tail (the kill
+  /// protocol purged its flits); the owning VC was purged separately.
+  void cancel_sending() {
+    sending_ = false;
+    send_vc_ = kInvalidVc;
+  }
+
+  /// Structural-fault drain support: rewrites one VC credit counter to the
+  /// exact survivor-side value. Never used on the healthy path.
+  void set_credits(int vc, int credits) {
+    credits_.at(static_cast<std::size_t>(vc)) = credits;
+  }
+
+  /// Drops every queued packet that can no longer reach its destination on
+  /// the degraded fabric (dead destination tile or no surviving path).
+  /// Returns the number dropped; each is counted as fault.unroutable_packets.
+  std::uint64_t drop_queued_unroutable();
+
   /// True when the NI holds no work at all: nothing queued and no packet
   /// mid-serialization. Part of the O(nodes) quiescence proof — an idle NI
   /// can neither inject a flit nor assert has_new_traffic() until its
@@ -109,6 +140,7 @@ class NetworkInterface {
   sim::CounterHandle h_ni_va_grants_;
   sim::CounterHandle h_flits_injected_;
   sim::CounterHandle h_packets_offered_;
+  sim::CounterHandle h_unroutable_;
   sim::DistributionHandle d_packet_latency_;
 
   InputUnit* router_iu_ = nullptr;
@@ -127,6 +159,11 @@ class NetworkInterface {
 
   std::uint64_t packets_ejected_ = 0;
   std::uint64_t flits_injected_ = 0;
+  bool dead_ = false;  ///< tile structurally killed (router death)
+
+  /// True when `dst` is unreachable from this tile on the (degraded)
+  /// fabric; always false while the topology is healthy.
+  bool unroutable(NodeId dst) const;
 };
 
 }  // namespace nbtinoc::noc

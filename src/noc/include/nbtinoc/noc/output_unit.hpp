@@ -23,6 +23,10 @@ class OutputUnit {
   int credits(int vc) const { return credits_.at(static_cast<std::size_t>(vc)); }
   void add_credit(int vc);
   void consume_credit(int vc);
+  /// Structural-fault drain support: rewrites one VC's credit count to the
+  /// exact survivor-side value (buffer depth minus surviving occupancy and
+  /// in-flight payloads). Never used on the healthy path.
+  void set_credits(int vc, int credits) { credits_.at(static_cast<std::size_t>(vc)) = credits; }
 
   /// VA arbitration over flattened (input port, VC) requesters.
   RoundRobinArbiter& va_arbiter() { return va_arbiter_; }

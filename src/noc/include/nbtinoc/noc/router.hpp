@@ -75,6 +75,17 @@ class Router {
   const Channel<Flit>* flit_out_link(Dir dir) const {
     return flit_out_[static_cast<std::size_t>(dir)];
   }
+  // Mutable channel access for the network's structural-fault drain (purge
+  // by packet id, dead-link clearing). Never used on the healthy path.
+  Channel<Flit>* flit_out_link_mut(Dir dir) { return flit_out_[static_cast<std::size_t>(dir)]; }
+  Channel<Flit>* flit_in_link_mut(Dir dir) { return flit_in_[static_cast<std::size_t>(dir)]; }
+  Channel<Credit>* credit_in_link_mut(Dir dir) {
+    return credit_in_[static_cast<std::size_t>(dir)];
+  }
+  Channel<Credit>* credit_out_link_mut(Dir dir) {
+    return credit_out_[static_cast<std::size_t>(dir)];
+  }
+  Channel<Flit>* eject_out_link_mut(Dir dir) { return eject_out_[static_cast<std::size_t>(dir)]; }
   const Channel<Credit>* credit_in_link(Dir dir) const {
     return credit_in_[static_cast<std::size_t>(dir)];
   }
@@ -93,6 +104,36 @@ class Router {
   /// Same, further restricted to one downstream dateline class (the
   /// per-class gating decision's traffic signal).
   bool has_new_traffic_toward(Dir out, int vnet, int cls, sim::Cycle now) const;
+
+  // --- routing ---------------------------------------------------------------
+  /// The RC decision for a flit arriving at `in_port`: the plain table load
+  /// under DOR; under the turn-model modes, adaptive-class packets pick the
+  /// least-stressed admissible output (per-output forwarded-flit counters,
+  /// lowest port on ties); on a degraded fabric, the up*/down* candidate
+  /// set replaces the turn model. Deterministic given router state, so all
+  /// three scheduler modes agree bit for bit.
+  RouteEntry route_for(Dir in_port, const Flit& flit) const;
+
+  /// Cumulative flits forwarded through cardinal output `out` — the
+  /// "stress" signal of the least-stressed adaptive selection and the
+  /// reroute diagnostics.
+  std::uint64_t port_forwarded(Dir out) const {
+    return port_forwarded_[static_cast<std::size_t>(out)];
+  }
+
+  // --- structural-fault bookkeeping ------------------------------------------
+  /// A dead input port never gates, wakes or receives again (its VCs were
+  /// purged and parked in Recovery by the network's kill protocol); a dead
+  /// router additionally drops out of every pipeline stage.
+  void mark_input_port_dead(Dir d) { port_dead_[static_cast<std::size_t>(d)] = 1; }
+  bool input_port_dead(Dir d) const { return port_dead_[static_cast<std::size_t>(d)] != 0; }
+  void mark_dead() { dead_ = true; }
+  bool dead() const { return dead_; }
+
+  /// Re-runs RC (against the regenerated tables / candidate sets) for every
+  /// buffered head flit still waiting for VA. Called once per kill, after
+  /// the purge pass has removed everything illegal.
+  void reroute_waiting_heads(sim::Cycle now);
 
   // --- pipeline stages (invoked by Network in order) -------------------------
   /// Stage 2a: one output-VC allocation per output port per cycle.
@@ -142,6 +183,11 @@ class Router {
   std::vector<std::unique_ptr<InputUnit>> inputs_;
   std::vector<std::unique_ptr<OutputUnit>> outputs_;
 
+  /// Turn-model least-stressed selection on the healthy mesh.
+  RouteEntry turn_model_route(const Flit& flit) const;
+  /// Up*/down* least-stressed selection on a degraded fabric.
+  RouteEntry degraded_adaptive_route(Dir in_port, const Flit& flit, RouteEntry table) const;
+
   // Wiring (non-owning; channels owned by Network). All sized ports_;
   // ejection channels are indexed by local port, null on cardinal slots.
   std::vector<InputUnit*> downstream_iu_;
@@ -150,6 +196,10 @@ class Router {
   std::vector<Channel<Flit>*> flit_in_;
   std::vector<Channel<Credit>*> credit_out_;
   std::vector<Channel<Flit>*> eject_out_;
+
+  std::vector<std::uint64_t> port_forwarded_;  ///< per-port forwarded flits (stress signal)
+  std::vector<std::uint8_t> port_dead_;        ///< structurally dead input ports
+  bool dead_ = false;                          ///< whole router killed
 
   // Per-cycle arbitration scratch (sized once here; cleared, never
   // reallocated, inside the stages).

@@ -62,7 +62,8 @@ class PortStateProbe {
 ///      flight + credits in flight + downstream occupancy == buffer depth,
 ///      per VC, for router-router links and the NI injection path;
 ///   3. no flit is lost: the cycle-over-cycle change of the resident flit
-///      census equals flits injected minus flits ejected (self-resyncs
+///      census equals flits injected minus flits ejected minus flits
+///      accountably dropped by structural-fault drains (self-resyncs
 ///      across StatRegistry resets such as the warmup fence);
 ///   4. no deadlock: whenever flits are resident, some global movement
 ///      counter must advance within `deadlock_threshold` cycles.
@@ -123,6 +124,7 @@ class InvariantChecker {
   std::size_t last_resident_ = 0;
   std::uint64_t last_injected_ = 0;
   std::uint64_t last_ejected_ = 0;
+  std::uint64_t last_dropped_ = 0;  ///< structural-fault drains (monotonic)
 
   // Deadlock watchdog.
   std::uint64_t last_movement_ = 0;

@@ -49,15 +49,21 @@ namespace nbtinoc::noc {
 struct RouteEntry {
   std::int16_t port = 0;      ///< Dir, as int (may be a local port >= kFirstLocalPort)
   std::int16_t vc_class = 0;  ///< dateline class at the downstream input
+  /// Sentinel port for "no surviving path" (dead destination or
+  /// disconnected fabric). Healthy tables never contain it.
+  static constexpr std::int16_t kNoPort = -1;
+  bool reachable() const { return port >= 0; }
   Dir dir() const { return static_cast<Dir>(port); }
 };
+
+class DegradedRouting;
 
 class Topology {
  public:
   /// Builds the topology (and its route table) for a validated config.
   static std::unique_ptr<Topology> create(const NocConfig& config);
 
-  virtual ~Topology() = default;
+  virtual ~Topology();  // out of line: DegradedRouting is incomplete here
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
@@ -110,6 +116,41 @@ class Topology {
                          static_cast<std::size_t>(dst_terminal)];
   }
 
+  // --- structural degradation (see noc/fault_routing.hpp) --------------------
+  /// True once any kill_link/kill_router has landed: the route tables were
+  /// regenerated with up*/down* routing over the survivor graph and entries
+  /// may be unreachable.
+  bool degraded() const { return degraded_; }
+  bool router_alive(NodeId r) const {
+    return router_dead_.empty() || router_dead_[static_cast<std::size_t>(r)] == 0;
+  }
+  bool terminal_alive(NodeId t) const { return router_alive(router_of(t)); }
+  /// neighbor(), but kInvalidNode when the link or either endpoint is dead.
+  NodeId alive_neighbor(NodeId router, Dir d) const {
+    const NodeId v = neighbor(router, d);
+    if (v == kInvalidNode || !degraded_) return v;
+    if (link_dead_[static_cast<std::size_t>(router * 4 + static_cast<int>(d))] != 0) {
+      return kInvalidNode;
+    }
+    return router_alive(router) && router_alive(v) ? v : kInvalidNode;
+  }
+  bool link_alive(NodeId router, Dir d) const { return alive_neighbor(router, d) != kInvalidNode; }
+
+  /// Permanently kills the bidirectional link out of `router` via `d` (the
+  /// reverse direction dies with it) and regenerates the route tables.
+  /// Returns false (and changes nothing) when the link is unwired or its
+  /// traffic was already dead.
+  bool kill_link(NodeId router, Dir d);
+  /// Permanently kills a router — all its links plus its local terminals —
+  /// and regenerates. Returns false when already dead.
+  bool kill_router(NodeId router);
+
+  /// True while every alive router remains in one connected component.
+  bool fabric_connected() const;
+  /// The up*/down* state backing the regenerated tables; null until the
+  /// first kill.
+  const DegradedRouting* degraded_routing() const { return degraded_routing_.get(); }
+
   /// Minimal router-to-router hop count between two terminals' routers
   /// (0 when they share a router). The route-table walk bound.
   virtual int hop_distance(NodeId src_terminal, NodeId dst_terminal) const = 0;
@@ -152,9 +193,18 @@ class Topology {
   int concentration_ = 1;
 
  private:
+  /// Rebuilds route_table_/inject_class_ with up*/down* routing over the
+  /// survivor graph after a kill (phase classes on 2-class configs:
+  /// up-phase moves class 0, down-phase moves class 1).
+  void regenerate_routes();
+
   std::vector<NodeId> neighbors_;             ///< routers x 4
   std::vector<RouteEntry> route_table_;       ///< routers x terminals
   std::vector<std::int8_t> inject_class_;     ///< routers x terminals
+  std::vector<std::uint8_t> link_dead_;       ///< routers x 4 (directed; killed in pairs)
+  std::vector<std::uint8_t> router_dead_;     ///< routers
+  bool degraded_ = false;
+  std::unique_ptr<DegradedRouting> degraded_routing_;
   std::vector<NodeId> router_of_terminal_;    ///< terminals
   std::vector<int> local_slot_of_terminal_;   ///< terminals
   std::vector<NodeId> terminal_of_slot_;      ///< routers x concentration
@@ -173,6 +223,11 @@ class Mesh2D final : public Topology {
  protected:
   NodeId compute_neighbor(NodeId router, Dir d) const override;
   Dir compute_port(NodeId router, NodeId dst_terminal) const override;
+  /// Escape/adaptive split under the turn-model modes: packets whose source
+  /// and destination share a row or column ride the escape class (their XY
+  /// path is a straight line, so the alignment predicate is invariant along
+  /// it); everyone else gets the adaptive class. 0 under plain DOR.
+  int compute_vc_class(NodeId router, NodeId dst_terminal, Dir link_dir) const override;
 };
 
 /// Mesh plus wrap links in both dimensions; DOR takes the shorter way

@@ -14,6 +14,29 @@ TopologyKind parse_topology_kind(const std::string& name) {
                               "' (expected mesh, torus, ring, or cmesh)");
 }
 
+RoutingAlgo parse_routing_algo(const std::string& name) {
+  if (name == "dor" || name == "xy") return RoutingAlgo::kXY;
+  if (name == "yx") return RoutingAlgo::kYX;
+  if (name == "west-first") return RoutingAlgo::kWestFirst;
+  if (name == "odd-even") return RoutingAlgo::kOddEven;
+  throw std::invalid_argument("parse_routing_algo: unknown routing '" + name +
+                              "' (expected dor, xy, yx, west-first, or odd-even)");
+}
+
+std::string to_string(RoutingAlgo algo) {
+  switch (algo) {
+    case RoutingAlgo::kXY:
+      return "XY";
+    case RoutingAlgo::kYX:
+      return "YX";
+    case RoutingAlgo::kWestFirst:
+      return "west-first";
+    case RoutingAlgo::kOddEven:
+      return "odd-even";
+  }
+  return "?";
+}
+
 std::string to_string(TopologyKind kind) {
   switch (kind) {
     case TopologyKind::kMesh2D:
@@ -50,10 +73,18 @@ void NocConfig::validate() const {
     fail("a torus needs >= 2x2 tiles so every wrap link connects distinct routers (got " +
          std::to_string(width) + "x" + std::to_string(height) +
          "); use a ring for one-dimensional layouts");
-  if (vc_classes() > num_vcs)
+  if (adaptive_routing() && topology != TopologyKind::kMesh2D)
+    fail(to_string(routing) + " routing is a mesh turn model; " + to_string(topology) +
+         " requires dimension-order routing (dor/xy/yx)");
+  if (vc_classes() > num_vcs) {
+    if (adaptive_routing())
+      fail(to_string(routing) + " routing requires >= " + std::to_string(vc_classes()) +
+           " VCs per vnet so each vnet can host both the escape (DOR) and adaptive classes "
+           "(got " + std::to_string(num_vcs) + "); raise num_vcs or use dor routing");
     fail(to_string(topology) + " requires >= " + std::to_string(vc_classes()) +
          " VCs per vnet for its dateline classes (got " + std::to_string(num_vcs) +
          "); wrap-link deadlock freedom splits each vnet's VCs into pre-/post-dateline halves");
+  }
   if (num_vnets < 1) fail("num_vnets must be >= 1 (got " + std::to_string(num_vnets) + ")");
   if (buffer_depth < 1) fail("buffer_depth must be >= 1 (got " + std::to_string(buffer_depth) + ")");
   if (packet_length < 1) fail("packet_length must be >= 1 (got " + std::to_string(packet_length) + ")");
@@ -70,7 +101,7 @@ std::string NocConfig::describe() const {
   os << ", " << num_vnets << " vnet(s) x " << num_vcs
      << " VCs x " << buffer_depth
      << " flits, packets of " << packet_length << " flits, "
-     << (routing == RoutingAlgo::kXY ? "XY" : "YX") << " routing, wakeup latency "
+     << to_string(routing) << " routing, wakeup latency "
      << wakeup_latency;
   return os.str();
 }

@@ -1,0 +1,418 @@
+#include "nbtinoc/noc/fault_routing.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "nbtinoc/noc/topology.hpp"
+
+namespace nbtinoc::noc {
+
+// --- DegradedRouting ---------------------------------------------------------
+
+DegradedRouting::DegradedRouting(int num_routers, std::vector<NodeId> alive_neighbor,
+                                 std::vector<std::uint8_t> alive)
+    : num_routers_(num_routers),
+      nbr_(std::move(alive_neighbor)),
+      alive_(std::move(alive)),
+      order_(static_cast<std::size_t>(num_routers), kUnreachable) {
+  if (nbr_.size() != static_cast<std::size_t>(num_routers) * 4 ||
+      alive_.size() != static_cast<std::size_t>(num_routers))
+    throw std::invalid_argument("DegradedRouting: adjacency/alive size mismatch");
+
+  // BFS rank per component: seeds in ascending id, nodes ranked by
+  // (BFS depth, id) so the orientation is a pure function of the survivor
+  // graph — identical across scheduler modes and worker counts.
+  const std::size_t n = static_cast<std::size_t>(num_routers_);
+  std::vector<int> depth(n, -1);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  int components = 0;
+  int next_order = 0;
+  for (NodeId seed = 0; seed < num_routers_; ++seed) {
+    if (alive_[static_cast<std::size_t>(seed)] == 0 ||
+        depth[static_cast<std::size_t>(seed)] >= 0)
+      continue;
+    ++components;
+    const std::size_t first = queue.size();
+    depth[static_cast<std::size_t>(seed)] = 0;
+    queue.push_back(seed);
+    for (std::size_t head = first; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (int p = 0; p < 4; ++p) {
+        const NodeId v = nbr_[static_cast<std::size_t>(u) * 4 + static_cast<std::size_t>(p)];
+        if (v == kInvalidNode || depth[static_cast<std::size_t>(v)] >= 0) continue;
+        depth[static_cast<std::size_t>(v)] = depth[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+    std::sort(queue.begin() + static_cast<std::ptrdiff_t>(first), queue.end(),
+              [&](NodeId a, NodeId b) {
+                const int da = depth[static_cast<std::size_t>(a)];
+                const int db = depth[static_cast<std::size_t>(b)];
+                return da != db ? da < db : a < b;
+              });
+    for (std::size_t i = first; i < queue.size(); ++i)
+      order_[static_cast<std::size_t>(queue[i])] = next_order++;
+  }
+  connected_ = components <= 1;
+
+  // Per-destination tables. down_dist by reverse-down BFS from d (u joins
+  // D(d) through any neighbor it can step *down* to); dist by a sweep in
+  // increasing order rank — an up move's target always ranks lower, so its
+  // dist is final by the time it is read.
+  down_dist_.assign(n * n, kUnreachable);
+  dist_.assign(n * n, kUnreachable);
+  std::vector<NodeId> by_rank = queue;  // all alive routers, rank-sorted per component
+  std::sort(by_rank.begin(), by_rank.end(),
+            [&](NodeId a, NodeId b) { return order(a) < order(b); });
+  for (NodeId d = 0; d < num_routers_; ++d) {
+    if (alive_[static_cast<std::size_t>(d)] == 0) continue;
+    int* dd = &down_dist_[static_cast<std::size_t>(d) * n];
+    int* ds = &dist_[static_cast<std::size_t>(d) * n];
+    dd[d] = 0;
+    queue.clear();
+    queue.push_back(d);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId cur = queue[head];
+      for (int p = 0; p < 4; ++p) {
+        const NodeId u = nbr_[static_cast<std::size_t>(cur) * 4 + static_cast<std::size_t>(p)];
+        if (u == kInvalidNode || dd[u] != kUnreachable || !move_is_down(u, cur)) continue;
+        dd[u] = dd[cur] + 1;
+        queue.push_back(u);
+      }
+    }
+    for (const NodeId r : by_rank) {
+      if (dd[r] < kUnreachable) {
+        ds[r] = dd[r];
+        continue;
+      }
+      int best = kUnreachable;
+      for (int p = 0; p < 4; ++p) {
+        const NodeId v = nbr_[static_cast<std::size_t>(r) * 4 + static_cast<std::size_t>(p)];
+        if (v == kInvalidNode) continue;
+        // Legal continuations from the up phase: another up hop, or a down
+        // hop straight into d's down region.
+        const int through = move_is_up(r, v) ? ds[v] : dd[v];
+        best = std::min(best, through);
+      }
+      if (best < kUnreachable) ds[r] = best + 1;
+    }
+  }
+}
+
+// --- turn models -------------------------------------------------------------
+
+AdaptiveCandidates turn_model_candidates(RoutingAlgo algo, Coord cur, Coord src, Coord dst) {
+  AdaptiveCandidates out;
+  const int dx = dst.x - cur.x;
+  const int dy = dst.y - cur.y;
+  const Dir vertical = dy > 0 ? Dir::South : Dir::North;
+  if (algo == RoutingAlgo::kWestFirst) {
+    if (dx < 0) {
+      out.add(Dir::West);  // all west hops first — the model's one restriction
+      return out;
+    }
+    if (dy != 0) out.add(vertical);
+    if (dx > 0) out.add(Dir::East);
+    return out;
+  }
+  if (algo != RoutingAlgo::kOddEven)
+    throw std::invalid_argument("turn_model_candidates: not an adaptive routing mode");
+  // Chiu's ROUTE: even columns ban turning north/south off an eastbound
+  // packet, odd columns ban turning west off a vertical one.
+  const bool cur_even = cur.x % 2 == 0;
+  if (dx == 0) {
+    if (dy != 0) out.add(vertical);
+    return out;
+  }
+  if (dx > 0) {
+    if (dy == 0) {
+      out.add(Dir::East);
+      return out;
+    }
+    if (!cur_even || cur.x == src.x) out.add(vertical);
+    if (dst.x % 2 != 0 || dx != 1) out.add(Dir::East);
+    return out;
+  }
+  if (dy != 0 && cur_even) out.add(vertical);
+  out.add(Dir::West);
+  return out;
+}
+
+bool turn_allowed(RoutingAlgo algo, Dir from_travel, Dir to_travel, int x) {
+  if (to_travel == opposite(from_travel)) return false;  // no 180-degree turns
+  if (from_travel == to_travel) return true;
+  const bool from_x = from_travel == Dir::East || from_travel == Dir::West;
+  const bool to_x = to_travel == Dir::East || to_travel == Dir::West;
+  switch (algo) {
+    case RoutingAlgo::kXY:
+      return from_x && !to_x;  // only X-to-Y turns
+    case RoutingAlgo::kYX:
+      return !from_x && to_x;
+    case RoutingAlgo::kWestFirst:
+      // West comes first or not at all: nothing may turn *into* West.
+      return to_travel != Dir::West;
+    case RoutingAlgo::kOddEven:
+      if (from_travel == Dir::East && !to_x) return x % 2 != 0;  // EN/ES: odd columns only
+      if (!from_x && to_travel == Dir::West) return x % 2 == 0;  // NW/SW: even columns only
+      return true;
+  }
+  return false;
+}
+
+// --- CDG audit ---------------------------------------------------------------
+
+namespace {
+
+/// One CDG node per (router, input port, VC class); input port 4 stands for
+/// every NI-facing port (their VCs share one dependency role).
+struct CdgGraph {
+  int classes = 1;
+  std::vector<std::vector<int>> adj;
+
+  explicit CdgGraph(int routers, int classes_in)
+      : classes(classes_in),
+        adj(static_cast<std::size_t>(routers) * 5 * static_cast<std::size_t>(classes_in)) {}
+
+  int node(NodeId router, int in_port, int cls) const {
+    const int p = std::min(in_port, 4);
+    return (static_cast<int>(router) * 5 + p) * classes + cls;
+  }
+  void add_edge(int from, int to) { adj[static_cast<std::size_t>(from)].push_back(to); }
+
+  /// Iterative DFS three-coloring; true on a back edge.
+  bool has_cycle(int* cycle_node) const {
+    std::vector<std::int8_t> color(adj.size(), 0);
+    std::vector<std::pair<int, std::size_t>> stack;
+    for (int start = 0; start < static_cast<int>(adj.size()); ++start) {
+      if (color[static_cast<std::size_t>(start)] != 0) continue;
+      stack.emplace_back(start, 0);
+      color[static_cast<std::size_t>(start)] = 1;
+      while (!stack.empty()) {
+        auto& [u, next] = stack.back();
+        if (next < adj[static_cast<std::size_t>(u)].size()) {
+          const int v = adj[static_cast<std::size_t>(u)][next++];
+          if (color[static_cast<std::size_t>(v)] == 1) {
+            *cycle_node = v;
+            return true;
+          }
+          if (color[static_cast<std::size_t>(v)] == 0) {
+            color[static_cast<std::size_t>(v)] = 1;
+            stack.emplace_back(v, 0);
+          }
+        } else {
+          color[static_cast<std::size_t>(u)] = 2;
+          stack.pop_back();
+        }
+      }
+    }
+    return false;
+  }
+};
+
+std::string cdg_node_name(const Topology& topo, int node) {
+  const int classes = topo.num_vc_classes();
+  const int cls = node % classes;
+  const int port = (node / classes) % 5;
+  const NodeId router = node / classes / 5;
+  std::ostringstream os;
+  os << "router " << router << " in-port "
+     << (port >= 4 ? std::string("local") : to_string(static_cast<Dir>(port))) << " class " << cls;
+  return os.str();
+}
+
+/// Exact route-table walk edges: for every (src router, dst terminal) the
+/// packet's chain of downstream VCs, each depending on the next.
+void add_table_edges(const Topology& topo, CdgGraph* g) {
+  const int routers = topo.num_routers();
+  const int terminals = topo.num_terminals();
+  for (NodeId r = 0; r < routers; ++r) {
+    if (!topo.router_alive(r)) continue;
+    for (NodeId t = 0; t < terminals; ++t) {
+      const RouteEntry here = topo.route(r, t);
+      if (!here.reachable() || is_local(here.dir())) continue;
+      const NodeId v = topo.neighbor(r, here.dir());
+      const RouteEntry next = topo.route(v, t);
+      if (!next.reachable() || is_local(next.dir())) continue;
+      const NodeId w = topo.neighbor(v, next.dir());
+      g->add_edge(g->node(v, static_cast<int>(opposite(here.dir())), here.vc_class),
+                  g->node(w, static_cast<int>(opposite(next.dir())), next.vc_class));
+    }
+  }
+}
+
+/// Destination-free superset of the healthy adaptive class's moves: every
+/// turn the model permits, in the adaptive class only.
+void add_turn_edges(const Topology& topo, CdgGraph* g) {
+  const NocConfig& config = topo.config();
+  const int cls = 1;
+  for (NodeId r = 0; r < topo.num_routers(); ++r) {
+    const int x = coord_of(r, config.width).x;
+    for (int out = 0; out < 4; ++out) {
+      const NodeId v = topo.neighbor(r, static_cast<Dir>(out));
+      if (v == kInvalidNode) continue;
+      const int to = g->node(v, static_cast<int>(opposite(static_cast<Dir>(out))), cls);
+      // Injected heads may leave through any port.
+      g->add_edge(g->node(r, 4, cls), to);
+      for (int in = 0; in < 4; ++in) {
+        if (topo.neighbor(r, static_cast<Dir>(in)) == kInvalidNode) continue;
+        if (!turn_allowed(config.routing, opposite(static_cast<Dir>(in)),
+                          static_cast<Dir>(out), x))
+          continue;
+        g->add_edge(g->node(r, in, cls), to);
+      }
+    }
+  }
+}
+
+/// Destination-free superset of every move on a degraded fabric: a packet
+/// that arrived on a down link may only continue down; anything else may
+/// move freely. Classes do not constrain the relation (the rank argument in
+/// the header is class-independent), so edges are added for every class.
+void add_orientation_edges(const Topology& topo, CdgGraph* g) {
+  const DegradedRouting& dr = *topo.degraded_routing();
+  for (NodeId r = 0; r < topo.num_routers(); ++r) {
+    if (!topo.router_alive(r)) continue;
+    for (int out = 0; out < 4; ++out) {
+      const NodeId v = topo.alive_neighbor(r, static_cast<Dir>(out));
+      if (v == kInvalidNode) continue;
+      const bool out_down = dr.move_is_down(r, v);
+      for (int cls_out = 0; cls_out < g->classes; ++cls_out) {
+        const int to = g->node(v, static_cast<int>(opposite(static_cast<Dir>(out))), cls_out);
+        for (int cls_in = 0; cls_in < g->classes; ++cls_in) {
+          g->add_edge(g->node(r, 4, cls_in), to);
+          for (int in = 0; in < 4; ++in) {
+            const NodeId u = topo.alive_neighbor(r, static_cast<Dir>(in));
+            if (u == kInvalidNode) continue;
+            if (dr.move_is_down(u, r) && !out_down) continue;  // down phase is final
+            g->add_edge(g->node(r, in, cls_in), to);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool route_cdg_acyclic(const Topology& topo, std::string* diag) {
+  CdgGraph g(topo.num_routers(), topo.num_vc_classes());
+  add_table_edges(topo, &g);
+  if (topo.degraded())
+    add_orientation_edges(topo, &g);
+  else if (topo.config().adaptive_routing())
+    add_turn_edges(topo, &g);
+  int cycle_node = 0;
+  if (!g.has_cycle(&cycle_node)) return true;
+  if (diag != nullptr)
+    *diag = "channel-dependency cycle through " + cdg_node_name(topo, cycle_node);
+  return false;
+}
+
+bool route_walks_terminate(const Topology& topo, std::string* diag) {
+  const int routers = topo.num_routers();
+  const int terminals = topo.num_terminals();
+  // Up-phase + down-phase are each simple in the order ranking; 2x routers
+  // (plus slack) bounds every legal walk.
+  const int max_hops = 2 * routers + 4;
+  for (NodeId r = 0; r < routers; ++r) {
+    if (!topo.router_alive(r)) continue;
+    for (NodeId t = 0; t < terminals; ++t) {
+      if (!topo.terminal_alive(t)) continue;
+      NodeId at = r;
+      bool ok = false;
+      if (!topo.route(r, t).reachable()) continue;  // disconnected pair: allowed to have no route
+      for (int hop = 0; hop <= max_hops; ++hop) {
+        const RouteEntry e = topo.route(at, t);
+        if (!e.reachable()) break;
+        if (is_local(e.dir())) {
+          ok = at == topo.router_of(t);
+          break;
+        }
+        const NodeId next = topo.degraded() ? topo.alive_neighbor(at, e.dir())
+                                            : topo.neighbor(at, e.dir());
+        if (next == kInvalidNode) break;
+        at = next;
+      }
+      if (!ok) {
+        if (diag != nullptr) {
+          std::ostringstream os;
+          os << "route walk router " << r << " -> terminal " << t << " stalls at router " << at;
+          *diag = os.str();
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string describe_routes(const Topology& topo) {
+  std::ostringstream os;
+  const int routers = topo.num_routers();
+  const int terminals = topo.num_terminals();
+  os << "route table: " << routers << " routers x " << terminals << " terminals, "
+     << topo.num_vc_classes() << " VC class(es), " << to_string(topo.config().routing)
+     << " routing" << (topo.degraded() ? ", DEGRADED (up*/down* regenerated)" : ", healthy")
+     << "\n";
+  for (NodeId r = 0; r < routers; ++r) {
+    os << "  r" << r;
+    if (!topo.router_alive(r)) {
+      os << ": DEAD\n";
+      continue;
+    }
+    os << ":";
+    for (NodeId t = 0; t < terminals; ++t) {
+      const RouteEntry e = topo.route(r, t);
+      os << " t" << t << "=";
+      if (!e.reachable())
+        os << "-";
+      else if (is_local(e.dir()))
+        os << "L";
+      else
+        os << dir_letter(e.dir()) << "/" << e.vc_class;
+    }
+    os << "\n";
+  }
+  // Per-link view: which classes the table sends over each directed link,
+  // and the up*/down* orientation once degraded — the CDG edge inventory.
+  os << "links:\n";
+  for (NodeId r = 0; r < routers; ++r) {
+    for (int p = 0; p < 4; ++p) {
+      const Dir d = static_cast<Dir>(p);
+      const NodeId v = topo.neighbor(r, d);
+      if (v == kInvalidNode) continue;
+      os << "  r" << r << " -" << dir_letter(d) << "-> r" << v;
+      if (topo.degraded() && topo.alive_neighbor(r, d) == kInvalidNode) {
+        os << " DEAD\n";
+        continue;
+      }
+      bool used[2] = {false, false};
+      for (NodeId t = 0; t < terminals; ++t) {
+        const RouteEntry e = topo.route(r, t);
+        if (e.reachable() && e.dir() == d) used[e.vc_class != 0 ? 1 : 0] = true;
+      }
+      os << " classes{";
+      bool first = true;
+      for (int c = 0; c < 2; ++c) {
+        if (!used[c]) continue;
+        os << (first ? "" : ",") << c;
+        first = false;
+      }
+      os << "}";
+      if (topo.degraded()) {
+        const DegradedRouting& dr = *topo.degraded_routing();
+        os << (dr.move_is_down(r, v) ? " down" : " up");
+      }
+      os << "\n";
+    }
+  }
+  std::string diag;
+  os << "cdg: " << (route_cdg_acyclic(topo, &diag) ? "acyclic" : ("CYCLIC — " + diag)) << "\n";
+  os << "walks: " << (route_walks_terminate(topo, &diag) ? "terminate" : ("STUCK — " + diag))
+     << "\n";
+  return os.str();
+}
+
+}  // namespace nbtinoc::noc

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "nbtinoc/noc/fault_routing.hpp"
 
 namespace nbtinoc::noc {
 
@@ -130,6 +136,11 @@ const Channel<GateCommand>& Network::up_down_link(NodeId router, Dir port) const
 void Network::set_fault_injector(sim::FaultInjector* injector) {
   injector_ = injector;
   const int ports = config_.ports_per_router();
+  // Control-plane hooks and pins only exist for control-enabled plans: a
+  // structural-only plan must leave every Up_Down link on the zero-overhead
+  // exact-delivery path (no RNG draws, no pinned routers) — its kills are
+  // fixed-cycle events the schedulers fence on instead.
+  const bool control = injector_ != nullptr && injector_->plan().control_enabled();
   for (NodeId id = 0; id < num_routers(); ++id) {
     for (int p = 0; p < ports; ++p) {
       auto& link = up_down_links_[static_cast<std::size_t>(id) * static_cast<std::size_t>(ports) +
@@ -139,7 +150,7 @@ void Network::set_fault_injector(sim::FaultInjector* injector) {
       // targets everything — the pre-locality behavior). Untargeted links
       // keep the zero-overhead exact-delivery path and draw no RNG, so the
       // active-set scheduler can go on parking their routers.
-      if (injector_ == nullptr || !injector_->plan().targets_port(id, p)) {
+      if (!control || !injector_->plan().targets_port(id, p)) {
         link->set_fault_hook({});
         continue;
       }
@@ -164,11 +175,34 @@ void Network::set_fault_injector(sim::FaultInjector* injector) {
     }
   }
   refresh_fault_pins();
+
+  // Structural kill schedule: validate, sort (cycle, router, port) so the
+  // apply order is deterministic, and cache the first fence cycle.
+  structural_events_.clear();
+  next_structural_ = 0;
+  next_structural_cycle_ = sim::kCycleNever;
+  if (injector_ != nullptr && injector_->plan().structural_enabled()) {
+    structural_events_ = injector_->plan().structural;
+    for (const auto& f : structural_events_) {
+      if (f.router < 0 || f.router >= num_routers())
+        throw std::invalid_argument("Network: structural fault router out of range");
+      if (f.port >= 4)
+        throw std::invalid_argument(
+            "Network: structural fault port must be a cardinal direction or kWholeRouter");
+    }
+    std::sort(structural_events_.begin(), structural_events_.end(),
+              [](const sim::StructuralFault& a, const sim::StructuralFault& b) {
+                if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                if (a.router != b.router) return a.router < b.router;
+                return a.port < b.port;
+              });
+    next_structural_cycle_ = structural_events_.front().cycle;
+  }
 }
 
 void Network::refresh_fault_pins() {
   std::fill(pinned_routers_.begin(), pinned_routers_.end(), 0);
-  if (injector_ == nullptr) return;
+  if (injector_ == nullptr || !injector_->plan().control_enabled()) return;
   const int ports = config_.ports_per_router();
   for (NodeId id = 0; id < num_routers(); ++id) {
     for (int p = 0; p < ports; ++p) {
@@ -185,7 +219,7 @@ void Network::refresh_fault_pins() {
 }
 
 sim::FaultInjector* Network::injector_for(NodeId id, Dir port) const {
-  if (injector_ == nullptr) return nullptr;
+  if (injector_ == nullptr || !injector_->plan().control_enabled()) return nullptr;
   return injector_->plan().targets_port(id, static_cast<int>(port)) ? injector_ : nullptr;
 }
 
@@ -198,9 +232,10 @@ void Network::gating_stage_for(NodeId id, sim::Cycle now) {
   const int ports = config_.ports_per_router();
   const int num_classes = config_.vc_classes();
   Router& r = router(id);
+  if (r.dead()) return;  // structurally killed: no gating, no commands
   for (int p = 0; p < ports; ++p) {
     const Dir port = static_cast<Dir>(p);
-    if (!r.has_input(port)) continue;
+    if (!r.has_input(port) || r.input_port_dead(port)) continue;
     sim::FaultInjector* port_injector = injector_for(id, port);
     // One pre-VA decision per (virtual network, dateline class): each
     // class's VC subrange is managed exactly like the paper's
@@ -245,6 +280,7 @@ void Network::step() {
     return;
   }
   const sim::Cycle now = clock_.now();
+  if (now >= next_structural_cycle_) apply_structural_faults(now);
   gating_stage();
   for (auto& r : routers_) r->va_stage(now);
   for (auto& r : routers_) r->sa_st_stage(now);
@@ -278,6 +314,7 @@ void Network::run(sim::Cycle cycles) {
         sim::EventHorizon horizon(now);
         horizon.consider(controller_->next_event_cycle(now));
         horizon.consider(wake_heap_.top_cycle());
+        horizon.consider(next_structural_cycle_);  // never jump across a kill
         const sim::Cycle target = std::min(horizon.horizon(), end);
         if (target > now) {
           skip_stats_.note_skip(target - now);
@@ -396,6 +433,7 @@ void Network::drain_wakes(sim::Cycle now) {
 
 void Network::step_active() {
   const sim::Cycle now = clock_.now();
+  if (now >= next_structural_cycle_) apply_structural_faults(now);
   drain_wakes(now);
   stepped_routers_.assign(active_routers_);
   stepped_nis_.assign(active_nis_);
@@ -445,6 +483,9 @@ void Network::retire_active_cycle(sim::Cycle now) {
   });
   active_nis_.for_each([&](int t) {
     NetworkInterface& terminal = *nis_[static_cast<std::size_t>(t)];
+    // A dead tile parks forever: its source is never polled again (in any
+    // scheduler mode), so no heap wake may keep re-activating it.
+    if (terminal.dead()) return;
     if (!terminal.idle()) {
       // A non-idle NI asserts has_new_traffic for — and allocates VCs of —
       // its router's local input port: both must stay live.
@@ -483,10 +524,13 @@ bool Network::router_park_eligible(NodeId id) const {
 
 bool Network::router_gating_fixed_point(NodeId id) const {
   const Router& r = *routers_[static_cast<std::size_t>(id)];
+  // Dead resources are quarantined, not gated: they hold no work, receive
+  // no commands, and must not block parking or quiescence.
+  if (r.dead()) return true;
   const int num_classes = config_.vc_classes();
   for (int p = 0; p < r.num_ports(); ++p) {
     const Dir port = static_cast<Dir>(p);
-    if (!r.has_input(port)) continue;
+    if (!r.has_input(port) || r.input_port_dead(port)) continue;
     const InputUnit& iu = r.input(port);
     // Same per-port clause as quiescent(): every (vnet, class) of the port
     // must sit in the fixed point of its last applied command — all VCs
@@ -564,8 +608,10 @@ std::size_t Network::flits_resident() const {
 }
 
 bool Network::quiescent() const {
-  // Fault processes draw RNG and may act every cycle: never skip under one.
-  if (injector_ != nullptr) return false;
+  // Control-fault processes draw RNG and may act every cycle: never skip
+  // under one. Structural-only plans are fine — kills are fixed-cycle
+  // events next_event_horizon() fences on explicitly.
+  if (injector_ != nullptr && injector_->plan().control_enabled()) return false;
   // Anything in flight will be delivered (and observed) on a later step.
   // Credits matter too: an undelivered credit changes which cycle a future
   // SA grant sees it, so skipping across its delivery would not be
@@ -580,9 +626,10 @@ bool Network::quiescent() const {
   const int num_classes = config_.vc_classes();
   for (NodeId id = 0; id < num_routers(); ++id) {
     const Router& r = router(id);
+    if (r.dead()) continue;  // quarantined: holds no work by construction
     for (int p = 0; p < r.num_ports(); ++p) {
       const Dir port = static_cast<Dir>(p);
-      if (!r.has_input(port)) continue;
+      if (!r.has_input(port) || r.input_port_dead(port)) continue;
       const InputUnit& iu = r.input(port);
       if (iu.busy_vcs() != 0) return false;
       // Every (vnet, class) of the port must sit in the *same* fixed point
@@ -609,9 +656,303 @@ sim::Cycle Network::next_event_horizon() {
   const sim::Cycle now = clock_.now();
   sim::EventHorizon horizon(now);
   horizon.consider(controller_->next_event_cycle(now));
-  for (const auto& src : sources_)
-    if (src != nullptr) horizon.consider(src->next_event_cycle(now));
+  horizon.consider(next_structural_cycle_);  // never jump across a kill
+  for (std::size_t t = 0; t < sources_.size(); ++t) {
+    // A dead tile's source is never polled again, so its fires are not
+    // events (and must not cap the jump).
+    if (sources_[t] != nullptr && !nis_[t]->dead())
+      horizon.consider(sources_[t]->next_event_cycle(now));
+  }
   return horizon.horizon();
+}
+
+void Network::apply_structural_faults(sim::Cycle now) {
+  bool any = false;
+  while (next_structural_ < structural_events_.size() &&
+         structural_events_[next_structural_].cycle <= now) {
+    const sim::StructuralFault& f = structural_events_[next_structural_];
+    ++next_structural_;
+    bool changed = false;
+    if (f.kills_router()) {
+      changed = topo_->kill_router(f.router);
+      if (changed && injector_ != nullptr) injector_->count_router_kill();
+    } else {
+      changed = topo_->kill_link(f.router, static_cast<Dir>(f.port));
+      if (changed && injector_ != nullptr) injector_->count_link_kill();
+    }
+    if (changed) {
+      if (injector_ != nullptr) injector_->count_route_regen();
+      any = true;
+    }
+  }
+  next_structural_cycle_ = next_structural_ < structural_events_.size()
+                               ? structural_events_[next_structural_].cycle
+                               : sim::kCycleNever;
+  // One drain covers every kill that landed this cycle: the topology has
+  // already regenerated its tables, so legality below is judged against the
+  // final orientation.
+  if (any) purge_after_kill(now);
+}
+
+void Network::purge_after_kill(sim::Cycle now) {
+  const DegradedRouting* dr = topo_->degraded_routing();
+  const int n = num_routers();
+  const int terminals = nodes();
+  const int total_vcs = config_.total_vcs();
+
+  // --- 1. destination of every live packet -----------------------------------
+  // Every packet not yet fully ejected has at least one flit somewhere (a
+  // channel, a VC buffer) or is still being serialized by its NI — and every
+  // flit carries dst. Empty-but-Active VCs (allocation made, head still
+  // upstream) resolve through this map.
+  std::unordered_map<PacketId, NodeId> dst_of;
+  for (const auto& link : flit_channels_)
+    link->for_each_in_flight([&](const Flit& f, sim::Cycle) { dst_of[f.packet] = f.dst; });
+  for (NodeId id = 0; id < n; ++id) {
+    Router& r = router(id);
+    for (int p = 0; p < r.num_ports(); ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!r.has_input(port)) continue;
+      for (int v = 0; v < total_vcs; ++v) {
+        const VcBuffer& vc = r.input(port).vc(v);
+        if (!vc.empty()) dst_of[vc.packet()] = vc.front().dst;
+      }
+    }
+  }
+  for (const auto& term : nis_)
+    if (term->sending()) dst_of[term->sending_packet()] = term->sending_dst();
+
+  // --- 2. doom every packet whose position or committed move is illegal ------
+  // Legality under the regenerated up*/down* orientation:
+  //   - destination terminal alive and route-table reachable from here;
+  //   - a residence fed by a down link is in the down phase: the packet's
+  //     next move must be down, into the down region D(dst) — once down,
+  //     never up again (the rank argument in fault_routing.hpp);
+  //   - a committed down move (from any input) must land inside D(dst),
+  //     where the regenerated table continues pure-down;
+  //   - anything committed toward a dead link/port/router is stuck forever.
+  // A packet is purged whole (every flit, everywhere) if ANY of its
+  // residences or in-flight segments violates a rule — wormhole body flits
+  // retrace the head's path, so partial purges would strand segments.
+  std::unordered_set<PacketId> doomed;
+  const auto reachable_from = [&](NodeId at, NodeId dst_t) {
+    return topo_->terminal_alive(dst_t) && topo_->route(at, dst_t).reachable();
+  };
+  const auto down_ok = [&](NodeId w, NodeId dst_t) {
+    return dr->in_down_region(w, topo_->router_of(dst_t));
+  };
+
+  // In-flight flits on router-router links.
+  for (NodeId u = 0; u < n; ++u) {
+    for (int d = 0; d < 4; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      Channel<Flit>* link = router(u).flit_out_link_mut(dir);
+      if (link == nullptr) continue;
+      if (!topo_->link_alive(u, dir)) {
+        link->for_each_in_flight([&](const Flit& f, sim::Cycle) { doomed.insert(f.packet); });
+        continue;
+      }
+      const NodeId v = topo_->neighbor(u, dir);
+      const bool down = dr->move_is_down(u, v);
+      link->for_each_in_flight([&](const Flit& f, sim::Cycle) {
+        if (!reachable_from(v, f.dst) || (down && !down_ok(v, f.dst))) doomed.insert(f.packet);
+      });
+    }
+  }
+
+  // NI-side channels and serialization state.
+  for (NodeId t = 0; t < terminals; ++t) {
+    NetworkInterface& term = ni(t);
+    const NodeId r = topo_->router_of(t);
+    const Dir local = topo_->local_port_of(t);
+    Channel<Flit>* inj = router(r).flit_in_link_mut(local);
+    Channel<Flit>* ej = router(r).eject_out_link_mut(local);
+    if (!topo_->terminal_alive(t)) {
+      inj->for_each_in_flight([&](const Flit& f, sim::Cycle) { doomed.insert(f.packet); });
+      ej->for_each_in_flight([&](const Flit& f, sim::Cycle) { doomed.insert(f.packet); });
+      if (term.sending()) doomed.insert(term.sending_packet());
+      continue;
+    }
+    inj->for_each_in_flight([&](const Flit& f, sim::Cycle) {
+      if (!reachable_from(r, f.dst)) doomed.insert(f.packet);
+    });
+    // Ejection flits are home; a mid-serialization packet dies with its dst.
+    if (term.sending() && !reachable_from(r, term.sending_dst()))
+      doomed.insert(term.sending_packet());
+  }
+
+  // Resident packets in VC buffers (head waiting, or body streaming behind a
+  // committed move).
+  for (NodeId id = 0; id < n; ++id) {
+    Router& r = router(id);
+    const bool router_dead_now = !topo_->router_alive(id);
+    for (int p = 0; p < r.num_ports(); ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!r.has_input(port)) continue;
+      const bool port_dead =
+          router_dead_now || (!is_local(port) && !topo_->link_alive(id, port));
+      InputUnit& iu = r.input(port);
+      for (int v = 0; v < total_vcs; ++v) {
+        const VcBuffer& vc = iu.vc(v);
+        if (!vc.is_active()) continue;
+        const PacketId pkt = vc.packet();
+        if (port_dead) {
+          doomed.insert(pkt);
+          continue;
+        }
+        const auto it = dst_of.find(pkt);
+        if (it == dst_of.end()) {  // untracked allocation: cannot complete
+          doomed.insert(pkt);
+          continue;
+        }
+        const NodeId dst = it->second;
+        if (!reachable_from(id, dst)) {
+          doomed.insert(pkt);
+          continue;
+        }
+        const bool arrived_down =
+            !is_local(port) && dr->move_is_down(topo_->neighbor(id, port), id);
+        if (iu.has_output(v)) {
+          const Dir m = iu.out_port(v);
+          if (is_local(m)) {
+            if (topo_->router_of(dst) != id) doomed.insert(pkt);
+            continue;
+          }
+          const NodeId w = topo_->alive_neighbor(id, m);
+          if (w == kInvalidNode) {  // committed toward a dead resource
+            doomed.insert(pkt);
+            continue;
+          }
+          const bool move_down = dr->move_is_down(id, w);
+          if ((arrived_down && !move_down) || (move_down && !down_ok(w, dst)))
+            doomed.insert(pkt);
+        } else if (arrived_down && !down_ok(id, dst)) {
+          doomed.insert(pkt);
+        }
+      }
+    }
+  }
+
+  // --- 3. purge the doomed packets everywhere --------------------------------
+  const std::uint64_t purged_packets = static_cast<std::uint64_t>(doomed.size());
+  std::uint64_t dropped = 0;
+  for (auto& link : flit_channels_)
+    dropped += static_cast<std::uint64_t>(
+        link->remove_if([&](const Flit& f) { return doomed.count(f.packet) != 0; }));
+  for (NodeId id = 0; id < n; ++id) {
+    Router& r = router(id);
+    const bool router_dead_now = !topo_->router_alive(id);
+    for (int p = 0; p < r.num_ports(); ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!r.has_input(port)) continue;
+      const bool port_dead =
+          router_dead_now || (!is_local(port) && !topo_->link_alive(id, port));
+      InputUnit& iu = r.input(port);
+      for (int v = 0; v < total_vcs; ++v)
+        if (iu.vc(v).is_active() && (port_dead || doomed.count(iu.vc(v).packet()) != 0))
+          dropped += static_cast<std::uint64_t>(iu.purge_vc(v));
+    }
+  }
+  for (auto& term : nis_) {
+    if (!topo_->terminal_alive(term->node())) {
+      if (!term->dead()) term->mark_dead();
+      continue;
+    }
+    if (term->sending() && doomed.count(term->sending_packet()) != 0) term->cancel_sending();
+    term->drop_queued_unroutable();  // counts fault.unroutable_packets itself
+  }
+  dropped_flits_total_ += dropped;
+  if (injector_ != nullptr) {
+    injector_->count_dropped_flits(dropped);
+    injector_->count_purged_packets(purged_packets);
+  }
+
+  // --- 4. quarantine dead resources ------------------------------------------
+  // Dead credit channels must be emptied too: nothing will ever pop them,
+  // and a stranded credit would block quiescence forever.
+  for (NodeId id = 0; id < n; ++id) {
+    Router& r = router(id);
+    const bool router_dead_now = !topo_->router_alive(id);
+    if (router_dead_now && !r.dead()) r.mark_dead();
+    for (int p = 0; p < r.num_ports(); ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!r.has_input(port)) continue;
+      const bool port_dead =
+          router_dead_now || (!is_local(port) && !topo_->link_alive(id, port));
+      if (!port_dead) continue;
+      r.mark_input_port_dead(port);
+      if (Channel<Credit>* c = r.credit_out_link_mut(port)) c->clear();
+    }
+    for (int d = 0; d < 4; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      if (router_dead_now || (r.has_output(dir) && !topo_->link_alive(id, dir)))
+        if (Channel<Credit>* c = r.credit_in_link_mut(dir)) c->clear();
+    }
+  }
+
+  // --- 5. rewrite every surviving credit counter from the identity -----------
+  restore_credits();
+
+  // --- 6. re-run RC for waiting heads against the regenerated tables ---------
+  for (auto& r : routers_)
+    if (!r->dead()) r->reroute_waiting_heads(now);
+
+  // --- 7. audit: the regenerated routing must be deadlock-free ---------------
+  std::string diag;
+  if (!route_cdg_acyclic(*topo_, &diag))
+    throw std::logic_error("Network: regenerated routing CDG has a cycle: " + diag);
+
+  // --- 8. active-set mode: the world changed — wake everything ---------------
+  // Components with no work re-park at the next retire pass; a stale park
+  // decision made against the pre-kill fabric must not survive.
+  if (scheduler_mode_ == SchedulerMode::kActiveSet) {
+    active_routers_.insert_all();
+    active_nis_.insert_all();
+  }
+}
+
+void Network::restore_credits() {
+  const int total_vcs = config_.total_vcs();
+  std::vector<int> accounted(static_cast<std::size_t>(total_vcs));
+  for (NodeId u = 0; u < num_routers(); ++u) {
+    Router& ru = router(u);
+    if (ru.dead()) continue;
+    for (int d = 0; d < 4; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      if (!ru.has_output(dir)) continue;
+      OutputUnit& out = ru.output(dir);
+      if (!topo_->link_alive(u, dir)) {
+        // Dead output: zero credits, so not even a latent bug can push a
+        // flit into the cleared channel.
+        for (int v = 0; v < total_vcs; ++v) out.set_credits(v, 0);
+        continue;
+      }
+      const NodeId w = topo_->neighbor(u, dir);
+      std::fill(accounted.begin(), accounted.end(), 0);
+      ru.flit_out_link_mut(dir)->for_each_in_flight(
+          [&](const Flit& f, sim::Cycle) { ++accounted[static_cast<std::size_t>(f.vc)]; });
+      ru.credit_in_link_mut(dir)->for_each_in_flight(
+          [&](const Credit& c, sim::Cycle) { ++accounted[static_cast<std::size_t>(c.vc)]; });
+      const InputUnit& diu = router(w).input(opposite(dir));
+      for (int v = 0; v < total_vcs; ++v)
+        out.set_credits(v, config_.buffer_depth - accounted[static_cast<std::size_t>(v)] -
+                               diu.vc(v).occupancy());
+    }
+  }
+  for (auto& term : nis_) {
+    if (term->dead()) continue;
+    const NodeId r = topo_->router_of(term->node());
+    const Dir local = topo_->local_port_of(term->node());
+    std::fill(accounted.begin(), accounted.end(), 0);
+    term->inject_link()->for_each_in_flight(
+        [&](const Flit& f, sim::Cycle) { ++accounted[static_cast<std::size_t>(f.vc)]; });
+    term->credit_link()->for_each_in_flight(
+        [&](const Credit& c, sim::Cycle) { ++accounted[static_cast<std::size_t>(c.vc)]; });
+    const InputUnit& iu = router(r).input(local);
+    for (int v = 0; v < total_vcs; ++v)
+      term->set_credits(v, config_.buffer_depth - accounted[static_cast<std::size_t>(v)] -
+                               iu.vc(v).occupancy());
+  }
 }
 
 bool Network::drained() const {

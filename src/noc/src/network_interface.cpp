@@ -14,6 +14,7 @@ NetworkInterface::NetworkInterface(NodeId node, const NocConfig& config, sim::St
       h_ni_va_grants_(stats.intern("noc.ni_va_grants")),
       h_flits_injected_(stats.intern("noc.flits_injected")),
       h_packets_offered_(stats.intern("noc.packets_offered")),
+      h_unroutable_(stats.intern("fault.unroutable_packets")),
       d_packet_latency_(stats.intern_distribution("noc.packet_latency")),
       credits_(static_cast<std::size_t>(config.total_vcs()), config.buffer_depth) {}
 
@@ -25,7 +26,38 @@ void NetworkInterface::wire(InputUnit* router_local_iu, Channel<Flit>* inject_ou
   eject_in_ = eject_in;
 }
 
+void NetworkInterface::mark_dead() {
+  dead_ = true;
+  queue_.clear();
+  sending_ = false;
+  send_vc_ = kInvalidVc;
+}
+
+bool NetworkInterface::unroutable(NodeId dst) const {
+  if (topo_ == nullptr || !topo_->degraded()) return false;
+  return !topo_->terminal_alive(dst) ||
+         !topo_->route(topo_->router_of(node_), dst).reachable();
+}
+
+std::uint64_t NetworkInterface::drop_queued_unroutable() {
+  if (dead_ || topo_ == nullptr || !topo_->degraded()) return 0;
+  std::uint64_t dropped = 0;
+  const std::size_t n = queue_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    QueuedPacket pkt = queue_.front();
+    queue_.pop_front();
+    if (unroutable(pkt.dst)) {
+      ++dropped;
+    } else {
+      queue_.push_back(pkt);
+    }
+  }
+  if (dropped != 0) stats_->add(h_unroutable_, dropped);
+  return dropped;
+}
+
 void NetworkInterface::receive(sim::Cycle now) {
+  if (dead_) return;
   while (auto credit = credit_in_->pop_ready(now)) {
     int& c = credits_.at(static_cast<std::size_t>(credit->vc));
     if (c >= config_.buffer_depth) throw std::logic_error("NI: credit overflow");
@@ -63,6 +95,7 @@ void NetworkInterface::inject(sim::Cycle now, std::uint64_t& packet_id_counter) 
   // port, so allocation needs no arbitration — just a free, awake VC in the
   // packet's virtual network (and, on wrap-link topologies, its dateline
   // class subrange).
+  if (dead_) return;
   if (!sending_ && !queue_.empty() && queue_.front().injected_at < now) {
     const int cls = front_class();
     const int first = config_.first_vc_of_vnet(queue_.front().vnet) + config_.class_first_vc(cls);
@@ -113,12 +146,19 @@ void NetworkInterface::inject(sim::Cycle now, std::uint64_t& packet_id_counter) 
 }
 
 void NetworkInterface::generate(sim::Cycle now) {
-  if (source_ == nullptr) return;
+  if (dead_ || source_ == nullptr) return;
   if (auto req = source_->maybe_generate(now)) {
     if (req->dst == node_) return;  // self-traffic never enters the NoC
     if (req->length < 1) throw std::logic_error("NI: packet length must be >= 1");
     if (req->vnet < 0 || req->vnet >= config_.num_vnets)
       throw std::logic_error("NI: packet vnet out of range");
+    if (unroutable(req->dst)) {
+      // Degraded fabric: the destination tile is dead or disconnected.
+      // Dropping at the source keeps has_new_traffic() truthful (a packet
+      // with no route would assert it forever and wedge quiescence).
+      stats_->add(h_unroutable_);
+      return;
+    }
     queue_.push_back(QueuedPacket{req->dst, req->length, req->vnet, now});
     stats_->add(h_packets_offered_);
   }

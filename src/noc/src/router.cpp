@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nbtinoc/noc/fault_routing.hpp"
+#include "nbtinoc/noc/routing.hpp"
+
 namespace nbtinoc::noc {
 
 Router::Router(NodeId id, const NocConfig& config, sim::StatRegistry& stats,
@@ -25,6 +28,8 @@ Router::Router(NodeId id, const NocConfig& config, sim::StatRegistry& stats,
       flit_in_(static_cast<std::size_t>(ports_), nullptr),
       credit_out_(static_cast<std::size_t>(ports_), nullptr),
       eject_out_(static_cast<std::size_t>(ports_), nullptr),
+      port_forwarded_(static_cast<std::size_t>(ports_), 0),
+      port_dead_(static_cast<std::size_t>(ports_), 0),
       va_requests_(static_cast<std::size_t>(ports_ * config.total_vcs())),
       vnet_has_free_(static_cast<std::size_t>(config.num_vnets * config.vc_classes())),
       sa_ready_(static_cast<std::size_t>(config.total_vcs())),
@@ -61,6 +66,104 @@ void Router::wire_ejection(Dir dir, Channel<Flit>* eject_out) {
     throw std::invalid_argument("Router::wire_ejection: " + to_string(dir) +
                                 " is not a local port");
   eject_out_[static_cast<std::size_t>(dir)] = eject_out;
+}
+
+RouteEntry Router::route_for(Dir in_port, const Flit& flit) const {
+  const RouteEntry table = topo_->route(id_, flit.dst);
+  if (!config_.adaptive_routing()) return table;
+  if (!table.reachable() || is_local(table.dir())) return table;
+  if (topo_->degraded()) return degraded_adaptive_route(in_port, flit, table);
+  // The packet's class was fixed at injection and is visible in its VC
+  // index: escape-class packets (row/column-aligned pairs) take the table's
+  // minimal XY route, adaptive-class packets route dynamically.
+  const int local_vc = flit.vc - config_.first_vc_of_vnet(flit.vnet);
+  if (local_vc < config_.class_first_vc(1)) return table;
+  return turn_model_route(flit);
+}
+
+RouteEntry Router::turn_model_route(const Flit& flit) const {
+  const int w = config_.width;
+  const AdaptiveCandidates cand = turn_model_candidates(
+      config_.routing, coord_of(id_, w), coord_of(flit.src, w), coord_of(flit.dst, w));
+  if (cand.count == 0) throw std::logic_error("Router: empty turn-model candidate set");
+  // Least-stressed selection: lowest cumulative forwarded-flit count; the
+  // candidates arrive in Dir index order, so strict improvement keeps the
+  // lowest port on ties — deterministic across scheduler modes.
+  Dir best = cand.dir[0];
+  for (int i = 1; i < cand.count; ++i) {
+    const Dir d = cand.dir[static_cast<std::size_t>(i)];
+    if (port_forwarded_[static_cast<std::size_t>(d)] <
+        port_forwarded_[static_cast<std::size_t>(best)])
+      best = d;
+  }
+  RouteEntry entry;
+  entry.port = static_cast<std::int16_t>(best);
+  entry.vc_class = 1;  // adaptive packets never switch into the escape class
+  return entry;
+}
+
+RouteEntry Router::degraded_adaptive_route(Dir in_port, const Flit& flit,
+                                           RouteEntry table) const {
+  const DegradedRouting& dr = *topo_->degraded_routing();
+  const NodeId dst_router = topo_->router_of(flit.dst);
+  // A packet that has taken a down link may only continue down (the
+  // up*/down* restriction); everything else may still climb.
+  const bool arrived_down =
+      !is_local(in_port) && dr.move_is_down(topo_->neighbor(id_, in_port), id_);
+  const int my_dist = dr.dist(id_, dst_router);
+  const int my_down = dr.down_dist(id_, dst_router);
+  const bool two_class = config_.vc_classes() >= 2;
+  Dir best = Dir::Local;
+  bool best_down = false;
+  bool have = false;
+  std::uint64_t best_stress = 0;
+  for (int p = 0; p < 4; ++p) {
+    const Dir d = static_cast<Dir>(p);
+    const NodeId v = topo_->alive_neighbor(id_, d);
+    if (v == kInvalidNode) continue;
+    const bool down = dr.move_is_down(id_, v);
+    bool legal;
+    if (arrived_down)
+      legal = down && dr.down_dist(v, dst_router) < my_down;
+    else if (down)
+      legal = dr.down_dist(v, dst_router) < my_dist;
+    else
+      legal = dr.dist(v, dst_router) < my_dist;
+    if (!legal) continue;
+    const std::uint64_t stress = port_forwarded_[static_cast<std::size_t>(p)];
+    if (!have || stress < best_stress) {
+      have = true;
+      best = d;
+      best_down = down;
+      best_stress = stress;
+    }
+  }
+  if (!have) return table;  // unreachable: the table step is always a candidate
+  RouteEntry entry;
+  entry.port = static_cast<std::int16_t>(best);
+  entry.vc_class = static_cast<std::int16_t>(two_class && best_down ? 1 : 0);
+  return entry;
+}
+
+void Router::reroute_waiting_heads(sim::Cycle now) {
+  (void)now;
+  if (dead_) return;
+  const int num_vcs = config_.total_vcs();
+  for (int p = 0; p < ports_; ++p) {
+    const auto& iu = inputs_[static_cast<std::size_t>(p)];
+    if (!iu) continue;
+    if (iu->busy_vcs() == 0) continue;
+    for (int v = 0; v < num_vcs; ++v) {
+      VcBuffer& buf = iu->vc(v);
+      if (!buf.is_active() || buf.empty() || iu->has_output(v)) continue;
+      const Flit& front = buf.front();
+      if (!is_head(front.type)) continue;
+      const RouteEntry entry = route_for(static_cast<Dir>(p), front);
+      if (!entry.reachable()) continue;  // doomed packets were purged already
+      buf.set_route(entry.dir());
+      buf.set_next_class(entry.vc_class);
+    }
+  }
 }
 
 bool Router::has_new_traffic_toward(Dir out, sim::Cycle now) const {
@@ -105,7 +208,7 @@ void Router::va_stage(sim::Cycle now) {
   // No Active VC on any input port means no VA request can exist, and the
   // request-less scan below has no side effects (arbiters only advance on a
   // grant). Skipping it keeps idle routers O(ports) per cycle.
-  if (!any_busy_input()) return;
+  if (dead_ || !any_busy_input()) return;
   const int num_vcs = config_.total_vcs();
   const int num_classes = config_.vc_classes();
   // Ejection (local output) has no VC buffers downstream: every packet
@@ -197,7 +300,7 @@ void Router::va_stage(sim::Cycle now) {
 void Router::sa_st_stage(sim::Cycle now) {
   // SA readiness requires a non-empty (hence Active) VC: same O(ports)
   // idle skip as va_stage, equally side-effect-free.
-  if (!any_busy_input()) return;
+  if (dead_ || !any_busy_input()) return;
   const int num_vcs = config_.total_vcs();
 
   // Phase 1: each input port nominates one ready VC (round-robin).
@@ -261,6 +364,7 @@ void Router::sa_st_stage(sim::Cycle now) {
       outputs_[static_cast<std::size_t>(out)]->consume_credit(out_vc);
       flit_out_[static_cast<std::size_t>(out)]->push(flit, now);
       stats_->add(h_flits_forwarded_);
+      ++port_forwarded_[static_cast<std::size_t>(out)];  // adaptive stress signal
     }
 
     stats_->add(h_flits_out_);
@@ -272,13 +376,14 @@ void Router::sa_st_stage(sim::Cycle now) {
 }
 
 void Router::accept_arrivals(sim::Cycle now) {
+  if (dead_) return;
   for (int p = 0; p < ports_; ++p) {
     Channel<Flit>* link = flit_in_[static_cast<std::size_t>(p)];
     if (link == nullptr) continue;
     while (auto flit = link->pop_ready(now)) {
-      // RC: one route-table load replaces the per-flit coordinate
-      // arithmetic; the entry also carries the downstream dateline class.
-      const RouteEntry entry = topo_->route(id_, flit->dst);
+      // RC: the table load under DOR; dynamic (adaptive / up*-down*)
+      // selection otherwise. The entry also carries the downstream VC class.
+      const RouteEntry entry = route_for(static_cast<Dir>(p), *flit);
       inputs_[static_cast<std::size_t>(p)]->receive_flit(*flit, entry.dir(), entry.vc_class, now);
     }
   }

@@ -45,7 +45,9 @@ Dir route_compute(NodeId current, NodeId dst, const NocConfig& config) {
   const Coord c = coord_of(current, config.width);
   const Coord d = coord_of(dst, config.width);
   if (c == d) return Dir::Local;
-  const bool x_first = config.routing == RoutingAlgo::kXY;
+  // kYX resolves Y first; everything else (kXY and the adaptive modes,
+  // whose escape class is minimal XY) resolves X first.
+  const bool x_first = config.routing != RoutingAlgo::kYX;
   if (x_first) {
     if (d.x > c.x) return Dir::East;
     if (d.x < c.x) return Dir::West;

@@ -140,11 +140,16 @@ void InvariantChecker::check_credit_conservation(sim::Cycle cycle) {
   const NocConfig& cfg = network_->config();
   // Router-router links: the upstream output unit's credit view of each
   // downstream VC, closed over both in-flight directions.
+  const Topology& topo = network_->topology();
   for (NodeId id = 0; id < network_->num_routers(); ++id) {
     const Router& r = network_->router(id);
+    // Dead resources are outside the identity: their channels were cleared
+    // and their credit counters zeroed by the structural-fault drain.
+    if (r.dead()) continue;
     for (int d = 0; d < 4; ++d) {
       const Dir dir = static_cast<Dir>(d);
       if (!r.has_output(dir) || r.downstream_input(dir) == nullptr) continue;
+      if (!topo.link_alive(id, dir)) continue;
       const InputUnit& diu = *r.downstream_input(dir);
       for (int v = 0; v < cfg.total_vcs(); ++v) {
         const std::size_t total = static_cast<std::size_t>(r.output(dir).credits(v)) +
@@ -162,7 +167,7 @@ void InvariantChecker::check_credit_conservation(sim::Cycle cycle) {
   // NI injection path: same identity for each terminal's local input port.
   for (NodeId id = 0; id < network_->nodes(); ++id) {
     const NetworkInterface& ni = network_->ni(id);
-    const Topology& topo = network_->topology();
+    if (ni.dead()) continue;
     const InputUnit& liu = network_->router(topo.router_of(id)).input(topo.local_port_of(id));
     for (int v = 0; v < cfg.total_vcs(); ++v) {
       const std::size_t total = static_cast<std::size_t>(ni.credits(v)) +
@@ -181,21 +186,26 @@ void InvariantChecker::check_flit_conservation(sim::Cycle cycle) {
   const std::size_t resident = network_->flits_resident();
   const std::uint64_t injected = network_->stats().counter("noc.flits_injected");
   const std::uint64_t ejected = network_->stats().counter("noc.flits_ejected");
+  // Flits removed by structural-fault drains are accounted, not lost: the
+  // network tallies every purge (monotonic, never reset with the registry).
+  const std::uint64_t dropped = network_->dropped_flits();
   // A counter running backwards means the registry was reset (warmup
   // fence): re-baseline instead of reporting a bogus loss.
   if (census_valid_ && injected >= last_injected_ && ejected >= last_ejected_) {
     const auto expected = static_cast<std::int64_t>(last_resident_) +
                           static_cast<std::int64_t>(injected - last_injected_) -
-                          static_cast<std::int64_t>(ejected - last_ejected_);
+                          static_cast<std::int64_t>(ejected - last_ejected_) -
+                          static_cast<std::int64_t>(dropped - last_dropped_);
     if (expected != static_cast<std::int64_t>(resident))
       record(cycle, "flit conservation broken: resident census " + std::to_string(resident) +
                         " but expected " + std::to_string(expected) +
-                        " (injected/ejected delta since last check)");
+                        " (injected/ejected/dropped delta since last check)");
   }
   census_valid_ = true;
   last_resident_ = resident;
   last_injected_ = injected;
   last_ejected_ = ejected;
+  last_dropped_ = dropped;
 }
 
 void InvariantChecker::check_deadlock(sim::Cycle cycle) {

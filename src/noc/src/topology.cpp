@@ -3,9 +3,12 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "nbtinoc/noc/fault_routing.hpp"
 #include "nbtinoc/noc/routing.hpp"
 
 namespace nbtinoc::noc {
+
+Topology::~Topology() = default;
 
 Topology::Topology(const NocConfig& config) : config_(config) {
   num_terminals_ = config.nodes();
@@ -36,6 +39,8 @@ Topology::Topology(const NocConfig& config) : config_(config) {
 }
 
 void Topology::build_tables() {
+  link_dead_.assign(static_cast<std::size_t>(num_routers_ * 4), 0);
+  router_dead_.assign(static_cast<std::size_t>(num_routers_), 0);
   neighbors_.resize(static_cast<std::size_t>(num_routers_ * 4));
   for (NodeId r = 0; r < num_routers_; ++r)
     for (int d = 0; d < 4; ++d)
@@ -68,6 +73,91 @@ void Topology::build_tables() {
   }
 }
 
+bool Topology::kill_link(NodeId router, Dir d) {
+  if (router < 0 || router >= num_routers_ || is_local(d))
+    throw std::invalid_argument("Topology::kill_link: not a cardinal port of a router");
+  const NodeId v = neighbor(router, d);
+  if (v == kInvalidNode) return false;               // unwired (mesh edge)
+  if (!router_alive(router) || !router_alive(v)) return false;
+  const std::size_t fwd = static_cast<std::size_t>(router * 4 + static_cast<int>(d));
+  if (link_dead_[fwd] != 0) return false;
+  // A failed physical channel takes both wires: the reverse direction is
+  // v's opposite(d) port (how the network wires it — correct even on a
+  // 2-wide torus where both of v's x-ports face `router`).
+  link_dead_[fwd] = 1;
+  link_dead_[static_cast<std::size_t>(v * 4 + static_cast<int>(opposite(d)))] = 1;
+  regenerate_routes();
+  return true;
+}
+
+bool Topology::kill_router(NodeId router) {
+  if (router < 0 || router >= num_routers_)
+    throw std::invalid_argument("Topology::kill_router: router out of range");
+  if (!router_alive(router)) return false;
+  router_dead_[static_cast<std::size_t>(router)] = 1;
+  regenerate_routes();
+  return true;
+}
+
+bool Topology::fabric_connected() const {
+  return degraded_routing_ == nullptr || degraded_routing_->connected();
+}
+
+void Topology::regenerate_routes() {
+  degraded_ = true;
+  std::vector<NodeId> alive_nbr(static_cast<std::size_t>(num_routers_ * 4), kInvalidNode);
+  std::vector<std::uint8_t> alive(router_dead_.size());
+  for (NodeId r = 0; r < num_routers_; ++r)
+    alive[static_cast<std::size_t>(r)] = router_dead_[static_cast<std::size_t>(r)] == 0 ? 1 : 0;
+  for (NodeId r = 0; r < num_routers_; ++r)
+    for (int p = 0; p < 4; ++p)
+      alive_nbr[static_cast<std::size_t>(r * 4 + p)] = alive_neighbor(r, static_cast<Dir>(p));
+  degraded_routing_ = std::make_unique<DegradedRouting>(num_routers_, std::move(alive_nbr),
+                                                        std::move(alive));
+  const DegradedRouting& dr = *degraded_routing_;
+
+  // Up*/down* table: pure down inside the destination's down region,
+  // otherwise one legal shortest step (up, or down straight into the
+  // region), lowest port on ties. Phase classes on 2-class configs keep the
+  // per-class VC halves meaningful: up-phase moves allocate class 0
+  // downstream, down-phase moves class 1. Classes do not carry the deadlock
+  // argument (the up*/down* rank function is class-independent), so
+  // surviving packets with pre-fault dateline classes stay legal.
+  const bool two_class = config_.vc_classes() >= 2;
+  for (NodeId r = 0; r < num_routers_; ++r) {
+    for (NodeId t = 0; t < num_terminals_; ++t) {
+      const std::size_t idx = static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(num_terminals_) +
+                              static_cast<std::size_t>(t);
+      RouteEntry entry;
+      entry.port = RouteEntry::kNoPort;
+      entry.vc_class = 0;
+      const NodeId d = router_of(t);
+      if (router_alive(r) && router_alive(d)) {
+        if (r == d) {
+          entry.port = static_cast<std::int16_t>(local_port_of(t));
+        } else if (dr.dist(r, d) < DegradedRouting::kUnreachable) {
+          const bool down_phase = dr.in_down_region(r, d);
+          const int goal = (down_phase ? dr.down_dist(r, d) : dr.dist(r, d)) - 1;
+          for (int p = 0; p < 4; ++p) {
+            const NodeId v = alive_neighbor(r, static_cast<Dir>(p));
+            if (v == kInvalidNode) continue;
+            const bool step_down = dr.move_is_down(r, v);
+            if (down_phase && !step_down) continue;
+            const int through = step_down ? dr.down_dist(v, d) : dr.dist(v, d);
+            if (through != goal) continue;
+            entry.port = static_cast<std::int16_t>(p);
+            entry.vc_class = two_class && step_down ? 1 : 0;
+            break;
+          }
+        }
+      }
+      route_table_[idx] = entry;
+      inject_class_[idx] = static_cast<std::int8_t>(entry.reachable() ? entry.vc_class : 0);
+    }
+  }
+}
+
 std::unique_ptr<Topology> Topology::create(const NocConfig& config) {
   switch (config.topology) {
     case TopologyKind::kMesh2D:
@@ -94,6 +184,19 @@ Dir Mesh2D::compute_port(NodeId router, NodeId dst_terminal) const {
   // Same arithmetic as the legacy route_compute(): the table is a cache of
   // it, so the mesh stays bit-identical to the pre-topology simulator.
   return route_compute(router, dst_terminal, config_);
+}
+
+int Mesh2D::compute_vc_class(NodeId router, NodeId dst_terminal, Dir link_dir) const {
+  (void)link_dir;
+  if (!config_.adaptive_routing()) return 0;
+  // Turn-model modes: class is fixed at injection — row/column-aligned
+  // pairs ride the escape (DOR) class 0, everyone else the adaptive class
+  // 1. Escape XY paths are straight lines, so every intermediate router
+  // stays aligned with the destination and table entries along them are
+  // class 0 throughout; class-1 packets never read the table (dynamic RC).
+  const Coord c = coord_of(router, config_.width);
+  const Coord d = coord_of(dst_terminal, config_.width);
+  return c.x == d.x || c.y == d.y ? 0 : 1;
 }
 
 int Mesh2D::hop_distance(NodeId src_terminal, NodeId dst_terminal) const {

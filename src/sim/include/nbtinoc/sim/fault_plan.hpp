@@ -58,6 +58,24 @@ enum class SensorFaultMode { kHealthy, kStuck, kDrifting, kDead };
 
 std::string to_string(SensorFaultMode mode);
 
+/// One scheduled permanent *data-plane* failure. Unlike the probabilistic
+/// control-plane processes below, structural faults are explicit events at
+/// fixed cycles: every scheduler mode (stepped, fast-forward, active-set)
+/// applies them at the start of exactly that cycle, which is what keeps the
+/// three execution modes bit-identical through a kill.
+struct StructuralFault {
+  Cycle cycle = 0;  ///< applied at the start of this cycle
+  int router = 0;   ///< router owning the failed resource
+  /// Output direction of the link that dies (the reverse direction dies with
+  /// it — a failed physical channel takes both wires). kWholeRouter (< 0)
+  /// kills the router itself: all its links, ports and local terminals.
+  int port = kWholeRouter;
+
+  static constexpr int kWholeRouter = -1;
+
+  bool kills_router() const { return port < 0; }
+};
+
 /// Declarative description of one fault storm. All rates default to zero;
 /// a zero plan is a provable no-op (see golden_test).
 struct FaultPlan {
@@ -86,13 +104,28 @@ struct FaultPlan {
   /// the fabric: only targeted routers are pinned active.
   std::vector<std::pair<int, int>> targets;
 
+  // --- structural (data-plane) faults --------------------------------------
+  /// Permanent link / router kills at fixed cycles. Unordered here; the
+  /// network sorts by (cycle, router, port) at install time so the apply
+  /// order is deterministic regardless of how the plan was built.
+  std::vector<StructuralFault> structural;
+
   /// True when the storm covers this (router, port) site (always true with
   /// an empty target list).
   bool targets_port(int node, int port) const;
 
-  /// True when any rate is nonzero, i.e. installing an injector could ever
-  /// change a run. run_experiment only wires the injector when enabled.
-  bool enabled() const;
+  /// True when any *control-plane* rate is nonzero. Control faults are the
+  /// probabilistic processes that pin targeted routers and disable
+  /// quiescence skipping; structural faults do not (they are fixed-cycle
+  /// events the schedulers fence on explicitly).
+  bool control_enabled() const;
+
+  /// True when the plan schedules any structural kill.
+  bool structural_enabled() const { return !structural.empty(); }
+
+  /// True when installing an injector could ever change a run (control or
+  /// structural). run_experiment only wires the injector when enabled.
+  bool enabled() const { return control_enabled() || structural_enabled(); }
 
   /// Throws std::invalid_argument on rates outside [0,1] or non-finite
   /// voltage parameters.
@@ -143,6 +176,23 @@ class FaultInjector {
   /// True: the whole report is lost; the port's readings stay stale.
   bool drop_down_up_report();
 
+  // --- structural fault accounting (events applied by the network) ---------
+  /// The network applies the kills itself (it owns the wiring); these hooks
+  /// only count what happened so the "fault.*" counters tell the story.
+  void count_link_kill();
+  void count_router_kill();
+  /// Flits purged from dead channels/buffers during a drain; the invariant
+  /// checker reads the same total from the network side.
+  void count_dropped_flits(std::uint64_t n);
+  /// Whole packets purged mid-flight (their remaining flits are dropped at
+  /// the source of truth, wherever they sit).
+  void count_purged_packets(std::uint64_t n);
+  /// Route-table regenerations triggered by structural faults.
+  void count_route_regen();
+  /// Packets discarded at generation because no route survives to their
+  /// destination (dead terminal or disconnected fabric).
+  void count_unroutable_packets(std::uint64_t n);
+
   // --- sensor fault process ------------------------------------------------
   /// Steps the fault state machine of every site of one port by one epoch.
   /// Call exactly once per *delivered* refresh epoch, before reading.
@@ -173,10 +223,16 @@ class FaultInjector {
     kSensorDrifting,
     kSensorDead,
     kSensorRepairs,
+    kLinkKills,
+    kRouterKills,
+    kDroppedFlits,
+    kPurgedPackets,
+    kRouteRegens,
+    kUnroutablePackets,
     kNumFaultStats,
   };
 
-  void count(FaultStat stat);
+  void count(FaultStat stat, std::uint64_t delta = 1);
 
   FaultPlan plan_;
   util::Xoshiro256 rng_;

@@ -35,6 +35,10 @@ struct Scenario {
   std::string topology = "mesh";
   /// NIs per router, "cmesh" only (must divide mesh_width); 1 otherwise.
   int concentration = 1;
+  /// Routing mode: "dor" (dimension-order, the default; alias "xy"), "yx",
+  /// or the mesh-only turn-model adaptive modes "west-first" / "odd-even"
+  /// (escape-VC + least-stressed adaptive class; need num_vcs >= 2).
+  std::string routing = "dor";
   int num_vcs = 4;           ///< virtual channels per vnet per input port (2 or 4 in the paper)
   int num_vnets = 1;         ///< virtual networks (Table I: 2/6; 1 = single-protocol study)
   int buffer_depth = 4;      ///< flits per VC buffer (Table I / §III-D)
@@ -91,6 +95,7 @@ struct Scenario {
 /// Builds a Scenario from a properties map (see util::load_properties).
 /// Recognized keys (all optional, defaults as in Scenario):
 ///   name, mesh_width, mesh_height, topology (mesh|torus|ring|cmesh),
+///   routing (dor|xy|yx|west-first|odd-even),
 ///   concentration, num_vcs, num_vnets, buffer_depth, flit_width_bits,
 ///   link_width_bits, packet_length, injection_rate, wakeup_latency,
 ///   warmup_cycles, measure_cycles, clock_ghz, technology_nm (45 or 32),

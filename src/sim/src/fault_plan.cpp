@@ -27,7 +27,7 @@ bool FaultPlan::targets_port(int node, int port) const {
   return false;
 }
 
-bool FaultPlan::enabled() const {
+bool FaultPlan::control_enabled() const {
   return sensor_stuck_rate > 0.0 || sensor_drift_rate > 0.0 || sensor_death_rate > 0.0 ||
          gate_cmd_drop_rate > 0.0 || gate_cmd_flip_rate > 0.0 || down_up_drop_rate > 0.0 ||
          wake_fail_rate > 0.0;
@@ -56,6 +56,14 @@ void FaultPlan::validate() const {
   for (const auto& [node, port] : targets)
     if (node < 0 || port < 0)
       throw std::invalid_argument("FaultPlan: targets must be non-negative (router, port) pairs");
+  for (const StructuralFault& f : structural) {
+    if (f.router < 0)
+      throw std::invalid_argument("FaultPlan: structural fault router must be non-negative");
+    if (f.cycle < 1)
+      throw std::invalid_argument(
+          "FaultPlan: structural fault cycle must be >= 1 (cycle 0 is construction time; "
+          "schedule the kill at the first simulated cycle instead)");
+  }
 }
 
 std::string FaultPlan::describe() const {
@@ -74,6 +82,7 @@ std::string FaultPlan::describe() const {
   rate("down_up_drop", down_up_drop_rate);
   rate("wake_fail", wake_fail_rate);
   if (!targets.empty()) os << " targets=" << targets.size() << " ports";
+  if (!structural.empty()) os << " structural=" << structural.size() << " kills";
   return os.str();
 }
 
@@ -110,10 +119,34 @@ void FaultInjector::bind_stats(StatRegistry* stats) {
   handles_[kSensorDrifting] = stats_->intern("fault.sensor_drifting");
   handles_[kSensorDead] = stats_->intern("fault.sensor_dead");
   handles_[kSensorRepairs] = stats_->intern("fault.sensor_repairs");
+  handles_[kLinkKills] = stats_->intern("fault.link_kills");
+  handles_[kRouterKills] = stats_->intern("fault.router_kills");
+  handles_[kDroppedFlits] = stats_->intern("fault.dropped_flits");
+  handles_[kPurgedPackets] = stats_->intern("fault.purged_packets");
+  handles_[kRouteRegens] = stats_->intern("fault.route_regens");
+  handles_[kUnroutablePackets] = stats_->intern("fault.unroutable_packets");
 }
 
-void FaultInjector::count(FaultStat stat) {
-  if (stats_ != nullptr) stats_->add(handles_[stat]);
+void FaultInjector::count(FaultStat stat, std::uint64_t delta) {
+  if (stats_ != nullptr) stats_->add(handles_[stat], delta);
+}
+
+void FaultInjector::count_link_kill() { count(kLinkKills); }
+
+void FaultInjector::count_router_kill() { count(kRouterKills); }
+
+void FaultInjector::count_dropped_flits(std::uint64_t n) {
+  if (n > 0) count(kDroppedFlits, n);
+}
+
+void FaultInjector::count_purged_packets(std::uint64_t n) {
+  if (n > 0) count(kPurgedPackets, n);
+}
+
+void FaultInjector::count_route_regen() { count(kRouteRegens); }
+
+void FaultInjector::count_unroutable_packets(std::uint64_t n) {
+  if (n > 0) count(kUnroutablePackets, n);
 }
 
 bool FaultInjector::drop_gate_command() {

@@ -87,6 +87,15 @@ void Scenario::validate() const {
     fail("concentration is a cmesh knob; topology '" + topology +
          "' requires concentration 1 (got " + std::to_string(concentration) + ")");
   }
+  if (routing != "dor" && routing != "xy" && routing != "yx" && routing != "west-first" &&
+      routing != "odd-even")
+    fail("unknown routing '" + routing + "' (expected dor, xy, yx, west-first, or odd-even)");
+  if ((routing == "west-first" || routing == "odd-even") && topology != "mesh")
+    fail("adaptive routing '" + routing + "' is mesh-only (topology '" + topology +
+         "'); wrap-link topologies keep dimension-order routing with dateline classes");
+  if ((routing == "west-first" || routing == "odd-even") && num_vcs < 2)
+    fail("adaptive routing '" + routing + "' needs >= 2 VCs per vnet (got " +
+         std::to_string(num_vcs) + "): one escape class (minimal XY) plus one adaptive class");
   if (num_vnets < 1) fail("num_vnets must be >= 1 (got " + std::to_string(num_vnets) + ")");
   if (buffer_depth < 1) fail("buffer_depth must be >= 1 (got " + std::to_string(buffer_depth) + ")");
   if (flit_width_bits < 1 || link_width_bits < 1)
@@ -133,6 +142,14 @@ std::string Scenario::describe() const {
        << cores() << " tiles, " << concentration << " NIs/router, "
        << (mesh_width / concentration) << "x" << mesh_height << " routers)\n";
   }
+  // The routing line only appears off the default, keeping DOR output
+  // byte-identical to the pre-adaptive format.
+  if (routing != "dor")
+    os << "  routing         : " << routing
+       << (routing == "yx" || routing == "xy"
+               ? " dimension-order"
+               : " turn-model adaptive (escape VC class + least-stressed)")
+       << '\n';
   os
      << "  router          : 3-stage wormhole, " << num_vcs << " VCs/input port, " << buffer_depth
      << " flits/VC, no packet mixing\n"
@@ -152,6 +169,7 @@ std::string Scenario::describe() const {
 Scenario scenario_from_properties(const std::map<std::string, std::string>& props) {
   static const std::set<std::string> known = {
       "name",          "mesh_width",    "mesh_height",     "topology",
+      "routing",
       "concentration", "num_vcs",       "num_vnets",       "buffer_depth",
       "flit_width_bits", "link_width_bits", "packet_length", "injection_rate",
       "wakeup_latency", "warmup_cycles", "measure_cycles",  "clock_ghz",
@@ -179,6 +197,7 @@ Scenario scenario_from_properties(const std::map<std::string, std::string>& prop
   s.mesh_width = static_cast<int>(get_int("mesh_width", s.mesh_width));
   s.mesh_height = static_cast<int>(get_int("mesh_height", s.mesh_width));
   if (const auto it = props.find("topology"); it != props.end()) s.topology = it->second;
+  if (const auto it = props.find("routing"); it != props.end()) s.routing = it->second;
   s.concentration = static_cast<int>(get_int("concentration", s.concentration));
   s.num_vcs = static_cast<int>(get_int("num_vcs", s.num_vcs));
   s.num_vnets = static_cast<int>(get_int("num_vnets", s.num_vnets));

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "nbtinoc/core/controller.hpp"
 #include "nbtinoc/core/experiment.hpp"
 #include "nbtinoc/core/sweep.hpp"
@@ -316,6 +318,75 @@ TEST(ThreeWayDifferential, FaultStormMatchesAcrossSchedulers) {
   options.faults = sim::FaultPlan::uniform(0.02);
   run_three_way(s, core::PolicyKind::kSensorWise, core::Workload::synthetic(), options);
 }
+
+// Structural kills, three ways: permanent link/router failures at fixed
+// mid-run cycles force an in-flight drain, a route-table regeneration and
+// (in active-set mode) a full-fabric wake in every scheduler mode — and the
+// degraded fabric must keep matching bit for bit afterwards. A final
+// stepped leg re-runs the same schedule under the InvariantChecker: zero
+// violations means the drain accounted for every purged flit and restored
+// every credit exactly.
+class StructuralKillFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructuralKillFuzzTest, MidRunKillsMatchAcrossSchedulersAndKeepInvariants) {
+  util::Xoshiro256 rng(GetParam() ^ 0x57f0ULL);
+  sim::Scenario s = sim::Scenario::synthetic(3 + static_cast<int>(rng.next_below(2)), 2,
+                                             0.02 + 0.08 * rng.next_double());
+  if (GetParam() % 3 == 0) {
+    s.topology = "torus";
+  } else if (rng.next_bernoulli(0.5)) {
+    s.routing = rng.next_bernoulli(0.5) ? "west-first" : "odd-even";
+  }
+  s.warmup_cycles = 500;
+  s.measure_cycles = 6'000;
+
+  core::RunnerOptions options;
+  // Known-wired kills: East links exist on every non-last mesh column and
+  // everywhere on the torus, so each scheduled kill really lands (counted
+  // below). One seed in three also takes out a whole router.
+  const int w = s.mesh_width;
+  const auto east_ok = [&](int r) { return s.topology == "torus" || r % w != w - 1; };
+  const int kills = 1 + static_cast<int>(rng.next_below(2));
+  std::vector<int> used;
+  for (int k = 0; k < kills; ++k) {
+    sim::StructuralFault f;
+    do {
+      f.router = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(s.cores())));
+    } while (!east_ok(f.router) ||
+             std::find(used.begin(), used.end(), f.router) != used.end());
+    used.push_back(f.router);
+    f.port = static_cast<int>(noc::Dir::East);
+    f.cycle = 600 + 900 * static_cast<sim::Cycle>(k) + rng.next_below(800);
+    options.faults.structural.push_back(f);
+  }
+  if (GetParam() % 3 == 1) {
+    sim::StructuralFault f;
+    f.router = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(s.cores())));
+    f.cycle = 3'000 + rng.next_below(1'000);
+    options.faults.structural.push_back(f);  // port defaults to kWholeRouter
+  }
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) + ", " + s.name + ", topology " +
+               s.topology + ", routing " + s.routing + ", " +
+               std::to_string(options.faults.structural.size()) + " kills");
+
+  run_three_way(s, core::PolicyKind::kSensorWise, core::Workload::synthetic(), options);
+
+  options.check_invariants = true;
+  options.scheduler = SchedulerMode::kStepped;
+  const core::RunResult checked =
+      core::run_experiment(s, core::PolicyKind::kSensorWise, core::Workload::synthetic(), options);
+  EXPECT_TRUE(checked.invariant_violations.empty())
+      << checked.invariant_violations.front() << " (+" << checked.invariant_violations.size() - 1
+      << " more)";
+  // Every scheduled link kill hit a wired, live channel, so the counters
+  // must record exactly the schedule (counters cover the measurement
+  // window; the earliest kill lands after warmup by construction).
+  EXPECT_EQ(checked.fault_counters.at("fault.link_kills"), static_cast<std::uint64_t>(kills));
+  EXPECT_GE(checked.fault_counters.at("fault.route_regens"), static_cast<std::uint64_t>(kills));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomKillSchedules, StructuralKillFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 // All-gated fixed point, three ways: sensor-wise with zero offered load
 // drives every port to the fully gated state, where fast-forward jumps

@@ -1,0 +1,384 @@
+// Degraded-fabric routing tests: the up*/down* regeneration must stay
+// total (every surviving pair routable) and deadlock-free (CDG acyclic) on
+// *any* connected survivor graph — exercised here by fuzzed kill schedules
+// over every topology — and the healthy-mesh turn models must obey their
+// turn restrictions exactly.
+
+#include "nbtinoc/noc/fault_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nbtinoc/noc/routing.hpp"
+#include "nbtinoc/noc/topology.hpp"
+#include "nbtinoc/util/rng.hpp"
+
+namespace nbtinoc::noc {
+namespace {
+
+NocConfig make_config(const char* topology, int width, int height,
+                      RoutingAlgo routing = RoutingAlgo::kXY, int concentration = 1) {
+  NocConfig c;
+  c.width = width;
+  c.height = height;
+  c.topology = parse_topology_kind(topology);
+  c.concentration = concentration;
+  c.num_vcs = 2;
+  c.routing = routing;
+  c.validate();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// NocConfig validation of the adaptive modes (escape + adaptive classes).
+
+TEST(AdaptiveConfig, RejectsAdaptiveRoutingWithoutEscapeClass) {
+  NocConfig c = make_config("mesh", 3, 3, RoutingAlgo::kWestFirst);
+  c.num_vcs = 1;  // cannot host escape + adaptive classes
+  try {
+    c.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("west-first"), std::string::npos) << what;
+    EXPECT_NE(what.find("escape"), std::string::npos) << what;
+    EXPECT_NE(what.find("num_vcs"), std::string::npos) << what;
+  }
+}
+
+TEST(AdaptiveConfig, RejectsAdaptiveRoutingOffTheMesh) {
+  NocConfig c = make_config("torus", 3, 3);
+  c.routing = RoutingAlgo::kOddEven;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(AdaptiveConfig, ClassSplit) {
+  const NocConfig c = make_config("mesh", 3, 3, RoutingAlgo::kWestFirst);
+  EXPECT_EQ(c.vc_classes(), 2);
+  EXPECT_EQ(c.class_first_vc(0), 0);
+  EXPECT_EQ(c.class_first_vc(1), 1);
+  EXPECT_TRUE(c.adaptive_routing());
+  EXPECT_FALSE(make_config("mesh", 3, 3).adaptive_routing());
+}
+
+// ---------------------------------------------------------------------------
+// Turn-model candidate sets on the healthy mesh.
+
+TEST(TurnModel, WestFirstGoesWestFirst) {
+  // Destination to the west: the candidate set is exactly {West} — all west
+  // hops must come before any other turn.
+  const auto only_west =
+      turn_model_candidates(RoutingAlgo::kWestFirst, Coord{3, 1}, Coord{3, 1}, Coord{0, 2});
+  ASSERT_EQ(only_west.count, 1);
+  EXPECT_EQ(only_west.dir[0], Dir::West);
+}
+
+TEST(TurnModel, WestFirstOffersEastAndVerticalWhenProductive) {
+  const auto c =
+      turn_model_candidates(RoutingAlgo::kWestFirst, Coord{0, 0}, Coord{0, 0}, Coord{2, 2});
+  ASSERT_EQ(c.count, 2);
+  // Dir index order: South before East.
+  EXPECT_EQ(c.dir[0], Dir::South);
+  EXPECT_EQ(c.dir[1], Dir::East);
+}
+
+Coord step(Coord c, Dir d) {
+  switch (d) {
+    case Dir::North: return Coord{c.x, c.y - 1};
+    case Dir::South: return Coord{c.x, c.y + 1};
+    case Dir::East: return Coord{c.x + 1, c.y};
+    case Dir::West: return Coord{c.x - 1, c.y};
+    default: return c;
+  }
+}
+
+TEST(TurnModel, CandidatesAreAlwaysMinimalAndNonEmpty) {
+  // Property over every (cur, src, dst) triple on a 5x4 mesh: the candidate
+  // set is non-empty whenever cur != dst and every candidate strictly
+  // reduces the Manhattan distance to dst (minimal adaptive routing).
+  const int w = 5, h = 4;
+  for (const RoutingAlgo algo : {RoutingAlgo::kWestFirst, RoutingAlgo::kOddEven}) {
+    for (int cy = 0; cy < h; ++cy)
+      for (int cx = 0; cx < w; ++cx)
+        for (int sy = 0; sy < h; ++sy)
+          for (int sx = 0; sx < w; ++sx)
+            for (int dy = 0; dy < h; ++dy)
+              for (int dx = 0; dx < w; ++dx) {
+                const Coord cur{cx, cy}, src{sx, sy}, dst{dx, dy};
+                if (cur.x == dst.x && cur.y == dst.y) continue;
+                const auto cands = turn_model_candidates(algo, cur, src, dst);
+                ASSERT_GT(cands.count, 0)
+                    << to_string(algo) << " stuck at (" << cx << "," << cy << ") for dst ("
+                    << dx << "," << dy << ")";
+                const int dist = std::abs(cur.x - dst.x) + std::abs(cur.y - dst.y);
+                for (int i = 0; i < cands.count; ++i) {
+                  const Coord next = step(cur, cands.dir[static_cast<std::size_t>(i)]);
+                  EXPECT_EQ(std::abs(next.x - dst.x) + std::abs(next.y - dst.y), dist - 1)
+                      << to_string(algo) << " non-minimal candidate";
+                }
+              }
+  }
+}
+
+TEST(TurnModel, OddEvenBansTheChiuTurns) {
+  // EN/ES turns (travelling East, turning North/South) are banned in even
+  // columns; NW/SW turns (turning into West) are banned in odd columns.
+  for (int x = 0; x < 6; ++x) {
+    const bool even = x % 2 == 0;
+    EXPECT_EQ(turn_allowed(RoutingAlgo::kOddEven, Dir::East, Dir::North, x), !even);
+    EXPECT_EQ(turn_allowed(RoutingAlgo::kOddEven, Dir::East, Dir::South, x), !even);
+    EXPECT_EQ(turn_allowed(RoutingAlgo::kOddEven, Dir::North, Dir::West, x), even);
+    EXPECT_EQ(turn_allowed(RoutingAlgo::kOddEven, Dir::South, Dir::West, x), even);
+  }
+}
+
+TEST(TurnModel, WestFirstBansTurnsIntoWest) {
+  for (int x = 0; x < 4; ++x) {
+    EXPECT_FALSE(turn_allowed(RoutingAlgo::kWestFirst, Dir::North, Dir::West, x));
+    EXPECT_FALSE(turn_allowed(RoutingAlgo::kWestFirst, Dir::South, Dir::West, x));
+    EXPECT_FALSE(turn_allowed(RoutingAlgo::kWestFirst, Dir::East, Dir::West, x));  // 180
+    EXPECT_TRUE(turn_allowed(RoutingAlgo::kWestFirst, Dir::West, Dir::North, x));
+    EXPECT_TRUE(turn_allowed(RoutingAlgo::kWestFirst, Dir::West, Dir::South, x));
+  }
+}
+
+TEST(TurnModel, No180DegreeTurnsEver) {
+  for (const RoutingAlgo algo :
+       {RoutingAlgo::kXY, RoutingAlgo::kYX, RoutingAlgo::kWestFirst, RoutingAlgo::kOddEven}) {
+    for (int d = 0; d < 4; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      EXPECT_FALSE(turn_allowed(algo, dir, opposite(dir), 1)) << to_string(algo);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Healthy-fabric audits: every supported routing mode passes both checks on
+// a spread of shapes (these are the same audits the network re-runs after a
+// structural kill, so they must be trustworthy when nothing is broken).
+
+TEST(RouteAudit, HealthyFabricsPassBothAudits) {
+  const NocConfig configs[] = {
+      make_config("mesh", 4, 4),
+      make_config("mesh", 5, 3, RoutingAlgo::kYX),
+      make_config("mesh", 4, 4, RoutingAlgo::kWestFirst),
+      make_config("mesh", 5, 4, RoutingAlgo::kOddEven),
+      make_config("torus", 4, 4),
+      make_config("ring", 5, 1),
+      make_config("cmesh", 4, 4, RoutingAlgo::kXY, 2),
+  };
+  for (const NocConfig& c : configs) {
+    const auto topo = Topology::create(c);
+    std::string diag;
+    EXPECT_TRUE(route_walks_terminate(*topo, &diag)) << c.describe() << ": " << diag;
+    EXPECT_TRUE(route_cdg_acyclic(*topo, &diag)) << c.describe() << ": " << diag;
+  }
+}
+
+TEST(RouteAudit, DescribeRoutesNamesTheVerdictsAndEveryRouter) {
+  const auto topo = Topology::create(make_config("mesh", 3, 3));
+  const std::string dump = describe_routes(*topo);
+  EXPECT_NE(dump.find("acyclic"), std::string::npos) << dump;
+  for (NodeId r = 0; r < topo->num_routers(); ++r) {
+    const std::string label = std::string("r").append(std::to_string(r));
+    EXPECT_NE(dump.find(label), std::string::npos) << dump;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DegradedRouting unit properties on a hand-built graph: a 1x4 path
+// 0-1-2-3 wired East/West.
+
+DegradedRouting make_path4() {
+  std::vector<NodeId> nbr(16, kInvalidNode);
+  const auto wire = [&](NodeId u, Dir d, NodeId v) {
+    nbr[static_cast<std::size_t>(u * 4 + static_cast<int>(d))] = v;
+  };
+  wire(0, Dir::East, 1);
+  wire(1, Dir::West, 0);
+  wire(1, Dir::East, 2);
+  wire(2, Dir::West, 1);
+  wire(2, Dir::East, 3);
+  wire(3, Dir::West, 2);
+  return DegradedRouting(4, std::move(nbr), std::vector<std::uint8_t>(4, 1));
+}
+
+TEST(DegradedRouting, PathGraphOrientsAwayFromTheRoot) {
+  const DegradedRouting dr = make_path4();
+  EXPECT_TRUE(dr.connected());
+  // Root is the lowest id; BFS rank grows along the path.
+  EXPECT_LT(dr.order(0), dr.order(1));
+  EXPECT_LT(dr.order(1), dr.order(2));
+  EXPECT_LT(dr.order(2), dr.order(3));
+  EXPECT_TRUE(dr.move_is_down(0, 1));
+  EXPECT_TRUE(dr.move_is_up(3, 2));
+  // Down regions: on a path everything west of d reaches d pure-down.
+  EXPECT_TRUE(dr.in_down_region(0, 3));
+  EXPECT_FALSE(dr.in_down_region(3, 0));
+  EXPECT_EQ(dr.down_dist(0, 3), 3);
+  EXPECT_EQ(dr.dist(3, 0), 3);  // pure-up is legal too
+  EXPECT_EQ(dr.dist(1, 1), 0);
+}
+
+TEST(DegradedRouting, RejectsMismatchedAdjacencySizes) {
+  EXPECT_THROW(DegradedRouting(4, std::vector<NodeId>(8, kInvalidNode),
+                               std::vector<std::uint8_t>(4, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(DegradedRouting(4, std::vector<NodeId>(16, kInvalidNode),
+                               std::vector<std::uint8_t>(3, 1)),
+               std::invalid_argument);
+}
+
+TEST(TurnModel, CandidatesRejectDeterministicModes) {
+  EXPECT_THROW(turn_model_candidates(RoutingAlgo::kXY, Coord{0, 0}, Coord{0, 0}, Coord{1, 1}),
+               std::invalid_argument);
+}
+
+TEST(DegradedRouting, DisconnectedComponentsAreMutuallyUnreachable) {
+  // Same path with the middle link 1-2 removed: {0,1} and {2,3}.
+  std::vector<NodeId> nbr(16, kInvalidNode);
+  const auto wire = [&](NodeId u, Dir d, NodeId v) {
+    nbr[static_cast<std::size_t>(u * 4 + static_cast<int>(d))] = v;
+  };
+  wire(0, Dir::East, 1);
+  wire(1, Dir::West, 0);
+  wire(2, Dir::East, 3);
+  wire(3, Dir::West, 2);
+  const DegradedRouting dr(4, std::move(nbr), std::vector<std::uint8_t>(4, 1));
+  EXPECT_FALSE(dr.connected());
+  EXPECT_EQ(dr.dist(0, 2), DegradedRouting::kUnreachable);
+  EXPECT_EQ(dr.dist(2, 0), DegradedRouting::kUnreachable);
+  EXPECT_EQ(dr.dist(0, 1), 1);
+  EXPECT_EQ(dr.dist(2, 3), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzed kill schedules: after ANY sequence of link/router kills, the
+// regenerated tables must be total over each surviving component and the
+// CDG must stay acyclic — on every topology, every routing mode it
+// supports, at every intermediate step of the schedule.
+
+struct KillFuzzCase {
+  NocConfig config;
+  std::uint64_t seed = 0;
+};
+
+KillFuzzCase derive_kill_case(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed ^ 0xdeadULL);
+  KillFuzzCase kc;
+  kc.seed = seed;
+  constexpr const char* kTopos[] = {"mesh", "mesh", "torus", "ring", "cmesh"};
+  const char* topo = kTopos[rng.next_below(5)];
+  int width = 3 + static_cast<int>(rng.next_below(3));
+  int height = 2 + static_cast<int>(rng.next_below(3));
+  int concentration = 1;
+  RoutingAlgo routing = RoutingAlgo::kXY;
+  if (std::string(topo) == "cmesh") {
+    width = 4;
+    concentration = 2;
+  } else if (std::string(topo) == "mesh" && rng.next_bernoulli(0.5)) {
+    routing = rng.next_bernoulli(0.5) ? RoutingAlgo::kWestFirst : RoutingAlgo::kOddEven;
+  }
+  kc.config = make_config(topo, width, height, routing, concentration);
+  return kc;
+}
+
+void expect_degraded_tables_sound(const Topology& topo, const std::string& trace) {
+  std::string diag;
+  ASSERT_TRUE(route_walks_terminate(topo, &diag)) << trace << ": " << diag;
+  ASSERT_TRUE(route_cdg_acyclic(topo, &diag)) << trace << ": " << diag;
+  const DegradedRouting* dr = topo.degraded_routing();
+  ASSERT_NE(dr, nullptr);
+  // Totality: every pair of alive terminals whose routers share a component
+  // has a reachable route entry; pairs across components (or with a dead
+  // endpoint) have the kNoPort sentinel.
+  for (NodeId src = 0; src < topo.num_terminals(); ++src) {
+    for (NodeId dst = 0; dst < topo.num_terminals(); ++dst) {
+      const NodeId sr = topo.router_of(src);
+      const RouteEntry entry = topo.route(sr, dst);
+      if (!topo.terminal_alive(src) || !topo.terminal_alive(dst)) continue;
+      const bool same_component =
+          dr->dist(sr, topo.router_of(dst)) < DegradedRouting::kUnreachable;
+      EXPECT_EQ(entry.reachable(), same_component)
+          << trace << ": src " << src << " -> dst " << dst;
+    }
+  }
+}
+
+class KillFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KillFuzzTest, RegeneratedTablesStayTotalAndAcyclicAfterEveryKill) {
+  const KillFuzzCase kc = derive_kill_case(GetParam());
+  util::Xoshiro256 rng(kc.seed ^ 0xbadcabULL);
+  const auto topo = Topology::create(kc.config);
+  SCOPED_TRACE(kc.config.describe());
+
+  std::string trace = "kills:";
+  const int attempts = 2 + static_cast<int>(rng.next_below(6));
+  for (int k = 0; k < attempts; ++k) {
+    const auto r = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(topo->num_routers())));
+    bool changed = false;
+    if (rng.next_bernoulli(0.25)) {
+      changed = topo->kill_router(r);
+      if (changed) trace += " r" + std::to_string(r);
+    } else {
+      const Dir d = static_cast<Dir>(rng.next_below(4));
+      changed = topo->kill_link(r, d);
+      if (changed) trace += " r" + std::to_string(r) + dir_letter(d);
+    }
+    if (!changed) continue;
+    ASSERT_TRUE(topo->degraded());
+    expect_degraded_tables_sound(*topo, trace);
+    // Stop fuzzing this schedule once the fabric splits: the split case is
+    // asserted above (cross-component pairs unreachable), and piling more
+    // kills onto a shattered fabric stops exercising anything new.
+    if (!topo->fabric_connected()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomKillSchedules, KillFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// Killing every link of a router one by one must behave like killing the
+// router: its terminals become unreachable, the rest stays routable.
+TEST(KillSemantics, IsolatingARouterLeavesTheRestRoutable) {
+  const auto topo = Topology::create(make_config("mesh", 4, 4));
+  const NodeId victim = 5;  // interior router: four links
+  for (int d = 0; d < 4; ++d) topo->kill_link(victim, static_cast<Dir>(d));
+  EXPECT_FALSE(topo->fabric_connected());  // victim alive but cut off
+  std::string diag;
+  EXPECT_TRUE(route_walks_terminate(*topo, &diag)) << diag;
+  EXPECT_TRUE(route_cdg_acyclic(*topo, &diag)) << diag;
+  for (NodeId dst = 0; dst < topo->num_terminals(); ++dst) {
+    if (dst == victim) continue;
+    EXPECT_FALSE(topo->route(victim, dst).reachable());
+    EXPECT_FALSE(topo->route(topo->router_of(dst), victim).reachable());
+  }
+}
+
+TEST(KillSemantics, KillingADeadResourceIsANoOp) {
+  const auto topo = Topology::create(make_config("mesh", 3, 3));
+  ASSERT_TRUE(topo->kill_link(0, Dir::East));
+  EXPECT_FALSE(topo->kill_link(0, Dir::East));
+  EXPECT_FALSE(topo->kill_link(1, Dir::West));  // same physical channel
+  ASSERT_TRUE(topo->kill_router(4));
+  EXPECT_FALSE(topo->kill_router(4));
+  EXPECT_FALSE(topo->kill_link(4, Dir::North));  // its links died with it
+}
+
+TEST(KillSemantics, TorusSurvivesAWholeRowOfLinkKills) {
+  // Kill every horizontal link of row 0 on a 4x4 torus (including the
+  // wrap): the row's routers still reach everything through their columns.
+  const auto topo = Topology::create(make_config("torus", 4, 4));
+  for (NodeId r = 0; r < 4; ++r) ASSERT_TRUE(topo->kill_link(r, Dir::East));
+  EXPECT_TRUE(topo->fabric_connected());
+  expect_degraded_tables_sound(*topo, "torus row kill");
+}
+
+}  // namespace
+}  // namespace nbtinoc::noc

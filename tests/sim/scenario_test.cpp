@@ -192,6 +192,53 @@ TEST(ScenarioFromProperties, ValidatesTheAssembledScenario) {
   EXPECT_THROW(scenario_from_properties({{"injection_rate", "2.0"}}), std::invalid_argument);
 }
 
+TEST(Scenario, ValidatesRoutingMode) {
+  Scenario s = Scenario::synthetic(2, 2, 0.1);
+  for (const char* mode : {"dor", "xy", "yx", "west-first", "odd-even"}) {
+    s.routing = mode;
+    EXPECT_NO_THROW(s.validate()) << mode;
+  }
+  s.routing = "zigzag";
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  // Adaptive modes are mesh-only and need an escape class + an adaptive
+  // class, so one VC per vnet cannot host them.
+  s.routing = "west-first";
+  s.topology = "torus";
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.topology = "mesh";
+  s.num_vcs = 1;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(Scenario, RoutingValidationErrorsAreActionable) {
+  Scenario s = Scenario::synthetic(2, 1, 0.1);
+  s.routing = "odd-even";
+  try {
+    s.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("odd-even"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 VCs"), std::string::npos) << what;
+    EXPECT_NE(what.find("escape"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioFromProperties, ParsesRouting) {
+  EXPECT_EQ(scenario_from_properties({}).routing, "dor");
+  EXPECT_EQ(scenario_from_properties({{"routing", "odd-even"}}).routing, "odd-even");
+  EXPECT_THROW(scenario_from_properties({{"routing", "zigzag"}}), std::invalid_argument);
+  EXPECT_THROW(scenario_from_properties({{"routing", "west-first"}, {"num_vcs", "1"}}),
+               std::invalid_argument);
+}
+
+TEST(Scenario, DescribeMentionsRoutingOnlyOffDefault) {
+  Scenario s = Scenario::synthetic(2, 2, 0.1);
+  EXPECT_EQ(s.describe().find("routing"), std::string::npos);
+  s.routing = "west-first";
+  EXPECT_NE(s.describe().find("west-first"), std::string::npos);
+}
+
 TEST(Scenario, DescribeMentionsKeyParameters) {
   const Scenario s = Scenario::synthetic(2, 4, 0.2);
   const std::string d = s.describe();
