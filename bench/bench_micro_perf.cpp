@@ -240,6 +240,37 @@ void BM_RouteCompute_Table(benchmark::State& state) {
 }
 BENCHMARK(BM_RouteCompute_Table);
 
+// Hierarchical lifetime acceleration pair: the same 160-epoch aging study,
+// measuring every epoch (Arg 0, run_lifetime_study's stepped loop) vs one
+// cycle-accurate window amortized over the whole study by closed-form ΔVth
+// advancement (Arg 1, core::LifetimeEngine with the re-measure trigger
+// disarmed). check_perf_regression.py gates the same-machine ratio via
+// BENCH_lifetime.json — the ≥50x floor is the point of the hierarchical
+// loop. Trajectory fidelity is pinned separately by lifetime_engine_test
+// (tolerance 0 is bit-exact; finite tolerances track within bound).
+void BM_LifetimeHierarchical(benchmark::State& state) {
+  const bool hierarchical = state.range(0) != 0;
+  const sim::Scenario s = sim::Scenario::synthetic(2, 2, 0.2);
+  core::LifetimeEngineOptions opt;
+  opt.epochs = 160;
+  opt.years_per_epoch = 0.02;
+  opt.measure_cycles_per_epoch = 20'000;
+  if (hierarchical) {
+    // One measurement window for the whole study: the trigger can't fire.
+    opt.remeasure_tolerance_v = 1.0;
+    opt.max_extrapolated_epochs = opt.epochs;
+  } else {
+    opt.remeasure_tolerance_v = 0.0;  // = run_lifetime_study, bit for bit
+  }
+  for (auto _ : state) {
+    const auto r = core::run_hierarchical_lifetime(
+        s, core::PolicyKind::kSensorWise, core::Workload::synthetic(), {0, noc::Dir::East}, opt);
+    benchmark::DoNotOptimize(r.study.final_worst_vth_v);
+  }
+  state.SetItemsProcessed(state.iterations() * opt.epochs);
+}
+BENCHMARK(BM_LifetimeHierarchical)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_Xoshiro(benchmark::State& state) {
   util::Xoshiro256 rng(1);
   for (auto _ : state) benchmark::DoNotOptimize(rng.next());

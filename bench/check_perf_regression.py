@@ -85,8 +85,11 @@ def main():
     fresh = load_times(args.fresh)
     reference, ff_gates = load_reference(args.reference)
 
+    # A reference may be gate-only (empty "benchmarks", e.g. BENCH_lifetime.json):
+    # every check is then a same-machine pair ratio, so no calibration yardstick
+    # and no absolute-time comparisons are involved.
     scale = 1.0
-    if args.calibrate:
+    if args.calibrate and reference:
         if args.calibrate not in fresh or args.calibrate not in reference:
             raise SystemExit(f"calibration benchmark {args.calibrate!r} missing from a file")
         scale = fresh[args.calibrate] / reference[args.calibrate]
@@ -94,7 +97,7 @@ def main():
 
     failures = []
     shared = sorted(set(fresh) & set(reference) - {args.calibrate})
-    if not shared:
+    if not shared and not ff_gates:
         raise SystemExit("no shared benchmarks between fresh run and reference")
     for name in shared:
         ratio = fresh[name] / (reference[name] * scale)

@@ -2,7 +2,16 @@
 //
 //   ./scenario_runner my_scenario.cfg [--policy sensor-wise] [--json out.json]
 //                                 [--workload uniform|transpose|...|mix]
+//                                 [--snapshot state.snap --at 40000]
+//                                 [--resume state.snap]
 //                                 [--dump-routes [--kill 3E,5]]
+//
+// --snapshot/--at pauses the run at the given absolute cycle, serializes
+// the complete simulation state to the file, then continues to completion
+// (the printed results are unaffected). --resume restarts a later
+// invocation from such a file — the scenario/policy/workload flags must
+// match the snapshotting run, and the combined output is bit-identical to
+// an uninterrupted one (sim/snapshot.hpp, ARCHITECTURE.md §13).
 //
 // --dump-routes skips the simulation and prints the scenario's route table,
 // per-link VC-class/orientation inventory and CDG audit verdicts
@@ -23,10 +32,12 @@
 
 #include <fstream>
 #include <iostream>
+#include <iterator>
 
 #include "nbtinoc/nbtinoc.hpp"
 #include "nbtinoc/noc/fault_routing.hpp"
 #include "nbtinoc/noc/topology.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 #include "nbtinoc/util/cli.hpp"
 #include "nbtinoc/util/properties.hpp"
 #include "nbtinoc/util/strings.hpp"
@@ -102,7 +113,60 @@ int main(int argc, char** argv) {
   std::cout << scenario.describe() << "  policy          : " << to_string(policy)
             << "\n  workload        : " << workload_name << "\n\n";
 
-  const core::RunResult result = core::run_experiment(scenario, policy, workload);
+  core::RunnerOptions ropt;
+  std::string snapshot_bytes;
+  const auto snapshot_path = args.get("snapshot");
+  const auto resume_path = args.get("resume");
+  if (snapshot_path && resume_path) {
+    std::cerr << "error: --snapshot and --resume are mutually exclusive (one run either "
+                 "produces a checkpoint or starts from one)\n";
+    return 2;
+  }
+  if (args.has("at") && !snapshot_path) {
+    std::cerr << "error: --at only makes sense with --snapshot <file>\n";
+    return 2;
+  }
+  if (snapshot_path) {
+    if (!args.has("at")) {
+      std::cerr << "error: --snapshot needs --at <cycle> (absolute cycle, 0 <= at <= "
+                << scenario.warmup_cycles + scenario.measure_cycles << " for this scenario)\n";
+      return 2;
+    }
+    ropt.snapshot_at = static_cast<sim::Cycle>(args.get_int_or("at", 0));
+    ropt.snapshot_out = &snapshot_bytes;
+  }
+  if (resume_path) {
+    std::ifstream in(*resume_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "error: cannot read snapshot file " << *resume_path << '\n';
+      return 1;
+    }
+    ropt.resume_from.emplace(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+
+  core::RunResult result;
+  try {
+    result = core::run_experiment(scenario, policy, workload, ropt);
+  } catch (const sim::SnapshotError& e) {
+    std::cerr << "snapshot error: " << e.what()
+              << "\n(resume with the same scenario file, --policy and --workload that "
+                 "produced the snapshot)\n";
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+
+  if (snapshot_path) {
+    std::ofstream out(*snapshot_path, std::ios::binary);
+    if (!out || !out.write(snapshot_bytes.data(),
+                           static_cast<std::streamsize>(snapshot_bytes.size()))) {
+      std::cerr << "error: cannot write snapshot to " << *snapshot_path << '\n';
+      return 1;
+    }
+    std::cout << "snapshot (" << snapshot_bytes.size() << " bytes, cycle "
+              << *ropt.snapshot_at << ") written to " << *snapshot_path << "\n\n";
+  }
 
   util::Table table({"router/port", "MD VC", "MD duty", "avg duty", "gate transitions"});
   for (const auto& [key, port] : result.ports) {

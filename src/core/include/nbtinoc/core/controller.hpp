@@ -13,6 +13,7 @@
 #include "nbtinoc/nbti/process_variation.hpp"
 #include "nbtinoc/nbti/sensor.hpp"
 #include "nbtinoc/noc/network.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 
 namespace nbtinoc::core {
 
@@ -117,6 +118,14 @@ class PolicyGateController final : public noc::IGateController {
   /// The reading the policy actually acts on (corrupted + possibly stale
   /// under faults; equals sensors().measured_vth otherwise).
   double effective_vth(const noc::PortKey& key, int vc) const;
+
+  /// Checkpoint of the controller's dynamic state: per-port sensor banks
+  /// (noise RNG included), last-delivered effective readings, health-ladder
+  /// counters, the hysteresis cache and the post-cycle fence. Initial Vth
+  /// vectors and stat handles are reconstructed by the constructor, so the
+  /// loading controller must be built from the same scenario.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
 
   PolicyKind kind() const { return config_.kind; }
   const nbti::NbtiSensorBank& sensors(const noc::PortKey& key) const;

@@ -101,6 +101,24 @@ struct RunnerOptions {
   /// with check_invariants — the checker then also audits that every parked
   /// component is provably idle.
   std::optional<noc::SchedulerMode> scheduler;
+
+  // --- checkpoint/restore (ARCHITECTURE.md §13) -------------------------------
+  /// Pause the run at this absolute cycle (warmup and measurement share one
+  /// clock: 0 <= snapshot_at <= warmup + measure) and serialize the complete
+  /// simulation into *snapshot_out (framed bytes, see sim/snapshot.hpp).
+  /// The run then continues to completion, so the returned RunResult is
+  /// bit-identical to a run without the snapshot. Incompatible with
+  /// check_invariants (the per-cycle checker carries no snapshot state).
+  std::optional<sim::Cycle> snapshot_at;
+  std::string* snapshot_out = nullptr;
+  /// Bytes of a snapshot previously produced by snapshot_at under the same
+  /// scenario / policy / workload / fault configuration. The runner rebuilds
+  /// the identical object graph, restores the saved state and runs only the
+  /// remaining cycles — bit-identical to the uninterrupted run under every
+  /// scheduler mode. Version or configuration mismatches throw
+  /// sim::SnapshotError naming both digests. Incompatible with
+  /// check_invariants and with snapshot_at.
+  std::optional<std::string> resume_from;
 };
 
 /// Runs one scenario under one policy. PV seed and traffic seed derive from

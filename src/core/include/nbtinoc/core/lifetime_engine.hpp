@@ -1,0 +1,94 @@
+#pragma once
+// Hierarchical lifetime acceleration: the engine behind multi-year studies
+// that cannot afford a cycle-accurate measurement window for every epoch.
+//
+// run_lifetime_study simulates traffic for *every* epoch. But the only
+// thing an epoch's simulation produces is the per-buffer duty-cycle
+// distribution — and as long as the silicon the policy reacts to has not
+// drifted appreciably since the last measurement, that distribution is
+// unchanged (the schedulers are deterministic functions of {silicon,
+// workload statistics}). The hierarchical loop exploits this: it simulates
+// a short cycle-accurate measurement window, then advances the closed-form
+// reaction–diffusion ΔVth (equivalent-age method, AgingForecaster) across
+// epoch after epoch of virtual time *without touching the network*,
+// re-measuring only when the predicted Vth drift since the last
+// measurement crosses a configurable tolerance. Weeks-to-months of virtual
+// time then cost one closed-form evaluation per buffer per epoch instead
+// of measure_cycles_per_epoch simulated cycles — the ≥50x wall-clock lever
+// gated by BENCH_lifetime.json.
+//
+// Setting remeasure_tolerance_v = 0 forces a measurement every epoch,
+// which reproduces run_lifetime_study bit for bit (pinned by
+// lifetime_engine_test) — the hierarchical loop is an approximation knob,
+// not a different model.
+
+#include "nbtinoc/core/lifetime.hpp"
+
+namespace nbtinoc::core {
+
+struct LifetimeEngineOptions {
+  int epochs = 12;
+  double years_per_epoch = 0.25;
+  sim::Cycle measure_cycles_per_epoch = 60'000;
+  /// Re-measure once any buffer's ΔVth has grown by at least this much
+  /// (volts) since the silicon of the last measurement window. 0 measures
+  /// every epoch (exact); larger values trade trajectory fidelity for
+  /// wall-clock. The default re-measures after ~2 mV of drift — well under
+  /// the PV sigma, so the policies' sensor rankings stay faithful.
+  double remeasure_tolerance_v = 0.002;
+  /// Hard cap on consecutive closed-form epochs, so a tolerance set too
+  /// loose cannot extrapolate an entire study from one window.
+  int max_extrapolated_epochs = 32;
+  RunnerOptions runner;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+struct LifetimeEngineResult {
+  /// Same shape as run_lifetime_study's output: per-epoch trajectory of
+  /// the sampled port plus the full final silicon. Extrapolated epochs
+  /// carry the duty distribution of the last measurement window.
+  LifetimeResult study;
+  int measured_epochs = 0;       ///< cycle-accurate windows actually simulated
+  int extrapolated_epochs = 0;   ///< epochs advanced in closed form only
+};
+
+/// The hierarchical measure/advance loop. Construction precomputes the
+/// fresh silicon; run() executes the epochs. Measurement epochs use the
+/// exact per-epoch traffic salt of run_lifetime_study, so a measured epoch
+/// sees the same offered load the stepped study would have.
+class LifetimeEngine {
+ public:
+  LifetimeEngine(sim::Scenario scenario, PolicyKind policy, Workload workload,
+                 noc::PortKey sampled_port, LifetimeEngineOptions options = {});
+
+  LifetimeEngineResult run();
+
+ private:
+  /// One cycle-accurate window on the current silicon (epoch-salted
+  /// traffic); refreshes the cached duty distribution.
+  void measure(int epoch);
+  /// Largest ΔVth growth of any buffer since the last measurement.
+  double drift_since_measure() const;
+
+  sim::Scenario scenario_;
+  PolicyKind policy_;
+  Workload workload_;
+  noc::PortKey sampled_port_;
+  LifetimeEngineOptions options_;
+
+  std::map<noc::PortKey, std::vector<double>> fresh_;     ///< year-0 silicon
+  std::map<noc::PortKey, std::vector<double>> dvth_;      ///< accumulated shift
+  std::map<noc::PortKey, std::vector<double>> duty_;      ///< last measured duty (percent)
+  std::map<noc::PortKey, std::vector<double>> dvth_at_measure_;
+  int measured_epochs_ = 0;
+  int extrapolated_epochs_ = 0;
+};
+
+/// Convenience wrapper mirroring run_lifetime_study.
+LifetimeEngineResult run_hierarchical_lifetime(sim::Scenario scenario, PolicyKind policy,
+                                               const Workload& workload, noc::PortKey sampled_port,
+                                               const LifetimeEngineOptions& options = {});
+
+}  // namespace nbtinoc::core

@@ -12,11 +12,15 @@
 //   core::PolicyKind         — baseline / rr-no-sensor / sensor-wise[-no-traffic]
 //   core::run_experiment     — scenario + policy + workload -> duty cycles
 //   core::SweepRunner        — parallel grid sweeps over run_experiment
+//   core::LifetimeEngine     — hierarchical (measure/extrapolate) aging loop
+//   core::run_fleet          — sharded Monte-Carlo fleet reliability
 //   power::AreaModel         — ORION-style overhead analysis (paper §III-D)
 
 #include "nbtinoc/core/controller.hpp"
 #include "nbtinoc/core/experiment.hpp"
+#include "nbtinoc/core/fleet.hpp"
 #include "nbtinoc/core/lifetime.hpp"
+#include "nbtinoc/core/lifetime_engine.hpp"
 #include "nbtinoc/core/policy.hpp"
 #include "nbtinoc/core/sweep.hpp"
 #include "nbtinoc/nbti/aging.hpp"

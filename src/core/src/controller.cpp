@@ -308,4 +308,55 @@ double PolicyGateController::effective_vth(const noc::PortKey& key, int vc) cons
   return ports_.at(key).effective_vths.at(static_cast<std::size_t>(vc));
 }
 
+void PolicyGateController::save(sim::SnapshotWriter& w) const {
+  w.u64(ports_.size());
+  for (const auto& [key, ctx] : ports_) {
+    ctx.sensors.save(w);
+    w.f64_vec(ctx.effective_vths);
+    w.b(ctx.quarantined);
+    w.i64(ctx.epochs_since_report);
+    w.i64(ctx.implausible_streak);
+    w.i64(ctx.healthy_streak);
+  }
+  w.u64(held_.size());
+  for (const auto& [key, held] : held_) {
+    w.i64(key.first.router);
+    w.u8(static_cast<std::uint8_t>(key.first.port));
+    w.i64(key.second);
+    noc::snapshot_save(w, held.command);
+    w.u64(static_cast<std::uint64_t>(held.held_until));
+    w.b(held.valid);
+  }
+  w.u64(static_cast<std::uint64_t>(post_cycle_fence_));
+}
+
+void PolicyGateController::load(sim::SnapshotReader& r) {
+  r.expect_u64(ports_.size(), "controller port count");
+  for (auto& [key, ctx] : ports_) {
+    ctx.sensors.load(r);
+    ctx.effective_vths = r.f64_vec();
+    if (ctx.effective_vths.size() != ctx.initial_vths.size())
+      throw sim::SnapshotError("controller: effective-Vth vector length differs from this "
+                               "scenario's VC count");
+    ctx.quarantined = r.b();
+    ctx.epochs_since_report = static_cast<int>(r.i64());
+    ctx.implausible_streak = static_cast<int>(r.i64());
+    ctx.healthy_streak = static_cast<int>(r.i64());
+  }
+  held_.clear();
+  const std::uint64_t held_count = r.u64();
+  for (std::uint64_t i = 0; i < held_count; ++i) {
+    noc::PortKey key;
+    key.router = static_cast<noc::NodeId>(r.i64());
+    key.port = static_cast<noc::Dir>(r.u8());
+    const int first_vc = static_cast<int>(r.i64());
+    HeldDecision held;
+    held.command = noc::snapshot_load_gate_command(r);
+    held.held_until = static_cast<sim::Cycle>(r.u64());
+    held.valid = r.b();
+    held_.emplace(std::make_pair(key, first_vc), held);
+  }
+  post_cycle_fence_ = static_cast<sim::Cycle>(r.u64());
+}
+
 }  // namespace nbtinoc::core

@@ -4,10 +4,52 @@
 #include <stdexcept>
 
 #include "nbtinoc/noc/state_probe.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 #include "nbtinoc/traffic/synthetic.hpp"
 #include "nbtinoc/util/json.hpp"
 
 namespace nbtinoc::core {
+
+namespace {
+/// Human-readable configuration digest embedded in every snapshot frame and
+/// checked on restore: it must pin everything that shapes the object graph
+/// or any RNG stream, so a resume under a different configuration fails
+/// with both digests in the error instead of silently diverging. The
+/// scheduler mode is deliberately absent — snapshots restore under any mode.
+std::string config_digest(const sim::Scenario& s, PolicyKind policy, const Workload& workload,
+                          const RunnerOptions& options) {
+  std::string d = "scenario=" + s.name;
+  d += " mesh=" + std::to_string(s.mesh_width) + "x" + std::to_string(s.mesh_height);
+  d += " topo=" + s.topology + "/" + std::to_string(s.concentration);
+  d += " routing=" + s.routing;
+  d += " vcs=" + std::to_string(s.num_vcs) + " vnets=" + std::to_string(s.num_vnets);
+  d += " depth=" + std::to_string(s.buffer_depth) + " pkt=" + std::to_string(s.packet_length);
+  d += " wake=" + std::to_string(s.wakeup_latency) + " stages=" + std::to_string(s.router_stages);
+  d += " rate=" + std::to_string(s.injection_rate);
+  d += " warmup=" + std::to_string(s.warmup_cycles) + " measure=" + std::to_string(s.measure_cycles);
+  d += " seeds=" + std::to_string(s.pv_seed()) + "/" + std::to_string(s.traffic_seed()) + "/" +
+       std::to_string(s.fault_seed());
+  d += " policy=";
+  d += to_string(policy);
+  d += " rr=" + std::to_string(options.policy.rr_rotation_period) +
+       " hold=" + std::to_string(options.policy.decision_period);
+  switch (workload.kind) {
+    case Workload::Kind::kSynthetic:
+      d += " workload=synthetic/" + std::to_string(static_cast<int>(workload.pattern));
+      break;
+    case Workload::Kind::kBenchmarkMix:
+      d += " workload=mix/" + workload.mix.describe();
+      break;
+  }
+  d += " salt=" + std::to_string(workload.seed_salt);
+  if (options.faults.enabled())
+    d += " faults=" + std::to_string(options.faults.seed_salt) + "/" +
+         std::to_string(options.faults.structural.size());
+  if (!options.initial_vths.empty())
+    d += " explicit_vths=" + std::to_string(options.initial_vths.size());
+  return d;
+}
+}  // namespace
 
 Workload Workload::synthetic(traffic::PatternKind pattern) {
   Workload w;
@@ -117,13 +159,93 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
       break;
   }
 
+  const sim::Cycle total_cycles = scenario.warmup_cycles + scenario.measure_cycles;
+  const bool snapshotting = options.snapshot_at.has_value();
+  if (snapshotting || options.resume_from) {
+    if (options.check_invariants)
+      throw std::invalid_argument(
+          "run_experiment: checkpoint/restore cannot combine with check_invariants (the "
+          "per-cycle checker carries no snapshot state)");
+    if (snapshotting && options.resume_from)
+      throw std::invalid_argument(
+          "run_experiment: resume_from and snapshot_at cannot combine in one run; resume "
+          "first, then snapshot from a fresh run");
+    if (snapshotting && options.snapshot_out == nullptr)
+      throw std::invalid_argument("run_experiment: snapshot_at set but snapshot_out is null");
+    if (snapshotting && *options.snapshot_at > total_cycles)
+      throw std::invalid_argument(
+          "run_experiment: snapshot_at " + std::to_string(*options.snapshot_at) +
+          " is past this scenario's horizon (warmup + measure = " +
+          std::to_string(total_cycles) + ")");
+  }
+  const std::string digest = config_digest(scenario, policy, workload, options);
+
   RunResult result;
   if (!options.check_invariants) {
+    if (options.resume_from) {
+      // Restore precedes scheduler selection: load_state rebuilds channel
+      // queues, and active-set entry afterwards reconstructs the wake state
+      // the snapshot deliberately omits.
+      sim::SnapshotReader reader = sim::open_snapshot(*options.resume_from, digest);
+      network.load_state(reader);
+      controller.load(reader);
+      reader.expect_end();
+      if (network.clock().now() > total_cycles)
+        throw sim::SnapshotError("snapshot cycle " + std::to_string(network.clock().now()) +
+                                 " is past this scenario's horizon (" +
+                                 std::to_string(total_cycles) + " cycles)");
+    }
     if (options.scheduler)
       network.set_scheduler_mode(*options.scheduler);
     else
       network.set_fast_forward(options.fast_forward);
-    network.run_with_warmup(scenario.warmup_cycles, scenario.measure_cycles);
+
+    const auto save_snapshot = [&] {
+      // Every run() segment ends with sync_stress_accounting(), so the lazy
+      // stress state serialized here is already flushed through `now`.
+      sim::SnapshotWriter writer;
+      network.save_state(writer);
+      controller.save(writer);
+      *options.snapshot_out = sim::frame_snapshot(digest, writer.take());
+    };
+    if (!options.resume_from) {
+      // run_with_warmup, with an optional pause at snapshot_at. Splitting
+      // run(n) into run(k); run(n - k) is bit-identical in every mode: all
+      // scheduler state persists across run() calls and the end-of-segment
+      // stress sync is an additive flush.
+      const sim::Cycle snap = snapshotting ? *options.snapshot_at : total_cycles + 1;
+      network.set_measuring(false);
+      if (snap <= scenario.warmup_cycles) {
+        network.run(snap);
+        save_snapshot();
+        network.run(scenario.warmup_cycles - snap);
+      } else {
+        network.run(scenario.warmup_cycles);
+      }
+      network.stats().reset();
+      network.set_measuring(true);
+      if (snapshotting && snap > scenario.warmup_cycles) {
+        network.run(snap - scenario.warmup_cycles);
+        save_snapshot();
+        network.run(total_cycles - snap);
+      } else {
+        network.run(scenario.measure_cycles);
+      }
+    } else {
+      // The loaded trackers carry their measuring flags, so the initial
+      // set_measuring call is skipped; a snapshot taken at or before the
+      // warmup boundary replays the boundary actions (the fresh-run path
+      // above saves before resetting stats at snap == warmup).
+      const sim::Cycle at = network.clock().now();
+      if (at <= scenario.warmup_cycles) {
+        network.run(scenario.warmup_cycles - at);
+        network.stats().reset();
+        network.set_measuring(true);
+        network.run(scenario.measure_cycles);
+      } else {
+        network.run(total_cycles - at);
+      }
+    }
   } else {
     // Same schedule as run_with_warmup, with the invariant checker run
     // after every cycle (it self-resyncs across the stats reset). step()

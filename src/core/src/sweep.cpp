@@ -156,6 +156,11 @@ unsigned SweepRunner::effective_workers() const {
   return n;
 }
 
+void SweepRunner::for_each(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) const {
+  parallel_for(count, options_.workers, fn);
+}
+
 SweepResult SweepRunner::run() const {
   const auto start = std::chrono::steady_clock::now();
   std::vector<SweepPointResult> results(points_.size());

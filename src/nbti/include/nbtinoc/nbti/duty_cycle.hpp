@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 
 namespace nbtinoc::nbti {
 
@@ -92,6 +93,22 @@ class StressTracker {
   /// Paper statistic, in percent.
   double duty_cycle_percent() const { return stress_probability() * 100.0; }
 
+  // --- checkpoint/restore ----------------------------------------------------
+  void save(sim::SnapshotWriter& w) const {
+    w.u64(static_cast<std::uint64_t>(stress_cycles_));
+    w.u64(static_cast<std::uint64_t>(recovery_cycles_));
+    w.u64(static_cast<std::uint64_t>(synced_until_));
+    w.b(lazy_stressed_);
+    w.b(measuring_);
+  }
+  void load(sim::SnapshotReader& r) {
+    stress_cycles_ = static_cast<sim::Cycle>(r.u64());
+    recovery_cycles_ = static_cast<sim::Cycle>(r.u64());
+    synced_until_ = static_cast<sim::Cycle>(r.u64());
+    lazy_stressed_ = r.b();
+    measuring_ = r.b();
+  }
+
  private:
   sim::Cycle stress_cycles_ = 0;
   sim::Cycle recovery_cycles_ = 0;
@@ -125,6 +142,13 @@ class StressTrackerBank {
 
   std::vector<double> duty_cycles_percent() const;
   std::vector<double> stress_probabilities() const;
+
+  void save(sim::SnapshotWriter& w) const {
+    for (const auto& t : trackers_) t.save(w);
+  }
+  void load(sim::SnapshotReader& r) {
+    for (auto& t : trackers_) t.load(r);
+  }
 
  private:
   std::vector<StressTracker> trackers_;

@@ -16,6 +16,7 @@
 #include "nbtinoc/nbti/duty_cycle.hpp"
 #include "nbtinoc/nbti/model.hpp"
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 #include "nbtinoc/util/rng.hpp"
 
 namespace nbtinoc::nbti {
@@ -82,6 +83,12 @@ class NbtiSensorBank {
 
   double initial_vth(std::size_t i) const { return initial_vths_.at(i); }
   const SensorConfig& config() const { return config_; }
+
+  // --- checkpoint/restore ----------------------------------------------------
+  /// Dynamic fields only (noise RNG, readings, refresh schedule); the
+  /// initial Vth vector, model pointer and config come from reconstruction.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
 
  private:
   std::vector<double> initial_vths_;

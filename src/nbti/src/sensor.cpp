@@ -66,4 +66,24 @@ void NbtiSensorBank::update(sim::Cycle now, double elapsed_seconds,
   refresh(elapsed_seconds, trackers);
 }
 
+void NbtiSensorBank::save(sim::SnapshotWriter& w) const {
+  sim::save_rng(w, noise_rng_);
+  w.f64_vec(measured_vths_);
+  w.u64(most_degraded_);
+  w.u64(static_cast<std::uint64_t>(last_refresh_));
+  w.b(refreshed_once_);
+}
+
+void NbtiSensorBank::load(sim::SnapshotReader& r) {
+  sim::load_rng(r, noise_rng_);
+  measured_vths_ = r.f64_vec();
+  if (measured_vths_.size() != initial_vths_.size())
+    throw sim::SnapshotError("NbtiSensorBank: snapshot has " +
+                             std::to_string(measured_vths_.size()) + " sensors, this bank has " +
+                             std::to_string(initial_vths_.size()));
+  most_degraded_ = static_cast<std::size_t>(r.u64());
+  last_refresh_ = static_cast<sim::Cycle>(r.u64());
+  refreshed_once_ = r.b();
+}
+
 }  // namespace nbtinoc::nbti

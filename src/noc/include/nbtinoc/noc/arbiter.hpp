@@ -72,6 +72,9 @@ class RoundRobinArbiter {
     if (size_ > 0) pointer_ = (idx + 1) % size_;
   }
 
+  /// Restores a checkpointed grant pointer (fairness state).
+  void set_pointer(std::size_t pointer) { pointer_ = size_ > 0 ? pointer % size_ : 0; }
+
  private:
   std::size_t size_ = 0;
   std::size_t pointer_ = 0;

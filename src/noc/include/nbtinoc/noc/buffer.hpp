@@ -138,6 +138,43 @@ class VcBuffer {
   /// Dequeues the head flit; on tail, releases the buffer (Active -> Idle).
   Flit pop();
 
+  // --- checkpoint/restore ----------------------------------------------------
+  /// Saves the FIFO contents (front-first) and the allocation/power state.
+  /// `load` expects the freshly constructed (Idle, empty) buffer with its
+  /// counters already attached: it rebuilds the ring and replays the state
+  /// onto the busy/gated counters, but does NOT touch the stress tracker —
+  /// tracker accumulators are serialized separately by the owning port.
+  void save(sim::SnapshotWriter& w) const {
+    w.u64(count_);
+    for (std::size_t i = 0; i < count_; ++i)
+      snapshot_save(w, ring_[(head_ + i) % ring_.size()]);
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u64(static_cast<std::uint64_t>(wake_ready_));
+    w.u64(packet_);
+    w.i64(static_cast<int>(route_));
+    w.i64(next_class_);
+    w.b(tail_seen_);
+    w.u64(gate_transitions_);
+  }
+  void load(sim::SnapshotReader& r) {
+    const std::uint64_t n = r.u64();
+    if (n > ring_.size())
+      throw sim::SnapshotError("VcBuffer: snapshot holds " + std::to_string(n) +
+                               " flits, buffer depth is " + std::to_string(ring_.size()));
+    head_ = 0;
+    count_ = static_cast<std::size_t>(n);
+    for (std::size_t i = 0; i < count_; ++i) ring_[i] = snapshot_load_flit(r);
+    state_ = static_cast<VcState>(r.u8());
+    wake_ready_ = static_cast<sim::Cycle>(r.u64());
+    packet_ = r.u64();
+    route_ = static_cast<Dir>(r.i64());
+    next_class_ = static_cast<int>(r.i64());
+    tail_seen_ = r.b();
+    gate_transitions_ = r.u64();
+    if (state_ == VcState::Active && busy_counter_ != nullptr) ++*busy_counter_;
+    if (state_ == VcState::Recovery && gated_counter_ != nullptr) ++*gated_counter_;
+  }
+
   /// Structural-fault drain: drops every buffered flit and force-releases
   /// an Active buffer to Idle without waiting for a tail (the purged packet
   /// will never complete). Returns the number of flits dropped; no-op on

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 #include "nbtinoc/util/ring_queue.hpp"
 
 namespace nbtinoc::noc {
@@ -98,6 +99,32 @@ class Channel {
       const auto& [at, payload] = in_flight_[i];
       fn(payload, at);
     }
+  }
+
+  // --- checkpoint/restore ----------------------------------------------------
+  /// Serializes the in-flight queue (delivery cycles + payloads, via the
+  /// caller's payload codec) and the dropped counter. `load` rebuilds the
+  /// queue directly, so it must run before any push hooks are installed
+  /// (scheduler-mode entry re-installs them and re-discovers the payloads).
+  template <typename SavePayload>
+  void save(sim::SnapshotWriter& w, SavePayload&& save_payload) const {
+    w.u64(in_flight_.size());
+    for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+      const auto& [at, payload] = in_flight_[i];
+      w.u64(static_cast<std::uint64_t>(at));
+      save_payload(w, payload);
+    }
+    w.u64(dropped_);
+  }
+  template <typename LoadPayload>
+  void load(sim::SnapshotReader& r, LoadPayload&& load_payload) {
+    in_flight_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto at = static_cast<sim::Cycle>(r.u64());
+      in_flight_.emplace_back(at, load_payload(r));
+    }
+    dropped_ = r.u64();
   }
 
   /// Installs (or, with an empty function, removes) the delivery fault

@@ -5,6 +5,7 @@
 
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 
 namespace nbtinoc::noc {
 
@@ -32,5 +33,45 @@ struct Credit {
   int vc = kInvalidVc;
   bool vc_freed = false;
 };
+
+// --- checkpoint codecs (in-flight channel payloads) --------------------------
+
+inline void snapshot_save(sim::SnapshotWriter& w, const Flit& f) {
+  w.u8(static_cast<std::uint8_t>(f.type));
+  w.u64(f.packet);
+  w.i64(f.src);
+  w.i64(f.dst);
+  w.i64(f.vnet);
+  w.i64(f.seq);
+  w.i64(f.vc);
+  w.u64(static_cast<std::uint64_t>(f.injected_at));
+  w.u64(static_cast<std::uint64_t>(f.arrived_at));
+}
+
+inline Flit snapshot_load_flit(sim::SnapshotReader& r) {
+  Flit f;
+  f.type = static_cast<FlitType>(r.u8());
+  f.packet = r.u64();
+  f.src = static_cast<NodeId>(r.i64());
+  f.dst = static_cast<NodeId>(r.i64());
+  f.vnet = static_cast<int>(r.i64());
+  f.seq = static_cast<int>(r.i64());
+  f.vc = static_cast<int>(r.i64());
+  f.injected_at = static_cast<sim::Cycle>(r.u64());
+  f.arrived_at = static_cast<sim::Cycle>(r.u64());
+  return f;
+}
+
+inline void snapshot_save(sim::SnapshotWriter& w, const Credit& c) {
+  w.i64(c.vc);
+  w.b(c.vc_freed);
+}
+
+inline Credit snapshot_load_credit(sim::SnapshotReader& r) {
+  Credit c;
+  c.vc = static_cast<int>(r.i64());
+  c.vc_freed = r.b();
+  return c;
+}
 
 }  // namespace nbtinoc::noc

@@ -10,6 +10,7 @@
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/sim/clock.hpp"
 #include "nbtinoc/sim/event_horizon.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 
 namespace nbtinoc::noc {
 
@@ -31,6 +32,24 @@ struct GateCommand {
   int first_vc = 0;
   int range_vcs = -1;
 };
+
+inline void snapshot_save(sim::SnapshotWriter& w, const GateCommand& c) {
+  w.b(c.gating_active);
+  w.b(c.enable);
+  w.i64(c.keep_vc);
+  w.i64(c.first_vc);
+  w.i64(c.range_vcs);
+}
+
+inline GateCommand snapshot_load_gate_command(sim::SnapshotReader& r) {
+  GateCommand c;
+  c.gating_active = r.b();
+  c.enable = r.b();
+  c.keep_vc = static_cast<int>(r.i64());
+  c.first_vc = static_cast<int>(r.i64());
+  c.range_vcs = static_cast<int>(r.i64());
+  return c;
+}
 
 /// Identifies one upstream->downstream port pair by its downstream endpoint.
 struct PortKey {

@@ -128,6 +128,24 @@ class InputUnit {
     return flit.arrived_at + static_cast<sim::Cycle>(extra_stages_) < now;
   }
 
+  // --- checkpoint/restore ----------------------------------------------------
+  /// Buffers (busy/gated counters rebuilt by their loads), downstream
+  /// allocations, stress accumulators and the SA fairness pointer.
+  void save(sim::SnapshotWriter& w) const {
+    for (const auto& v : vcs_) v.save(w);
+    for (int ov : out_vc_) w.i64(ov);
+    for (Dir op : out_port_) w.i64(static_cast<int>(op));
+    trackers_.save(w);
+    w.u64(sa_arbiter_.pointer());
+  }
+  void load(sim::SnapshotReader& r) {
+    for (auto& v : vcs_) v.load(r);
+    for (int& ov : out_vc_) ov = static_cast<int>(r.i64());
+    for (Dir& op : out_port_) op = static_cast<Dir>(r.i64());
+    trackers_.load(r);
+    sa_arbiter_.set_pointer(static_cast<std::size_t>(r.u64()));
+  }
+
  private:
   Dir dir_;
   int extra_stages_;

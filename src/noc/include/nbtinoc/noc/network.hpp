@@ -206,6 +206,24 @@ class Network {
   /// (monotonic over the network's lifetime).
   const sim::SkipStats& skip_stats() const { return skip_stats_; }
 
+  // --- checkpoint/restore ----------------------------------------------------
+  /// Serializes every observable bit of network state: the clock, the stat
+  /// registry, routers (buffers, allocations, stress accumulators,
+  /// fairness pointers), NIs, all in-flight channel payloads, the gating
+  /// record, the structural-kill cursor and the traffic sources. Scheduler
+  /// bookkeeping (active sets, wake ring/heap, skip stats) is NOT saved: it
+  /// is reconstructed exactly by re-entering the scheduler mode after load
+  /// (see ARCHITECTURE.md §13).
+  void save_state(sim::SnapshotWriter& w) const;
+  /// Restores a snapshot into this freshly built network. Must run in
+  /// kStepped mode (the construction default), after set_fault_injector and
+  /// set_traffic_source wiring, and *before* set_scheduler_mode — loading
+  /// rebuilds channel queues underneath any push hooks. Structural kills
+  /// already applied in the saved run are re-applied to the fresh topology
+  /// (route-table regeneration only; the drained state comes from the
+  /// snapshot itself).
+  void load_state(sim::SnapshotReader& r);
+
   /// Flits currently crossing any flit channel (router-router links plus
   /// NI injection/ejection channels).
   std::size_t flits_in_flight() const;

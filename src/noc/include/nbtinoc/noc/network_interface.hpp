@@ -106,6 +106,13 @@ class NetworkInterface {
   std::uint64_t packets_ejected() const { return packets_ejected_; }
   std::uint64_t flits_injected() const { return flits_injected_; }
 
+  // --- checkpoint/restore ----------------------------------------------------
+  /// Source queue, credits, in-flight serialization state, counters and the
+  /// death flag. The traffic source serializes itself separately (Network
+  /// owns the source list).
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+
   // --- read-only wiring views (used by the invariant checker) ---------------
   /// Credits the NI holds for VC `vc` of its router's Local input port.
   int credits(int vc) const { return credits_.at(static_cast<std::size_t>(vc)); }

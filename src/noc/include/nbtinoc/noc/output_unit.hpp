@@ -9,6 +9,7 @@
 #include "nbtinoc/noc/arbiter.hpp"
 #include "nbtinoc/noc/config.hpp"
 #include "nbtinoc/noc/types.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 
 namespace nbtinoc::noc {
 
@@ -35,6 +36,20 @@ class OutputUnit {
   RoundRobinArbiter& vc_select() { return vc_select_; }
   /// SA arbitration over input ports.
   RoundRobinArbiter& sa_arbiter() { return sa_arbiter_; }
+
+  // --- checkpoint/restore ----------------------------------------------------
+  void save(sim::SnapshotWriter& w) const {
+    for (int c : credits_) w.i64(c);
+    w.u64(va_arbiter_.pointer());
+    w.u64(vc_select_.pointer());
+    w.u64(sa_arbiter_.pointer());
+  }
+  void load(sim::SnapshotReader& r) {
+    for (int& c : credits_) c = static_cast<int>(r.i64());
+    va_arbiter_.set_pointer(static_cast<std::size_t>(r.u64()));
+    vc_select_.set_pointer(static_cast<std::size_t>(r.u64()));
+    sa_arbiter_.set_pointer(static_cast<std::size_t>(r.u64()));
+  }
 
  private:
   Dir dir_;

@@ -165,6 +165,13 @@ class Router {
   /// park-eligibility condition.
   bool inbound_links_quiet() const;
 
+  // --- checkpoint/restore ----------------------------------------------------
+  /// Per-port input/output unit state plus the adaptive-routing stress
+  /// signal and structural death flags. Channels are serialized by the
+  /// network (their owner); arbitration scratch is per-cycle and skipped.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+
  private:
   NodeId id_;
   NocConfig config_;

@@ -8,6 +8,7 @@
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/sim/clock.hpp"
 #include "nbtinoc/sim/event_horizon.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 
 namespace nbtinoc::noc {
 
@@ -32,6 +33,13 @@ class ITrafficSource {
   /// implement the query.  Implementations must not change the source's
   /// observable RNG consumption order relative to per-cycle stepping.
   virtual sim::Cycle next_event_cycle(sim::Cycle now) { return now; }
+
+  /// Checkpoint hooks. Stateless sources need nothing; stateful ones must
+  /// round-trip every field that influences future draws (RNG state,
+  /// pre-roll frontiers, modulation state). The network calls these in node
+  /// order inside its own save/load.
+  virtual void save(sim::SnapshotWriter& w) const { (void)w; }
+  virtual void load(sim::SnapshotReader& r) { (void)r; }
 };
 
 /// A source that never generates traffic (default for unconfigured nodes).

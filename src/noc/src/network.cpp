@@ -955,6 +955,117 @@ void Network::restore_credits() {
   }
 }
 
+void Network::save_state(sim::SnapshotWriter& w) const {
+  // Dynamic state only: everything derivable from NocConfig + wiring
+  // (topology, channel graph, route tables before kills) is rebuilt by the
+  // loader's own construction and checked against the config digest.
+  w.u64(static_cast<std::uint64_t>(clock_.now()));
+  stats_.save(w);
+
+  w.u64(gating_record_.size());
+  for (unsigned char g : gating_record_) w.u8(g);
+
+  // Structural-kill cursor. The events themselves are re-installed from the
+  // (identical) FaultPlan; only progress through them is dynamic.
+  w.u64(next_structural_);
+  w.u64(static_cast<std::uint64_t>(next_structural_cycle_));
+  w.u64(dropped_flits_total_);
+  w.u64(packet_id_counter_);
+
+  for (const auto& r : routers_) r->save(w);
+  for (const auto& term : nis_) term->save(w);
+
+  const auto save_flit = [](sim::SnapshotWriter& out, const Flit& f) { snapshot_save(out, f); };
+  const auto save_credit = [](sim::SnapshotWriter& out, const Credit& c) {
+    snapshot_save(out, c);
+  };
+  const auto save_command = [](sim::SnapshotWriter& out, const GateCommand& c) {
+    snapshot_save(out, c);
+  };
+  w.u64(flit_channels_.size());
+  for (const auto& link : flit_channels_) link->save(w, save_flit);
+  w.u64(credit_channels_.size());
+  for (const auto& link : credit_channels_) link->save(w, save_credit);
+  std::uint64_t up_down_count = 0;
+  for (const auto& link : up_down_links_)
+    if (link) ++up_down_count;
+  w.u64(up_down_count);
+  for (const auto& link : up_down_links_)
+    if (link) link->save(w, save_command);
+
+  for (const auto& source : sources_) {
+    w.b(source != nullptr);
+    if (source) source->save(w);
+  }
+
+  if (injector_ != nullptr) injector_->save(w);
+}
+
+void Network::load_state(sim::SnapshotReader& r) {
+  if (scheduler_mode_ != SchedulerMode::kStepped)
+    throw sim::SnapshotError(
+        "Network::load_state: restore before set_scheduler_mode (loading rebuilds channel "
+        "queues underneath the active-set push hooks)");
+
+  const auto now = static_cast<sim::Cycle>(r.u64());
+  clock_.reset();
+  clock_.advance(now);
+  stats_.load(r);
+
+  r.expect_u64(gating_record_.size(), "gating-record size");
+  for (unsigned char& g : gating_record_) g = r.u8();
+
+  next_structural_ = r.u64();
+  next_structural_cycle_ = static_cast<sim::Cycle>(r.u64());
+  dropped_flits_total_ = r.u64();
+  packet_id_counter_ = r.u64();
+  if (next_structural_ > structural_events_.size())
+    throw sim::SnapshotError(
+        "snapshot was taken under a fault plan with more structural events than this "
+        "scenario's (" +
+        std::to_string(next_structural_) + " applied > " +
+        std::to_string(structural_events_.size()) + " scheduled)");
+  // Re-apply already-landed kills to the fresh topology. Only the topology
+  // mutation (alive flags + route-table regeneration) is needed: the drained
+  // buffers, cleared channels, dead flags and rewritten credits all arrive
+  // with the serialized component state below.
+  for (std::size_t i = 0; i < next_structural_; ++i) {
+    const sim::StructuralFault& f = structural_events_[i];
+    if (f.kills_router())
+      topo_->kill_router(f.router);
+    else
+      topo_->kill_link(f.router, static_cast<Dir>(f.port));
+  }
+
+  for (auto& rt : routers_) rt->load(r);
+  for (auto& term : nis_) term->load(r);
+
+  const auto load_flit = [](sim::SnapshotReader& in) { return snapshot_load_flit(in); };
+  const auto load_credit = [](sim::SnapshotReader& in) { return snapshot_load_credit(in); };
+  const auto load_command = [](sim::SnapshotReader& in) { return snapshot_load_gate_command(in); };
+  r.expect_u64(flit_channels_.size(), "flit-channel count");
+  for (auto& link : flit_channels_) link->load(r, load_flit);
+  r.expect_u64(credit_channels_.size(), "credit-channel count");
+  for (auto& link : credit_channels_) link->load(r, load_credit);
+  std::uint64_t up_down_count = 0;
+  for (const auto& link : up_down_links_)
+    if (link) ++up_down_count;
+  r.expect_u64(up_down_count, "up-down link count");
+  for (auto& link : up_down_links_)
+    if (link) link->load(r, load_command);
+
+  for (std::size_t t = 0; t < sources_.size(); ++t) {
+    const bool present = r.b();
+    if (present != (sources_[t] != nullptr))
+      throw sim::SnapshotError("traffic-source layout differs from the snapshot at node " +
+                               std::to_string(t) +
+                               " (install the same workload before loading)");
+    if (present) sources_[t]->load(r);
+  }
+
+  if (injector_ != nullptr) injector_->load(r);
+}
+
 bool Network::drained() const {
   for (const auto& link : flit_channels_)
     if (!link->empty()) return false;

@@ -164,4 +164,52 @@ void NetworkInterface::generate(sim::Cycle now) {
   }
 }
 
+void NetworkInterface::save(sim::SnapshotWriter& w) const {
+  w.u64(queue_.size());
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const QueuedPacket& p = queue_[i];
+    w.i64(p.dst);
+    w.i64(p.length);
+    w.i64(p.vnet);
+    w.u64(static_cast<std::uint64_t>(p.injected_at));
+  }
+  for (int c : credits_) w.i64(c);
+  w.b(sending_);
+  w.i64(send_vc_);
+  w.i64(send_seq_);
+  w.i64(send_pkt_.dst);
+  w.i64(send_pkt_.length);
+  w.i64(send_pkt_.vnet);
+  w.u64(static_cast<std::uint64_t>(send_pkt_.injected_at));
+  w.u64(send_id_);
+  w.u64(packets_ejected_);
+  w.u64(flits_injected_);
+  w.b(dead_);
+}
+
+void NetworkInterface::load(sim::SnapshotReader& r) {
+  queue_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    QueuedPacket p;
+    p.dst = static_cast<NodeId>(r.i64());
+    p.length = static_cast<int>(r.i64());
+    p.vnet = static_cast<int>(r.i64());
+    p.injected_at = static_cast<sim::Cycle>(r.u64());
+    queue_.push_back(p);
+  }
+  for (int& c : credits_) c = static_cast<int>(r.i64());
+  sending_ = r.b();
+  send_vc_ = static_cast<int>(r.i64());
+  send_seq_ = static_cast<int>(r.i64());
+  send_pkt_.dst = static_cast<NodeId>(r.i64());
+  send_pkt_.length = static_cast<int>(r.i64());
+  send_pkt_.vnet = static_cast<int>(r.i64());
+  send_pkt_.injected_at = static_cast<sim::Cycle>(r.u64());
+  send_id_ = r.u64();
+  packets_ejected_ = r.u64();
+  flits_injected_ = r.u64();
+  dead_ = r.b();
+}
+
 }  // namespace nbtinoc::noc

@@ -401,4 +401,38 @@ void Router::sync_stress(sim::Cycle through) {
     if (iu) iu->sync_stress(through);
 }
 
+void Router::save(sim::SnapshotWriter& w) const {
+  for (const auto& iu : inputs_) {
+    w.b(iu != nullptr);
+    if (iu) iu->save(w);
+  }
+  for (const auto& ou : outputs_) {
+    w.b(ou != nullptr);
+    if (ou) ou->save(w);
+  }
+  for (std::uint64_t f : port_forwarded_) w.u64(f);
+  for (std::uint8_t d : port_dead_) w.u8(d);
+  w.b(dead_);
+}
+
+void Router::load(sim::SnapshotReader& r) {
+  for (auto& iu : inputs_) {
+    const bool present = r.b();
+    if (present != (iu != nullptr))
+      throw sim::SnapshotError("Router " + std::to_string(id_) +
+                               ": input-port layout differs from the snapshot");
+    if (iu) iu->load(r);
+  }
+  for (auto& ou : outputs_) {
+    const bool present = r.b();
+    if (present != (ou != nullptr))
+      throw sim::SnapshotError("Router " + std::to_string(id_) +
+                               ": output-port layout differs from the snapshot");
+    if (ou) ou->load(r);
+  }
+  for (std::uint64_t& f : port_forwarded_) f = r.u64();
+  for (std::uint8_t& d : port_dead_) d = r.u8();
+  dead_ = r.b();
+}
+
 }  // namespace nbtinoc::noc

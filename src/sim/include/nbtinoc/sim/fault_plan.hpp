@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "nbtinoc/sim/clock.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
 #include "nbtinoc/sim/stat_registry.hpp"
 #include "nbtinoc/util/rng.hpp"
 
@@ -203,6 +204,12 @@ class FaultInjector {
   SensorFaultMode sensor_mode(int node, int port, int vc) const;
   /// Number of sites currently not healthy.
   std::size_t faulty_sites() const;
+
+  // --- checkpoint/restore ----------------------------------------------------
+  /// Dynamic state only: the RNG stream and the per-site fault machines.
+  /// The plan and the stat bindings come from reconstruction.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   struct SiteState {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "nbtinoc/sim/snapshot.hpp"
 #include "nbtinoc/util/stats.hpp"
 
 namespace nbtinoc::sim {
@@ -93,6 +94,14 @@ class StatRegistry {
 
   /// Multi-line "name = value" dump, sorted by name; used by examples.
   std::string to_string() const;
+
+  // --- checkpoint/restore ----------------------------------------------------
+  /// Serializes every slot by *name* (values + touched flags), so restore
+  /// works into a freshly wired registry whose dense indices may differ.
+  /// Names the resumed registry has not interned yet (lazily created
+  /// string-keyed stats) are interned on load.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   struct CounterSlot {

@@ -246,4 +246,35 @@ std::size_t FaultInjector::faulty_sites() const {
   return n;
 }
 
+void FaultInjector::save(SnapshotWriter& w) const {
+  save_rng(w, rng_);
+  w.u64(sites_.size());
+  for (const auto& [key, site] : sites_) {
+    w.i64(std::get<0>(key));
+    w.i64(std::get<1>(key));
+    w.i64(std::get<2>(key));
+    w.u8(static_cast<std::uint8_t>(site.mode));
+    w.f64(site.stuck_value_v);
+    w.b(site.stuck_latched);
+    w.f64(site.drift_v);
+  }
+}
+
+void FaultInjector::load(SnapshotReader& r) {
+  load_rng(r, rng_);
+  sites_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int node = static_cast<int>(r.i64());
+    const int port = static_cast<int>(r.i64());
+    const int vc = static_cast<int>(r.i64());
+    SiteState site;
+    site.mode = static_cast<SensorFaultMode>(r.u8());
+    site.stuck_value_v = r.f64();
+    site.stuck_latched = r.b();
+    site.drift_v = r.f64();
+    sites_.emplace(SiteKey{node, port, vc}, site);
+  }
+}
+
 }  // namespace nbtinoc::sim

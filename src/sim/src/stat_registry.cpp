@@ -60,6 +60,42 @@ void StatRegistry::reset() {
   for (auto& slot : distributions_) slot = DistributionSlot{};
 }
 
+void StatRegistry::save(SnapshotWriter& w) const {
+  // By-name, in map (sorted) order: deterministic bytes, index-agnostic load.
+  w.u64(counter_index_.size());
+  for (const auto& [name, idx] : counter_index_) {
+    w.str(name);
+    w.u64(counters_[idx].value);
+    w.b(counters_[idx].touched);
+  }
+  w.u64(distribution_index_.size());
+  for (const auto& [name, idx] : distribution_index_) {
+    w.str(name);
+    save_stats(w, distributions_[idx].stats);
+    w.b(distributions_[idx].touched);
+  }
+}
+
+void StatRegistry::load(SnapshotReader& r) {
+  reset();
+  const std::uint64_t n_counters = r.u64();
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    const std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    const bool touched = r.b();
+    CounterSlot& slot = counters_[intern(name).idx_];
+    slot.value = value;
+    slot.touched = touched;
+  }
+  const std::uint64_t n_dists = r.u64();
+  for (std::uint64_t i = 0; i < n_dists; ++i) {
+    const std::string name = r.str();
+    DistributionSlot& slot = distributions_[intern_distribution(name).idx_];
+    load_stats(r, slot.stats);
+    slot.touched = r.b();
+  }
+}
+
 std::string StatRegistry::to_string() const {
   std::ostringstream os;
   for (const auto& [name, idx] : counter_index_) {

@@ -53,6 +53,19 @@ class AppTrafficSource final : public noc::ITrafficSource {
   /// Long-run mean packet generation probability implied by the profile.
   double mean_packet_probability() const;
 
+  void save(sim::SnapshotWriter& w) const override {
+    sim::save_rng(w, rng_);
+    w.b(on_);
+    w.u64(static_cast<std::uint64_t>(rolled_until_));
+    w.u64(static_cast<std::uint64_t>(next_fire_));
+  }
+  void load(sim::SnapshotReader& r) override {
+    sim::load_rng(r, rng_);
+    on_ = r.b();
+    rolled_until_ = static_cast<sim::Cycle>(r.u64());
+    next_fire_ = static_cast<sim::Cycle>(r.u64());
+  }
+
  private:
   noc::NodeId pick_destination();
   void roll_until(sim::Cycle limit);

@@ -55,6 +55,31 @@ class ReplyBoard {
   }
   explicit ReplyBoard(int nodes) : boards_(static_cast<std::size_t>(nodes)) {}
 
+  /// Checkpoint of every pending reply. Loading does NOT fire the wake
+  /// sink: the resumed network reconstructs wakes itself on scheduler-mode
+  /// entry (the sources' next_event_cycle covers pending replies).
+  void save(sim::SnapshotWriter& w) const {
+    for (const auto& board : boards_) {
+      w.u64(board.size());
+      for (const PendingReply& reply : board) {
+        w.u64(static_cast<std::uint64_t>(reply.ready_at));
+        w.i64(reply.dst);
+      }
+    }
+  }
+  void load(sim::SnapshotReader& r) {
+    for (auto& board : boards_) {
+      board.clear();
+      const std::uint64_t n = r.u64();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        PendingReply reply;
+        reply.ready_at = static_cast<sim::Cycle>(r.u64());
+        reply.dst = static_cast<noc::NodeId>(r.i64());
+        board.push_back(reply);
+      }
+    }
+  }
+
  private:
   std::vector<std::deque<PendingReply>> boards_;
   WakeSink wake_sink_;
@@ -78,6 +103,21 @@ class RequestReplySource final : public noc::ITrafficSource {
 
   std::uint64_t requests_sent() const { return requests_sent_; }
   std::uint64_t replies_sent() const { return replies_sent_; }
+
+  void save(sim::SnapshotWriter& w) const override {
+    sim::save_rng(w, rng_);
+    w.u64(requests_sent_);
+    w.u64(replies_sent_);
+    w.u64(static_cast<std::uint64_t>(rolled_until_));
+    w.u64(static_cast<std::uint64_t>(next_fire_));
+  }
+  void load(sim::SnapshotReader& r) override {
+    sim::load_rng(r, rng_);
+    requests_sent_ = r.u64();
+    replies_sent_ = r.u64();
+    rolled_until_ = static_cast<sim::Cycle>(r.u64());
+    next_fire_ = static_cast<sim::Cycle>(r.u64());
+  }
 
  private:
   void roll_until(sim::Cycle limit, sim::Cycle now);

@@ -30,6 +30,17 @@ class SyntheticSource final : public noc::ITrafficSource {
 
   double injection_rate() const { return injection_rate_; }
 
+  void save(sim::SnapshotWriter& w) const override {
+    sim::save_rng(w, rng_);
+    w.u64(static_cast<std::uint64_t>(rolled_until_));
+    w.u64(static_cast<std::uint64_t>(next_fire_));
+  }
+  void load(sim::SnapshotReader& r) override {
+    sim::load_rng(r, rng_);
+    rolled_until_ = static_cast<sim::Cycle>(r.u64());
+    next_fire_ = static_cast<sim::Cycle>(r.u64());
+  }
+
  private:
   /// Advances the pre-rolled Bernoulli frontier through cycle `limit`
   /// (inclusive), stopping at the first success.

@@ -95,14 +95,29 @@ class OwningRequestReplySource final : public noc::ITrafficSource {
  public:
   OwningRequestReplySource(std::shared_ptr<ReplyBoard> board, noc::NodeId node, int mesh_nodes,
                            RequestReplyConfig config, std::uint64_t seed)
-      : board_(std::move(board)), source_(node, mesh_nodes, config, board_.get(), seed) {}
+      : board_(std::move(board)),
+        owns_board_state_(node == 0),
+        source_(node, mesh_nodes, config, board_.get(), seed) {}
   std::optional<noc::PacketRequest> maybe_generate(sim::Cycle now) override {
     return source_.maybe_generate(now);
   }
   sim::Cycle next_event_cycle(sim::Cycle now) override { return source_.next_event_cycle(now); }
 
+  // The board is shared by every node's source; exactly one wrapper (node
+  // 0, always present) round-trips its contents so the snapshot holds a
+  // single copy.
+  void save(sim::SnapshotWriter& w) const override {
+    if (owns_board_state_) board_->save(w);
+    source_.save(w);
+  }
+  void load(sim::SnapshotReader& r) override {
+    if (owns_board_state_) board_->load(r);
+    source_.load(r);
+  }
+
  private:
   std::shared_ptr<ReplyBoard> board_;
+  bool owns_board_state_;
   RequestReplySource source_;
 };
 }  // namespace

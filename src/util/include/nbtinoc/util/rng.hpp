@@ -68,6 +68,21 @@ class Xoshiro256 {
   /// Jump function: advances 2^128 steps, for deriving independent streams.
   void jump();
 
+  /// Complete generator state, exposed for checkpoint/restore. The cached
+  /// Marsaglia spare must round-trip too: dropping it would shift every
+  /// subsequent Gaussian draw by one.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+  State state() const { return {s_, has_cached_gaussian_, cached_gaussian_}; }
+  void set_state(const State& st) {
+    s_ = st.s;
+    has_cached_gaussian_ = st.has_cached_gaussian;
+    cached_gaussian_ = st.cached_gaussian;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   bool has_cached_gaussian_ = false;

@@ -30,6 +30,27 @@ class RunningStats {
   double max() const { return count_ ? max_ : 0.0; }
   double sum() const { return sum_; }
 
+  /// Raw accumulator state for checkpoint/restore. min/max carry their
+  /// sentinel infinities while empty, so the round-trip must go through the
+  /// raw fields, not the public (sanitised) accessors.
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  State state() const { return {count_, mean_, m2_, sum_, min_, max_}; }
+  void set_state(const State& st) {
+    count_ = st.count;
+    mean_ = st.mean;
+    m2_ = st.m2;
+    sum_ = st.sum;
+    min_ = st.min;
+    max_ = st.max;
+  }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,157 @@
+#include "nbtinoc/core/lifetime_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nbtinoc::core {
+namespace {
+
+sim::Scenario scenario() {
+  return sim::Scenario::synthetic(2, 2, 0.2);
+}
+
+LifetimeEngineOptions quick_options(int epochs = 4) {
+  LifetimeEngineOptions opt;
+  opt.epochs = epochs;
+  opt.years_per_epoch = 0.5;
+  opt.measure_cycles_per_epoch = 15'000;
+  return opt;
+}
+
+LifetimeOptions stepped_of(const LifetimeEngineOptions& opt) {
+  LifetimeOptions stepped;
+  stepped.epochs = opt.epochs;
+  stepped.years_per_epoch = opt.years_per_epoch;
+  stepped.measure_cycles_per_epoch = opt.measure_cycles_per_epoch;
+  stepped.runner = opt.runner;
+  return stepped;
+}
+
+TEST(LifetimeEngine, RejectsBadOptions) {
+  LifetimeEngineOptions bad = quick_options();
+  bad.epochs = 0;
+  EXPECT_THROW(run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                         Workload::synthetic(), {0, noc::Dir::East}, bad),
+               std::invalid_argument);
+  bad = quick_options();
+  bad.years_per_epoch = 0.0;
+  EXPECT_THROW(run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                         Workload::synthetic(), {0, noc::Dir::East}, bad),
+               std::invalid_argument);
+  bad = quick_options();
+  bad.measure_cycles_per_epoch = 0;
+  EXPECT_THROW(run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                         Workload::synthetic(), {0, noc::Dir::East}, bad),
+               std::invalid_argument);
+  bad = quick_options();
+  bad.remeasure_tolerance_v = -1.0;
+  EXPECT_THROW(run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                         Workload::synthetic(), {0, noc::Dir::East}, bad),
+               std::invalid_argument);
+  bad = quick_options();
+  bad.max_extrapolated_epochs = 0;
+  EXPECT_THROW(run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                         Workload::synthetic(), {0, noc::Dir::East}, bad),
+               std::invalid_argument);
+  // Nonexistent port on a 2x2 mesh corner.
+  EXPECT_THROW(run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                         Workload::synthetic(), {0, noc::Dir::West},
+                                         quick_options()),
+               std::invalid_argument);
+}
+
+// The hierarchical loop's exactness anchor: tolerance 0 measures every
+// epoch, which must reproduce run_lifetime_study bit for bit — same salts,
+// same warmup derivation, same advance arithmetic.
+TEST(LifetimeEngine, ToleranceZeroMatchesSteppedStudyExactly) {
+  const auto opt = quick_options(4);
+  LifetimeEngineOptions exact = opt;
+  exact.remeasure_tolerance_v = 0.0;
+
+  for (PolicyKind policy : {PolicyKind::kBaseline, PolicyKind::kSensorWise}) {
+    const auto stepped = run_lifetime_study(scenario(), policy, Workload::synthetic(),
+                                            {0, noc::Dir::East}, stepped_of(opt));
+    const auto hier = run_hierarchical_lifetime(scenario(), policy, Workload::synthetic(),
+                                                {0, noc::Dir::East}, exact);
+    EXPECT_EQ(hier.measured_epochs, opt.epochs);
+    EXPECT_EQ(hier.extrapolated_epochs, 0);
+    ASSERT_EQ(hier.study.epochs.size(), stepped.epochs.size());
+    for (std::size_t e = 0; e < stepped.epochs.size(); ++e) {
+      EXPECT_DOUBLE_EQ(hier.study.epochs[e].years_elapsed, stepped.epochs[e].years_elapsed);
+      EXPECT_EQ(hier.study.epochs[e].most_degraded, stepped.epochs[e].most_degraded);
+      ASSERT_EQ(hier.study.epochs[e].vth_v.size(), stepped.epochs[e].vth_v.size());
+      for (std::size_t v = 0; v < stepped.epochs[e].vth_v.size(); ++v) {
+        EXPECT_EQ(hier.study.epochs[e].vth_v[v], stepped.epochs[e].vth_v[v]);
+        EXPECT_EQ(hier.study.epochs[e].duty_percent[v], stepped.epochs[e].duty_percent[v]);
+      }
+    }
+    EXPECT_EQ(hier.study.final_worst_vth_v, stepped.final_worst_vth_v);
+    EXPECT_EQ(hier.study.final_spread_v, stepped.final_spread_v);
+    EXPECT_EQ(hier.study.md_changes, stepped.md_changes);
+    ASSERT_EQ(hier.study.final_vths.size(), stepped.final_vths.size());
+    for (const auto& [key, bank] : stepped.final_vths) {
+      const auto& hier_bank = hier.study.final_vths.at(key);
+      ASSERT_EQ(hier_bank.size(), bank.size());
+      for (std::size_t v = 0; v < bank.size(); ++v) EXPECT_EQ(hier_bank[v], bank[v]);
+    }
+  }
+}
+
+// With a nonzero tolerance the engine must actually skip measurement
+// windows AND stay within a trajectory error commensurate with the
+// tolerance it was given.
+TEST(LifetimeEngine, ToleranceSkipsWindowsAndTracksReference) {
+  const auto opt = quick_options(8);
+  const auto stepped = run_lifetime_study(scenario(), PolicyKind::kSensorWise,
+                                          Workload::synthetic(), {0, noc::Dir::East},
+                                          stepped_of(opt));
+  LifetimeEngineOptions approx = opt;
+  approx.remeasure_tolerance_v = 0.002;
+  const auto hier = run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                              Workload::synthetic(), {0, noc::Dir::East}, approx);
+  EXPECT_LT(hier.measured_epochs, opt.epochs);  // this is where the speedup comes from
+  EXPECT_EQ(hier.measured_epochs + hier.extrapolated_epochs, opt.epochs);
+  EXPECT_GE(hier.measured_epochs, 1);
+
+  // Convergence: every buffer of the full final silicon within a small
+  // multiple of the tolerance (duty drifts slowly; errors accumulate
+  // sublinearly because re-measurement resets them).
+  ASSERT_EQ(hier.study.final_vths.size(), stepped.final_vths.size());
+  double worst_error = 0.0;
+  for (const auto& [key, bank] : stepped.final_vths) {
+    const auto& hier_bank = hier.study.final_vths.at(key);
+    ASSERT_EQ(hier_bank.size(), bank.size());
+    for (std::size_t v = 0; v < bank.size(); ++v)
+      worst_error = std::max(worst_error, std::fabs(hier_bank[v] - bank[v]));
+  }
+  EXPECT_LT(worst_error, 4 * approx.remeasure_tolerance_v);
+}
+
+TEST(LifetimeEngine, MaxExtrapolatedEpochsForcesRemeasure) {
+  LifetimeEngineOptions opt = quick_options(6);
+  opt.remeasure_tolerance_v = 1.0;  // absurdly loose: would never re-measure on drift
+  opt.max_extrapolated_epochs = 2;
+  const auto hier = run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                              Workload::synthetic(), {0, noc::Dir::East}, opt);
+  // Epochs: measure, extrap, extrap, measure (cap), extrap, extrap.
+  EXPECT_EQ(hier.measured_epochs, 2);
+  EXPECT_EQ(hier.extrapolated_epochs, 4);
+}
+
+TEST(LifetimeEngine, DeterministicAcrossRuns) {
+  LifetimeEngineOptions opt = quick_options(5);
+  opt.remeasure_tolerance_v = 0.002;
+  const auto a = run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                           Workload::synthetic(), {0, noc::Dir::East}, opt);
+  const auto b = run_hierarchical_lifetime(scenario(), PolicyKind::kSensorWise,
+                                           Workload::synthetic(), {0, noc::Dir::East}, opt);
+  EXPECT_EQ(a.measured_epochs, b.measured_epochs);
+  ASSERT_EQ(a.study.epochs.size(), b.study.epochs.size());
+  for (std::size_t e = 0; e < a.study.epochs.size(); ++e)
+    for (std::size_t v = 0; v < a.study.epochs[e].vth_v.size(); ++v)
+      EXPECT_EQ(a.study.epochs[e].vth_v[v], b.study.epochs[e].vth_v[v]);
+}
+
+}  // namespace
+}  // namespace nbtinoc::core

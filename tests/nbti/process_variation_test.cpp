@@ -14,6 +14,30 @@ TEST(ProcessVariation, RejectsBadConfig) {
   bad = PvConfig{};
   bad.vth_sigma_v = -0.1;
   EXPECT_THROW(ProcessVariation(bad, 1), std::invalid_argument);
+  bad = PvConfig{};
+  bad.die_to_die_sigma_v = -0.01;
+  EXPECT_THROW(ProcessVariation(bad, 1), std::invalid_argument);
+}
+
+TEST(ProcessVariation, CoordinatesAreClampedToDie) {
+  // Callers pass normalized die coordinates; out-of-range values saturate
+  // instead of extrapolating the gradient beyond the die edge.
+  PvConfig cfg;
+  cfg.vth_sigma_v = 0.0;
+  cfg.systematic_span_v = 0.020;
+  ProcessVariation pv(cfg, 17);
+  EXPECT_DOUBLE_EQ(pv.sample_buffer_vth(-3.0, -3.0), pv.sample_buffer_vth(0.0, 0.0));
+  EXPECT_DOUBLE_EQ(pv.sample_buffer_vth(5.0, 5.0), pv.sample_buffer_vth(1.0, 1.0));
+}
+
+TEST(ProcessVariation, BankSamplingForwardsCoordinates) {
+  PvConfig cfg;
+  cfg.vth_sigma_v = 0.0;
+  cfg.systematic_span_v = 0.040;
+  ProcessVariation pv(cfg, 19);
+  const auto near = pv.sample_bank(3, 0.0, 0.0);
+  const auto far = pv.sample_bank(3, 1.0, 1.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(far[i] - near[i], 0.040, 1e-12);
 }
 
 TEST(ProcessVariation, DeterministicForSeed) {

@@ -1,0 +1,174 @@
+// Unit tests of the snapshot codec: primitive round-trips, the frame
+// (magic / version / digest) validation, truncation diagnostics, and the
+// RNG / RunningStats helpers every layer builds on.
+
+#include "nbtinoc/sim/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace nbtinoc::sim {
+namespace {
+
+TEST(SnapshotCodec, PrimitivesRoundTrip) {
+  SnapshotWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.b(true);
+  w.b(false);
+  w.f64(-0.12345678901234567);
+  w.str("hello \0 world");  // literal truncates at NUL — still a valid string
+  w.f64_vec({1.5, -2.5, std::numeric_limits<double>::infinity()});
+
+  SnapshotReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.f64(), -0.12345678901234567);
+  EXPECT_EQ(r.str(), "hello ");
+  EXPECT_EQ(r.f64_vec(), (std::vector<double>{1.5, -2.5, std::numeric_limits<double>::infinity()}));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(SnapshotCodec, DoublesRoundTripBitExactly) {
+  // NaN payloads and signed zero must survive: duty accumulators and stats
+  // mins/maxes carry exact IEEE bit patterns.
+  SnapshotWriter w;
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.f64(-0.0);
+  SnapshotReader r(w.data());
+  EXPECT_TRUE(std::isnan(r.f64()));
+  EXPECT_TRUE(std::signbit(r.f64()));
+}
+
+TEST(SnapshotCodec, TruncationNamesOffsetAndField) {
+  SnapshotWriter w;
+  w.u32(7);
+  SnapshotReader r(w.data());
+  try {
+    r.u64();
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("u64"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("offset 0"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SnapshotCodec, ExpectU64MismatchIsDescriptive) {
+  SnapshotWriter w;
+  w.u64(3);
+  SnapshotReader r(w.data());
+  try {
+    r.expect_u64(5, "router count");
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("router count"), std::string::npos) << what;
+    EXPECT_NE(what.find("3"), std::string::npos) << what;
+    EXPECT_NE(what.find("5"), std::string::npos) << what;
+  }
+}
+
+TEST(SnapshotCodec, TrailingBytesAreRejected) {
+  SnapshotWriter w;
+  w.u64(1);
+  w.u8(9);
+  SnapshotReader r(w.data());
+  r.u64();
+  EXPECT_FALSE(r.at_end());
+  EXPECT_THROW(r.expect_end(), SnapshotError);
+}
+
+TEST(SnapshotFrame, RoundTripsDigestAndPayload) {
+  SnapshotWriter payload;
+  payload.u64(123);
+  const std::string file = frame_snapshot("digest v1", payload.data());
+  EXPECT_EQ(file.substr(0, kSnapshotMagic.size()), kSnapshotMagic);
+  EXPECT_EQ(snapshot_digest(file), "digest v1");
+  SnapshotReader r = open_snapshot(file, "digest v1");
+  EXPECT_EQ(r.u64(), 123u);
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(SnapshotFrame, RejectsBadMagicVersionAndDigest) {
+  const std::string file = frame_snapshot("abc", "payload");
+
+  EXPECT_THROW(open_snapshot("", "abc"), SnapshotError);
+  try {
+    open_snapshot("GARBAGE!\x01\x02 bytes", "abc");
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("NBTISNAP"), std::string::npos) << e.what();
+  }
+
+  std::string wrong_version = file;
+  wrong_version[kSnapshotMagic.size()] = 0x2a;
+  try {
+    open_snapshot(wrong_version, "abc");
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("version 42"), std::string::npos) << e.what();
+  }
+
+  try {
+    open_snapshot(file, "different config");
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("abc"), std::string::npos) << what;
+    EXPECT_NE(what.find("different config"), std::string::npos) << what;
+  }
+}
+
+TEST(SnapshotHelpers, RngRoundTripPreservesStreamAndGaussianCache) {
+  util::Xoshiro256 rng(12345);
+  (void)rng.next_gaussian(0.0, 1.0);  // leave a cached Marsaglia spare behind
+
+  SnapshotWriter w;
+  save_rng(w, rng);
+  util::Xoshiro256 copy(999);  // different seed: state must be fully overwritten
+  SnapshotReader r(w.data());
+  load_rng(r, copy);
+
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next(), copy.next());
+    EXPECT_EQ(rng.next_gaussian(0.0, 1.0), copy.next_gaussian(0.0, 1.0));
+  }
+}
+
+TEST(SnapshotHelpers, RunningStatsRoundTripIsExact) {
+  util::RunningStats stats;
+  for (double x : {1.0, -3.5, 7.25, 0.125}) stats.add(x);
+
+  SnapshotWriter w;
+  save_stats(w, stats);
+  util::RunningStats copy;
+  SnapshotReader r(w.data());
+  load_stats(r, copy);
+
+  EXPECT_EQ(copy.count(), stats.count());
+  EXPECT_EQ(copy.mean(), stats.mean());
+  EXPECT_EQ(copy.stddev_sample(), stats.stddev_sample());
+  EXPECT_EQ(copy.sum(), stats.sum());
+  EXPECT_EQ(copy.min(), stats.min());
+  EXPECT_EQ(copy.max(), stats.max());
+
+  // An empty bank round-trips its +/-inf sentinels bit-exactly too.
+  util::RunningStats empty, empty_copy;
+  SnapshotWriter w2;
+  save_stats(w2, empty);
+  SnapshotReader r2(w2.data());
+  load_stats(r2, empty_copy);
+  EXPECT_EQ(empty_copy.count(), 0u);
+}
+
+}  // namespace
+}  // namespace nbtinoc::sim
