@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <memory>
+#include <vector>
+
 #include "nbtinoc/nbtinoc.hpp"
 #include "nbtinoc/noc/routing.hpp"
 
@@ -270,6 +274,89 @@ void BM_LifetimeHierarchical(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * opt.epochs);
 }
 BENCHMARK(BM_LifetimeHierarchical)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Trace-replay engine pair: the legacy CSV/in-memory path (parse the CSV,
+// copy every node's slice into its own vector) vs the NBTITRACE mmap'd
+// zero-copy path (one shared read-only mapping, per-source cursors). Both
+// sides drain the identical record stream through generate_burst; the
+// BENCH_hotpath.json "fast_forward_gates" entry gates the same-machine
+// ratio — the binary engine must beat the CSV baseline by the floor.
+struct TraceBenchData {
+  std::string csv_path;
+  std::shared_ptr<const traffic::TraceFile> file;
+  int nodes = 0;
+  std::uint64_t records = 0;
+};
+
+const TraceBenchData& trace_bench_data() {
+  static const TraceBenchData data = [] {
+    constexpr int kWidth = 4;
+    constexpr int kNodes = kWidth * kWidth;
+    std::vector<std::unique_ptr<traffic::SyntheticSource>> sources;
+    std::vector<noc::ITrafficSource*> raw;
+    util::SplitMix64 seeder(2024);
+    for (noc::NodeId id = 0; id < kNodes; ++id) {
+      sources.push_back(std::make_unique<traffic::SyntheticSource>(
+          id, 0.4, 4, traffic::DestinationPattern(traffic::PatternKind::kUniform, kWidth, kWidth),
+          seeder.next()));
+      raw.push_back(sources.back().get());
+    }
+    const traffic::Trace trace = traffic::Trace::capture(raw, 40'000);
+    TraceBenchData d;
+    d.nodes = kNodes;
+    d.records = trace.size();
+    d.csv_path =
+        (std::filesystem::temp_directory_path() / "nbtinoc_bench_trace.csv").string();
+    trace.save(d.csv_path);
+    d.file = traffic::TraceFile::from_trace(trace, kNodes, "bench_micro_perf");
+    return d;
+  }();
+  return data;
+}
+
+std::uint64_t drain_replay(noc::ITrafficSource& src) {
+  noc::PacketRequest burst[noc::kMaxGenerateBurst];
+  std::uint64_t total = 0;
+  sim::Cycle now = 0;
+  while (true) {
+    const sim::Cycle next = src.next_event_cycle(now);
+    if (next == sim::kCycleNever) break;
+    now = next;
+    total += src.generate_burst(now, burst, noc::kMaxGenerateBurst);
+  }
+  return total;
+}
+
+void BM_TraceReplay_CsvLoad(benchmark::State& state) {
+  const TraceBenchData& d = trace_bench_data();
+  for (auto _ : state) {
+    const traffic::Trace trace = traffic::Trace::load(d.csv_path);
+    std::uint64_t total = 0;
+    for (noc::NodeId id = 0; id < d.nodes; ++id) {
+      traffic::TraceReplaySource src(trace, id);
+      total += drain_replay(src);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d.records));
+}
+BENCHMARK(BM_TraceReplay_CsvLoad)->Unit(benchmark::kMillisecond);
+
+void BM_TraceReplay_Mmap(benchmark::State& state) {
+  const TraceBenchData& d = trace_bench_data();
+  // One mapping, shared by every source of every iteration — the way sweep
+  // workers and fleet shards share a Workload's trace.
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (noc::NodeId id = 0; id < d.nodes; ++id) {
+      traffic::TraceReplaySource src(d.file, id);
+      total += drain_replay(src);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d.records));
+}
+BENCHMARK(BM_TraceReplay_Mmap)->Unit(benchmark::kMillisecond);
 
 void BM_Xoshiro(benchmark::State& state) {
   util::Xoshiro256 rng(1);

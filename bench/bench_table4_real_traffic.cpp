@@ -13,6 +13,7 @@
 // sampled instead.
 
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "nbtinoc/util/stats.hpp"
@@ -30,6 +31,33 @@ struct SampledPort {
 std::string row_label(const SampledPort& sp) {
   return std::to_string(sp.width * sp.width) + "c-r" + std::to_string(sp.router) + "-" +
          noc::dir_letter(sp.port);
+}
+
+/// Captures what install_benchmark_mix would offer under this scenario —
+/// same profiles, same per-node seeder chain, same phit scaling — into an
+/// in-memory NBTITRACE mapping. Replaying it through run_experiment
+/// therefore reproduces the live-mix results bit for bit, while both
+/// policies (and every sweep worker) share the one read-only trace instead
+/// of each re-running the app models.
+std::shared_ptr<const traffic::TraceFile> capture_mix_trace(const sim::Scenario& s,
+                                                            const traffic::BenchmarkMix& mix,
+                                                            std::uint64_t seed_salt) {
+  const int ppf = s.phits_per_flit();
+  const int nodes = s.cores();
+  std::vector<std::unique_ptr<traffic::AppTrafficSource>> sources;
+  std::vector<noc::ITrafficSource*> raw;
+  util::SplitMix64 seeder(s.traffic_seed() ^ seed_salt);
+  for (noc::NodeId id = 0; id < nodes; ++id) {
+    traffic::AppProfile profile =
+        traffic::benchmark_by_name(mix.names[static_cast<std::size_t>(id)]);
+    profile.mean_rate *= ppf;
+    profile.packet_length = s.packet_length * ppf;
+    sources.push_back(std::make_unique<traffic::AppTrafficSource>(
+        id, profile, s.mesh_width, s.mesh_height, nodes - 1, seeder.next()));
+    raw.push_back(sources.back().get());
+  }
+  const traffic::Trace trace = traffic::Trace::capture(raw, s.total_cycles());
+  return traffic::TraceFile::from_trace(trace, nodes, s.name + "/" + mix.describe());
 }
 
 }  // namespace
@@ -63,9 +91,11 @@ int main(int argc, char** argv) {
   util::Table table(header);
 
   // Build the full grid up front — {architecture} x {iteration} x {rr, sw},
-  // one random benchmark mix per iteration — and shard it over the sweep
-  // engine; the mix and both seeds derive from the scenario/iteration, so
-  // the parallel result grid matches the old serial loop run for run.
+  // one random benchmark mix per iteration, captured once into a shared
+  // zero-copy trace — and shard it over the sweep engine; the mix, the
+  // capture and both seeds derive from the scenario/iteration alone, so the
+  // parallel result grid matches the old serial live-mix loop run for run
+  // at any worker count.
   core::SweepRunner sweep(bench::sweep_options(options));
   for (const int width : {2, 4}) {
     sim::Scenario s = sim::Scenario::synthetic(width, vcs, 0.0);
@@ -74,7 +104,8 @@ int main(int argc, char** argv) {
     for (int it = 0; it < options.iterations; ++it) {
       const traffic::BenchmarkMix mix =
           traffic::random_mix(width * width, 9000 + static_cast<std::uint64_t>(it) * 17 + width);
-      const core::Workload w = core::Workload::benchmark_mix(mix, static_cast<std::uint64_t>(it));
+      const core::Workload w = core::Workload::trace_replay(
+          capture_mix_trace(s, mix, static_cast<std::uint64_t>(it)));
       const std::string label = "it" + std::to_string(it + 1);
       sweep.add(s, core::PolicyKind::kRrNoSensor, w, label);
       sweep.add(s, core::PolicyKind::kSensorWise, w, label);

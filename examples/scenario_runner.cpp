@@ -1,10 +1,18 @@
 // Scenario-file driven simulator front end:
 //
 //   ./scenario_runner my_scenario.cfg [--policy sensor-wise] [--json out.json]
-//                                 [--workload uniform|transpose|...|mix]
+//                                 [--workload uniform|transpose|...|mix|datacenter]
+//                                 [--capture trace.nbtitrace]
+//                                 [--replay trace.nbtitrace]
 //                                 [--snapshot state.snap --at 40000]
 //                                 [--resume state.snap]
 //                                 [--dump-routes [--kill 3E,5]]
+//
+// --capture records the run's offered load (warmup included, observation
+// only — the printed results are unaffected) into an NBTITRACE binary
+// trace. --replay ignores --workload and replays such a file as the
+// workload, zero-copy from one read-only mapping; the combined
+// capture-then-replay pair prints bit-identical results.
 //
 // --snapshot/--at pauses the run at the given absolute cycle, serializes
 // the complete simulation state to the file, then continues to completion
@@ -100,14 +108,31 @@ int main(int argc, char** argv) {
   }
 
   const auto policy = core::parse_policy(args.get_or("policy", "sensor-wise"));
-  const std::string workload_name = args.get_or("workload", "uniform");
+  const auto replay_path = args.get("replay");
+  const auto capture_path = args.get("capture");
+  if (replay_path && capture_path) {
+    std::cerr << "error: --capture and --replay are mutually exclusive (re-capturing a replay "
+                 "reproduces the input trace)\n";
+    return 2;
+  }
+  std::string workload_name = args.get_or("workload", "uniform");
 
   core::Workload workload;
-  if (workload_name == "mix") {
-    workload = core::Workload::benchmark_mix(
-        traffic::random_mix(scenario.cores(), scenario.traffic_seed()));
-  } else {
-    workload = core::Workload::synthetic(traffic::parse_pattern(workload_name));
+  try {
+    if (replay_path) {
+      workload = core::Workload::trace_replay(traffic::TraceFile::open(*replay_path));
+      workload_name = "replay:" + *replay_path;
+    } else if (workload_name == "mix") {
+      workload = core::Workload::benchmark_mix(
+          traffic::random_mix(scenario.cores(), scenario.traffic_seed()));
+    } else if (workload_name == "datacenter") {
+      workload = core::Workload::datacenter_aggregate(traffic::DatacenterProfile{});
+    } else {
+      workload = core::Workload::synthetic(traffic::parse_pattern(workload_name));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
   }
 
   std::cout << scenario.describe() << "  policy          : " << to_string(policy)
@@ -144,6 +169,9 @@ int main(int argc, char** argv) {
     ropt.resume_from.emplace(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
   }
 
+  traffic::Trace captured;
+  if (capture_path) ropt.capture_trace = &captured;
+
   core::RunResult result;
   try {
     result = core::run_experiment(scenario, policy, workload, ropt);
@@ -155,6 +183,19 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
+  }
+
+  if (capture_path) {
+    try {
+      traffic::write_trace_file(*capture_path, captured, scenario.cores(),
+                                scenario.name + "/" + workload_name + "/policy=" +
+                                    to_string(policy));
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+    std::cout << "trace (" << captured.size() << " packets) written to " << *capture_path
+              << "\n\n";
   }
 
   if (snapshot_path) {

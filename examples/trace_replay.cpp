@@ -1,12 +1,18 @@
-// Example: capture the offered load of an application mix into a trace file,
-// then replay the byte-identical workload under two policies — the way to
-// compare policies on externally produced traces (e.g. from a full-system
-// simulator).
+// Example: capture the offered load of an application mix into an NBTITRACE
+// binary trace, then replay the byte-identical workload under two policies —
+// the way to compare policies on externally produced traces (e.g. from a
+// full-system simulator).
 //
-//   ./trace_replay [--cores 4] [--cycles 80000] [--trace /tmp/noc_trace.csv]
+// The capture rides along a normal run_experiment call
+// (RunnerOptions::capture_trace observes every offered packet without
+// perturbing the run); the replays mmap the written file once and share the
+// read-only mapping across both runs, zero-copy. Because the capturing run
+// and the capture-policy replay see the identical offered load, their
+// results match bit for bit — printed as a self-check below.
+//
+//   ./trace_replay [--cores 4] [--cycles 80000] [--trace /tmp/noc_trace.nbtitrace]
 
 #include <iostream>
-#include <memory>
 
 #include "nbtinoc/nbtinoc.hpp"
 #include "nbtinoc/util/cli.hpp"
@@ -14,56 +20,11 @@
 
 using namespace nbtinoc;
 
-namespace {
-
-core::RunResult run_with_trace(const sim::Scenario& s, const traffic::Trace& trace,
-                               core::PolicyKind policy) {
-  // Assemble the network manually (run_experiment covers the common cases;
-  // trace replay shows the lower-level API).
-  noc::NocConfig cfg;
-  cfg.width = s.mesh_width;
-  cfg.height = s.mesh_height;
-  cfg.num_vcs = s.num_vcs;
-  cfg.buffer_depth = s.buffer_depth * s.phits_per_flit();
-  cfg.packet_length = s.packet_length * s.phits_per_flit();
-  noc::Network net(cfg);
-
-  const nbti::NbtiModel model = core::calibrated_model_of(s);
-  core::PolicyConfig pc;
-  pc.kind = policy;
-  core::PolicyGateController ctrl(net, pc, model, core::operating_point_of(s),
-                                  core::pv_config_of(s), s.pv_seed());
-  ctrl.attach();
-
-  for (noc::NodeId id = 0; id < net.nodes(); ++id)
-    net.set_traffic_source(id, std::make_unique<traffic::TraceReplaySource>(trace, id));
-
-  net.run_with_warmup(s.warmup_cycles, s.measure_cycles);
-
-  core::RunResult result;
-  result.scenario = s;
-  result.policy = policy;
-  for (noc::NodeId id = 0; id < net.nodes(); ++id)
-    for (int p = 0; p < noc::kNumDirs; ++p) {
-      const auto dir = static_cast<noc::Dir>(p);
-      if (!net.router(id).has_input(dir)) continue;
-      core::PortResult port;
-      port.duty_percent = net.duty_cycles_percent(id, dir);
-      port.initial_vth_v = ctrl.initial_vths({id, dir});
-      port.most_degraded = ctrl.most_degraded({id, dir});
-      result.ports.emplace(noc::PortKey{id, dir}, std::move(port));
-    }
-  result.packets_ejected = net.stats().counter("noc.packets_ejected");
-  return result;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   const int cores = static_cast<int>(args.get_int_or("cores", 4));
   const auto cycles = static_cast<sim::Cycle>(args.get_int_or("cycles", 80'000));
-  const std::string trace_path = args.get_or("trace", "/tmp/nbtinoc_trace.csv");
+  const std::string trace_path = args.get_or("trace", "/tmp/nbtinoc_trace.nbtitrace");
 
   int width = 1;
   while (width * width < cores) ++width;
@@ -72,29 +33,29 @@ int main(int argc, char** argv) {
   s.warmup_cycles = cycles / 5;
   s.measure_cycles = cycles;
 
-  // 1. Capture: record what a benchmark mix would offer, cycle by cycle.
+  // 1. Capture: run the mix once under rr-no-sensor, recording what every
+  // source offered (warmup included), and write the binary trace.
   const traffic::BenchmarkMix mix = traffic::random_mix(cores, 4242);
+  const core::Workload mix_workload = core::Workload::benchmark_mix(mix);
   std::cout << "Capturing " << s.total_cycles() << " cycles of '" << mix.describe() << "'...\n";
-  std::vector<std::unique_ptr<traffic::AppTrafficSource>> sources;
-  std::vector<noc::ITrafficSource*> raw;
-  for (noc::NodeId id = 0; id < cores; ++id) {
-    auto profile = traffic::benchmark_by_name(mix.names[static_cast<std::size_t>(id)]);
-    profile.mean_rate *= s.phits_per_flit();
-    profile.packet_length = s.packet_length * s.phits_per_flit();
-    sources.push_back(std::make_unique<traffic::AppTrafficSource>(
-        id, profile, width, width, cores - 1, 1000 + static_cast<std::uint64_t>(id)));
-    raw.push_back(sources.back().get());
-  }
-  const traffic::Trace trace = traffic::Trace::capture(raw, s.total_cycles());
-  trace.save(trace_path);
-  std::cout << "Saved " << trace.size() << " packets to " << trace_path << "\n\n";
+  traffic::Trace captured;
+  core::RunnerOptions capture_options;
+  capture_options.capture_trace = &captured;
+  const auto rr_live = core::run_experiment(s, core::PolicyKind::kRrNoSensor, mix_workload,
+                                            capture_options);
+  traffic::write_trace_file(trace_path, captured, cores, s.name + "/" + mix.describe());
+  std::cout << "Saved " << captured.size() << " packets to " << trace_path << "\n\n";
 
-  // 2. Replay the identical workload under both policies.
-  const traffic::Trace loaded = traffic::Trace::load(trace_path);
-  const auto rr = run_with_trace(s, loaded, core::PolicyKind::kRrNoSensor);
-  const auto sw = run_with_trace(s, loaded, core::PolicyKind::kSensorWise);
+  // 2. Replay the identical workload under both policies, zero-copy from
+  // one shared mapping.
+  const core::Workload replay = core::Workload::trace_replay(traffic::TraceFile::open(trace_path));
+  const auto rr = core::run_experiment(s, core::PolicyKind::kRrNoSensor, replay);
+  const auto sw = core::run_experiment(s, core::PolicyKind::kSensorWise, replay);
   std::cout << "packets delivered: rr=" << rr.packets_ejected << " sw=" << sw.packets_ejected
-            << " (identical offered load)\n\n";
+            << " (identical offered load)\n"
+            << "capture/replay self-check: "
+            << (core::to_json(rr_live) == core::to_json(rr) ? "bit-identical" : "DIVERGED!")
+            << "\n\n";
 
   for (const auto& [key, port] : sw.ports) {
     const auto md = static_cast<std::size_t>(port.most_degraded);

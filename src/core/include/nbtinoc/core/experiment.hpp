@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,20 +16,35 @@
 #include "nbtinoc/power/power_model.hpp"
 #include "nbtinoc/sim/scenario.hpp"
 #include "nbtinoc/traffic/benchmarks.hpp"
+#include "nbtinoc/traffic/datacenter.hpp"
 #include "nbtinoc/traffic/patterns.hpp"
+#include "nbtinoc/traffic/trace.hpp"
 
 namespace nbtinoc::core {
 
-/// Workload description: either a synthetic pattern at the scenario's
-/// injection rate (Tables II/III) or a benchmark mix (Table IV).
+/// Workload description: a synthetic pattern at the scenario's injection
+/// rate (Tables II/III), a benchmark mix (Table IV), a recorded NBTITRACE
+/// replay, or a datacenter aggregate population.
 struct Workload {
-  enum class Kind { kSynthetic, kBenchmarkMix } kind = Kind::kSynthetic;
+  enum class Kind { kSynthetic, kBenchmarkMix, kTrace, kDatacenter } kind = Kind::kSynthetic;
   traffic::PatternKind pattern = traffic::PatternKind::kUniform;
   traffic::BenchmarkMix mix;       ///< used when kind == kBenchmarkMix
+  /// kTrace: shared read-only mapping replayed zero-copy; every run, sweep
+  /// worker and fleet shard holding this Workload shares the one mapping.
+  std::shared_ptr<const traffic::TraceFile> trace;
+  traffic::DatacenterProfile datacenter;  ///< used when kind == kDatacenter
   std::uint64_t seed_salt = 0;     ///< extra salt for per-iteration traffic streams
 
   static Workload synthetic(traffic::PatternKind pattern = traffic::PatternKind::kUniform);
   static Workload benchmark_mix(traffic::BenchmarkMix mix, std::uint64_t seed_salt = 0);
+  /// Replay of a captured trace. The runner validates the trace's node and
+  /// vnet counts against the scenario before installing it (errors quote
+  /// the trace digest); trace records are draw-free, so seed_salt does not
+  /// perturb the offered load (it still salts the digest).
+  static Workload trace_replay(std::shared_ptr<const traffic::TraceFile> trace);
+  /// Heavy-tailed on/off user aggregate (DatacenterAggregateSource).
+  static Workload datacenter_aggregate(traffic::DatacenterProfile profile,
+                                       std::uint64_t seed_salt = 0);
 };
 
 /// Per-input-port measurement.
@@ -119,6 +135,17 @@ struct RunnerOptions {
   /// sim::SnapshotError naming both digests. Incompatible with
   /// check_invariants and with snapshot_at.
   std::optional<std::string> resume_from;
+
+  /// Non-null: record the run's offered load into this trace (the network's
+  /// ITraceSink — every packet each source offers, before the NI's
+  /// self-traffic/unroutable filters, warmup included). Observation only:
+  /// it consumes no RNG and perturbs nothing, so the capturing run's result
+  /// is bit-identical to an uncaptured run — and replaying the capture
+  /// (Workload::trace_replay over traffic::TraceFile::from_trace) reproduces
+  /// that same result bit for bit. Incompatible with resume_from: a resumed
+  /// run cannot observe the cycles that ran before the snapshot, so the
+  /// capture would silently be a suffix.
+  traffic::Trace* capture_trace = nullptr;
 };
 
 /// Runs one scenario under one policy. PV seed and traffic seed derive from

@@ -33,5 +33,6 @@
 #include "nbtinoc/power/power_model.hpp"
 #include "nbtinoc/sim/scenario.hpp"
 #include "nbtinoc/traffic/benchmarks.hpp"
+#include "nbtinoc/traffic/datacenter.hpp"
 #include "nbtinoc/traffic/synthetic.hpp"
 #include "nbtinoc/traffic/trace.hpp"

@@ -40,6 +40,16 @@ std::string config_digest(const sim::Scenario& s, PolicyKind policy, const Workl
     case Workload::Kind::kBenchmarkMix:
       d += " workload=mix/" + workload.mix.describe();
       break;
+    case Workload::Kind::kTrace:
+      // Pins the trace identity (its own digest string plus shape) so a
+      // snapshot taken under one trace refuses to resume under another.
+      d += " workload=trace/" + std::to_string(workload.trace->node_count()) + "n/" +
+           std::to_string(workload.trace->record_count()) + "r/\"" + workload.trace->digest() +
+           "\"";
+      break;
+    case Workload::Kind::kDatacenter:
+      d += " workload=datacenter/" + workload.datacenter.describe();
+      break;
   }
   d += " salt=" + std::to_string(workload.seed_salt);
   if (options.faults.enabled())
@@ -62,6 +72,26 @@ Workload Workload::benchmark_mix(traffic::BenchmarkMix mix, std::uint64_t seed_s
   Workload w;
   w.kind = Kind::kBenchmarkMix;
   w.mix = std::move(mix);
+  w.seed_salt = seed_salt;
+  return w;
+}
+
+Workload Workload::trace_replay(std::shared_ptr<const traffic::TraceFile> trace) {
+  if (trace == nullptr)
+    throw std::invalid_argument("Workload::trace_replay: null trace (open one with "
+                                "traffic::TraceFile::open)");
+  Workload w;
+  w.kind = Kind::kTrace;
+  w.trace = std::move(trace);
+  return w;
+}
+
+Workload Workload::datacenter_aggregate(traffic::DatacenterProfile profile,
+                                        std::uint64_t seed_salt) {
+  profile.validate();
+  Workload w;
+  w.kind = Kind::kDatacenter;
+  w.datacenter = profile;
   w.seed_salt = seed_salt;
   return w;
 }
@@ -157,6 +187,30 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
       traffic::install_benchmark_mix(network, workload.mix, traffic_seed, /*hotspot=*/-1,
                                      /*rate_scale=*/static_cast<double>(ppf));
       break;
+    case Workload::Kind::kTrace:
+      // Trace records carry phit-unit lengths (captured at the NI), so no
+      // ppf rescaling happens here; the vnet check catches a trace captured
+      // under a wider vnet configuration before any record misroutes.
+      if (workload.trace == nullptr)
+        throw std::invalid_argument("run_experiment: trace workload holds no trace");
+      if (workload.trace->vnet_count() > config.num_vnets)
+        throw std::invalid_argument(
+            "run_experiment: trace uses " + std::to_string(workload.trace->vnet_count()) +
+            " vnets but this scenario has " + std::to_string(config.num_vnets) +
+            " (trace digest: \"" + workload.trace->digest() + "\")");
+      traffic::install_trace_replay(network, workload.trace);
+      break;
+    case Workload::Kind::kDatacenter:
+      traffic::install_datacenter_traffic(network, workload.datacenter, traffic_seed,
+                                          /*rate_scale=*/static_cast<double>(ppf));
+      break;
+  }
+  if (options.capture_trace != nullptr) {
+    if (options.resume_from)
+      throw std::invalid_argument(
+          "run_experiment: capture_trace cannot combine with resume_from (the cycles before "
+          "the snapshot are not observable, so the capture would silently be a suffix)");
+    network.set_trace_sink(options.capture_trace);
   }
 
   const sim::Cycle total_cycles = scenario.warmup_cycles + scenario.measure_cycles;

@@ -94,6 +94,13 @@ class Network {
   /// Installs the traffic source for one node (owning).
   void set_traffic_source(NodeId node, std::unique_ptr<ITrafficSource> source);
 
+  /// Fans the offered-load observer out to every NI (non-owning; nullptr to
+  /// remove). The sink sees each packet any source offers, pre-filtering —
+  /// the in-run trace-capture hook (core::RunnerOptions::capture_trace).
+  void set_trace_sink(ITraceSink* sink) {
+    for (auto& ni : nis_) ni->set_trace_sink(sink);
+  }
+
   /// Advances one cycle.
   void step();
   /// Advances `cycles` cycles. With fast-forwarding enabled, provably

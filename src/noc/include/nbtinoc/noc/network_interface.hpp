@@ -33,6 +33,10 @@ class NetworkInterface {
   void wire(InputUnit* router_local_iu, Channel<Flit>* inject_out, Channel<Credit>* credit_in,
             Channel<Flit>* eject_in);
   void set_traffic_source(ITrafficSource* source) { source_ = source; }
+  /// Installs the offered-load observer (non-owning; nullptr to remove).
+  /// Every packet the source offers is reported before the NI's filters —
+  /// see ITraceSink. Not snapshot state: capture wiring is per-run.
+  void set_trace_sink(ITraceSink* sink) { trace_sink_ = sink; }
   /// Attaches the topology (non-owning, must outlive the NI) whose
   /// inject_class() restricts VC allocation on wrap-link topologies.
   /// Unattached NIs (standalone unit tests) behave single-class.
@@ -136,6 +140,7 @@ class NetworkInterface {
   NocConfig config_;
   const Topology* topo_ = nullptr;
   ITrafficSource* source_ = nullptr;
+  ITraceSink* trace_sink_ = nullptr;
   // Pooled ring (see util::RingQueue): the open-loop source queue churns
   // every cycle under load and must not touch the allocator in steady state.
   util::RingQueue<QueuedPacket> queue_;

@@ -146,20 +146,31 @@ void NetworkInterface::inject(sim::Cycle now, std::uint64_t& packet_id_counter) 
 }
 
 void NetworkInterface::generate(sim::Cycle now) {
+  // Burst-batched pull: one virtual call hands over every same-cycle packet
+  // the source offers (up to kMaxGenerateBurst; surpluses slip — see
+  // ITrafficSource::generate_burst). The buffer lives on the stack, so the
+  // hot path stays allocation-free under bursty traces.
   if (dead_ || source_ == nullptr) return;
-  if (auto req = source_->maybe_generate(now)) {
-    if (req->dst == node_) return;  // self-traffic never enters the NoC
-    if (req->length < 1) throw std::logic_error("NI: packet length must be >= 1");
-    if (req->vnet < 0 || req->vnet >= config_.num_vnets)
+  PacketRequest burst[kMaxGenerateBurst];
+  const std::size_t n = source_->generate_burst(now, burst, kMaxGenerateBurst);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PacketRequest& req = burst[i];
+    // Capture before the filters below: a replayed trace re-offers the
+    // filtered packets too and re-applies the same filters, which keeps
+    // capture -> replay bit-identical.
+    if (trace_sink_ != nullptr) trace_sink_->record(now, node_, req);
+    if (req.dst == node_) continue;  // self-traffic never enters the NoC
+    if (req.length < 1) throw std::logic_error("NI: packet length must be >= 1");
+    if (req.vnet < 0 || req.vnet >= config_.num_vnets)
       throw std::logic_error("NI: packet vnet out of range");
-    if (unroutable(req->dst)) {
+    if (unroutable(req.dst)) {
       // Degraded fabric: the destination tile is dead or disconnected.
       // Dropping at the source keeps has_new_traffic() truthful (a packet
       // with no route would assert it forever and wedge quiescence).
       stats_->add(h_unroutable_);
-      return;
+      continue;
     }
-    queue_.push_back(QueuedPacket{req->dst, req->length, req->vnet, now});
+    queue_.push_back(QueuedPacket{req.dst, req.length, req.vnet, now});
     stats_->add(h_packets_offered_);
   }
 }

@@ -401,6 +401,68 @@ TEST(ThreeWayDifferential, AllGatedFixedPointMatchesAcrossSchedulers) {
                 core::RunnerOptions{});
 }
 
+// Trace capture/replay fuzz: for random scenario/policy/workload draws,
+// record the live run through RunnerOptions::capture_trace, freeze it into
+// an NBTITRACE mapping, and demand (a) the replay reproduces the live run's
+// full result JSON bit for bit and (b) the replay itself is bit-identical
+// across all three scheduler modes.
+class TraceCaptureReplayFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceCaptureReplayFuzzTest, CapturedRunsReplayBitIdentically) {
+  util::Xoshiro256 rng(GetParam() ^ 0x7ace5ULL);
+  sim::Scenario s = sim::Scenario::synthetic(2 + static_cast<int>(rng.next_below(2)),
+                                             1 + static_cast<int>(rng.next_below(3)),
+                                             0.02 + 0.1 * rng.next_double());
+  s.num_vnets = 1 + static_cast<int>(rng.next_below(2));
+  s.wakeup_latency = rng.next_below(4);
+  s.warmup_cycles = 500;
+  s.measure_cycles = 4'000 + rng.next_below(4'000);
+  constexpr core::PolicyKind kPolicies[] = {
+      core::PolicyKind::kBaseline, core::PolicyKind::kRrNoSensor,
+      core::PolicyKind::kSensorWiseNoTraffic, core::PolicyKind::kSensorWise,
+      core::PolicyKind::kSensorRank};
+  const core::PolicyKind policy = kPolicies[rng.next_below(5)];
+  constexpr traffic::PatternKind kPatterns[] = {
+      traffic::PatternKind::kUniform, traffic::PatternKind::kTranspose,
+      traffic::PatternKind::kBitComplement, traffic::PatternKind::kHotspot,
+      traffic::PatternKind::kNeighbor, traffic::PatternKind::kTornado};
+  // Rotate the source family: synthetic patterns, bursty benchmark mixes,
+  // and the multi-packet-per-cycle datacenter aggregate.
+  core::Workload workload = core::Workload::synthetic(kPatterns[rng.next_below(6)]);
+  if (GetParam() % 3 == 1) {
+    workload = core::Workload::benchmark_mix(
+        traffic::random_mix(s.mesh_width * s.mesh_height, GetParam()), GetParam());
+  } else if (GetParam() % 3 == 2) {
+    traffic::DatacenterProfile profile;
+    profile.users_per_node = 32;
+    profile.user_rate = 0.02 + 0.2 * rng.next_double();
+    profile.mean_on_cycles = 200;
+    profile.mean_off_cycles = 800;
+    profile.profile_horizon = 1 << 12;
+    workload = core::Workload::datacenter_aggregate(profile);
+  }
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) + ", " + s.name + ", policy " +
+               core::to_string(policy));
+
+  core::RunnerOptions options;
+  options.scheduler = SchedulerMode::kStepped;
+  traffic::Trace captured;
+  options.capture_trace = &captured;
+  const core::RunResult live = core::run_experiment(s, policy, workload, options);
+
+  const core::Workload replay = core::Workload::trace_replay(
+      traffic::TraceFile::from_trace(captured, s.cores(), "fuzz seed " +
+                                     std::to_string(GetParam())));
+  options.capture_trace = nullptr;
+  const core::RunResult replayed = core::run_experiment(s, policy, replay, options);
+  expect_run_equal(live, replayed, "live vs trace replay");
+
+  run_three_way(s, policy, replay, core::RunnerOptions{});
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCaptures, TraceCaptureReplayFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
 // run_experiment has no request/reply workload, so that source family gets
 // its scheduler equivalence pinned at the Network level: coupled requesters
 // and repliers across two vnets, run under all three schedulers. The

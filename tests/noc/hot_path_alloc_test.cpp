@@ -15,12 +15,15 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <vector>
 
 #include "nbtinoc/core/controller.hpp"
 #include "nbtinoc/noc/network.hpp"
 #include "nbtinoc/sim/fault_plan.hpp"
 #include "nbtinoc/traffic/synthetic.hpp"
+#include "nbtinoc/traffic/trace.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -149,6 +152,37 @@ TEST(HotPathAllocation, ActiveSetRunIsAllocationFree) {
   // steps than a full walk would execute.
   EXPECT_LT(net.scheduler_stats().router_steps - steps_before,
             50'000u * static_cast<std::uint64_t>(net.num_routers()));
+}
+
+TEST(HotPathAllocation, TraceReplaySteadyStateIsAllocationFree) {
+  // The zero-copy replay contract, enforced: once the network is warm, a
+  // trace-driven run performs no heap allocation at all — the replay
+  // sources are cursors into the shared mapping, and generate_burst hands
+  // whole same-cycle batches to the NI without any staging container.
+  std::vector<std::unique_ptr<traffic::SyntheticSource>> sources;
+  std::vector<ITrafficSource*> raw;
+  for (NodeId id = 0; id < 16; ++id) {
+    sources.push_back(std::make_unique<traffic::SyntheticSource>(
+        id, 0.3, 18, traffic::DestinationPattern(traffic::PatternKind::kUniform, 4, 4),
+        90 + static_cast<std::uint64_t>(id)));
+    raw.push_back(sources.back().get());
+  }
+  const traffic::Trace trace = traffic::Trace::capture(raw, 20'000);
+  const auto file = traffic::TraceFile::from_trace(trace, 16, "alloc audit");
+
+  Network net(mesh(4, 4));
+  const auto model = nbti::NbtiModel::calibrated({}, {});
+  core::PolicyConfig pc;
+  pc.kind = core::PolicyKind::kSensorWise;
+  core::PolicyGateController ctrl(net, pc, model, {}, nbti::PvConfig{}, 7);
+  ctrl.attach();
+  traffic::install_trace_replay(net, file);
+  net.run(6'000);
+  const std::uint64_t offered_before = net.stats().counter("noc.packets_offered");
+  EXPECT_EQ(allocations_during_steps(net, 2'500), 0u);
+  // The audited window must have replayed real traffic, not an exhausted
+  // trace idling along.
+  EXPECT_GT(net.stats().counter("noc.packets_offered"), offered_before);
 }
 
 TEST(HotPathAllocation, TopologyRoutedSteadyStateIsAllocationFree) {

@@ -1,0 +1,248 @@
+// NBTITRACE binary format tests: byte-identical round trips, the CSV
+// converter, the mmap'd open path, and one test per reader rejection — the
+// validation pass is the only thing standing between a corrupt file and a
+// silent misreplay, so every error message is pinned.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "nbtinoc/noc/network.hpp"
+#include "nbtinoc/traffic/synthetic.hpp"
+#include "nbtinoc/traffic/trace.hpp"
+#include "nbtinoc/traffic/trace_file.hpp"
+
+namespace nbtinoc::traffic {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.add({5, 0, 1, 4, 0});
+  t.add({5, 0, 2, 4, 1});  // same cycle, same node: insertion order must hold
+  t.add({7, 1, 3, 2, 0});
+  t.add({9, 0, 3, 6, 0});
+  t.add({12, 3, 0, 1, 1});
+  return t;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Expects `fn` to throw a TraceError whose message contains `needle`.
+template <typename Fn>
+void expect_trace_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected TraceError containing '" << needle << "'";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(TraceFileFormat, SerializeParsesBackIdentically) {
+  const Trace t = sample_trace();
+  const auto file = TraceFile::from_trace(t, 4, "unit-test digest");
+  EXPECT_EQ(file->node_count(), 4);
+  EXPECT_EQ(file->vnet_count(), 2);
+  EXPECT_EQ(file->record_count(), t.size());
+  EXPECT_EQ(file->digest(), "unit-test digest");
+
+  // Per-node slices hold exactly that node's records, cycle-sorted with
+  // same-cycle insertion order preserved.
+  const TraceSlice s0 = file->slice(0);
+  ASSERT_EQ(s0.size(), 3u);
+  EXPECT_EQ(s0.cycle(0), 5u);
+  EXPECT_EQ(s0.dst(0), 1);
+  EXPECT_EQ(s0.vnet(0), 0);
+  EXPECT_EQ(s0.dst(1), 2);
+  EXPECT_EQ(s0.vnet(1), 1);
+  EXPECT_EQ(s0.cycle(2), 9u);
+  EXPECT_EQ(s0.length(2), 6);
+  EXPECT_EQ(file->slice(2).size(), 0u);  // node with no traffic
+}
+
+TEST(TraceFileFormat, RoundTripIsByteIdentical) {
+  // serialize -> parse -> to_trace -> serialize must reproduce the exact
+  // bytes: the format is canonical for a given record stream.
+  const std::string bytes = serialize_trace(sample_trace(), 4, "d");
+  const auto file = TraceFile::from_bytes(bytes);
+  EXPECT_EQ(serialize_trace(file->to_trace(), 4, "d"), bytes);
+}
+
+TEST(TraceFileFormat, CaptureRoundTripsByteIdentically) {
+  // A real multi-source capture (bursts, shared cycles across nodes) must
+  // survive the to_trace interleave byte for byte as well.
+  std::vector<std::unique_ptr<SyntheticSource>> sources;
+  std::vector<noc::ITrafficSource*> raw;
+  for (noc::NodeId id = 0; id < 4; ++id) {
+    sources.push_back(std::make_unique<SyntheticSource>(
+        id, 0.5, 2, DestinationPattern(PatternKind::kUniform, 2, 2),
+        1000 + static_cast<std::uint64_t>(id)));
+    raw.push_back(sources.back().get());
+  }
+  const Trace captured = Trace::capture(raw, 5'000);
+  ASSERT_GT(captured.size(), 1'000u);
+  const std::string bytes = serialize_trace(captured, 4, "capture");
+  const auto file = TraceFile::from_bytes(bytes);
+  EXPECT_EQ(serialize_trace(file->to_trace(), 4, "capture"), bytes);
+}
+
+TEST(TraceFileFormat, OpenMmapsWrittenFile) {
+  const std::string path = temp_path("nbtinoc_trace_file_test.nbtitrace");
+  write_trace_file(path, sample_trace(), 4, "on-disk");
+  const auto file = TraceFile::open(path);
+  EXPECT_EQ(file->record_count(), 5u);
+  EXPECT_EQ(file->digest(), "on-disk");
+  EXPECT_EQ(file->size_bytes(), std::filesystem::file_size(path));
+  // The shared_ptr keeps the mapping alive for every source handed out.
+  TraceReplaySource replay(file, 0);
+  EXPECT_EQ(replay.maybe_generate(5)->dst, 1);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileFormat, EmptyTraceRoundTrips) {
+  const auto file = TraceFile::from_trace(Trace{}, 3, "");
+  EXPECT_EQ(file->record_count(), 0u);
+  EXPECT_EQ(file->vnet_count(), 1);
+  TraceReplaySource replay(file, 2);
+  EXPECT_EQ(replay.next_event_cycle(0), sim::kCycleNever);
+}
+
+TEST(TraceFileFormat, CsvConverterMatchesDirectSerialization) {
+  const std::string csv = temp_path("nbtinoc_convert_in.csv");
+  const std::string bin = temp_path("nbtinoc_convert_out.nbtitrace");
+  const Trace t = sample_trace();
+  t.save(csv);
+  convert_csv_trace(csv, bin, 4, "converted");
+
+  std::ifstream in(bin, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), serialize_trace(Trace::load(csv), 4, "converted"));
+  const auto file = TraceFile::open(bin);
+  EXPECT_EQ(file->record_count(), t.size());
+  std::remove(csv.c_str());
+  std::remove(bin.c_str());
+}
+
+TEST(TraceFileErrors, SerializeRejectsBadRecords) {
+  Trace bad_src;
+  bad_src.add({1, 9, 0, 4});
+  expect_trace_error([&] { serialize_trace(bad_src, 4, ""); },
+                     "record 0: src 9 out of range for a 4-node network");
+  Trace bad_dst;
+  bad_dst.add({1, 0, -1, 4});
+  expect_trace_error([&] { serialize_trace(bad_dst, 4, ""); },
+                     "record 0: dst -1 out of range for a 4-node network");
+  Trace bad_len;
+  bad_len.add({1, 0, 1, 0});
+  expect_trace_error([&] { serialize_trace(bad_len, 4, ""); },
+                     "record 0: length must be >= 1, got 0");
+  Trace wide_len;
+  wide_len.add({1, 0, 1, 0x10000});
+  expect_trace_error([&] { serialize_trace(wide_len, 4, ""); },
+                     "length 65536 exceeds the u16 record field");
+  Trace bad_vnet;
+  bad_vnet.add({1, 0, 1, 4, -2});
+  expect_trace_error([&] { serialize_trace(bad_vnet, 4, ""); },
+                     "vnet -2 does not fit the u16 record field");
+  expect_trace_error([&] { serialize_trace(Trace{}, 0, ""); }, "node_count must be >= 1");
+}
+
+TEST(TraceFileErrors, ReaderRejectsEveryCorruption) {
+  const std::string good = serialize_trace(sample_trace(), 4, "dg");
+
+  expect_trace_error([&] { TraceFile::from_bytes("NBTIWRONG" + good.substr(9)); },
+                     "not an NBTITRACE file (bad magic)");
+  expect_trace_error([&] { TraceFile::from_bytes(good.substr(0, 4)); },
+                     "truncated trace: magic needs 9 bytes");
+  {
+    std::string bad = good;
+    bad[9] = 99;  // version field
+    expect_trace_error([&] { TraceFile::from_bytes(bad); },
+                       "unsupported trace version 99 (this build reads 1)");
+  }
+  {
+    std::string bad = good;
+    bad[13] = 0;  // node count -> 0
+    expect_trace_error([&] { TraceFile::from_bytes(bad); }, "node count 0 is not a positive int");
+  }
+  {
+    std::string bad = good;
+    bad[17] = 0;  // vnet count -> 0
+    expect_trace_error([&] { TraceFile::from_bytes(bad); }, "vnet count must be >= 1");
+  }
+  {
+    std::string bad = good;
+    bad[21] += 1;  // record count no longer matches the index sum
+    expect_trace_error([&] { TraceFile::from_bytes(bad); }, "per-node index sums to");
+  }
+  expect_trace_error([&] { TraceFile::from_bytes(good.substr(0, good.size() - 1)); },
+                     "truncated trace");
+  expect_trace_error([&] { TraceFile::from_bytes(good + "x"); }, "trailing garbage: 1 bytes");
+  {
+    // Corrupt one record's dst (dst field sits 8 bytes into the record).
+    std::string bad = good;
+    bad[good.size() - kTraceRecordBytes + 8] = 120;
+    expect_trace_error([&] { TraceFile::from_bytes(bad); }, "out of range for a 4-node network");
+  }
+  {
+    // Swap the order of node 0's two cycle-5/cycle-9 records by editing the
+    // first record's cycle to 10: monotonicity per slice must fail.
+    std::string bad = good;
+    const std::size_t records_off = good.size() - 5 * kTraceRecordBytes;
+    bad[records_off] = 100;
+    expect_trace_error([&] { TraceFile::from_bytes(bad); }, "slices must be non-decreasing");
+  }
+}
+
+TEST(TraceFileErrors, OpenErrorsNameThePath) {
+  expect_trace_error([] { TraceFile::open("/nonexistent/dir/trace.nbtitrace"); },
+                     "cannot open /nonexistent/dir/trace.nbtitrace");
+  const std::string path = temp_path("nbtinoc_not_a_trace.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage bytes, definitely not a trace";
+  }
+  expect_trace_error([&] { TraceFile::open(path); }, path + ": not an NBTITRACE file");
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileErrors, InstallRejectsNodeCountMismatch) {
+  const auto file = TraceFile::from_trace(sample_trace(), 4, "mismatch-digest");
+  noc::NocConfig cfg;
+  cfg.width = 3;
+  cfg.height = 3;
+  noc::Network net(cfg);
+  expect_trace_error([&] { install_trace_replay(net, file); },
+                     "trace was captured on 4 nodes but this network has 9 "
+                     "(trace digest: \"mismatch-digest\")");
+}
+
+TEST(TraceFileFormat, SharedMappingServesManySources) {
+  // The zero-copy contract: any number of replay sources hold cursors into
+  // the one mapping, and each sees exactly its own slice.
+  const auto file = TraceFile::from_trace(sample_trace(), 4, "");
+  std::uint64_t total = 0;
+  for (noc::NodeId id = 0; id < 4; ++id) {
+    TraceReplaySource src(file, id);
+    noc::PacketRequest burst[noc::kMaxGenerateBurst];
+    sim::Cycle now = 0;
+    while (true) {
+      const sim::Cycle next = src.next_event_cycle(now);
+      if (next == sim::kCycleNever) break;
+      now = next;
+      total += src.generate_burst(now, burst, noc::kMaxGenerateBurst);
+    }
+  }
+  EXPECT_EQ(total, file->record_count());
+}
+
+}  // namespace
+}  // namespace nbtinoc::traffic
