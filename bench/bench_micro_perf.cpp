@@ -73,6 +73,40 @@ void BM_RrNoSensorDecide(benchmark::State& state) {
 }
 BENCHMARK(BM_RrNoSensorDecide);
 
+// Buffer-datapath cost pair: one flit through a partitioned VC ring vs
+// through a shared-pool (DAMQ) VC chain. The shared path touches the free
+// list and per-slot state on every move, so it can never be as cheap as a
+// ring index increment — BENCH_hotpath.json gates the pair at >= 0.67
+// (i.e. the pool may cost at most 1.5x the ring) so the DAMQ bookkeeping
+// never quietly becomes the hot-path bottleneck. Credit accounting is
+// excluded on both sides (it lives upstream in the output unit).
+void BM_VcBuffer_PushPop(benchmark::State& state) {
+  noc::VcBuffer buf(8, 0);
+  buf.allocate(1, 0);
+  noc::Flit body;
+  body.type = noc::FlitType::Body;  // body flits keep the VC Active
+  body.packet = 1;
+  for (auto _ : state) {
+    buf.push(body);
+    benchmark::DoNotOptimize(buf.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VcBuffer_PushPop);
+
+void BM_SharedPool_PushPop(benchmark::State& state) {
+  noc::SharedBufferPool pool(4, 8, 1, 0);
+  noc::Flit body;
+  body.type = noc::FlitType::Body;
+  body.packet = 1;
+  for (auto _ : state) {
+    pool.push(1, body);
+    benchmark::DoNotOptimize(pool.pop(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedPool_PushPop);
+
 void BM_NbtiDeltaVth(benchmark::State& state) {
   const auto model = nbti::NbtiModel::calibrated({}, {});
   const nbti::OperatingPoint op;

@@ -2,11 +2,18 @@
 //
 //   ./scenario_runner my_scenario.cfg [--policy sensor-wise] [--json out.json]
 //                                 [--workload uniform|transpose|...|mix|datacenter]
+//                                 [--buffer-org partitioned|shared]
+//                                 [--shared-reserve N]
 //                                 [--capture trace.nbtitrace]
 //                                 [--replay trace.nbtitrace]
 //                                 [--snapshot state.snap --at 40000]
 //                                 [--resume state.snap]
 //                                 [--dump-routes [--kill 3E,5]]
+//
+// --buffer-org / --shared-reserve override the scenario file's buffer
+// organization: "shared" swaps every input port's per-VC banks for one
+// DAMQ slot pool (slot-granularity gating; pair with --policy
+// sensor-wise-slot-md or rr-slot), reserving N flits per VC.
 //
 // --capture records the run's offered load (warmup included, observation
 // only — the printed results are unaffected) into an NBTITRACE binary
@@ -67,6 +74,21 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error reading scenario: " << e.what() << '\n';
     return 1;
+  }
+
+  // Command-line buffer-organization overrides, re-validated so a bad
+  // combination fails here with the scenario's message instead of deep in
+  // the run.
+  if (args.has("buffer-org") || args.has("shared-reserve")) {
+    if (const auto org = args.get("buffer-org")) scenario.buffer_org = *org;
+    scenario.shared_reserve =
+        static_cast<int>(args.get_int_or("shared-reserve", scenario.shared_reserve));
+    try {
+      scenario.validate();
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 2;
+    }
   }
 
   if (args.has("dump-routes")) {

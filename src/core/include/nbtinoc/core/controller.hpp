@@ -57,8 +57,9 @@ struct PolicyConfig {
   void validate() const;
 };
 
-/// Samples one initial Vth per VC buffer for every existing input port of a
-/// network with the given config. The sampling order is fixed (router id
+/// Samples one initial Vth per gateable buffer (VC bank entry, or pool slot
+/// under the shared organization — same count either way) for every existing
+/// input port of a network with the given config. The sampling order is fixed (router id
 /// ascending, then port N,S,E,W,L), so the same seed always yields the same
 /// silicon — the paper's requirement that every policy sees identical Vth
 /// vectors on the same {architecture, traffic} scenario.
@@ -162,6 +163,10 @@ class PolicyGateController final : public noc::IGateController {
   noc::Network* network_;
   PolicyConfig config_;
   std::string name_;
+  /// Shared (DAMQ) organization: sensor banks index pool slots instead of
+  /// VC bank entries, slot policies dispatch, and the VC-indexed hysteresis
+  /// cache is bypassed.
+  bool shared_ = false;
   std::map<noc::PortKey, PortContext> ports_;
   sim::FaultInjector* injector_ = nullptr;
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "nbtinoc/noc/gate.hpp"
+#include "nbtinoc/noc/shared_pool.hpp"
 #include "nbtinoc/sim/clock.hpp"
 
 namespace nbtinoc::core {
@@ -37,6 +38,16 @@ enum class PolicyKind {
   /// idle VC awake, steering new packets onto the healthiest buffer and
   /// equalizing wear across the whole bank.
   kSensorRank,
+  /// Slot-granularity sensor-wise policy for the shared (DAMQ) buffer
+  /// organization: the per-slot sensor bank ranks *pool slots*, the most
+  /// degraded Free slot recovers first, and under new traffic the least
+  /// degraded Gated slot wakes back up when headroom runs short. Emits
+  /// slot-form commands; requires buffer_org = shared.
+  kSensorWiseSlotMd,
+  /// Slot-granularity sensor-less baseline: rotates the gate/wake scan
+  /// start across the pool on a time basis (the rr-no-sensor analogue for
+  /// shared pools). Requires buffer_org = shared.
+  kRrSlot,
 };
 
 std::string to_string(PolicyKind kind);
@@ -59,5 +70,33 @@ noc::GateCommand sensor_wise_decide(const noc::OutVcStateView& view, int most_de
 /// when new traffic needs one, everything else recovers.
 noc::GateCommand sensor_rank_decide(const noc::OutVcStateView& view,
                                     const std::vector<double>& degradation, bool bool_traffic);
+
+/// Slot-granularity sensor-wise pre-VA stage (shared organization, one
+/// decision per port per cycle). `degradation[s]` is the sensor reading of
+/// pool slot s. At most one slot is gated and one woken per command:
+///   - credit starvation (pool.credit_starved(): a VC exhausted its
+///     reserve with no shared headroom left), or new traffic with free
+///     slots running short (< one per VC): wake the *least* degraded Gated
+///     slot (it has recovered the longest);
+///   - surplus free slots (> one per VC) or no traffic at all, provided no
+///     reserve-exhausted VC would be left without a slot of send headroom:
+///     gate the *most* degraded Free slot, M* permitting
+///     (pool.can_gate()), driving the pool toward the all-shared-slots-
+///     gated fixed point.
+/// Under sustained traffic the two rules keep the shared region a slot or
+/// two above the outstanding charges, so capacity tracks demand instead of
+/// pinning upstream on the per-VC reserved stop-and-wait path. At the
+/// no-traffic fixed point (charges drained, free slots == reservations)
+/// the returned command is a no-op, which is what lets the event-driven
+/// schedulers skip the decide call.
+noc::GateCommand sensor_wise_slot_decide(const noc::SharedBufferPool& pool,
+                                         const std::vector<double>& degradation,
+                                         bool new_traffic);
+
+/// Slot-granularity sensor-less baseline: same wake/gate conditions as
+/// sensor_wise_slot_decide but the victim/wake slot is the first match
+/// scanning circularly from the time-rotated `candidate` slot.
+noc::GateCommand rr_slot_decide(const noc::SharedBufferPool& pool, int candidate,
+                                bool new_traffic);
 
 }  // namespace nbtinoc::core

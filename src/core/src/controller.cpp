@@ -39,8 +39,11 @@ std::map<noc::PortKey, std::vector<double>> sample_network_vths(const noc::NocCo
       // An input port exists iff a neighbor feeds it; local ports always
       // exist.
       if (!noc::is_local(port) && topo->neighbor(id, port) == noc::kInvalidNode) continue;
+      // One Vth per gateable buffer: a VC bank entry under the partitioned
+      // organization, a pool slot under the shared one (same count when
+      // partitioned, so established seeds keep their silicon).
       out.emplace(noc::PortKey{id, port},
-                  sampler.sample_bank(static_cast<std::size_t>(config.total_vcs()), xn, yn));
+                  sampler.sample_bank(static_cast<std::size_t>(config.buffers_per_port()), xn, yn));
     }
   }
   return out;
@@ -58,11 +61,13 @@ PolicyGateController::PolicyGateController(noc::Network& network, PolicyConfig c
                                            std::map<noc::PortKey, std::vector<double>> initial_vths,
                                            std::uint64_t noise_seed)
     : network_(&network), config_(config), name_(to_string(config.kind)),
+      shared_(network.config().shared_buffers()),
       h_quarantined_cycles_(network.stats().intern("fault.quarantined_port_cycles")),
       h_quarantines_(network.stats().intern("fault.quarantines")),
       h_recoveries_(network.stats().intern("fault.recoveries")),
-      degradation_scratch_(static_cast<std::size_t>(network.config().num_vcs)) {
-  // Sanity: every existing input port must be covered with the right width.
+      degradation_scratch_(static_cast<std::size_t>(network.config().buffers_per_port())) {
+  // Sanity: every existing input port must be covered with one Vth per
+  // gateable buffer (VC bank entry or pool slot).
   const auto& cfg = network.config();
   for (noc::NodeId id = 0; id < network.num_routers(); ++id) {
     for (int p = 0; p < cfg.ports_per_router(); ++p) {
@@ -70,7 +75,7 @@ PolicyGateController::PolicyGateController(noc::Network& network, PolicyConfig c
       if (!network.router(id).has_input(port)) continue;
       const auto it = initial_vths.find(noc::PortKey{id, port});
       if (it == initial_vths.end() ||
-          it->second.size() != static_cast<std::size_t>(cfg.total_vcs()))
+          it->second.size() != static_cast<std::size_t>(cfg.buffers_per_port()))
         throw std::invalid_argument("PolicyGateController: initial_vths must cover every port");
     }
   }
@@ -109,7 +114,10 @@ int PolicyGateController::local_most_degraded(const noc::PortKey& key,
 noc::GateCommand PolicyGateController::decide(const noc::PortKey& key,
                                               const noc::OutVcStateView& view, bool new_traffic,
                                               sim::Cycle now) {
-  if (config_.decision_period <= 1) return compute(key, view, new_traffic, now);
+  // Shared organization: decisions are slot-form and already rate-limited
+  // to one gate + one wake per port per cycle, and the VC-indexed hysteresis
+  // cache below cannot interpret slot ids — compute fresh every call.
+  if (config_.decision_period <= 1 || shared_) return compute(key, view, new_traffic, now);
   // Hysteresis: hold the previous decision for decision_period cycles.
   // Exceptions (asynchronous overrides, both computable from signals the
   // upstream router already has): new traffic while the held command keeps
@@ -155,10 +163,19 @@ noc::GateCommand PolicyGateController::compute(const noc::PortKey& key,
                                                      static_cast<int>(key.port));
   const bool sensor_policy = config_.kind == PolicyKind::kSensorWiseNoTraffic ||
                              config_.kind == PolicyKind::kSensorWise ||
-                             config_.kind == PolicyKind::kSensorRank;
+                             config_.kind == PolicyKind::kSensorRank ||
+                             config_.kind == PolicyKind::kSensorWiseSlotMd;
   if (faulted && sensor_policy) {
     const PortContext& ctx = ports_.at(key);
     if (ctx.quarantined) {
+      if (config_.kind == PolicyKind::kSensorWiseSlotMd) {
+        // Slot policies fall back to the slot-form sensor-less baseline —
+        // the command stays in slot coordinates for this port's pool.
+        const noc::SharedBufferPool& pool = *view.unit()->pool();
+        const int candidate = static_cast<int>((now / config_.rr_rotation_period) %
+                                               static_cast<sim::Cycle>(pool.num_slots()));
+        return rr_slot_decide(pool, candidate, new_traffic);
+      }
       const int candidate = static_cast<int>((now / config_.rr_rotation_period) %
                                              static_cast<sim::Cycle>(view.num_vcs()));
       return rr_no_sensor_decide(view, candidate, new_traffic);
@@ -169,6 +186,13 @@ noc::GateCommand PolicyGateController::compute(const noc::PortKey& key,
                                   /*bool_traffic=*/true);
       case PolicyKind::kSensorWise:
         return sensor_wise_decide(view, effective_local_most_degraded(ctx, view), new_traffic);
+      case PolicyKind::kSensorWiseSlotMd: {
+        const noc::SharedBufferPool& pool = *view.unit()->pool();
+        degradation_scratch_.resize(ctx.effective_vths.size());
+        for (std::size_t s = 0; s < ctx.effective_vths.size(); ++s)
+          degradation_scratch_[s] = ctx.effective_vths[s];
+        return sensor_wise_slot_decide(pool, degradation_scratch_, new_traffic);
+      }
       default: {
         degradation_scratch_.resize(static_cast<std::size_t>(view.num_vcs()));
         for (int i = 0; i < view.num_vcs(); ++i)
@@ -197,6 +221,20 @@ noc::GateCommand PolicyGateController::compute(const noc::PortKey& key,
         degradation_scratch_[static_cast<std::size_t>(i)] =
             sensors.measured_vth(static_cast<std::size_t>(view.global_vc(i)));
       return sensor_rank_decide(view, degradation_scratch_, new_traffic);
+    }
+    case PolicyKind::kSensorWiseSlotMd: {
+      const auto& sensors = ports_.at(key).sensors;
+      const noc::SharedBufferPool& pool = *view.unit()->pool();
+      degradation_scratch_.resize(sensors.size());
+      for (std::size_t s = 0; s < sensors.size(); ++s)
+        degradation_scratch_[s] = sensors.measured_vth(s);
+      return sensor_wise_slot_decide(pool, degradation_scratch_, new_traffic);
+    }
+    case PolicyKind::kRrSlot: {
+      const noc::SharedBufferPool& pool = *view.unit()->pool();
+      const int candidate = static_cast<int>((now / config_.rr_rotation_period) %
+                                             static_cast<sim::Cycle>(pool.num_slots()));
+      return rr_slot_decide(pool, candidate, new_traffic);
     }
   }
   throw std::logic_error("PolicyGateController::decide: bad kind");

@@ -24,6 +24,10 @@ std::string config_digest(const sim::Scenario& s, PolicyKind policy, const Workl
   d += " routing=" + s.routing;
   d += " vcs=" + std::to_string(s.num_vcs) + " vnets=" + std::to_string(s.num_vnets);
   d += " depth=" + std::to_string(s.buffer_depth) + " pkt=" + std::to_string(s.packet_length);
+  // Emitted only off the default so every partitioned digest — and with it
+  // every pre-DAMQ snapshot — keeps its exact byte string.
+  if (s.buffer_org != "partitioned")
+    d += " org=" + s.buffer_org + "/" + std::to_string(s.shared_reserve);
   d += " wake=" + std::to_string(s.wakeup_latency) + " stages=" + std::to_string(s.router_stages);
   d += " rate=" + std::to_string(s.injection_rate);
   d += " warmup=" + std::to_string(s.warmup_cycles) + " measure=" + std::to_string(s.measure_cycles);
@@ -134,6 +138,21 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
   options.policy.validate();
   options.faults.validate();
 
+  // Gating granularity must match the buffer organization: VC policies park
+  // whole VC banks (which a DAMQ descriptor does not have), slot policies
+  // gate pool slots (which a partitioned port does not have). Baseline
+  // never gates and runs on both.
+  const bool slot_policy = policy == PolicyKind::kSensorWiseSlotMd || policy == PolicyKind::kRrSlot;
+  if (slot_policy && scenario.buffer_org != "shared")
+    throw std::invalid_argument("run_experiment: policy '" + to_string(policy) +
+                                "' gates pool slots and requires buffer_org=shared (scenario '" +
+                                scenario.name + "' uses '" + scenario.buffer_org +
+                                "'); pick a VC-granularity policy or set buffer_org=shared");
+  if (!slot_policy && policy != PolicyKind::kBaseline && scenario.buffer_org == "shared")
+    throw std::invalid_argument("run_experiment: VC-granularity policy '" + to_string(policy) +
+                                "' cannot drive the shared organization (VC descriptors hold no "
+                                "gateable buffers); use sensor-wise-slot-md, rr-slot, or baseline");
+
   // The network simulates in *phit* units — the quantum a 32b link moves per
   // cycle (Table I: 64b flits, 32b links => 2 phits/flit). Packet length and
   // buffer depth convert from flits; the injection rate converts from
@@ -148,6 +167,12 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
   config.num_vcs = scenario.num_vcs;
   config.num_vnets = scenario.num_vnets;
   config.buffer_depth = scenario.buffer_depth * ppf;
+  config.buffer_org = noc::parse_buffer_org(scenario.buffer_org);
+  // The reserve is a flit count in the scenario, a phit count in the
+  // network — the same scaling buffer_depth gets. Partitioned keeps the
+  // NocConfig default (the knob is inert there and its validator pins it).
+  if (config.buffer_org == noc::BufferOrg::kShared)
+    config.shared_reserve = scenario.shared_reserve * ppf;
   config.packet_length = scenario.packet_length * ppf;
   config.wakeup_latency = scenario.wakeup_latency;
   if (scenario.router_stages < 3)
@@ -334,10 +359,22 @@ RunResult run_experiment(sim::Scenario scenario, PolicyKind policy, const Worklo
       port.initial_vth_v = controller.initial_vths(key);
       port.most_degraded = controller.most_degraded(key);
       const auto& iu = network.router(id).input(dir);
-      port.gate_transitions.reserve(static_cast<std::size_t>(iu.num_vcs()));
-      for (int v = 0; v < iu.num_vcs(); ++v) {
-        port.gate_transitions.push_back(iu.vc(v).gate_transitions());
-        result.total_gate_transitions += iu.vc(v).gate_transitions();
+      if (const noc::SharedBufferPool* pool = iu.pool()) {
+        // Shared organization: gating happens per pool slot, so the
+        // transition vector indexes slots (matching duty_percent and
+        // initial_vth_v, which the tracker/sensor banks already size per
+        // slot via buffers_per_port()).
+        port.gate_transitions.reserve(static_cast<std::size_t>(pool->num_slots()));
+        for (int s = 0; s < pool->num_slots(); ++s) {
+          port.gate_transitions.push_back(pool->slot_gate_transitions(s));
+          result.total_gate_transitions += pool->slot_gate_transitions(s);
+        }
+      } else {
+        port.gate_transitions.reserve(static_cast<std::size_t>(iu.num_vcs()));
+        for (int v = 0; v < iu.num_vcs(); ++v) {
+          port.gate_transitions.push_back(iu.vc(v).gate_transitions());
+          result.total_gate_transitions += iu.vc(v).gate_transitions();
+        }
       }
       result.ports.emplace(key, std::move(port));
     }
@@ -384,6 +421,11 @@ std::string to_json(const RunResult& result) {
   }
   // Same convention for the routing mode: "dor" runs stay byte-identical.
   if (result.scenario.routing != "dor") w.field("routing", result.scenario.routing);
+  // And for the buffer organization: partitioned runs stay byte-identical.
+  if (result.scenario.buffer_org != "partitioned") {
+    w.field("buffer_org", result.scenario.buffer_org);
+    w.field("shared_reserve", result.scenario.shared_reserve);
+  }
   w.field("num_vcs", result.scenario.num_vcs)
       .field("num_vnets", result.scenario.num_vnets)
       .field("injection_rate", result.scenario.injection_rate)

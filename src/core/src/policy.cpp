@@ -20,6 +20,10 @@ std::string to_string(PolicyKind kind) {
       return "sensor-wise";
     case PolicyKind::kSensorRank:
       return "sensor-rank";
+    case PolicyKind::kSensorWiseSlotMd:
+      return "sensor-wise-slot-md";
+    case PolicyKind::kRrSlot:
+      return "rr-slot";
   }
   return "?";
 }
@@ -32,6 +36,9 @@ PolicyKind parse_policy(const std::string& name) {
     return PolicyKind::kSensorWiseNoTraffic;
   if (n == "sensor-wise" || n == "sensor_wise" || n == "sw") return PolicyKind::kSensorWise;
   if (n == "sensor-rank" || n == "sensor_rank" || n == "rank") return PolicyKind::kSensorRank;
+  if (n == "sensor-wise-slot-md" || n == "sensor_wise_slot_md" || n == "sw-slot")
+    return PolicyKind::kSensorWiseSlotMd;
+  if (n == "rr-slot" || n == "rr_slot") return PolicyKind::kRrSlot;
   throw std::invalid_argument("unknown policy: " + name);
 }
 
@@ -130,6 +137,122 @@ noc::GateCommand sensor_rank_decide(const noc::OutVcStateView& view,
   cmd.gating_active = true;
   cmd.enable = bool_traffic && healthiest != noc::kInvalidVc;
   cmd.keep_vc = healthiest;
+  return cmd;
+}
+
+namespace {
+
+/// Lowest-index extremum scans, matching the sensor-bank comparator tree's
+/// tie-break so faulted (effective-reading) and healthy paths rank alike.
+int most_degraded_free_slot(const noc::SharedBufferPool& pool,
+                            const std::vector<double>& degradation) {
+  int best = noc::kInvalidVc;
+  for (int s = 0; s < pool.num_slots(); ++s) {
+    if (pool.slot_state(s) != noc::SharedBufferPool::SlotState::kFree) continue;
+    if (best == noc::kInvalidVc || degradation[static_cast<std::size_t>(s)] >
+                                       degradation[static_cast<std::size_t>(best)])
+      best = s;
+  }
+  return best;
+}
+
+int least_degraded_gated_slot(const noc::SharedBufferPool& pool,
+                              const std::vector<double>& degradation) {
+  int best = noc::kInvalidVc;
+  for (int s = 0; s < pool.num_slots(); ++s) {
+    if (pool.slot_state(s) != noc::SharedBufferPool::SlotState::kGated) continue;
+    if (best == noc::kInvalidVc || degradation[static_cast<std::size_t>(s)] <
+                                       degradation[static_cast<std::size_t>(best)])
+      best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+noc::GateCommand sensor_wise_slot_decide(const noc::SharedBufferPool& pool,
+                                         const std::vector<double>& degradation,
+                                         bool new_traffic) {
+  if (static_cast<int>(degradation.size()) < pool.num_slots())
+    throw std::invalid_argument("sensor_wise_slot_decide: degradation size mismatch");
+  noc::GateCommand cmd;
+  cmd.gating_active = true;
+  cmd.enable = false;
+  cmd.keep_vc = noc::kInvalidVc;
+  cmd.first_vc = 0;
+  cmd.range_vcs = 0;
+  const int free = pool.free_slots();
+  const int vcs = pool.num_vcs();
+  // Gated slots shrink shared_limit(), so deep gating can throttle live
+  // traffic down to per-VC stop-and-wait on the reserved path — and in that
+  // regime new_traffic (a head flit awaiting VA upstream) goes quiet, so it
+  // cannot be the wake trigger. credit_starved() reads the pressure off the
+  // outstanding charges instead and reopens the shared region.
+  if (pool.credit_starved() || (new_traffic && free < vcs)) {
+    // Headroom is short for the traffic that is coming: wake the Gated slot
+    // that has recovered the longest (lowest effective Vth).
+    const int wake = least_degraded_gated_slot(pool, degradation);
+    if (wake != noc::kInvalidVc) {
+      cmd.enable = true;
+      cmd.keep_vc = wake;
+    }
+    return cmd;
+  }
+  // While some VC depends on the shared region (charge at reserve), gating
+  // must leave a slot of send headroom after the transition — otherwise the
+  // gate and the starvation wake thrash on the same slot. With no such
+  // demand, M* alone binds and the pool walks to the all-gated fixed point.
+  const bool headroom_ok = pool.vcs_at_reserve() == 0 || pool.credit_headroom() >= 2;
+  if ((!new_traffic || free > vcs) && headroom_ok && pool.can_gate()) {
+    // Surplus headroom (or no traffic at all): recover the most degraded
+    // Free slot, one per cycle. The can_gate() guard keeps the command a
+    // structural no-op at the gating fixed point.
+    const int victim = most_degraded_free_slot(pool, degradation);
+    if (victim != noc::kInvalidVc) {
+      cmd.first_vc = victim;
+      cmd.range_vcs = 1;
+    }
+  }
+  return cmd;
+}
+
+noc::GateCommand rr_slot_decide(const noc::SharedBufferPool& pool, int candidate,
+                                bool new_traffic) {
+  const int slots = pool.num_slots();
+  candidate = ((candidate % slots) + slots) % slots;
+  const auto scan = [&](noc::SharedBufferPool::SlotState want) {
+    for (int i = 0; i < slots; ++i) {
+      const int s = candidate + i < slots ? candidate + i : candidate + i - slots;
+      if (pool.slot_state(s) == want) return s;
+    }
+    return noc::kInvalidVc;
+  };
+  noc::GateCommand cmd;
+  cmd.gating_active = true;
+  cmd.enable = false;
+  cmd.keep_vc = noc::kInvalidVc;
+  cmd.first_vc = 0;
+  cmd.range_vcs = 0;
+  const int free = pool.free_slots();
+  const int vcs = pool.num_vcs();
+  // Same wake/gate conditions as sensor_wise_slot_decide (credit-pressure
+  // wake, headroom-preserving gate guard); only the slot choice differs.
+  if (pool.credit_starved() || (new_traffic && free < vcs)) {
+    const int wake = scan(noc::SharedBufferPool::SlotState::kGated);
+    if (wake != noc::kInvalidVc) {
+      cmd.enable = true;
+      cmd.keep_vc = wake;
+    }
+    return cmd;
+  }
+  const bool headroom_ok = pool.vcs_at_reserve() == 0 || pool.credit_headroom() >= 2;
+  if ((!new_traffic || free > vcs) && headroom_ok && pool.can_gate()) {
+    const int victim = scan(noc::SharedBufferPool::SlotState::kFree);
+    if (victim != noc::kInvalidVc) {
+      cmd.first_vc = victim;
+      cmd.range_vcs = 1;
+    }
+  }
   return cmd;
 }
 

@@ -26,10 +26,17 @@
 
 #include "nbtinoc/nbti/duty_cycle.hpp"
 #include "nbtinoc/noc/flit.hpp"
+#include "nbtinoc/noc/shared_pool.hpp"
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/sim/clock.hpp"
 
 namespace nbtinoc::noc {
+
+// Under the shared (DAMQ) organization a VcBuffer runs in *descriptor mode*
+// (attach_pool): the allocation state machine (Idle/Active, packet, route,
+// downstream bookkeeping) stays here, but the FIFO datapath delegates to the
+// port's SharedBufferPool chain and power gating moves to physical slots —
+// a descriptor is never gated, so wake_ready_ stays 0 and gate() throws.
 
 class VcBuffer {
  public:
@@ -56,6 +63,17 @@ class VcBuffer {
   /// a port is in a gating fixed point (all VCs Recovery) without scanning.
   void attach_gated_counter(int* counter) { gated_counter_ = counter; }
 
+  /// Switches the buffer into descriptor mode over `pool`, as VC `vc` of
+  /// the port's shared slot pool (nullptr reverts to partitioned mode; only
+  /// valid while empty and Idle). The pool must outlive the buffer.
+  void attach_pool(SharedBufferPool* pool, int vc = 0) {
+    if (count_ != 0 || state_ != VcState::Idle)
+      throw std::logic_error("VcBuffer::attach_pool: buffer must be empty and Idle");
+    pool_ = pool;
+    pool_vc_ = vc;
+  }
+  bool pooled() const { return pool_ != nullptr; }
+
   // --- state queries -------------------------------------------------------
   VcState state() const { return state_; }
   bool is_idle() const { return state_ == VcState::Idle; }
@@ -63,8 +81,12 @@ class VcBuffer {
   bool is_gated() const { return state_ == VcState::Recovery; }
   /// Powered (stressing its PMOS network) in every non-Recovery state.
   bool is_stressed() const { return state_ != VcState::Recovery; }
-  /// Idle and past any pending wake-up: VA may claim it this cycle.
-  bool allocatable(sim::Cycle now) const { return is_idle() && now >= wake_ready_; }
+  /// Idle and past any pending wake-up: VA may claim it this cycle. In
+  /// descriptor mode additionally requires an ungated free slot in the pool
+  /// (a descriptor with nowhere to put a flit is not worth allocating).
+  bool allocatable(sim::Cycle now) const {
+    return is_idle() && now >= wake_ready_ && (pool_ == nullptr || pool_->has_free_slot());
+  }
 
   /// Idle but inside (or just completing) a wake transition: the header
   /// PMOS turn-on cannot be aborted, so the gating mechanism must not
@@ -74,9 +96,16 @@ class VcBuffer {
   bool in_wake_window(sim::Cycle now) const { return is_idle() && now <= wake_ready_; }
 
   int depth() const { return depth_; }
-  int occupancy() const { return static_cast<int>(count_); }
-  bool empty() const { return count_ == 0; }
-  bool full() const { return occupancy() >= depth_; }
+  int occupancy() const {
+    return pool_ != nullptr ? pool_->occupancy(pool_vc_) : static_cast<int>(count_);
+  }
+  bool empty() const { return occupancy() == 0; }
+  /// Cannot accept a flit right now: ring at depth (partitioned) or the
+  /// pool has no free slot (descriptor mode — a conforming upstream's
+  /// slot-credit check makes that unreachable).
+  bool full() const {
+    return pool_ != nullptr ? !pool_->has_free_slot() : occupancy() >= depth_;
+  }
 
   Dir route() const { return route_; }
   /// Dateline VC class the resident packet needs at the *next* router's
@@ -88,6 +117,9 @@ class VcBuffer {
   // --- power transitions (driven by the gate controller) -------------------
   /// Idle -> Recovery during cycle `now`. Precondition: empty Idle buffer.
   void gate(sim::Cycle now) {
+    if (pool_ != nullptr)
+      throw std::logic_error(
+          "VcBuffer::gate: descriptors over a shared pool are never gated (gate slots instead)");
     if (state_ != VcState::Idle) throw std::logic_error("VcBuffer::gate: not Idle");
     if (count_ != 0) throw std::logic_error("VcBuffer::gate: buffer not empty");
     state_ = VcState::Recovery;
@@ -131,6 +163,7 @@ class VcBuffer {
   void push(const Flit& flit);
 
   const Flit& front() const {
+    if (pool_ != nullptr) return pool_->front(pool_vc_);
     if (count_ == 0) throw std::logic_error("VcBuffer::front: empty");
     return ring_[head_];
   }
@@ -180,7 +213,12 @@ class VcBuffer {
   /// will never complete). Returns the number of flits dropped; no-op on
   /// non-Active buffers.
   int purge() {
-    const int dropped = occupancy();
+    // Descriptor mode: drain this VC's slot chain back onto the pool's free
+    // list (Gated/Waking slots are untouched — they hold no flits and keep
+    // recovering through the purge). Each released slot's flits are counted
+    // here exactly once; the caller rolls them into fault.dropped_flits.
+    const int dropped =
+        pool_ != nullptr ? pool_->purge_vc(pool_vc_) : static_cast<int>(count_);
     head_ = 0;
     count_ = 0;
     tail_seen_ = false;
@@ -212,6 +250,8 @@ class VcBuffer {
   nbti::StressTracker* tracker_ = nullptr;
   int* busy_counter_ = nullptr;
   int* gated_counter_ = nullptr;
+  SharedBufferPool* pool_ = nullptr;  ///< non-null: descriptor mode
+  int pool_vc_ = 0;                   ///< this descriptor's chain in the pool
 };
 
 }  // namespace nbtinoc::noc

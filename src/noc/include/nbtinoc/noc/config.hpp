@@ -51,6 +51,21 @@ enum class TopologyKind { kMesh2D, kTorus2D, kRing, kConcentratedMesh };
 TopologyKind parse_topology_kind(const std::string& name);
 std::string to_string(TopologyKind kind);
 
+/// Per-port buffer organization:
+///  - kPartitioned: one statically sized VcBuffer per VC (the paper's
+///                  baseline) — gating and stress tracking per VC buffer.
+///  - kShared:      one DAMQ-style slot pool per port; VCs are linked-list
+///                  descriptors drawing from the pool with a per-VC reserved
+///                  minimum (`shared_reserve`, deadlock safety) and a
+///                  dynamically shared remainder. Gating and stress tracking
+///                  move to physical-slot granularity.
+enum class BufferOrg { kPartitioned, kShared };
+
+/// Parses "partitioned" / "shared" (case-sensitive); throws
+/// std::invalid_argument listing the valid spellings otherwise.
+BufferOrg parse_buffer_org(const std::string& name);
+std::string to_string(BufferOrg org);
+
 struct NocConfig {
   int width = 2;          ///< mesh columns
   int height = 2;         ///< mesh rows
@@ -63,6 +78,16 @@ struct NocConfig {
   /// NIs per router; meaningful only for kConcentratedMesh (must then
   /// divide width — tiles concentrate along x), 1 otherwise.
   int concentration = 1;
+
+  /// Buffer organization per input port (see BufferOrg). kShared keeps the
+  /// same total buffer area — total_vcs() * buffer_depth slots — but pools
+  /// it behind lightweight VC descriptors.
+  BufferOrg buffer_org = BufferOrg::kPartitioned;
+  /// kShared only: flit slots reserved per VC (>= 1 for deadlock safety;
+  /// the escape-VC argument needs every VC to always be able to accept at
+  /// least one flit). The remaining pool_slots() - total_vcs()*shared_reserve
+  /// slots form the dynamically shared region.
+  int shared_reserve = 1;
 
   /// Physical VC buffers per input port. VC buffer i belongs to virtual
   /// network i / num_vcs; a packet of vnet k may only be allocated VCs in
@@ -133,6 +158,19 @@ struct NocConfig {
     if (vc_classes() == 1) return num_vcs;
     return c == 0 ? (num_vcs + 1) / 2 : num_vcs / 2;
   }
+
+  /// True when the shared (DAMQ) per-port slot pool is selected.
+  bool shared_buffers() const { return buffer_org == BufferOrg::kShared; }
+  /// Physical flit slots per input port under kShared: same area as the
+  /// partitioned bank.
+  int pool_slots() const { return total_vcs() * buffer_depth; }
+  /// Slots of the pool beyond the per-VC reservations — the dynamically
+  /// shared region (and the ceiling on simultaneously gated + waking slots).
+  int shared_capacity() const { return pool_slots() - total_vcs() * shared_reserve; }
+  /// Gateable/stress-tracked units per input port: physical slots under
+  /// kShared, VC buffers under kPartitioned. Sizes tracker banks, sensor
+  /// banks and PV sampling.
+  int buffers_per_port() const { return shared_buffers() ? pool_slots() : total_vcs(); }
 
   /// Throws std::invalid_argument if any field is out of range.
   void validate() const;

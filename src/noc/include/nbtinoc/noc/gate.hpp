@@ -31,6 +31,14 @@ struct GateCommand {
   int keep_vc = kInvalidVc;
   int first_vc = 0;
   int range_vcs = -1;
+
+  /// Slot-range form (shared-pool ports only): all indices address physical
+  /// pool slots instead of VCs. With gating_active, keep_vc names one Gated
+  /// slot to wake (kInvalidVc: none) and [first_vc, first_vc + range_vcs)
+  /// names Free slots to gate, in index order, while the pool's reservation
+  /// headroom holds (range_vcs 0 gates nothing). Without gating_active the
+  /// command wakes every Gated slot, mirroring the VC form's baseline.
+  bool slot_form = false;
 };
 
 inline void snapshot_save(sim::SnapshotWriter& w, const GateCommand& c) {
@@ -39,6 +47,7 @@ inline void snapshot_save(sim::SnapshotWriter& w, const GateCommand& c) {
   w.i64(c.keep_vc);
   w.i64(c.first_vc);
   w.i64(c.range_vcs);
+  w.b(c.slot_form);
 }
 
 inline GateCommand snapshot_load_gate_command(sim::SnapshotReader& r) {
@@ -48,6 +57,7 @@ inline GateCommand snapshot_load_gate_command(sim::SnapshotReader& r) {
   c.keep_vc = static_cast<int>(r.i64());
   c.first_vc = static_cast<int>(r.i64());
   c.range_vcs = static_cast<int>(r.i64());
+  c.slot_form = r.b();
   return c;
 }
 
@@ -79,6 +89,10 @@ class OutVcStateView {
   bool is_idle(int local) const { return state(local) == VcState::Idle; }
   bool is_recovery(int local) const { return state(local) == VcState::Recovery; }
   bool is_active(int local) const { return state(local) == VcState::Active; }
+
+  /// The viewed input unit — slot-level policies reach through to the
+  /// port's shared pool, which the VC-state accessors cannot express.
+  const InputUnit* unit() const { return iu_; }
 
  private:
   const InputUnit* iu_;

@@ -6,12 +6,14 @@
 // out-VC-state table is a (zero-skew) view over it, exactly the information
 // the upstream VA stage maintains in hardware.
 
+#include <memory>
 #include <vector>
 
 #include "nbtinoc/noc/arbiter.hpp"
 #include "nbtinoc/noc/buffer.hpp"
 #include "nbtinoc/noc/config.hpp"
 #include "nbtinoc/noc/gate.hpp"
+#include "nbtinoc/noc/shared_pool.hpp"
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/nbti/duty_cycle.hpp"
 #include "nbtinoc/sim/fault_plan.hpp"
@@ -30,6 +32,7 @@ class InputUnit {
   InputUnit(InputUnit&& other) noexcept
       : dir_(other.dir_),
         extra_stages_(other.extra_stages_),
+        pool_(std::move(other.pool_)),
         vcs_(std::move(other.vcs_)),
         out_vc_(std::move(other.out_vc_)),
         out_port_(std::move(other.out_port_)),
@@ -37,11 +40,16 @@ class InputUnit {
         sa_arbiter_(std::move(other.sa_arbiter_)),
         busy_vcs_(other.busy_vcs_),
         gated_vcs_(other.gated_vcs_) {
+    // The pool lives on the heap, so descriptor/tracker pointers into it
+    // survive the move untouched; only pointers into *this* need rebinding.
     for (std::size_t i = 0; i < vcs_.size(); ++i) {
-      vcs_[i].attach_stress_tracker(&trackers_.at(i));
+      if (pool_ == nullptr) vcs_[i].attach_stress_tracker(&trackers_.at(i));
       vcs_[i].attach_busy_counter(&busy_vcs_);
       vcs_[i].attach_gated_counter(&gated_vcs_);
     }
+    if (pool_ != nullptr)
+      for (int s = 0; s < pool_->num_slots(); ++s)
+        pool_->attach_stress_tracker(s, &trackers_.at(static_cast<std::size_t>(s)));
   }
   InputUnit& operator=(InputUnit&&) = delete;
 
@@ -57,7 +65,26 @@ class InputUnit {
   /// `gated_vcs() == num_vcs()` proves in O(1) that the port sits in the
   /// all-gated fixed point of an active gating policy; `busy_vcs() == 0 &&
   /// gated_vcs() == 0` proves the all-idle fixed point of the baseline.
+  /// Always 0 under the shared organization (descriptors are never gated —
+  /// see gating_fixed_point for the pool-counter equivalent).
   int gated_vcs() const { return gated_vcs_; }
+
+  /// Non-null under BufferOrg::kShared: the port's DAMQ slot pool.
+  SharedBufferPool* pool() { return pool_.get(); }
+  const SharedBufferPool* pool() const { return pool_.get(); }
+
+  /// O(1) proof that this port sits in the gating fixed point of its last
+  /// applied command: under an active policy everything gateable is gated
+  /// (all VCs in Recovery, or the pool's whole shared region) with no wake
+  /// in flight; under the baseline nothing is gated. The quiescence /
+  /// fast-forward / parking proofs all reduce to this per-port predicate.
+  bool gating_fixed_point(bool active, int total_vcs) const {
+    if (pool_ != nullptr) {
+      if (pool_->waking_slots() != 0) return false;
+      return pool_->gated_slots() == (active ? pool_->shared_capacity() : 0);
+    }
+    return gated_vcs_ == (active ? total_vcs : 0);
+  }
 
   VcBuffer& vc(int i) { return vcs_.at(static_cast<std::size_t>(i)); }
   const VcBuffer& vc(int i) const { return vcs_.at(static_cast<std::size_t>(i)); }
@@ -137,6 +164,7 @@ class InputUnit {
     for (Dir op : out_port_) w.i64(static_cast<int>(op));
     trackers_.save(w);
     w.u64(sa_arbiter_.pointer());
+    if (pool_ != nullptr) pool_->save(w);
   }
   void load(sim::SnapshotReader& r) {
     for (auto& v : vcs_) v.load(r);
@@ -144,11 +172,16 @@ class InputUnit {
     for (Dir& op : out_port_) op = static_cast<Dir>(r.i64());
     trackers_.load(r);
     sa_arbiter_.set_pointer(static_cast<std::size_t>(r.u64()));
+    if (pool_ != nullptr) pool_->load(r);
   }
 
  private:
+  void apply_slot_gate_command(const GateCommand& cmd, sim::Cycle now,
+                               sim::FaultInjector* faults);
+
   Dir dir_;
   int extra_stages_;
+  std::unique_ptr<SharedBufferPool> pool_;  ///< non-null: shared organization
   std::vector<VcBuffer> vcs_;
   std::vector<int> out_vc_;
   std::vector<Dir> out_port_;

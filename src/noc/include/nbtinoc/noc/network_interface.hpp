@@ -120,6 +120,11 @@ class NetworkInterface {
   // --- read-only wiring views (used by the invariant checker) ---------------
   /// Credits the NI holds for VC `vc` of its router's Local input port.
   int credits(int vc) const { return credits_.at(static_cast<std::size_t>(vc)); }
+  /// Non-null under the shared organization: the wired router port's slot
+  /// pool, whose per-VC charge replaces the credits_ counters entirely.
+  SharedBufferPool* shared_pool() const {
+    return router_iu_ != nullptr ? router_iu_->pool() : nullptr;
+  }
   const Channel<Flit>* inject_link() const { return inject_out_; }
   const Channel<Credit>* credit_link() const { return credit_in_; }
   const Channel<Flit>* eject_link() const { return eject_in_; }

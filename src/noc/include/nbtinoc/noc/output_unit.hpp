@@ -8,6 +8,7 @@
 
 #include "nbtinoc/noc/arbiter.hpp"
 #include "nbtinoc/noc/config.hpp"
+#include "nbtinoc/noc/shared_pool.hpp"
 #include "nbtinoc/noc/types.hpp"
 #include "nbtinoc/sim/snapshot.hpp"
 
@@ -20,6 +21,19 @@ class OutputUnit {
 
   Dir dir() const { return dir_; }
   bool is_ejection() const { return ejection_; }
+
+  /// Shared organization: credit state is the downstream pool's per-VC
+  /// charge (zero-skew, like the out-VC-state view) instead of the local
+  /// per-VC counters; has_credit/consume_credit/add_credit delegate. The
+  /// pool must outlive this unit.
+  void set_shared_pool(SharedBufferPool* pool) { pool_ = pool; }
+
+  /// May SA forward a flit on downstream VC `vc` this cycle? Partitioned:
+  /// a per-VC credit remains. Shared: the pool's reservation check.
+  bool has_credit(int vc) const {
+    return pool_ != nullptr ? pool_->can_send(vc)
+                            : credits_.at(static_cast<std::size_t>(vc)) > 0;
+  }
 
   int credits(int vc) const { return credits_.at(static_cast<std::size_t>(vc)); }
   void add_credit(int vc);
@@ -54,7 +68,8 @@ class OutputUnit {
  private:
   Dir dir_;
   bool ejection_;
-  std::vector<int> credits_;
+  std::vector<int> credits_;  ///< untouched (all at depth) under a shared pool
+  SharedBufferPool* pool_ = nullptr;
   int buffer_depth_;
   RoundRobinArbiter va_arbiter_;
   RoundRobinArbiter vc_select_;

@@ -109,6 +109,11 @@ class InvariantChecker {
  private:
   void record(sim::Cycle cycle, std::string what);
   void check_gated_buffers(sim::Cycle cycle);
+  /// Shared organization only: per-port slot conservation (free + occupied
+  /// + gated + waking == pool size, recounted from the slot states), the
+  /// occupied count against the per-VC chain census, and the overcommit
+  /// accumulator against its defining sum over per-VC charges.
+  void check_shared_pools(sim::Cycle cycle);
   void check_credit_conservation(sim::Cycle cycle);
   void check_flit_conservation(sim::Cycle cycle);
   void check_deadlock(sim::Cycle cycle);

@@ -8,16 +8,25 @@ void VcBuffer::push(const Flit& flit) {
   if (flit.packet != packet_)
     throw std::logic_error("VcBuffer::push: packet mixing in a single VC is not allowed");
   if (tail_seen_) throw std::logic_error("VcBuffer::push: flit after tail");
-  ring_[(head_ + count_) % ring_.size()] = flit;
-  ++count_;
+  if (pool_ != nullptr) {
+    pool_->push(pool_vc_, flit);
+  } else {
+    ring_[(head_ + count_) % ring_.size()] = flit;
+    ++count_;
+  }
   if (is_tail(flit.type)) tail_seen_ = true;
 }
 
 Flit VcBuffer::pop() {
-  if (count_ == 0) throw std::logic_error("VcBuffer::pop: empty");
-  Flit flit = ring_[head_];
-  head_ = (head_ + 1) % ring_.size();
-  --count_;
+  Flit flit;
+  if (pool_ != nullptr) {
+    flit = pool_->pop(pool_vc_);
+  } else {
+    if (count_ == 0) throw std::logic_error("VcBuffer::pop: empty");
+    flit = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+  }
   if (is_tail(flit.type)) {
     // Tail left this router: the VC returns to Idle and may be re-allocated
     // (or gated) from the next policy decision onward.

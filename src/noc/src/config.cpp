@@ -37,6 +37,23 @@ std::string to_string(RoutingAlgo algo) {
   return "?";
 }
 
+BufferOrg parse_buffer_org(const std::string& name) {
+  if (name == "partitioned") return BufferOrg::kPartitioned;
+  if (name == "shared") return BufferOrg::kShared;
+  throw std::invalid_argument("parse_buffer_org: unknown buffer organization '" + name +
+                              "' (expected partitioned or shared)");
+}
+
+std::string to_string(BufferOrg org) {
+  switch (org) {
+    case BufferOrg::kPartitioned:
+      return "partitioned";
+    case BufferOrg::kShared:
+      return "shared";
+  }
+  return "?";
+}
+
 std::string to_string(TopologyKind kind) {
   switch (kind) {
     case TopologyKind::kMesh2D:
@@ -86,6 +103,24 @@ void NocConfig::validate() const {
          "); wrap-link deadlock freedom splits each vnet's VCs into pre-/post-dateline halves");
   }
   if (num_vnets < 1) fail("num_vnets must be >= 1 (got " + std::to_string(num_vnets) + ")");
+  if (shared_buffers()) {
+    if (num_vcs * num_vnets < 2)
+      fail("buffer_org shared requires >= 2 VCs per port so the pool has something to share "
+           "(got " + std::to_string(num_vcs * num_vnets) + "); raise num_vcs or use partitioned");
+    if (shared_reserve < 1)
+      fail("shared_reserve must be >= 1 flit per VC for deadlock safety (got " +
+           std::to_string(shared_reserve) + "); every VC must always be able to accept a flit");
+    if (num_vcs * num_vnets * shared_reserve > num_vcs * num_vnets * buffer_depth)
+      fail("shared_reserve " + std::to_string(shared_reserve) + " x " +
+           std::to_string(num_vcs * num_vnets) + " VCs = " +
+           std::to_string(num_vcs * num_vnets * shared_reserve) +
+           " reserved slots exceeds the " + std::to_string(num_vcs * num_vnets * buffer_depth) +
+           "-slot pool; lower shared_reserve to at most buffer_depth (" +
+           std::to_string(buffer_depth) + ")");
+  } else if (shared_reserve != 1) {
+    fail("shared_reserve is a shared-org knob; buffer_org partitioned requires shared_reserve 1 "
+         "(got " + std::to_string(shared_reserve) + ")");
+  }
   if (buffer_depth < 1) fail("buffer_depth must be >= 1 (got " + std::to_string(buffer_depth) + ")");
   if (packet_length < 1) fail("packet_length must be >= 1 (got " + std::to_string(packet_length) + ")");
   if (extra_pipeline_stages < 0)
@@ -100,7 +135,11 @@ std::string NocConfig::describe() const {
     os << " (c=" << concentration << ", " << routers() << " routers)";
   os << ", " << num_vnets << " vnet(s) x " << num_vcs
      << " VCs x " << buffer_depth
-     << " flits, packets of " << packet_length << " flits, "
+     << " flits";
+  if (shared_buffers())
+    os << " (shared pool of " << pool_slots() << " slots, reserve " << shared_reserve
+       << "/VC)";
+  os << ", packets of " << packet_length << " flits, "
      << to_string(routing) << " routing, wakeup latency "
      << wakeup_latency;
   return os.str();

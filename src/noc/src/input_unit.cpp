@@ -12,20 +12,31 @@ VcState OutVcStateView::state(int local) const { return iu_->vc(first_vc_ + loca
 InputUnit::InputUnit(Dir dir, const NocConfig& config)
     : dir_(dir),
       extra_stages_(config.extra_pipeline_stages),
+      pool_(config.shared_buffers()
+                ? std::make_unique<SharedBufferPool>(config.total_vcs(), config.buffer_depth,
+                                                     config.shared_reserve, config.wakeup_latency)
+                : nullptr),
       vcs_(static_cast<std::size_t>(config.total_vcs()),
            VcBuffer(config.buffer_depth, config.wakeup_latency)),
       out_vc_(static_cast<std::size_t>(config.total_vcs()), kInvalidVc),
       out_port_(static_cast<std::size_t>(config.total_vcs()), Dir::Local),
-      trackers_(static_cast<std::size_t>(config.total_vcs())),
+      trackers_(static_cast<std::size_t>(config.buffers_per_port())),
       sa_arbiter_(static_cast<std::size_t>(config.total_vcs())) {
-  // Event-driven NBTI accounting: each buffer reports its gate/wake
-  // transitions straight to its tracker. Both banks are sized once here and
-  // never reallocate, so the pointers stay stable for the unit's lifetime.
+  // Event-driven NBTI accounting: each gateable unit (VC buffer, or pool
+  // slot under the shared organization) reports its gate/wake transitions
+  // straight to its tracker. The banks are sized once here and never
+  // reallocate, so the pointers stay stable for the unit's lifetime.
   for (std::size_t i = 0; i < vcs_.size(); ++i) {
-    vcs_[i].attach_stress_tracker(&trackers_.at(i));
+    if (pool_ != nullptr)
+      vcs_[i].attach_pool(pool_.get(), static_cast<int>(i));
+    else
+      vcs_[i].attach_stress_tracker(&trackers_.at(i));
     vcs_[i].attach_busy_counter(&busy_vcs_);
     vcs_[i].attach_gated_counter(&gated_vcs_);
   }
+  if (pool_ != nullptr)
+    for (int s = 0; s < pool_->num_slots(); ++s)
+      pool_->attach_stress_tracker(s, &trackers_.at(static_cast<std::size_t>(s)));
 }
 
 void InputUnit::assign_output(int i, Dir port, int downstream_vc) {
@@ -89,6 +100,13 @@ void InputUnit::receive_flit(const Flit& flit, Dir route, int next_class, sim::C
 
 void InputUnit::apply_gate_command(const GateCommand& cmd, sim::Cycle now,
                                    sim::FaultInjector* faults) {
+  if (cmd.slot_form) {
+    apply_slot_gate_command(cmd, now, faults);
+    return;
+  }
+  if (pool_ != nullptr)
+    throw std::invalid_argument(
+        "InputUnit::apply_gate_command: VC-form command on a shared-pool port");
   const int first = cmd.first_vc;
   if (first < 0 || first >= num_vcs())
     throw std::invalid_argument("InputUnit::apply_gate_command: first_vc " +
@@ -127,6 +145,55 @@ void InputUnit::apply_gate_command(const GateCommand& cmd, sim::Cycle now,
       if (buf.is_idle() && !buf.in_wake_window(now)) buf.gate(now);
     }
   }
+}
+
+void InputUnit::apply_slot_gate_command(const GateCommand& cmd, sim::Cycle now,
+                                        sim::FaultInjector* faults) {
+  if (pool_ == nullptr)
+    throw std::invalid_argument(
+        "InputUnit::apply_gate_command: slot-form command on a partitioned port");
+  SharedBufferPool& pool = *pool_;
+  const int slots = pool.num_slots();
+  if (cmd.first_vc < 0 || cmd.first_vc > slots)
+    throw std::invalid_argument("InputUnit::apply_gate_command: first slot " +
+                                std::to_string(cmd.first_vc) + " outside pool of " +
+                                std::to_string(slots) + " slots");
+  if (cmd.range_vcs < -1)
+    throw std::invalid_argument(
+        "InputUnit::apply_gate_command: slot range must be non-negative or -1");
+  if (cmd.keep_vc != kInvalidVc && (cmd.keep_vc < 0 || cmd.keep_vc >= slots))
+    throw std::invalid_argument("InputUnit::apply_gate_command: wake slot " +
+                                std::to_string(cmd.keep_vc) + " outside pool of " +
+                                std::to_string(slots) + " slots");
+  // Wakes miss their deadline under an injected fault exactly like the VC
+  // form; the re-issued command retries next cycle. A wake (or gate) naming
+  // a slot in the wrong state is a no-op/skip — link corruption may deliver
+  // such commands and must degrade, not crash.
+  const auto wake = [&](int slot) {
+    if (faults != nullptr && faults->wake_fails()) return;
+    pool.wake_slot(slot, now);
+  };
+  if (!cmd.gating_active) {
+    // Baseline upstream: every slot stays (or returns to) powered.
+    if (pool.gated_slots() > 0)
+      for (int s = 0; s < slots && pool.gated_slots() > 0; ++s)
+        if (pool.slot_state(s) == SharedBufferPool::SlotState::kGated) wake(s);
+  } else {
+    if (cmd.enable && cmd.keep_vc != kInvalidVc &&
+        pool.slot_state(cmd.keep_vc) == SharedBufferPool::SlotState::kGated)
+      wake(cmd.keep_vc);
+    const int last = cmd.range_vcs < 0 ? slots : std::min(slots, cmd.first_vc + cmd.range_vcs);
+    for (int s = cmd.first_vc; s < last; ++s) {
+      if (pool.slot_state(s) != SharedBufferPool::SlotState::kFree) continue;
+      if (!pool.can_gate()) break;
+      pool.gate_slot(s, now);
+    }
+  }
+  // Matured wakes rejoin the free list only now, at the end of command
+  // application: the slot is allocatable from this cycle's VA onward and
+  // re-gateable one cycle later — the pool equivalent of VcBuffer's
+  // wake_ready / in_wake_window fencing.
+  pool.promote_woken(now);
 }
 
 }  // namespace nbtinoc::noc

@@ -157,6 +157,17 @@ void Network::set_fault_injector(sim::FaultInjector* injector) {
       link->set_fault_hook([this](GateCommand& cmd, sim::Cycle) {
         if (injector_->drop_gate_command()) return false;
         int shift = 0;
+        if (cmd.slot_form) {
+          const int slots = config_.pool_slots();
+          if (injector_->flip_gate_command(slots, &shift)) {
+            // Slot-form corruption: the wake target rotates across the pool
+            // (or a spurious wake appears); the downstream apply tolerates
+            // targets in the wrong state, so corruption degrades gracefully.
+            cmd.enable = true;
+            cmd.keep_vc = cmd.keep_vc == kInvalidVc ? shift : (cmd.keep_vc + shift) % slots;
+          }
+          return true;
+        }
         if (injector_->flip_gate_command(cmd.range_vcs, &shift)) {
           // Corrupt the command but keep it well-formed for its vnet range:
           // a valid keep_vc rotates within the range; a command that kept
@@ -237,6 +248,33 @@ void Network::gating_stage_for(NodeId id, sim::Cycle now) {
     const Dir port = static_cast<Dir>(p);
     if (!r.has_input(port) || r.input_port_dead(port)) continue;
     sim::FaultInjector* port_injector = injector_for(id, port);
+    if (config_.shared_buffers()) {
+      // Shared organization: gating is slot-granular and the pool is one
+      // physical resource, so the pre-VA policy decides once per *port*
+      // (whole-port traffic signal, whole-port view). Per-(vnet, class)
+      // isolation is preserved structurally instead: every VC keeps its
+      // reserved slots powered (invariant M*), so an escape class can
+      // always make progress no matter which slots the policy gates.
+      bool new_traffic = false;
+      if (is_local(port)) {
+        new_traffic = ni(topo_->terminal_of(id, local_slot(port))).has_new_traffic(now);
+      } else {
+        const NodeId upstream = topo_->neighbor(id, port);
+        new_traffic = router(upstream).has_new_traffic_toward(opposite(port), now);
+      }
+      const OutVcStateView view(&r.input(port));
+      GateCommand cmd = controller_->decide(PortKey{id, port}, view, new_traffic, now);
+      cmd.slot_form = true;  // slot indices are pool-absolute: no rebase
+      const unsigned char active = cmd.gating_active ? 1 : 0;
+      for (int vn = 0; vn < config_.num_vnets; ++vn)
+        for (int cls = 0; cls < num_classes; ++cls)
+          gating_record_[gating_record_index(id, port, vn, cls)] = active;
+      Channel<GateCommand>& link = up_down_link_mutable(id, port);
+      link.push(cmd, now);
+      while (auto delivered = link.pop_ready(now))
+        r.input(port).apply_gate_command(*delivered, now, port_injector);
+      continue;
+    }
     // One pre-VA decision per (virtual network, dateline class): each
     // class's VC subrange is managed exactly like the paper's
     // single-vnet case. The split matters for deadlock freedom — a
@@ -541,11 +579,7 @@ bool Network::router_gating_fixed_point(NodeId id) const {
     for (int vn = 0; vn < config_.num_vnets; ++vn)
       for (int cls = 0; cls < num_classes; ++cls)
         if ((gating_record_[gating_record_index(id, port, vn, cls)] != 0) != active) return false;
-    if (active) {
-      if (iu.gated_vcs() != config_.total_vcs()) return false;
-    } else {
-      if (iu.gated_vcs() != 0) return false;
-    }
+    if (!iu.gating_fixed_point(active, config_.total_vcs())) return false;
   }
   return true;
 }
@@ -642,11 +676,7 @@ bool Network::quiescent() const {
         for (int cls = 0; cls < num_classes; ++cls)
           if ((gating_record_[gating_record_index(id, port, vn, cls)] != 0) != active)
             return false;
-      if (active) {
-        if (iu.gated_vcs() != config_.total_vcs()) return false;
-      } else {
-        if (iu.gated_vcs() != 0) return false;
-      }
+      if (!iu.gating_fixed_point(active, config_.total_vcs())) return false;
     }
   }
   return true;
@@ -923,8 +953,14 @@ void Network::restore_credits() {
       OutputUnit& out = ru.output(dir);
       if (!topo_->link_alive(u, dir)) {
         // Dead output: zero credits, so not even a latent bug can push a
-        // flit into the cleared channel.
+        // flit into the cleared channel. Under a shared pool the equivalent
+        // block is charging every VC to full depth: charged >= reserve
+        // closes the reserved path and overcommit == shared_capacity >=
+        // shared_limit closes the shared one, so can_send() is false for
+        // every VC forever.
         for (int v = 0; v < total_vcs; ++v) out.set_credits(v, 0);
+        if (SharedBufferPool* pool = router(topo_->neighbor(u, dir)).input(opposite(dir)).pool())
+          for (int v = 0; v < total_vcs; ++v) pool->set_charged(v, config_.buffer_depth);
         continue;
       }
       const NodeId w = topo_->neighbor(u, dir);
@@ -933,7 +969,15 @@ void Network::restore_credits() {
           [&](const Flit& f, sim::Cycle) { ++accounted[static_cast<std::size_t>(f.vc)]; });
       ru.credit_in_link_mut(dir)->for_each_in_flight(
           [&](const Credit& c, sim::Cycle) { ++accounted[static_cast<std::size_t>(c.vc)]; });
-      const InputUnit& diu = router(w).input(opposite(dir));
+      InputUnit& diu = router(w).input(opposite(dir));
+      if (SharedBufferPool* pool = diu.pool()) {
+        // Same identity, pool-resident form: everything the upstream ever
+        // charged for VC v that has not yet been credited back is either
+        // in flight on the two links or resident in the VC's slot chain.
+        for (int v = 0; v < total_vcs; ++v)
+          pool->set_charged(v, accounted[static_cast<std::size_t>(v)] + diu.vc(v).occupancy());
+        continue;
+      }
       for (int v = 0; v < total_vcs; ++v)
         out.set_credits(v, config_.buffer_depth - accounted[static_cast<std::size_t>(v)] -
                                diu.vc(v).occupancy());
@@ -949,6 +993,11 @@ void Network::restore_credits() {
     term->credit_link()->for_each_in_flight(
         [&](const Credit& c, sim::Cycle) { ++accounted[static_cast<std::size_t>(c.vc)]; });
     const InputUnit& iu = router(r).input(local);
+    if (SharedBufferPool* pool = term->shared_pool()) {
+      for (int v = 0; v < total_vcs; ++v)
+        pool->set_charged(v, accounted[static_cast<std::size_t>(v)] + iu.vc(v).occupancy());
+      continue;
+    }
     for (int v = 0; v < total_vcs; ++v)
       term->set_credits(v, config_.buffer_depth - accounted[static_cast<std::size_t>(v)] -
                                iu.vc(v).occupancy());

@@ -59,6 +59,10 @@ std::uint64_t NetworkInterface::drop_queued_unroutable() {
 void NetworkInterface::receive(sim::Cycle now) {
   if (dead_) return;
   while (auto credit = credit_in_->pop_ready(now)) {
+    if (SharedBufferPool* pool = shared_pool()) {
+      pool->uncharge(credit->vc);  // throws on a credit the NI never charged
+      continue;
+    }
     int& c = credits_.at(static_cast<std::size_t>(credit->vc));
     if (c >= config_.buffer_depth) throw std::logic_error("NI: credit overflow");
     ++c;
@@ -114,8 +118,11 @@ void NetworkInterface::inject(sim::Cycle now, std::uint64_t& packet_id_counter) 
     }
   }
 
-  // Serialize one flit per cycle, credits permitting.
-  if (sending_ && credits_.at(static_cast<std::size_t>(send_vc_)) > 0) {
+  // Serialize one flit per cycle, credits permitting (shared organization:
+  // the pool's slot-credit reservation check instead of per-VC counters).
+  if (sending_ && (shared_pool() != nullptr
+                       ? shared_pool()->can_send(send_vc_)
+                       : credits_.at(static_cast<std::size_t>(send_vc_)) > 0)) {
     Flit flit;
     flit.packet = send_id_;
     flit.src = node_;
@@ -133,7 +140,10 @@ void NetworkInterface::inject(sim::Cycle now, std::uint64_t& packet_id_counter) 
     } else {
       flit.type = FlitType::Body;
     }
-    --credits_.at(static_cast<std::size_t>(send_vc_));
+    if (SharedBufferPool* pool = shared_pool())
+      pool->charge(send_vc_);
+    else
+      --credits_.at(static_cast<std::size_t>(send_vc_));
     inject_out_->push(flit, now);
     ++flits_injected_;
     stats_->add(h_flits_injected_);

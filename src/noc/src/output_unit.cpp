@@ -14,12 +14,22 @@ OutputUnit::OutputUnit(Dir dir, const NocConfig& config, bool ejection)
       sa_arbiter_(static_cast<std::size_t>(config.ports_per_router())) {}
 
 void OutputUnit::add_credit(int vc) {
+  if (pool_ != nullptr) {
+    pool_->uncharge(vc);
+    return;
+  }
   int& c = credits_.at(static_cast<std::size_t>(vc));
   if (c >= buffer_depth_) throw std::logic_error("OutputUnit::add_credit: credit overflow");
   ++c;
 }
 
 void OutputUnit::consume_credit(int vc) {
+  if (pool_ != nullptr) {
+    if (!pool_->can_send(vc))
+      throw std::logic_error("OutputUnit::consume_credit: pool reservation check fails");
+    pool_->charge(vc);
+    return;
+  }
   int& c = credits_.at(static_cast<std::size_t>(vc));
   if (c <= 0) throw std::logic_error("OutputUnit::consume_credit: no credits");
   --c;

@@ -49,6 +49,10 @@ void Router::wire_output(Dir dir, InputUnit* downstream_iu, Channel<Flit>* flit_
                          Channel<Credit>* credit_in) {
   const auto d = static_cast<std::size_t>(dir);
   outputs_[d] = std::make_unique<OutputUnit>(dir, config_, /*ejection=*/false);
+  // Shared organization: the upstream's credit state IS the downstream
+  // pool's charge accounting (zero-skew delegation, like OutVcStateView).
+  if (downstream_iu != nullptr && downstream_iu->pool() != nullptr)
+    outputs_[d]->set_shared_pool(downstream_iu->pool());
   downstream_iu_[d] = downstream_iu;
   flit_out_[d] = flit_out;
   credit_in_[d] = credit_in;
@@ -316,7 +320,7 @@ void Router::sa_st_stage(sim::Cycle now) {
       const Dir out = iu->out_port(v);
       if (!is_local(out)) {
         const auto& ou = outputs_[static_cast<std::size_t>(out)];
-        if (!ou || ou->credits(iu->out_vc(v)) <= 0) continue;
+        if (!ou || !ou->has_credit(iu->out_vc(v))) continue;
       }
       sa_ready_.set(static_cast<std::size_t>(v));
       any = true;

@@ -88,6 +88,7 @@ std::size_t InvariantChecker::check() {
   const std::size_t before = violations_.size();
   const sim::Cycle cycle = network_->clock().now();
   check_gated_buffers(cycle);
+  check_shared_pools(cycle);
   check_credit_conservation(cycle);
   check_flit_conservation(cycle);
   check_deadlock(cycle);
@@ -123,6 +124,82 @@ void InvariantChecker::check_gated_buffers(sim::Cycle cycle) {
   }
 }
 
+void InvariantChecker::check_shared_pools(sim::Cycle cycle) {
+  const NocConfig& cfg = network_->config();
+  if (!cfg.shared_buffers()) return;
+  for (NodeId id = 0; id < network_->num_routers(); ++id) {
+    const Router& r = network_->router(id);
+    for (int p = 0; p < r.num_ports(); ++p) {
+      const Dir port = static_cast<Dir>(p);
+      if (!r.has_input(port)) continue;
+      const SharedBufferPool* pool = r.input(port).pool();
+      const std::string where = "r" + std::to_string(id) + ":" + dir_letter(port);
+      if (pool == nullptr) {
+        record(cycle, "shared organization but port " + where + " has no slot pool");
+        continue;
+      }
+      // Slot conservation: recount the states and compare against the O(1)
+      // counters the scheduler proofs rely on.
+      int free = 0;
+      int occupied = 0;
+      int gated = 0;
+      int waking = 0;
+      for (int s = 0; s < pool->num_slots(); ++s) {
+        switch (pool->slot_state(s)) {
+          case SharedBufferPool::SlotState::kFree:
+            ++free;
+            break;
+          case SharedBufferPool::SlotState::kOccupied:
+            ++occupied;
+            break;
+          case SharedBufferPool::SlotState::kGated:
+            ++gated;
+            break;
+          case SharedBufferPool::SlotState::kWaking:
+            ++waking;
+            break;
+        }
+      }
+      if (free != pool->free_slots() || occupied != pool->occupied_slots() ||
+          gated != pool->gated_slots() || waking != pool->waking_slots())
+        record(cycle, "slot conservation broken on " + where + ": census F/O/G/W = " +
+                          std::to_string(free) + "/" + std::to_string(occupied) + "/" +
+                          std::to_string(gated) + "/" + std::to_string(waking) +
+                          " vs counters " + std::to_string(pool->free_slots()) + "/" +
+                          std::to_string(pool->occupied_slots()) + "/" +
+                          std::to_string(pool->gated_slots()) + "/" +
+                          std::to_string(pool->waking_slots()));
+      // Every flit lives in exactly one VC chain; the chains partition the
+      // Occupied slots.
+      int chained = 0;
+      for (int v = 0; v < cfg.total_vcs(); ++v) chained += pool->occupancy(v);
+      if (chained != occupied)
+        record(cycle, "pool chain census broken on " + where + ": VC chains hold " +
+                          std::to_string(chained) + " flit(s) but " + std::to_string(occupied) +
+                          " slot(s) are Occupied");
+      // Overcommit accumulator against its defining sum, and invariant M*
+      // itself (sum_v max(charged_v, R) <= slots - gated - waking): M* is
+      // what guarantees every in-flight flit a Free slot on arrival.
+      int overcommit = 0;
+      int pledged = 0;
+      for (int v = 0; v < cfg.total_vcs(); ++v) {
+        const int c = pool->charged(v);
+        overcommit += c > pool->reserve() ? c - pool->reserve() : 0;
+        pledged += c > pool->reserve() ? c : pool->reserve();
+      }
+      if (overcommit != pool->overcommit())
+        record(cycle, "pool overcommit accumulator broken on " + where + ": " +
+                          std::to_string(pool->overcommit()) + " vs recomputed " +
+                          std::to_string(overcommit));
+      if (!r.input_port_dead(port) && pledged > pool->num_slots() - gated - waking)
+        record(cycle, "pool reservation invariant (M*) broken on " + where +
+                          ": pledged " + std::to_string(pledged) + " slot(s) but only " +
+                          std::to_string(pool->num_slots() - gated - waking) +
+                          " powered-on slot(s)");
+    }
+  }
+}
+
 namespace {
 /// Per-VC link population: flits (by flit.vc) or credits (by credit.vc).
 template <typename T>
@@ -152,6 +229,20 @@ void InvariantChecker::check_credit_conservation(sim::Cycle cycle) {
       if (!topo.link_alive(id, dir)) continue;
       const InputUnit& diu = *r.downstream_input(dir);
       for (int v = 0; v < cfg.total_vcs(); ++v) {
+        if (const SharedBufferPool* pool = diu.pool()) {
+          // Shared organization: the identity is charge-resident. Everything
+          // the upstream charged for v is in flight on the two links or
+          // resident in v's slot chain — nothing else.
+          const std::size_t total = in_flight_for_vc(r.flit_out_link(dir), v) +
+                                    in_flight_for_vc(r.credit_in_link(dir), v) +
+                                    static_cast<std::size_t>(diu.vc(v).occupancy());
+          if (total != static_cast<std::size_t>(pool->charged(v)))
+            record(cycle, "pool charge leak on r" + std::to_string(id) + " output " +
+                              to_string(dir) + " vc" + std::to_string(v) +
+                              ": in_flight+occupancy = " + std::to_string(total) +
+                              " but charged " + std::to_string(pool->charged(v)));
+          continue;
+        }
         const std::size_t total = static_cast<std::size_t>(r.output(dir).credits(v)) +
                                   in_flight_for_vc(r.flit_out_link(dir), v) +
                                   in_flight_for_vc(r.credit_in_link(dir), v) +
@@ -170,6 +261,16 @@ void InvariantChecker::check_credit_conservation(sim::Cycle cycle) {
     if (ni.dead()) continue;
     const InputUnit& liu = network_->router(topo.router_of(id)).input(topo.local_port_of(id));
     for (int v = 0; v < cfg.total_vcs(); ++v) {
+      if (const SharedBufferPool* pool = liu.pool()) {
+        const std::size_t total = in_flight_for_vc(ni.inject_link(), v) +
+                                  in_flight_for_vc(ni.credit_link(), v) +
+                                  static_cast<std::size_t>(liu.vc(v).occupancy());
+        if (total != static_cast<std::size_t>(pool->charged(v)))
+          record(cycle, "pool charge leak on NI " + std::to_string(id) + " injection path vc" +
+                            std::to_string(v) + ": in_flight+occupancy = " + std::to_string(total) +
+                            " but charged " + std::to_string(pool->charged(v)));
+        continue;
+      }
       const std::size_t total = static_cast<std::size_t>(ni.credits(v)) +
                                 in_flight_for_vc(ni.inject_link(), v) +
                                 in_flight_for_vc(ni.credit_link(), v) +

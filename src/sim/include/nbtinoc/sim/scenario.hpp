@@ -42,6 +42,13 @@ struct Scenario {
   int num_vcs = 4;           ///< virtual channels per vnet per input port (2 or 4 in the paper)
   int num_vnets = 1;         ///< virtual networks (Table I: 2/6; 1 = single-protocol study)
   int buffer_depth = 4;      ///< flits per VC buffer (Table I / §III-D)
+  /// Input-port buffer organization: "partitioned" (per-VC banks, the
+  /// paper's router) or "shared" (one DAMQ slot pool per port; VCs become
+  /// descriptors and gating happens at slot granularity).
+  std::string buffer_org = "partitioned";
+  /// Shared organization only: flit slots reserved per VC (never gated
+  /// away; >= 1 for deadlock safety). Must stay 1 under "partitioned".
+  int shared_reserve = 1;
   int flit_width_bits = 64;  ///< flit size (area model, §III-D)
   int link_width_bits = 32;  ///< physical link width (Table I): 64b flits move as 2 phits
   int packet_length = 9;     ///< flits per packet: 64B line + 8B header over 64b flits
@@ -96,7 +103,8 @@ struct Scenario {
 /// Recognized keys (all optional, defaults as in Scenario):
 ///   name, mesh_width, mesh_height, topology (mesh|torus|ring|cmesh),
 ///   routing (dor|xy|yx|west-first|odd-even),
-///   concentration, num_vcs, num_vnets, buffer_depth, flit_width_bits,
+///   concentration, num_vcs, num_vnets, buffer_depth,
+///   buffer_org (partitioned|shared), shared_reserve, flit_width_bits,
 ///   link_width_bits, packet_length, injection_rate, wakeup_latency,
 ///   warmup_cycles, measure_cycles, clock_ghz, technology_nm (45 or 32),
 ///   vth_sigma_v, temperature_k, vdd_v

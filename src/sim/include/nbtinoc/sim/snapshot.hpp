@@ -43,7 +43,8 @@ class SnapshotError : public std::runtime_error {
 /// First 8 bytes of every snapshot file.
 inline constexpr std::string_view kSnapshotMagic = "NBTISNAP";
 /// Bump on any layout change; readers reject other versions outright.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2: GateCommand slot_form flag + shared-pool port state (ARCHITECTURE §15).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Appends primitives to a growing byte buffer (little-endian).
 class SnapshotWriter {

@@ -28,9 +28,15 @@ namespace {
 /// silicon/traffic/fault streams; the mesh tag is empty, keeping every
 /// pre-topology seed — and with it golden results — byte-identical.
 std::string topology_seed_tag(const Scenario& s) {
-  if (s.topology == "mesh") return "";
-  std::string tag = "-" + s.topology;
-  if (s.topology == "cmesh") tag += std::to_string(s.concentration);
+  std::string tag;
+  if (s.topology != "mesh") {
+    tag = "-" + s.topology;
+    if (s.topology == "cmesh") tag += std::to_string(s.concentration);
+  }
+  // The shared (DAMQ) organization changes the gateable-buffer count per
+  // port, so it gets its own silicon/traffic/fault streams; partitioned
+  // keeps the empty tag and with it every golden seed.
+  if (s.buffer_org == "shared") tag += "-shared" + std::to_string(s.shared_reserve);
   return tag;
 }
 }  // namespace
@@ -98,6 +104,22 @@ void Scenario::validate() const {
          std::to_string(num_vcs) + "): one escape class (minimal XY) plus one adaptive class");
   if (num_vnets < 1) fail("num_vnets must be >= 1 (got " + std::to_string(num_vnets) + ")");
   if (buffer_depth < 1) fail("buffer_depth must be >= 1 (got " + std::to_string(buffer_depth) + ")");
+  if (buffer_org != "partitioned" && buffer_org != "shared")
+    fail("unknown buffer_org '" + buffer_org + "' (expected partitioned or shared)");
+  if (buffer_org == "shared" && num_vcs * num_vnets < 2)
+    fail("buffer_org=shared needs >= 2 VCs per port to share between (got " +
+         std::to_string(num_vcs * num_vnets) + "); use the partitioned organization for a "
+         "single-VC router");
+  if (shared_reserve < 1)
+    fail("shared_reserve must be >= 1 flit per VC (got " + std::to_string(shared_reserve) +
+         "); a zero reserve lets gating starve a VC and deadlock the network");
+  if (buffer_org == "shared" && shared_reserve > buffer_depth)
+    fail("shared_reserve (" + std::to_string(shared_reserve) + ") exceeds buffer_depth (" +
+         std::to_string(buffer_depth) + "); the pool holds num_vcs*buffer_depth flits, so the "
+         "per-VC reserve cannot exceed the per-VC depth");
+  if (buffer_org == "partitioned" && shared_reserve != 1)
+    fail("shared_reserve is a shared-organization knob; partitioned buffers ignore it, so it "
+         "must stay 1 (got " + std::to_string(shared_reserve) + ")");
   if (flit_width_bits < 1 || link_width_bits < 1)
     fail("flit_width_bits and link_width_bits must be >= 1");
   if (link_width_bits > flit_width_bits)
@@ -150,6 +172,11 @@ std::string Scenario::describe() const {
                ? " dimension-order"
                : " turn-model adaptive (escape VC class + least-stressed)")
        << '\n';
+  // The buffer line only appears off the default, keeping partitioned
+  // output byte-identical to the pre-DAMQ format.
+  if (buffer_org != "partitioned")
+    os << "  buffers         : shared DAMQ pool, " << num_vcs * num_vnets * buffer_depth
+       << " flits/port, " << shared_reserve << " flit(s)/VC reserved\n";
   os
      << "  router          : 3-stage wormhole, " << num_vcs << " VCs/input port, " << buffer_depth
      << " flits/VC, no packet mixing\n"
@@ -171,6 +198,7 @@ Scenario scenario_from_properties(const std::map<std::string, std::string>& prop
       "name",          "mesh_width",    "mesh_height",     "topology",
       "routing",
       "concentration", "num_vcs",       "num_vnets",       "buffer_depth",
+      "buffer_org",    "shared_reserve",
       "flit_width_bits", "link_width_bits", "packet_length", "injection_rate",
       "wakeup_latency", "warmup_cycles", "measure_cycles",  "clock_ghz",
       "technology_nm", "vth_sigma_v",    "temperature_k",   "vdd_v",
@@ -202,6 +230,8 @@ Scenario scenario_from_properties(const std::map<std::string, std::string>& prop
   s.num_vcs = static_cast<int>(get_int("num_vcs", s.num_vcs));
   s.num_vnets = static_cast<int>(get_int("num_vnets", s.num_vnets));
   s.buffer_depth = static_cast<int>(get_int("buffer_depth", s.buffer_depth));
+  if (const auto it = props.find("buffer_org"); it != props.end()) s.buffer_org = it->second;
+  s.shared_reserve = static_cast<int>(get_int("shared_reserve", s.shared_reserve));
   s.flit_width_bits = static_cast<int>(get_int("flit_width_bits", s.flit_width_bits));
   s.link_width_bits = static_cast<int>(get_int("link_width_bits", s.link_width_bits));
   s.packet_length = static_cast<int>(get_int("packet_length", s.packet_length));

@@ -401,6 +401,79 @@ TEST(ThreeWayDifferential, AllGatedFixedPointMatchesAcrossSchedulers) {
                 core::RunnerOptions{});
 }
 
+// Shared-organization scheduler fuzz: the same three-way equality with
+// every input port running one DAMQ slot pool instead of per-VC banks.
+// Slot-granularity gating feeds different events into the quiescence proof
+// (pool credits, waking slots, slot-form GateCommands), so each scheduler
+// must reproduce them exactly. Only slot policies and baseline are legal
+// under this organization (run_experiment rejects the VC-granularity ones).
+class SharedPoolFastForwardFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SharedPoolFastForwardFuzzTest, SharedRunsMatchSteppedExactly) {
+  util::Xoshiro256 rng(GetParam() ^ 0xda30ULL);
+  sim::Scenario s = sim::Scenario::synthetic(2 + static_cast<int>(rng.next_below(2)),
+                                             2 + static_cast<int>(rng.next_below(3)),
+                                             0.06 * rng.next_double());
+  s.buffer_org = "shared";
+  s.shared_reserve = 1 + static_cast<int>(rng.next_below(2));
+  if (GetParam() % 4 == 0) s.injection_rate = 0.0;  // fully idle: FF carries the run
+  s.wakeup_latency = rng.next_below(4);
+  s.warmup_cycles = 1'000;
+  s.measure_cycles = 8'000 + rng.next_below(8'000);
+  constexpr core::PolicyKind kPolicies[] = {core::PolicyKind::kBaseline,
+                                            core::PolicyKind::kSensorWiseSlotMd,
+                                            core::PolicyKind::kRrSlot};
+  const core::PolicyKind policy = kPolicies[rng.next_below(3)];
+  constexpr traffic::PatternKind kPatterns[] = {
+      traffic::PatternKind::kUniform, traffic::PatternKind::kTranspose,
+      traffic::PatternKind::kBitComplement, traffic::PatternKind::kHotspot,
+      traffic::PatternKind::kNeighbor, traffic::PatternKind::kTornado};
+  const core::Workload workload = core::Workload::synthetic(kPatterns[rng.next_below(6)]);
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) + ", " + s.name + ", reserve " +
+               std::to_string(s.shared_reserve) + ", policy " + core::to_string(policy));
+
+  run_three_way(s, policy, workload, core::RunnerOptions{});
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSharedConfigs, SharedPoolFastForwardFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// Fault storm on the shared organization: transient faults land on pool
+// slots (the slot-form modulus of the fault hook), so every drop and flip
+// must match across schedulers, and a stepped re-run under the
+// InvariantChecker must prove slot conservation and the M* credit bound
+// held through the whole storm.
+TEST(ThreeWayDifferential, SharedPoolFaultStormMatchesAcrossSchedulers) {
+  sim::Scenario s = sim::Scenario::synthetic(3, 2, 0.05);
+  s.buffer_org = "shared";
+  s.warmup_cycles = 500;
+  s.measure_cycles = 6'000;
+  core::RunnerOptions options;
+  options.faults = sim::FaultPlan::uniform(0.02);
+  run_three_way(s, core::PolicyKind::kSensorWiseSlotMd, core::Workload::synthetic(), options);
+
+  options.check_invariants = true;
+  options.scheduler = SchedulerMode::kStepped;
+  const core::RunResult checked = core::run_experiment(
+      s, core::PolicyKind::kSensorWiseSlotMd, core::Workload::synthetic(), options);
+  EXPECT_TRUE(checked.invariant_violations.empty())
+      << checked.invariant_violations.front() << " (+" << checked.invariant_violations.size() - 1
+      << " more)";
+}
+
+// All-gated fixed point, shared organization: with zero offered load the
+// slot policy gates the pool down to the per-VC reserve and stays there —
+// the structural no-op fixed point of sensor_wise_slot_decide. Fast-forward
+// and the active set must carry the long quiescent horizon bit-exactly.
+TEST(ThreeWayDifferential, SharedAllGatedFixedPointMatchesAcrossSchedulers) {
+  sim::Scenario s = sim::Scenario::synthetic(3, 2, 0.0);
+  s.buffer_org = "shared";
+  s.warmup_cycles = 500;
+  s.measure_cycles = 60'000;
+  run_three_way(s, core::PolicyKind::kSensorWiseSlotMd, core::Workload::synthetic(),
+                core::RunnerOptions{});
+}
+
 // Trace capture/replay fuzz: for random scenario/policy/workload draws,
 // record the live run through RunnerOptions::capture_trace, freeze it into
 // an NBTITRACE mapping, and demand (a) the replay reproduces the live run's

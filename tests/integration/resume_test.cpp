@@ -181,6 +181,52 @@ TEST_P(ResumeFuzzTest, RandomPausePointsResumeExactly) {
 
 INSTANTIATE_TEST_SUITE_P(RandomPauses, ResumeFuzzTest, ::testing::Range<std::uint64_t>(1, 13));
 
+// The same fuzz over the shared (DAMQ) organization: a pause must
+// round-trip the per-port pool state — slot lists, per-VC chains, waking
+// FIFO, shared-region charges, per-slot gate counters (snapshot format v2)
+// — through save/resume in any scheduler-mode combination. Only slot
+// policies and baseline are legal here.
+class SharedResumeFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SharedResumeFuzzTest, SharedPausePointsResumeExactly) {
+  util::Xoshiro256 rng(GetParam() ^ 0x5da7ULL);
+  sim::Scenario s = sim::Scenario::synthetic(2 + static_cast<int>(rng.next_below(2)),
+                                             2 + static_cast<int>(rng.next_below(2)),
+                                             0.08 * rng.next_double());
+  s.buffer_org = "shared";
+  s.shared_reserve = 1 + static_cast<int>(rng.next_below(2));
+  s.wakeup_latency = rng.next_below(4);
+  s.warmup_cycles = 400;
+  s.measure_cycles = 3'000 + rng.next_below(3'000);
+
+  RunnerOptions options;
+  if (GetParam() % 3 == 0) options.faults = sim::FaultPlan::uniform(0.01 + 0.02 * rng.next_double());
+  if (GetParam() % 4 == 0) {
+    sim::StructuralFault f;
+    f.router = 0;
+    f.port = static_cast<int>(noc::Dir::East);
+    f.cycle = 600 + rng.next_below(500);
+    options.faults.structural.push_back(f);
+  }
+
+  constexpr PolicyKind kPolicies[] = {PolicyKind::kBaseline, PolicyKind::kSensorWiseSlotMd,
+                                      PolicyKind::kRrSlot};
+  const PolicyKind policy = kPolicies[rng.next_below(3)];
+  constexpr noc::SchedulerMode kModes[] = {noc::SchedulerMode::kStepped,
+                                           noc::SchedulerMode::kFastForward,
+                                           noc::SchedulerMode::kActiveSet};
+  const auto save_mode = kModes[rng.next_below(3)];
+  const auto resume_mode = kModes[rng.next_below(3)];
+  const sim::Cycle at = rng.next_below(s.warmup_cycles + s.measure_cycles);
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) + ", " + s.name + ", reserve " +
+               std::to_string(s.shared_reserve) + ", policy " + to_string(policy));
+
+  expect_resume_equal(s, policy, Workload::synthetic(), options, at, save_mode, resume_mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSharedPauses, SharedResumeFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
 // --- failure modes -----------------------------------------------------------
 
 std::string snapshot_of(const sim::Scenario& s, RunnerOptions options, sim::Cycle at) {

@@ -211,6 +211,24 @@ TEST(HotPathAllocation, TopologyRoutedSteadyStateIsAllocationFree) {
   }
 }
 
+TEST(HotPathAllocation, SharedPoolRunIsAllocationFree) {
+  // The DAMQ datapath — free-list claims, per-VC chain splices, waking-FIFO
+  // maturation, slot-form gate commands, and the per-slot sensor banks the
+  // slot policy reads — must stay off the heap: every list is fixed-size
+  // intrusive arrays sized at construction.
+  NocConfig c = mesh(4, 4);
+  c.buffer_org = BufferOrg::kShared;
+  Network net(c);
+  const auto model = nbti::NbtiModel::calibrated({}, {});
+  core::PolicyConfig pc;
+  pc.kind = core::PolicyKind::kSensorWiseSlotMd;
+  core::PolicyGateController ctrl(net, pc, model, {}, nbti::PvConfig{}, 7);
+  ctrl.attach();
+  traffic::install_uniform_traffic(net, 0.3, 42);
+  net.run(6'000);
+  EXPECT_EQ(allocations_during_steps(net, 2'500), 0u);
+}
+
 TEST(HotPathAllocation, FaultyRunSteadyStateIsAllocationFree) {
   Network net(mesh(4, 4));
   const auto model = nbti::NbtiModel::calibrated({}, {});

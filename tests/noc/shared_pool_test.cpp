@@ -1,0 +1,330 @@
+// SharedBufferPool unit tests: the DAMQ slot lifecycle, the per-VC chain
+// FIFO discipline, the credit/reservation invariant M* at its boundary
+// cases, the structural-fault purge (which must leave Gated/Waking slots
+// untouched and count each dropped flit exactly once), and the
+// checkpoint round-trip of the full list structure.
+
+#include "nbtinoc/noc/shared_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbtinoc/core/controller.hpp"
+#include "nbtinoc/core/experiment.hpp"
+#include "nbtinoc/noc/network.hpp"
+#include "nbtinoc/sim/snapshot.hpp"
+
+namespace nbtinoc::noc {
+namespace {
+
+Flit flit(PacketId packet, int seq = 0) {
+  Flit f;
+  f.type = seq == 0 ? FlitType::Head : FlitType::Body;
+  f.packet = packet;
+  f.seq = seq;
+  return f;
+}
+
+TEST(SharedBufferPool, ConstructionMatchesPartitionedArea) {
+  const SharedBufferPool pool(/*num_vcs=*/4, /*buffer_depth=*/8, /*reserve=*/1,
+                              /*wakeup_latency=*/0);
+  EXPECT_EQ(pool.num_slots(), 32);  // same slot count as the 4x8 VC bank
+  EXPECT_EQ(pool.shared_capacity(), 28);
+  EXPECT_EQ(pool.free_slots(), 32);
+  EXPECT_EQ(pool.occupied_slots(), 0);
+  EXPECT_EQ(pool.gated_slots(), 0);
+  EXPECT_EQ(pool.waking_slots(), 0);
+  EXPECT_EQ(pool.overcommit(), 0);
+  for (int v = 0; v < 4; ++v) EXPECT_EQ(pool.charged(v), 0);
+}
+
+TEST(SharedBufferPool, PerVcChainsAreFifoAndIndependent) {
+  SharedBufferPool pool(2, 4, 1, 0);
+  pool.push(0, flit(10, 0));
+  pool.push(1, flit(20, 0));
+  pool.push(0, flit(10, 1));
+  pool.push(1, flit(20, 1));
+  EXPECT_EQ(pool.occupancy(0), 2);
+  EXPECT_EQ(pool.occupancy(1), 2);
+  EXPECT_EQ(pool.occupied_slots(), 4);
+  EXPECT_EQ(pool.front(0).packet, 10u);
+  EXPECT_EQ(pool.pop(0).seq, 0);
+  EXPECT_EQ(pool.pop(1).seq, 0);
+  EXPECT_EQ(pool.pop(0).seq, 1);
+  EXPECT_EQ(pool.pop(1).seq, 1);
+  EXPECT_EQ(pool.occupied_slots(), 0);
+  EXPECT_EQ(pool.free_slots(), 8);
+  EXPECT_THROW(pool.front(0), std::logic_error);
+}
+
+TEST(SharedBufferPool, GateWakePromoteLifecycle) {
+  SharedBufferPool pool(2, 2, 1, /*wakeup_latency=*/3);
+  ASSERT_EQ(pool.slot_state(0), SharedBufferPool::SlotState::kFree);
+  ASSERT_TRUE(pool.can_gate());
+  pool.gate_slot(0, /*now=*/10);
+  EXPECT_EQ(pool.slot_state(0), SharedBufferPool::SlotState::kGated);
+  EXPECT_EQ(pool.gated_slots(), 1);
+  EXPECT_EQ(pool.free_slots(), 3);
+  EXPECT_EQ(pool.slot_gate_transitions(0), 1u);
+
+  pool.wake_slot(0, /*now=*/20);
+  EXPECT_EQ(pool.slot_state(0), SharedBufferPool::SlotState::kWaking);
+  EXPECT_EQ(pool.slot_wake_ready(0), 23u);
+  // Waking still counts against shared_limit: the slot is not allocatable.
+  pool.promote_woken(22);
+  EXPECT_EQ(pool.waking_slots(), 1);
+  pool.promote_woken(23);
+  EXPECT_EQ(pool.waking_slots(), 0);
+  EXPECT_EQ(pool.free_slots(), 4);
+  EXPECT_EQ(pool.slot_state(0), SharedBufferPool::SlotState::kFree);
+  // Waking a non-Gated slot is a harmless retry, not an error.
+  EXPECT_NO_THROW(pool.wake_slot(0, 30));
+  EXPECT_EQ(pool.slot_state(0), SharedBufferPool::SlotState::kFree);
+}
+
+TEST(SharedBufferPool, GatingAnOccupiedOrDoubleGatedSlotThrows) {
+  SharedBufferPool pool(2, 2, 1, 0);
+  pool.push(0, flit(1));
+  int occupied = -1, free_slot = -1;
+  for (int s = 0; s < pool.num_slots(); ++s) {
+    if (pool.slot_state(s) == SharedBufferPool::SlotState::kOccupied) occupied = s;
+    if (pool.slot_state(s) == SharedBufferPool::SlotState::kFree) free_slot = s;
+  }
+  EXPECT_THROW(pool.gate_slot(occupied, 0), std::logic_error);
+  pool.gate_slot(free_slot, 0);
+  EXPECT_THROW(pool.gate_slot(free_slot, 0), std::logic_error);
+}
+
+TEST(SharedBufferPool, ReservedPathStaysOpenUnderFullGating) {
+  // Gate the whole shared region: every VC must still be able to take its
+  // reserved flit (invariant M*'s deadlock-safety half).
+  SharedBufferPool pool(2, 2, 1, 0);  // 4 slots, shared_capacity 2
+  int gated = 0;
+  for (int s = 0; s < pool.num_slots() && pool.can_gate(); ++s)
+    if (pool.slot_state(s) == SharedBufferPool::SlotState::kFree) {
+      pool.gate_slot(s, 0);
+      ++gated;
+    }
+  EXPECT_EQ(gated, pool.shared_capacity());
+  EXPECT_EQ(pool.shared_limit(), 0);
+  EXPECT_FALSE(pool.can_gate());
+  for (int v = 0; v < 2; ++v) {
+    EXPECT_TRUE(pool.can_send(v));
+    pool.charge(v);
+    pool.push(v, flit(static_cast<PacketId>(v)));
+    // The reservation is used up; the shared region is fully gated.
+    EXPECT_FALSE(pool.can_send(v));
+  }
+}
+
+TEST(SharedBufferPool, OvercommitTracksSharedRegionCharges) {
+  SharedBufferPool pool(2, 4, 1, 0);  // 8 slots, shared_capacity 6
+  pool.charge(0);                     // reserved
+  EXPECT_EQ(pool.overcommit(), 0);
+  pool.charge(0);  // first shared charge
+  pool.charge(0);
+  EXPECT_EQ(pool.overcommit(), 2);
+  pool.uncharge(0);
+  EXPECT_EQ(pool.overcommit(), 1);
+  pool.uncharge(0);
+  pool.uncharge(0);
+  EXPECT_EQ(pool.overcommit(), 0);
+  EXPECT_THROW(pool.uncharge(0), std::logic_error);
+  // set_charged rewrites incrementally: overcommit follows the identity.
+  pool.set_charged(1, 4);
+  EXPECT_EQ(pool.overcommit(), 3);
+  pool.set_charged(1, 0);
+  EXPECT_EQ(pool.overcommit(), 0);
+}
+
+TEST(SharedBufferPool, CreditPressureSignalsTrackChargesAndGating) {
+  // credit_starved() is the slot policies' wake trigger: it must assert
+  // exactly when some VC has consumed its whole reserve AND the shared
+  // region has no send headroom left — the stop-and-wait regime in which
+  // new_traffic goes quiet while flits keep trickling via the reserve.
+  SharedBufferPool pool(2, 4, 1, 0);  // 8 slots, shared_capacity 6
+  EXPECT_EQ(pool.credit_headroom(), 6);
+  EXPECT_EQ(pool.vcs_at_reserve(), 0);
+  EXPECT_FALSE(pool.credit_starved());
+
+  pool.charge(0);  // VC0's reserve consumed; headroom still wide open
+  EXPECT_EQ(pool.vcs_at_reserve(), 1);
+  EXPECT_FALSE(pool.credit_starved());
+
+  // Gate the whole shared region: headroom collapses to zero and the
+  // reserve-exhausted VC is now starved.
+  int gated = 0;
+  for (int s = 0; s < pool.num_slots() && pool.can_gate(); ++s) {
+    if (pool.slot_state(s) != SharedBufferPool::SlotState::kFree) continue;
+    pool.gate_slot(s, 0);
+    ++gated;
+  }
+  EXPECT_EQ(gated, 6);
+  EXPECT_EQ(pool.credit_headroom(), 0);
+  EXPECT_TRUE(pool.credit_starved());
+
+  // Draining the charge clears the pressure even with everything gated
+  // (the reserves alone cover sub-reserve traffic)...
+  pool.uncharge(0);
+  EXPECT_EQ(pool.vcs_at_reserve(), 0);
+  EXPECT_FALSE(pool.credit_starved());
+
+  // ...and set_charged keeps the at-reserve census on the same identity.
+  pool.set_charged(1, 3);
+  EXPECT_EQ(pool.vcs_at_reserve(), 1);
+  EXPECT_EQ(pool.credit_headroom(), -2);  // overcommit 2 beyond zero limit
+  EXPECT_TRUE(pool.credit_starved());
+  pool.set_charged(1, 0);
+  EXPECT_FALSE(pool.credit_starved());
+}
+
+TEST(SharedBufferPool, CanGateStopsExactlyWhereMStarBinds) {
+  // With charges pledging the shared region, gating must stop early enough
+  // that sum_v max(charged_v, R) <= slots - gated - waking keeps holding.
+  SharedBufferPool pool(2, 2, 1, 0);  // 4 slots, shared_capacity 2
+  pool.charge(0);
+  pool.charge(0);  // charged_0 = 2: one shared slot pledged
+  pool.push(0, flit(1, 0));
+  pool.push(0, flit(1, 1));
+  ASSERT_EQ(pool.overcommit(), 1);
+  // shared_limit = 2; overcommit 1 < 2: exactly one gate is still legal.
+  ASSERT_TRUE(pool.can_gate());
+  int free_slot = -1;
+  for (int s = 0; s < pool.num_slots(); ++s)
+    if (pool.slot_state(s) == SharedBufferPool::SlotState::kFree) {
+      free_slot = s;
+      break;
+    }
+  pool.gate_slot(free_slot, 0);
+  EXPECT_FALSE(pool.can_gate());  // overcommit 1 == shared_limit 1: M* binds
+  EXPECT_EQ(pool.free_slots(), 1);  // the flit the upstream pledged still fits
+}
+
+// --- satellite (a): purge with slots gated -----------------------------------
+
+TEST(SharedBufferPool, PurgeReleasesOnlyTheVcChainAndLeavesGatedSlotsAlone) {
+  SharedBufferPool pool(2, 4, 1, /*wakeup_latency=*/2);  // 8 slots
+  // VC 0 holds 3 flits, VC 1 holds 1; two slots gated, one waking.
+  for (int i = 0; i < 3; ++i) pool.push(0, flit(7, i));
+  pool.push(1, flit(9, 0));
+  int gated_a = -1, gated_b = -1;
+  for (int s = 0; s < pool.num_slots(); ++s)
+    if (pool.slot_state(s) == SharedBufferPool::SlotState::kFree) {
+      if (gated_a < 0) gated_a = s;
+      else if (gated_b < 0) gated_b = s;
+    }
+  pool.gate_slot(gated_a, 5);
+  pool.gate_slot(gated_b, 5);
+  pool.wake_slot(gated_b, 6);
+  ASSERT_EQ(pool.occupied_slots(), 4);
+  ASSERT_EQ(pool.gated_slots(), 1);
+  ASSERT_EQ(pool.waking_slots(), 1);
+  ASSERT_EQ(pool.free_slots(), 2);
+
+  // The purge drops exactly VC 0's 3 flits — counted once, via the return
+  // value — and must not resurrect the gated or waking slot.
+  EXPECT_EQ(pool.purge_vc(0), 3);
+  EXPECT_EQ(pool.occupancy(0), 0);
+  EXPECT_EQ(pool.occupied_slots(), 1);
+  EXPECT_EQ(pool.free_slots(), 5);
+  EXPECT_EQ(pool.gated_slots(), 1);
+  EXPECT_EQ(pool.waking_slots(), 1);
+  EXPECT_EQ(pool.slot_state(gated_a), SharedBufferPool::SlotState::kGated);
+  EXPECT_EQ(pool.slot_state(gated_b), SharedBufferPool::SlotState::kWaking);
+  // A second purge finds nothing: the flits cannot be counted twice.
+  EXPECT_EQ(pool.purge_vc(0), 0);
+  // VC 1's chain survived intact.
+  EXPECT_EQ(pool.pop(1).packet, 9u);
+  // The gated slot still matures through its normal lifecycle.
+  pool.promote_woken(8);
+  EXPECT_EQ(pool.waking_slots(), 0);
+  EXPECT_EQ(pool.slot_state(gated_b), SharedBufferPool::SlotState::kFree);
+}
+
+TEST(SharedBufferPool, SnapshotRoundTripsListsAndCharges) {
+  SharedBufferPool pool(2, 3, 1, /*wakeup_latency=*/4);  // 6 slots
+  pool.push(0, flit(3, 0));
+  pool.push(0, flit(3, 1));
+  pool.push(1, flit(5, 0));
+  int ga = -1, gb = -1;
+  for (int s = 0; s < pool.num_slots(); ++s)
+    if (pool.slot_state(s) == SharedBufferPool::SlotState::kFree) {
+      if (ga < 0) ga = s;
+      else if (gb < 0) gb = s;
+    }
+  pool.gate_slot(ga, 7);
+  pool.gate_slot(gb, 7);
+  pool.wake_slot(gb, 9);
+  pool.charge(0);
+  pool.charge(0);
+  pool.charge(1);
+
+  sim::SnapshotWriter w;
+  pool.save(w);
+  const std::string bytes = w.take();
+
+  SharedBufferPool restored(2, 3, 1, 4);
+  sim::SnapshotReader r(bytes);
+  restored.load(r);
+  EXPECT_TRUE(r.at_end());
+
+  EXPECT_EQ(restored.free_slots(), pool.free_slots());
+  EXPECT_EQ(restored.occupied_slots(), pool.occupied_slots());
+  EXPECT_EQ(restored.gated_slots(), pool.gated_slots());
+  EXPECT_EQ(restored.waking_slots(), pool.waking_slots());
+  EXPECT_EQ(restored.overcommit(), pool.overcommit());
+  for (int v = 0; v < 2; ++v) {
+    EXPECT_EQ(restored.charged(v), pool.charged(v));
+    EXPECT_EQ(restored.occupancy(v), pool.occupancy(v));
+  }
+  for (int s = 0; s < pool.num_slots(); ++s) {
+    EXPECT_EQ(restored.slot_state(s), pool.slot_state(s)) << "slot " << s;
+    EXPECT_EQ(restored.slot_gate_transitions(s), pool.slot_gate_transitions(s));
+  }
+  EXPECT_EQ(restored.slot_wake_ready(gb), pool.slot_wake_ready(gb));
+  // Pop order (the simulation-visible part of the list structure) survives.
+  EXPECT_EQ(restored.pop(0).seq, 0);
+  EXPECT_EQ(restored.pop(0).seq, 1);
+  EXPECT_EQ(restored.pop(1).packet, 5u);
+}
+
+// --- satellite (a), network level: purge while slots are gated ---------------
+
+// A mid-run link kill on a shared-organization fabric whose slot policy has
+// been actively gating: the purge path must drain the dead port's VC chains
+// through the pool descriptors, leave the recovering (Gated/Waking) slots
+// alone, restore every upstream charge from the conservation identity, and
+// count each purged flit into fault.dropped_flits exactly once — all of
+// which the InvariantChecker's slot-conservation, M*, and credit-
+// conservation probes verify every cycle of the stepped re-run.
+TEST(SharedPoolPurge, KillWhileSlotsAreGatedKeepsEveryInvariant) {
+  sim::Scenario s = sim::Scenario::synthetic(3, 2, 0.04);
+  s.buffer_org = "shared";
+  s.warmup_cycles = 500;
+  s.measure_cycles = 6'000;
+
+  core::RunnerOptions options;
+  sim::StructuralFault link_kill;
+  link_kill.router = 0;
+  link_kill.port = static_cast<int>(Dir::East);
+  // Low offered load means the slot policy has gated most of the shared
+  // region well before the kill lands.
+  link_kill.cycle = 2'000;
+  options.faults.structural.push_back(link_kill);
+  options.check_invariants = true;
+  options.scheduler = SchedulerMode::kStepped;
+
+  const core::RunResult result = core::run_experiment(
+      s, core::PolicyKind::kSensorWiseSlotMd, core::Workload::synthetic(), options);
+
+  EXPECT_TRUE(result.invariant_violations.empty())
+      << result.invariant_violations.front() << " (+"
+      << result.invariant_violations.size() - 1 << " more)";
+  EXPECT_EQ(result.fault_counters.at("fault.link_kills"), 1u);
+  // The run kept moving traffic after the kill.
+  EXPECT_GT(result.flits_ejected, 0u);
+  // Slot gating was genuinely active (the premise of this regression).
+  EXPECT_GT(result.total_gate_transitions, 0u);
+}
+
+}  // namespace
+}  // namespace nbtinoc::noc
